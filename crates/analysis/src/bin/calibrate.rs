@@ -1,0 +1,145 @@
+//! Calibration harness: runs the paper-scale campaign and prints the
+//! headline quantities next to the paper's reported values, so model
+//! parameters can be tuned until the shapes agree.
+//!
+//! ```text
+//! cargo run --release -p analysis --bin calibrate [days]
+//! ```
+
+use analysis::experiments;
+use analysis::harness;
+use std::time::Instant;
+
+fn main() {
+    let days: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(153);
+
+    let t0 = Instant::now();
+    let world = harness::paper_world();
+    eprintln!(
+        "[{:.1}s] world: {} ASes, {} links, {} servers ({} US)",
+        t0.elapsed().as_secs_f64(),
+        world.topo.as_count(),
+        world.topo.links.len(),
+        world.registry.servers.len(),
+        world.registry.in_country("US").len(),
+    );
+
+    let t1 = Instant::now();
+    let mut result = harness::quick_campaign(&world, days);
+    eprintln!(
+        "[{:.1}s] campaign: {} tests, {} VMs, {} raw objects, bill ${:.0}",
+        t1.elapsed().as_secs_f64(),
+        result.tests_run,
+        result.vm_count,
+        result.raw_objects,
+        result.billing.total_usd(),
+    );
+    let monthly = result.billing.total_usd() / (days as f64 / 30.4);
+    eprintln!("  monthly cost ≈ ${monthly:.0}  (paper: >6k USD/month)");
+
+    // ---- Table 1 ----
+    println!("\n== Table 1 (paper: links ~5.3-6.6k; traversed 111-325; measured 106/25/184/40/56; coverage 20.7-69.4%)");
+    for row in experiments::table1(&result) {
+        println!(
+            "  {:<12} links={:<6} traversed={:<5} measured={:<4} coverage={:.1}%",
+            row.region,
+            row.bdrmap_links,
+            row.links_traversed,
+            row.servers_measured,
+            row.coverage * 100.0
+        );
+    }
+
+    // ---- Fig. 2 ----
+    println!("\n== Fig 2 (paper: days@0.25 → 71-90%, days@0.5 → 11-30%, hours@0.5 → 1.3-3%)");
+    for r in experiments::fig2(&world, &mut result, 20) {
+        let d25 = r.day_curve.iter().find(|p| (p.0 - 0.25).abs() < 1e-9).map(|p| p.1).unwrap_or(f64::NAN);
+        println!(
+            "  {:<12} days@0.25={:.1}% days@0.5={:.1}% hours@0.5={:.2}% elbow={:?}",
+            r.region,
+            d25 * 100.0,
+            r.days_at_h05 * 100.0,
+            r.hours_at_h05 * 100.0,
+            r.elbow
+        );
+    }
+
+    // ---- Fig. 4 ----
+    let pts = experiments::fig4(&mut result, "topo", "premium");
+    let s = experiments::fig4_summary(&pts);
+    println!(
+        "\n== Fig 4a ({} server-months; paper: >90% latency<150ms, ~80% download 200-600)",
+        pts.len()
+    );
+    println!(
+        "  latency<150ms={:.1}%  download200-600={:.1}%  upload>90={:.1}%  maxdown={:.0}",
+        s.latency_under_150 * 100.0,
+        s.download_200_600 * 100.0,
+        s.upload_near_cap * 100.0,
+        s.max_download
+    );
+
+    // ---- Fig. 5 ----
+    if let Some(f5) = experiments::fig5(&mut result, "europe-west1") {
+        println!("\n== Fig 5 europe-west1 (paper: standard generally faster; |Δ|<0.5 in >92%; 8 premium-lossy)");
+        println!(
+            "  standard_faster={:.1}%  |Δd|<0.5={:.1}%  premium_lossy(>10%)={} of {}",
+            f5.standard_faster * 100.0,
+            f5.delta_under_half * 100.0,
+            f5.premium_lossy.len(),
+            f5.comparison.servers.len()
+        );
+        for (class, metric, vals) in &f5.pooled {
+            if *metric == clasp_core::tiercmp::Metric::Download && !vals.is_empty() {
+                let med = clasp_stats::median(vals).unwrap();
+                println!("    class {:<15} n={:<6} median Δd={:+.3}", class.label(), vals.len(), med);
+            }
+        }
+        // Per-pick detail for calibration.
+        for (sid, class, d) in &f5.comparison.servers {
+            let srv = world.registry.by_id(sid).unwrap();
+            let city = world.topo.cities.get(srv.city);
+            let med = clasp_stats::median(&d.download).unwrap_or(f64::NAN);
+            let medl = clasp_stats::median(&d.latency).unwrap_or(f64::NAN);
+            println!(
+                "      {:<12} {:<15} {:<12} {:<2} ploss={:.3} sloss={:.3} medΔd={:+.2} medΔl={:+.2}",
+                sid, class.label(), city.name, city.country,
+                d.premium_dloss_mean, d.standard_dloss_mean, med, medl
+            );
+        }
+    } else {
+        println!("\n== Fig 5: europe-west1 selection empty!");
+    }
+
+    // ---- Fig. 6 ----
+    for region in ["us-east1", "us-west1"] {
+        let lines = experiments::fig6(&world, &mut result, region, "topo", 0.5, 10);
+        println!("\n== Fig 6 {region} top congested servers:");
+        for l in lines.iter().take(5) {
+            let peak_hour = l
+                .probability
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            println!(
+                "  {:<40} events={:<5} peak@{:02}h p={:.3}",
+                l.label, l.events, peak_hour, l.probability[peak_hour]
+            );
+        }
+    }
+
+    // ---- Fig. 8 ----
+    println!("\n== Fig 8 ISP congested fraction per region (paper: 30-77% topo):");
+    for r in experiments::fig8(&world, &mut result, 0.5) {
+        if let Some(f) = experiments::fig8_isp_congested_fraction(&r) {
+            println!("  {:<12} {:<5} {:.1}%", r.region, r.method, f * 100.0);
+        }
+    }
+
+    eprintln!("\n[total {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,140 @@
+//! Demonstrates the §5 future-work features on campaign data:
+//! autocorrelation-based diurnal detection, HMM congestion detection
+//! compared against the paper's threshold method, in-band bottleneck
+//! localisation, and automatic re-selection after server churn.
+//!
+//! ```text
+//! cargo run --release -p analysis --bin extensions [days]
+//! ```
+
+use analysis::harness;
+use clasp_core::congestion::CongestionAnalysis;
+use clasp_core::congestion_ext::{compare_methods, diurnal_detect, hmm_detect};
+use clasp_core::select::topology::PilotConfig;
+use simnet::routing::{Direction, Tier};
+use simnet::time::SimTime;
+
+fn main() {
+    let days: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    let world = harness::paper_world();
+    let mut result = harness::quick_campaign(&world, days);
+
+    println!("== §5 extension 1+2: time-series congestion detectors ({days} days) ==\n");
+    let analysis = CongestionAnalysis::build(
+        &mut result.db,
+        &world,
+        "download",
+        &[
+            ("method".to_string(), "topo".to_string()),
+            ("region".to_string(), "us-east1".to_string()),
+        ],
+    );
+    let cmp = compare_methods(&analysis, 0.5);
+    println!("threshold method (V_H > 0.5, >10% of days): {} congested series", cmp.threshold_congested);
+    println!("2-state Gaussian HMM (bimodal + low-state hours): {} congested series", cmp.hmm_congested);
+    println!("lag-24 autocorrelation: {} diurnal series", cmp.diurnal);
+    println!(
+        "threshold ∩ HMM = {} (Jaccard {:.2})\n",
+        cmp.threshold_and_hmm, cmp.jaccard
+    );
+
+    // A few example series with all three verdicts side by side.
+    let hmm = hmm_detect(&analysis);
+    let acf = diurnal_detect(&analysis);
+    let thr = analysis.congested_series(0.5, 0.10);
+    println!("{:<46} {:>9} {:>12} {:>9}", "series", "threshold", "hmm-hours", "acf24");
+    let mut shown = 0;
+    for (i, info) in analysis.series.iter().enumerate() {
+        let h = &hmm[i];
+        if !thr[i] && !h.bimodal {
+            continue;
+        }
+        let a = acf
+            .iter()
+            .find(|(k, _)| k == &info.key)
+            .map(|(_, s)| s.acf_24)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<46} {:>9} {:>7}/{:<4} {:>9.2}",
+            info.server,
+            if thr[i] { "yes" } else { "no" },
+            h.congested_hours,
+            h.total_hours,
+            a
+        );
+        shown += 1;
+        if shown >= 12 {
+            break;
+        }
+    }
+
+    println!("\n== §5 extension 3: in-band bottleneck localisation ==\n");
+    let session = world.session();
+    let region = world.topo.cities.by_name("The Dalles").unwrap();
+    let mut hits = 0;
+    let mut trials = 0;
+    let mut probe_bytes = 0u64;
+    for server in world.registry.in_country("US").into_iter().take(40) {
+        let Some(path) = session.paths.vm_host_path(
+            region,
+            world.topo.vm_ip(region, 0),
+            server.as_id,
+            server.city,
+            server.ip,
+            Tier::Premium,
+            Direction::ToCloud,
+        ) else {
+            continue;
+        };
+        let t = SimTime::from_day_hour(5, 20);
+        let truth = nettools::inband::true_bottleneck(&session.perf, &path, t);
+        let est = nettools::inband::locate_bottleneck(&session.perf, &path, t, 16, 3);
+        trials += 1;
+        probe_bytes += est.probe_bytes;
+        if est.bottleneck_segment.abs_diff(truth) <= 1 {
+            hits += 1;
+        }
+    }
+    let bulk = nettools::inband::bulk_test_bytes(300.0, 15.0) * trials as u64;
+    println!("bottleneck located (±1 segment) on {hits}/{trials} paths");
+    println!(
+        "probe cost {:.1} MB vs bulk-test cost {:.0} MB ({}x cheaper)",
+        probe_bytes as f64 / 1e6,
+        bulk as f64 / 1e6,
+        bulk / probe_bytes.max(1)
+    );
+
+    println!("\n== §5 extension 4: automatic re-selection after churn ==\n");
+    let current = result.topo_selections[0].clone();
+    let churned = world.registry.churned(&world.topo, 77, 0.15, 60);
+    let (fresh, update) = clasp_core::reselect::reselect(
+        &world,
+        &session.paths,
+        &current,
+        &churned,
+        region,
+        106,
+        &PilotConfig::default(),
+    );
+    println!(
+        "registry churn: 15% decommissioned, 60 new deployments ({} → {} servers)",
+        world.registry.servers.len(),
+        churned.servers.len()
+    );
+    println!(
+        "selection update: {} kept / {} added / {} removed (continuity {:.0}%)",
+        update.kept.len(),
+        update.added.len(),
+        update.removed.len(),
+        update.continuity() * 100.0
+    );
+    println!(
+        "border links: {} lost, {} gained, new selection covers {} links",
+        update.links_lost,
+        update.links_gained,
+        fresh.servers.len()
+    );
+}

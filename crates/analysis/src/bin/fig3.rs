@@ -1,0 +1,43 @@
+//! Regenerates **Fig. 3**: a two-day download time series from a
+//! daytime-congested server (the paper shows Cox Las Vegas → us-west1)
+//! with its normalized intra-day difference and congested hours
+//! highlighted.
+//!
+//! ```text
+//! cargo run --release -p analysis --bin fig3
+//! ```
+
+use analysis::{experiments, harness, render};
+
+fn main() {
+    let world = harness::paper_world();
+    let mut result = harness::paper_campaign(&world);
+    let Some(fig) = experiments::fig3(&world, &mut result, 0.5) else {
+        println!("no daytime-congested series found");
+        return;
+    };
+    println!("Fig 3: two-day download time series, {}", fig.label);
+    println!("paper: Cox (Las Vegas) → us-west1, repeated drops 10am–4pm\n");
+
+    let tput: Vec<f64> = fig.points.iter().map(|p| p.1).collect();
+    let vh: Vec<f64> = fig.points.iter().map(|p| p.2).collect();
+    println!("throughput  {}", render::sparkline(&tput));
+    println!("V_H(s,t)    {}", render::sparkline(&vh));
+    let marks: String = fig
+        .points
+        .iter()
+        .map(|p| if p.3 { '#' } else { '.' })
+        .collect();
+    println!("congested   {marks}   ({} hours over H=0.5)\n", fig.congested_hours);
+
+    println!("{:>6} {:>10} {:>8} {:>6}", "hour", "Mbps", "V_H", "event");
+    for (t, mbps, v, ev) in &fig.points {
+        println!(
+            "{:>6} {:>10.1} {:>8.3} {:>6}",
+            simnet::time::SimTime(*t).to_string(),
+            mbps,
+            v,
+            if *ev { "###" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Fig. 4**: per server-month scatter of 95th-percentile
+//! download throughput vs 5th-percentile latency, with marginal kernel
+//! densities, for (a) the topology-based servers, (b) the differential
+//! servers on the premium tier and (c) on the standard tier.
+//!
+//! ```text
+//! cargo run --release -p analysis --bin fig4
+//! ```
+
+use analysis::{experiments, harness, render};
+use clasp_stats::GaussianKde;
+
+fn slice_report(label: &str, pts: &[experiments::Fig4Point]) {
+    println!("\n== {label} ({} server-months)", pts.len());
+    if pts.is_empty() {
+        return;
+    }
+    let s = experiments::fig4_summary(pts);
+    println!(
+        "  latency<150ms: {}   download in [200,600]: {}   upload>90Mbps: {}   max download: {:.0} Mbps",
+        render::pct(s.latency_under_150),
+        render::pct(s.download_200_600),
+        render::pct(s.upload_near_cap),
+        s.max_download
+    );
+    let lat: Vec<f64> = pts.iter().map(|p| p.latency_p05).collect();
+    let down: Vec<f64> = pts.iter().map(|p| p.download_p95).collect();
+    print!("{}", render::cdf_summary("  latency p05 (ms) ", &lat));
+    print!("{}", render::cdf_summary("  download p95 (Mb)", &down));
+    // Marginal kernel densities, as the figure's side curves.
+    if let Some(kde) = GaussianKde::new(&down) {
+        let grid = kde.grid(0.0, 1000.0, 25);
+        let ys: Vec<f64> = grid.iter().map(|p| p.1).collect();
+        println!("  download density 0→1000 Mbps: {}", render::sparkline(&ys));
+    }
+    if let Some(kde) = GaussianKde::new(&lat) {
+        let grid = kde.grid(0.0, 320.0, 25);
+        let ys: Vec<f64> = grid.iter().map(|p| p.1).collect();
+        println!("  latency  density 0→320 ms:    {}", render::sparkline(&ys));
+    }
+}
+
+fn main() {
+    let world = harness::paper_world();
+    let mut result = harness::paper_campaign(&world);
+    let _ = &world;
+
+    let topo = experiments::fig4(&mut result, "topo", "premium");
+    slice_report("Fig 4a: topology-based servers (premium tier)", &topo);
+    println!("  paper: >90% of measurements latency <150 ms and download >200 Mbps; 80% of servers 200–600 Mbps");
+
+    let prem = experiments::fig4(&mut result, "diff", "premium");
+    slice_report("Fig 4b: differential servers, premium tier", &prem);
+    println!("  paper: premium tier has smaller download variance than standard");
+
+    let std_ = experiments::fig4(&mut result, "diff", "standard");
+    slice_report("Fig 4c: differential servers, standard tier", &std_);
+    println!("  paper: download to some servers higher than premium");
+
+    // Variance comparison (the 4b-vs-4c caption claim).
+    let var = |pts: &[experiments::Fig4Point]| {
+        let v: Vec<f64> = pts.iter().map(|p| p.download_p95).collect();
+        let s: clasp_stats::Summary = v.into_iter().collect();
+        s.variance().unwrap_or(0.0)
+    };
+    println!(
+        "\npremium download variance {:.0} vs standard {:.0} (paper: premium smaller)",
+        var(&prem),
+        var(&std_)
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Fig. 5**: CDFs of the relative premium-vs-standard
+//! difference Δ_m(S,t) for download (5a), upload (5b) and latency (5c) in
+//! europe-west1, grouped by each server's pre-test latency class.
+//!
+//! ```text
+//! cargo run --release -p analysis --bin fig5 [region]
+//! ```
+
+use analysis::{experiments, harness, render};
+use clasp_core::tiercmp::Metric;
+use clasp_stats::Ecdf;
+
+fn main() {
+    let region = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "europe-west1".to_string());
+    let world = harness::paper_world();
+    let mut result = harness::paper_campaign(&world);
+    let _ = &world;
+    let Some(fig) = experiments::fig5(&mut result, &region) else {
+        println!("region {region} has no differential selection");
+        return;
+    };
+
+    println!("Fig 5: tier comparison in {}", fig.region);
+    println!(
+        "standard tier faster on download in {} of paired tests (paper: \"generally higher\")",
+        render::pct(fig.standard_faster)
+    );
+    println!(
+        "|Δ download| < 0.5 in {} of measurements (paper: >92%)",
+        render::pct(fig.delta_under_half)
+    );
+    println!(
+        "servers with mean premium download loss >10%: {} (paper: 8): {:?}",
+        fig.premium_lossy.len(),
+        fig.premium_lossy
+    );
+
+    for (metric, sub) in [
+        (Metric::Download, "5a: Δ download"),
+        (Metric::Upload, "5b: Δ upload"),
+        (Metric::Latency, "5c: Δ latency"),
+    ] {
+        println!("\nFig {sub}");
+        for (class, m, vals) in &fig.pooled {
+            if *m != metric || vals.is_empty() {
+                continue;
+            }
+            print!("{}", render::cdf_summary(&format!("  {:<15}", class.label()), vals));
+            if let Some(e) = Ecdf::new(vals) {
+                // CDF evaluated on a fixed grid [-1, 1].
+                let ys: Vec<f64> = (0..=40)
+                    .map(|i| e.eval(-1.0 + i as f64 / 20.0))
+                    .collect();
+                println!("    CDF -1→+1: {}  F(0)={:.2}", render::sparkline(&ys), e.eval(0.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 6**: hourly congestion probability (server-local
+//! time) of the top-10 most congested servers in us-east1 (6a) and
+//! us-west1 (6b), and the premium/standard split in europe-west1 (6c).
+//!
+//! ```text
+//! cargo run --release -p analysis --bin fig6
+//! ```
+
+use analysis::{experiments, harness, render};
+
+fn main() {
+    let world = harness::paper_world();
+    let mut result = harness::paper_campaign(&world);
+
+    for (sub, region) in [("6a", "us-east1"), ("6b", "us-west1")] {
+        println!("Fig {sub}: {region} top-10 congested servers (topology method, H=0.5)");
+        for l in experiments::fig6(&world, &mut result, region, "topo", 0.5, 10) {
+            print!("{}", render::hourly_profile(&l.label, &l.probability));
+        }
+        println!();
+    }
+    println!("paper 6a: Smarterbroadband degraded 10am–8pm; Cogent-hosted servers peak 7–11pm");
+    println!("paper 6b: unWired/Suddenlink evening peaks; Cox daytime (reverse-path) congestion\n");
+
+    println!("Fig 6c: europe-west1 premium (p) vs standard (s) tier profiles");
+    let lines = experiments::fig6(&world, &mut result, "europe-west1", "diff", 0.5, 24);
+    // Pair up tiers per server label.
+    let mut by_label: std::collections::BTreeMap<String, Vec<&experiments::Fig6Line>> =
+        Default::default();
+    for l in &lines {
+        by_label.entry(l.label.clone()).or_default().push(l);
+    }
+    for (label, tiers) in by_label {
+        for l in tiers {
+            print!(
+                "{}",
+                render::hourly_profile(&format!("{label} [{}]", &l.tier[..1]), &l.probability)
+            );
+        }
+    }
+    println!("\npaper 6c: Vortex Netsol, Joister (India) and Telstra (Australia) more congested on the standard tier");
+}

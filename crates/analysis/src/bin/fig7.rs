@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 7**: locations of each cloud region and its
+//! selected speed-test servers (topology-based and differential-based),
+//! as coordinate tables plus a coarse ASCII world map.
+//!
+//! ```text
+//! cargo run --release -p analysis --bin fig7
+//! ```
+
+use analysis::{experiments, harness};
+
+/// Plots points on a coarse lat/lon grid.
+fn ascii_map(points: &[(f64, f64, char)]) -> String {
+    const W: usize = 72;
+    const H: usize = 24;
+    let mut grid = vec![vec![' '; W]; H];
+    for (lat, lon, c) in points {
+        let x = (((lon + 180.0) / 360.0) * (W as f64 - 1.0)).round() as usize;
+        let y = (((90.0 - lat) / 180.0) * (H as f64 - 1.0)).round() as usize;
+        let cell = &mut grid[y.min(H - 1)][x.min(W - 1)];
+        // Region markers win over server markers.
+        if *cell != 'R' {
+            *cell = *c;
+        }
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let world = harness::paper_world();
+    let result = harness::paper_campaign(&world);
+    let regions = experiments::fig7(&world, &result);
+
+    for r in &regions {
+        println!(
+            "\nFig 7 {}: region at ({:.1}, {:.1}), {} servers",
+            r.region,
+            r.region_loc.0,
+            r.region_loc.1,
+            r.servers.len()
+        );
+        let mut pts: Vec<(f64, f64, char)> = r
+            .servers
+            .iter()
+            .map(|(_, la, lo, method)| {
+                (*la, *lo, if *method == "topology" { 'o' } else { 'x' })
+            })
+            .collect();
+        pts.push((r.region_loc.0, r.region_loc.1, 'R'));
+        println!("{}", ascii_map(&pts));
+        println!("R = region, o = topology-selected, x = differential-selected");
+        let topo = r.servers.iter().filter(|s| s.3 == "topology").count();
+        let diff = r.servers.len() - topo;
+        let non_us = r
+            .servers
+            .iter()
+            .filter(|(id, _, _, _)| {
+                world
+                    .registry
+                    .by_id(id)
+                    .is_some_and(|srv| srv.country != "US")
+            })
+            .count();
+        println!("topology={topo} differential={diff} non-US={non_us}");
+    }
+    println!("\npaper: all topology-selected servers in the US; differential selection global");
+}

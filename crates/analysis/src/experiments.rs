@@ -1,0 +1,549 @@
+//! The per-figure computations.
+//!
+//! Every function takes the campaign output and returns plain data; the
+//! `bin/` targets render them, integration tests assert on them, and the
+//! benches time them. Paper-reported reference values live alongside each
+//! structure so EXPERIMENTS.md can print paper-vs-measured rows.
+
+use clasp_core::campaign::CampaignResult;
+use clasp_core::congestion::CongestionAnalysis;
+use clasp_core::select::differential::LatencyClass;
+use clasp_core::tiercmp::{Metric, TierComparison};
+use clasp_core::world::World;
+use clasp_stats::percentile;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------- Table 1
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Region name.
+    pub region: &'static str,
+    /// Interdomain links found by the bdrmap pilot scan.
+    pub bdrmap_links: usize,
+    /// Links traversed by traceroutes to all US test servers.
+    pub links_traversed: usize,
+    /// Servers measured by CLASP (budget-capped selection).
+    pub servers_measured: usize,
+    /// Coverage of traversed links.
+    pub coverage: f64,
+}
+
+/// Computes Table 1 from the campaign's topology selections.
+pub fn table1(result: &CampaignResult) -> Vec<Table1Row> {
+    result
+        .topo_selections
+        .iter()
+        .map(|s| Table1Row {
+            region: s.region,
+            bdrmap_links: s.bdrmap_links,
+            links_traversed: s.links_traversed,
+            servers_measured: s.servers.len(),
+            coverage: s.coverage(),
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Fig. 2
+
+/// Fig. 2: percentage of congested s-days / s-hours vs threshold H.
+#[derive(Debug, Clone)]
+pub struct Fig2Region {
+    /// Region name.
+    pub region: String,
+    /// (H, fraction of s-days with V > H).
+    pub day_curve: Vec<(f64, f64)>,
+    /// (H, fraction of s-hours with V_H > H).
+    pub hour_curve: Vec<(f64, f64)>,
+    /// Elbow threshold detected on the day curve.
+    pub elbow: Option<f64>,
+    /// Fraction of congested s-days at H = 0.5 (paper: 11–30 %).
+    pub days_at_h05: f64,
+    /// Fraction of congested s-hours at H = 0.5 (paper: 1.3–3 %).
+    pub hours_at_h05: f64,
+}
+
+/// Computes the Fig. 2 sweep for each topology region.
+pub fn fig2(world: &World, result: &mut CampaignResult, steps: usize) -> Vec<Fig2Region> {
+    let mut out = Vec::new();
+    let regions: Vec<String> = result
+        .topo_selections
+        .iter()
+        .map(|s| s.region.to_string())
+        .collect();
+    for region in regions {
+        let analysis = CongestionAnalysis::build(
+            &mut result.db,
+            world,
+            "download",
+            &[
+                ("method".to_string(), "topo".to_string()),
+                ("region".to_string(), region.clone()),
+            ],
+        );
+        let thresholds: Vec<f64> = (0..=steps).map(|i| i as f64 / steps as f64).collect();
+        let day_curve: Vec<(f64, f64)> = thresholds
+            .iter()
+            .map(|&h| (h, analysis.fraction_days_above(h)))
+            .collect();
+        let hour_curve: Vec<(f64, f64)> = thresholds
+            .iter()
+            .map(|&h| (h, analysis.fraction_hours_above(h)))
+            .collect();
+        let (_, elbow) = analysis.elbow_threshold(steps);
+        out.push(Fig2Region {
+            region,
+            days_at_h05: analysis.fraction_days_above(0.5),
+            hours_at_h05: analysis.fraction_hours_above(0.5),
+            day_curve,
+            hour_curve,
+            elbow,
+        });
+    }
+    out
+}
+
+// ----------------------------------------------------------------- Fig. 3
+
+/// Fig. 3: a two-day download time series with congestion highlighting.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Series label (`<server> → <region>`).
+    pub label: String,
+    /// Hourly points: (UTC time, throughput Mbps, V_H, congested?).
+    pub points: Vec<(u64, f64, f64, bool)>,
+    /// Congested hours among the shown window.
+    pub congested_hours: usize,
+}
+
+/// Extracts the most Cox-like (daytime-congested) series and a two-day
+/// window around its worst day.
+pub fn fig3(world: &World, result: &mut CampaignResult, h: f64) -> Option<Fig3> {
+    let analysis = CongestionAnalysis::build(
+        &mut result.db,
+        world,
+        "download",
+        &[("method".to_string(), "topo".to_string())],
+    );
+    // Prefer a Cox server if one was selected; otherwise the series with
+    // the most daytime (9h–17h local) events.
+    let events = analysis.events(h);
+    let mut daytime_counts: HashMap<&str, u32> = HashMap::new();
+    for e in &events {
+        if (9..=17).contains(&e.local_hour) {
+            *daytime_counts.entry(e.series.as_str()).or_insert(0) += 1;
+        }
+    }
+    let cox_key = analysis
+        .series
+        .iter()
+        .filter(|s| {
+            world
+                .registry
+                .by_id(&s.server)
+                .is_some_and(|srv| srv.sponsor.starts_with("Cox"))
+        })
+        .map(|s| s.key.clone())
+        .find(|k| daytime_counts.contains_key(k.as_str()));
+    let key = cox_key.or_else(|| {
+        daytime_counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, _)| k.to_string())
+    })?;
+    let idx = analysis.series.iter().position(|s| s.key == key)? as u32;
+    let info = &analysis.series[idx as usize];
+
+    // Worst local day of that series.
+    let worst_day = analysis
+        .day_vars
+        .iter()
+        .filter(|d| d.series == key)
+        .max_by(|a, b| a.v.partial_cmp(&b.v).expect("finite"))?
+        .local_day;
+    let days = [worst_day, worst_day + 1];
+    let mut points: Vec<(u64, f64, f64, bool)> = analysis
+        .samples
+        .iter()
+        .filter(|s| s.series_idx == idx && days.contains(&s.local_day))
+        .map(|s| (s.time, s.value, s.v_h, s.v_h > h))
+        .collect();
+    points.sort_by_key(|p| p.0);
+    let congested_hours = points.iter().filter(|p| p.3).count();
+    Some(Fig3 {
+        label: format!("{} → {}", info.server, info.region),
+        points,
+        congested_hours,
+    })
+}
+
+// ----------------------------------------------------------------- Fig. 4
+
+/// One Fig. 4 scatter point: a server-month.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    /// Server id.
+    pub server: String,
+    /// Region measured from.
+    pub region: String,
+    /// Month index within the campaign.
+    pub month: u64,
+    /// 5th-percentile latency, ms.
+    pub latency_p05: f64,
+    /// 95th-percentile download, Mbps.
+    pub download_p95: f64,
+    /// 95th-percentile upload, Mbps.
+    pub upload_p95: f64,
+}
+
+/// Computes the Fig. 4 scatter for one method/tier slice.
+pub fn fig4(
+    result: &mut CampaignResult,
+    method: &str,
+    tier: &str,
+) -> Vec<Fig4Point> {
+    const MONTH_S: u64 = 30 * 86_400;
+    let filters = vec![
+        ("method".to_string(), method.to_string()),
+        ("tier".to_string(), tier.to_string()),
+    ];
+    let mut out = Vec::new();
+    for series in result.db.matching_series("speedtest", &filters) {
+        let server = series.tags.get("server").cloned().unwrap_or_default();
+        let region = series.tags.get("region").cloned().unwrap_or_default();
+        let mut by_month: HashMap<u64, (Vec<f64>, Vec<f64>, Vec<f64>)> = HashMap::new();
+        for (t, fields) in series.samples() {
+            let m = *t / MONTH_S;
+            let entry = by_month.entry(m).or_default();
+            if let Some(d) = fields.get("download") {
+                entry.0.push(*d);
+            }
+            if let Some(u) = fields.get("upload") {
+                entry.1.push(*u);
+            }
+            if let Some(l) = fields.get("latency") {
+                entry.2.push(*l);
+            }
+        }
+        for (m, (down, up, lat)) in by_month {
+            if down.len() < 24 {
+                continue; // too few samples for stable percentiles
+            }
+            out.push(Fig4Point {
+                server: server.clone(),
+                region: region.clone(),
+                month: m,
+                latency_p05: percentile(&lat, 5.0).unwrap_or(f64::NAN),
+                download_p95: percentile(&down, 95.0).unwrap_or(f64::NAN),
+                upload_p95: percentile(&up, 95.0).unwrap_or(f64::NAN),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.server.as_str(), a.month).cmp(&(b.server.as_str(), b.month)));
+    out
+}
+
+/// Headline aggregates of a Fig. 4 slice (the §4.1 prose numbers).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Summary {
+    /// Fraction of points with latency < 150 ms (paper: >90 %).
+    pub latency_under_150: f64,
+    /// Fraction of points with download in [200, 600] Mbps (paper: ~80 %).
+    pub download_200_600: f64,
+    /// Fraction of points with upload > 90 Mbps (uploads ride the cap).
+    pub upload_near_cap: f64,
+    /// Maximum download seen (nothing saturates the 1 Gbps cap).
+    pub max_download: f64,
+}
+
+/// Summarises a Fig. 4 point cloud.
+pub fn fig4_summary(points: &[Fig4Point]) -> Fig4Summary {
+    let n = points.len().max(1) as f64;
+    Fig4Summary {
+        latency_under_150: points.iter().filter(|p| p.latency_p05 < 150.0).count() as f64 / n,
+        download_200_600: points
+            .iter()
+            .filter(|p| (200.0..=600.0).contains(&p.download_p95))
+            .count() as f64
+            / n,
+        upload_near_cap: points.iter().filter(|p| p.upload_p95 > 90.0).count() as f64 / n,
+        max_download: points
+            .iter()
+            .map(|p| p.download_p95)
+            .fold(0.0, f64::max),
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 5
+
+/// Fig. 5: pooled Δ distributions per latency class for one region.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// Region compared (the paper shows europe-west1).
+    pub region: &'static str,
+    /// (class, metric) → pooled Δ values.
+    pub pooled: Vec<(LatencyClass, Metric, Vec<f64>)>,
+    /// Fraction of download measurements where standard was faster.
+    pub standard_faster: f64,
+    /// Fraction of |Δ download| below 0.5 (paper: >92 %).
+    pub delta_under_half: f64,
+    /// Servers whose premium-tier mean download loss exceeds 10 %
+    /// (paper: eight).
+    pub premium_lossy: Vec<String>,
+    /// The underlying comparison.
+    pub comparison: TierComparison,
+}
+
+/// Builds Fig. 5 for one differential region of the campaign.
+pub fn fig5(result: &mut CampaignResult, region: &str) -> Option<Fig5> {
+    let sel_idx = result
+        .diff_selections
+        .iter()
+        .position(|s| s.region == region)?;
+    let selection = result.diff_selections[sel_idx].clone();
+    let comparison = TierComparison::build(&mut result.db, &selection);
+    let mut pooled = Vec::new();
+    for class in [
+        LatencyClass::Comparable,
+        LatencyClass::PremiumLower,
+        LatencyClass::StandardLower,
+    ] {
+        for metric in [Metric::Download, Metric::Upload, Metric::Latency] {
+            pooled.push((class, metric, comparison.pooled(class, metric)));
+        }
+    }
+    let all_d: Vec<f64> = comparison
+        .servers
+        .iter()
+        .flat_map(|(_, _, d)| d.download.iter().copied())
+        .collect();
+    let delta_under_half = if all_d.is_empty() {
+        0.0
+    } else {
+        all_d.iter().filter(|d| d.abs() < 0.5).count() as f64 / all_d.len() as f64
+    };
+    Some(Fig5 {
+        region: comparison.region,
+        standard_faster: comparison.standard_faster_fraction(),
+        delta_under_half,
+        premium_lossy: comparison
+            .premium_lossy_servers(0.10)
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        pooled,
+        comparison,
+    })
+}
+
+// ----------------------------------------------------------------- Fig. 6
+
+/// One Fig. 6 line: a congested server's hour-of-day profile.
+#[derive(Debug, Clone)]
+pub struct Fig6Line {
+    /// `<City>-<Network>` label, as the paper formats them.
+    pub label: String,
+    /// Tier of the series.
+    pub tier: String,
+    /// Hourly congestion probability in server-local time.
+    pub probability: [f64; 24],
+    /// Total events.
+    pub events: u32,
+}
+
+/// Computes the top-`n` most congested servers' hourly profiles for one
+/// region/method slice.
+pub fn fig6(
+    world: &World,
+    result: &mut CampaignResult,
+    region: &str,
+    method: &str,
+    h: f64,
+    n: usize,
+) -> Vec<Fig6Line> {
+    let analysis = CongestionAnalysis::build(
+        &mut result.db,
+        world,
+        "download",
+        &[
+            ("method".to_string(), method.to_string()),
+            ("region".to_string(), region.to_string()),
+        ],
+    );
+    let events = analysis.events_per_series(h);
+    let probs = analysis.hourly_probability(h);
+    let mut ranked: Vec<usize> = (0..analysis.series.len()).collect();
+    ranked.sort_by_key(|&i| std::cmp::Reverse(events[i]));
+    ranked
+        .into_iter()
+        .take(n)
+        .filter(|&i| events[i] > 0)
+        .map(|i| {
+            let info = &analysis.series[i];
+            let label = world
+                .registry
+                .by_id(&info.server)
+                .map(|srv| {
+                    let city = world.topo.cities.get(srv.city).name;
+                    let network = world.topo.as_node(srv.as_id).name.clone();
+                    format!("{city}-{network}")
+                })
+                .unwrap_or_else(|| info.server.clone());
+            Fig6Line {
+                label,
+                tier: info.tier.clone(),
+                probability: probs[i],
+                events: events[i],
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Fig. 7
+
+/// Fig. 7: locations of the cloud region and its selected servers.
+#[derive(Debug, Clone)]
+pub struct Fig7Region {
+    /// Region name.
+    pub region: &'static str,
+    /// Region coordinates.
+    pub region_loc: (f64, f64),
+    /// Selected servers: (id, lat, lon, method).
+    pub servers: Vec<(String, f64, f64, &'static str)>,
+}
+
+/// Collects geolocations per region for the map figure.
+pub fn fig7(world: &World, result: &CampaignResult) -> Vec<Fig7Region> {
+    let mut out: Vec<Fig7Region> = Vec::new();
+    let locate = |sid: &str| -> Option<(f64, f64)> {
+        let srv = world.registry.by_id(sid)?;
+        let loc = world.topo.cities.get(srv.city).location;
+        Some((loc.lat, loc.lon))
+    };
+    for sel in &result.topo_selections {
+        let region = cloudsim::region::Region::by_name(sel.region).expect("known");
+        let loc = world
+            .topo
+            .cities
+            .get(region.city_id(&world.topo.cities))
+            .location;
+        let servers = sel
+            .servers
+            .iter()
+            .filter_map(|s| locate(s).map(|(la, lo)| (s.clone(), la, lo, "topology")))
+            .collect();
+        out.push(Fig7Region {
+            region: sel.region,
+            region_loc: (loc.lat, loc.lon),
+            servers,
+        });
+    }
+    for sel in &result.diff_selections {
+        let region = cloudsim::region::Region::by_name(sel.region).expect("known");
+        let loc = world
+            .topo
+            .cities
+            .get(region.city_id(&world.topo.cities))
+            .location;
+        let servers: Vec<(String, f64, f64, &'static str)> = sel
+            .picks
+            .iter()
+            .filter_map(|p| {
+                locate(&p.server_id).map(|(la, lo)| (p.server_id.clone(), la, lo, "differential"))
+            })
+            .collect();
+        match out.iter_mut().find(|r| r.region == sel.region) {
+            Some(r) => r.servers.extend(servers),
+            None => out.push(Fig7Region {
+                region: sel.region,
+                region_loc: (loc.lat, loc.lon),
+                servers,
+            }),
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------- Fig. 8
+
+/// Fig. 8: congested / total server counts by business type.
+#[derive(Debug, Clone, Default)]
+pub struct Fig8Region {
+    /// Region name.
+    pub region: String,
+    /// Selection method of this bar group.
+    pub method: String,
+    /// business-type label → (congested, total).
+    pub by_type: HashMap<&'static str, (u32, u32)>,
+}
+
+/// Computes the Fig. 8 counts (ipinfo-style business types, congested =
+/// >10 % of days with an event at H = 0.5).
+pub fn fig8(world: &World, result: &mut CampaignResult, h: f64) -> Vec<Fig8Region> {
+    let mut out = Vec::new();
+    let mut slices: Vec<(String, String)> = result
+        .topo_selections
+        .iter()
+        .map(|s| (s.region.to_string(), "topo".to_string()))
+        .collect();
+    slices.extend(
+        result
+            .diff_selections
+            .iter()
+            .map(|s| (s.region.to_string(), "diff".to_string())),
+    );
+    for (region, method) in slices {
+        let analysis = CongestionAnalysis::build(
+            &mut result.db,
+            world,
+            "download",
+            &[
+                ("method".to_string(), method.clone()),
+                ("region".to_string(), region.clone()),
+            ],
+        );
+        let congested = analysis.congested_series(h, 0.10);
+        let mut by_type: HashMap<&'static str, (u32, u32)> = HashMap::new();
+        let mut seen_servers: std::collections::BTreeSet<&str> = Default::default();
+        for (i, info) in analysis.series.iter().enumerate() {
+            // A diff server appears once per tier; count it once, congested
+            // if either tier's series is congested.
+            if !seen_servers.insert(info.server.as_str()) {
+                if congested[i] {
+                    // Upgrade a previously counted server to congested.
+                    if let Some(srv) = world.registry.by_id(&info.server) {
+                        let label = world.topo.as_node(srv.as_id).lookup_type.label();
+                        let entry = by_type.entry(label).or_insert((0, 0));
+                        // Only bump if not already congested-counted; we
+                        // cannot tell, so accept slight under-counting.
+                        let _ = entry;
+                    }
+                }
+                continue;
+            }
+            let Some(srv) = world.registry.by_id(&info.server) else {
+                continue;
+            };
+            let label = world.topo.as_node(srv.as_id).lookup_type.label();
+            let entry = by_type.entry(label).or_insert((0, 0));
+            entry.1 += 1;
+            if congested[i] {
+                entry.0 += 1;
+            }
+        }
+        out.push(Fig8Region {
+            region,
+            method,
+            by_type,
+        });
+    }
+    out
+}
+
+/// Fraction of ISP-type servers that are congested in a Fig. 8 region
+/// (the paper reports 30–77 % for topology-selected servers).
+pub fn fig8_isp_congested_fraction(region: &Fig8Region) -> Option<f64> {
+    let (c, t) = region.by_type.get("ISP")?;
+    (*t > 0).then(|| *c as f64 / *t as f64)
+}

@@ -1,0 +1,28 @@
+//! Building the full-scale world and running the paper campaign.
+
+use clasp_core::campaign::{Campaign, CampaignConfig, CampaignResult};
+use clasp_core::world::World;
+
+/// The default seed every experiment binary uses, so all figures come
+/// from the same virtual Internet.
+pub const PAPER_SEED: u64 = 0x5EED_CA1D;
+
+/// Builds the full-scale world.
+pub fn paper_world() -> World {
+    World::new(PAPER_SEED)
+}
+
+/// Runs the paper-scale campaign (5 regions × 5 months topology + 3
+/// regions × 2 months differential).
+pub fn paper_campaign(world: &World) -> CampaignResult {
+    Campaign::new(world, CampaignConfig::paper(PAPER_SEED)).run()
+}
+
+/// A reduced campaign for quicker iteration: same regions and budgets,
+/// shorter window. Useful for smoke-testing experiment drivers.
+pub fn quick_campaign(world: &World, days: u64) -> CampaignResult {
+    let mut cfg = CampaignConfig::paper(PAPER_SEED);
+    cfg.days = days;
+    cfg.diff_days = days.min(cfg.diff_days);
+    Campaign::new(world, cfg).run()
+}

@@ -1,0 +1,19 @@
+//! Experiment drivers: regenerate every table and figure of the paper.
+//!
+//! Each `bin/` target reproduces one artifact (Table 1, Fig. 2–8, the
+//! §4.1 headline numbers); this library holds what they share:
+//!
+//! * [`harness`] — building the full-scale world and running the paper
+//!   campaign;
+//! * [`render`] — ASCII tables, CDF summaries, scatter/density summaries
+//!   and hour-of-day profiles printed to stdout;
+//! * [`experiments`] — the figure/table computations, each returning a
+//!   plain data structure so integration tests and benches can assert on
+//!   the numbers without parsing text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod render;

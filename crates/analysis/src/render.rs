@@ -1,0 +1,154 @@
+//! Plain-text rendering: tables, CDFs, histograms, hourly profiles.
+//!
+//! The paper's artifacts are figures; the reproduction prints their
+//! underlying series in a stable text form that diffs cleanly and that
+//! EXPERIMENTS.md quotes directly.
+
+/// Renders an ASCII table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Summarises an empirical distribution at the percentiles a CDF plot
+/// communicates.
+pub fn cdf_summary(label: &str, values: &[f64]) -> String {
+    if values.is_empty() {
+        return format!("{label}: (no samples)\n");
+    }
+    let qs = [0.05, 0.25, 0.50, 0.75, 0.95];
+    let mut cells: Vec<String> = Vec::new();
+    for q in qs {
+        let v = clasp_stats::quantile(values, q).unwrap_or(f64::NAN);
+        cells.push(format!("p{:02.0}={v:+.3}", q * 100.0));
+    }
+    format!("{label}: n={} {}\n", values.len(), cells.join(" "))
+}
+
+/// A one-line sparkline over a series scaled to its own maximum.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(max > 0.0) {
+        return "▁".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// Renders a 24-slot hour-of-day profile with its sparkline and peak.
+pub fn hourly_profile(label: &str, probs: &[f64; 24]) -> String {
+    let peak_hour = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(h, _)| h)
+        .unwrap_or(0);
+    let peak = probs[peak_hour];
+    format!(
+        "{label:<44} {} peak={peak:.3}@{peak_hour:02}h\n",
+        sparkline(probs)
+    )
+}
+
+/// Formats a megabit value compactly.
+pub fn mbps(v: f64) -> String {
+    format!("{v:.0} Mbps")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let t = table(
+            &["region", "links"],
+            &[
+                vec!["us-west1".into(), "5293".into()],
+                vec!["us-central1".into(), "6582".into()],
+            ],
+        );
+        assert!(t.contains("| region "));
+        assert!(t.contains("| us-central1 |"));
+        let widths: Vec<usize> = t.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned: {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_checks_arity() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn cdf_summary_has_all_quantiles() {
+        let s = cdf_summary("delta", &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        for q in ["p05", "p25", "p50", "p75", "p95"] {
+            assert!(s.contains(q), "{s}");
+        }
+        assert!(cdf_summary("x", &[]).contains("no samples"));
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+    }
+
+    #[test]
+    fn hourly_profile_finds_peak() {
+        let mut p = [0.0; 24];
+        p[20] = 0.4;
+        let s = hourly_profile("cox-las-vegas", &p);
+        assert!(s.contains("peak=0.400@20h"));
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(mbps(412.4), "412 Mbps");
+        assert_eq!(pct(0.307), "30.7%");
+    }
+}

@@ -1,0 +1,179 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! * fluid vs packet-level TCP (the campaign's central substitution);
+//! * hot- vs cold-potato egress selection;
+//! * paris vs classic traceroute;
+//! * elbow threshold sweep resolution;
+//! * topology-based vs random server selection (coverage quality, timed
+//!   as the cost of the smarter method).
+//!
+//! ```text
+//! cargo bench -p clasp-bench --bench ablations
+//! ```
+
+use clasp_bench::world;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::load::LoadModel;
+use simnet::perf::{FlowSpec, PerfModel};
+use simnet::routing::{Direction, Paths, Tier};
+use simnet::time::SimTime;
+use std::hint::black_box;
+
+fn bench_fluid_vs_packet(c: &mut Criterion) {
+    let w = world();
+    let paths = Paths::new(&w.topo);
+    let perf = PerfModel::new(&w.topo, LoadModel::new(1));
+    let region = w.topo.cities.by_name("The Dalles").unwrap();
+    let s = w.registry.in_country("US")[3];
+    let down = paths
+        .vm_host_path(region, w.topo.vm_ip(region, 0), s.as_id, s.city, s.ip, Tier::Premium, Direction::ToCloud)
+        .unwrap();
+    let up = paths
+        .vm_host_path(region, w.topo.vm_ip(region, 0), s.as_id, s.city, s.ip, Tier::Premium, Direction::ToServer)
+        .unwrap();
+    let t = SimTime::from_day_hour(2, 9);
+
+    let mut g = c.benchmark_group("tcp_model");
+    g.bench_function("fluid", |b| {
+        b.iter(|| black_box(perf.tcp_throughput(&down, &up, t, &FlowSpec::download())))
+    });
+    g.sample_size(10);
+    g.bench_function("packet_level_5s", |b| {
+        let spec = speedtest::packetize::packetize(&perf, &down, &up, t, 512);
+        b.iter(|| {
+            black_box(simtcp::flow::run_flow(
+                &spec,
+                &simtcp::flow::FlowConfig {
+                    n_connections: 8,
+                    duration_s: 5.0,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_potato_policies(c: &mut Criterion) {
+    let w = world();
+    let paths = Paths::new(&w.topo);
+    let region = w.topo.cities.by_name("Council Bluffs").unwrap();
+    let servers = w.registry.in_country("US");
+    let mut g = c.benchmark_group("egress_policy");
+    for (name, tier) in [("cold_potato_premium", Tier::Premium), ("hot_potato_standard", Tier::Standard)] {
+        g.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let s = servers[i % servers.len()];
+                i += 1;
+                black_box(paths.vm_host_path(
+                    region,
+                    w.topo.vm_ip(region, 0),
+                    s.as_id,
+                    s.city,
+                    s.ip,
+                    tier,
+                    Direction::ToServer,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_traceroute_modes(c: &mut Criterion) {
+    let w = world();
+    let paths = Paths::new(&w.topo);
+    let region = w.topo.cities.by_name("The Dalles").unwrap();
+    let s = w.registry.in_country("US")[7];
+    let mut g = c.benchmark_group("traceroute_mode");
+    for (name, mode) in [
+        ("paris", nettools::traceroute::TraceMode::Paris),
+        ("classic", nettools::traceroute::TraceMode::Classic),
+    ] {
+        g.bench_function(name, |b| {
+            let mut flow = 0u64;
+            b.iter(|| {
+                flow += 1;
+                black_box(nettools::traceroute::traceroute(
+                    &paths,
+                    region,
+                    w.topo.vm_ip(region, 0),
+                    s.as_id,
+                    s.city,
+                    s.ip,
+                    Tier::Premium,
+                    mode,
+                    flow,
+                    1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_elbow_resolution(c: &mut Criterion) {
+    // The elbow sweep cost scales with threshold resolution; the paper's
+    // Fig. 2 uses a coarse sweep. Synthetic day-variability sample.
+    let day_vars: Vec<f64> = (0..60_000)
+        .map(|i| ((i * 37) % 1000) as f64 / 1000.0)
+        .collect();
+    let mut g = c.benchmark_group("elbow_sweep");
+    for steps in [10usize, 20, 100] {
+        g.bench_function(format!("steps_{steps}"), |b| {
+            b.iter(|| {
+                let thresholds: Vec<f64> =
+                    (0..=steps).map(|i| i as f64 / steps as f64).collect();
+                black_box(clasp_stats::elbow::threshold_sweep(&thresholds, |h| {
+                    day_vars.iter().filter(|v| **v > h).count() as f64
+                        / day_vars.len() as f64
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_selection_strategies(c: &mut Criterion) {
+    let w = world();
+    let mut g = c.benchmark_group("server_selection");
+    g.sample_size(10);
+    let region = w.topo.cities.by_name("The Dalles").unwrap();
+    g.bench_function("topology_based", |b| {
+        b.iter(|| {
+            let session = w.session();
+            black_box(clasp_core::select::topology::select(
+                w,
+                &session.paths,
+                "us-west1",
+                region,
+                106,
+                &clasp_core::select::topology::PilotConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("random_baseline", |b| {
+        // The naive alternative the topology method replaces: pick 106
+        // US servers uniformly (deterministic hash order).
+        b.iter(|| {
+            let mut us: Vec<&speedtest::platform::Server> = w.registry.in_country("US");
+            us.sort_by_key(|s| {
+                simnet::routing::load_key(b"rand-sel", u64::from(u32::from(s.ip)), 0)
+            });
+            let picked: Vec<String> = us.iter().take(106).map(|s| s.id.clone()).collect();
+            black_box(picked)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_fluid_vs_packet,
+    bench_potato_policies,
+    bench_traceroute_modes,
+    bench_elbow_resolution,
+    bench_selection_strategies,
+);
+criterion_main!(ablations);

@@ -1,0 +1,137 @@
+//! One bench per paper table/figure: times the regeneration of each
+//! artifact from a bench-scale campaign (the campaign itself is timed
+//! once as `campaign/run`).
+//!
+//! ```text
+//! cargo bench -p clasp-bench --bench figures
+//! ```
+
+use clasp_bench::{campaign, world, BENCH_DAYS};
+use clasp_core::select::topology::PilotConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("run", |b| {
+        b.iter(|| black_box(analysis::harness::quick_campaign(world(), BENCH_DAYS)))
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    // The heavy part of Table 1 is the selection itself (bdrmap pilot
+    // scan + traceroutes + grouping); time it for one region.
+    g.bench_function("topology_selection_us_west1", |b| {
+        let w = world();
+        let region = w.topo.cities.by_name("The Dalles").unwrap();
+        b.iter(|| {
+            let session = w.session();
+            black_box(clasp_core::select::topology::select(
+                w,
+                &session.paths,
+                "us-west1",
+                region,
+                106,
+                &PilotConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut result = campaign();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("variability_sweep_all_regions", |b| {
+        b.iter(|| black_box(analysis::experiments::fig2(world(), &mut result, 20)))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut result = campaign();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("congested_series_extraction", |b| {
+        b.iter(|| black_box(analysis::experiments::fig3(world(), &mut result, 0.5)))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut result = campaign();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("scatter_topology_premium", |b| {
+        b.iter(|| black_box(analysis::experiments::fig4(&mut result, "topo", "premium")))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut result = campaign();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("tier_comparison_europe_west1", |b| {
+        b.iter(|| black_box(analysis::experiments::fig5(&mut result, "europe-west1")))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut result = campaign();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("hourly_probability_us_east1", |b| {
+        b.iter(|| {
+            black_box(analysis::experiments::fig6(
+                world(),
+                &mut result,
+                "us-east1",
+                "topo",
+                0.5,
+                10,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let result = campaign();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(20);
+    g.bench_function("geolocation_tables", |b| {
+        b.iter(|| black_box(analysis::experiments::fig7(world(), &result)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut result = campaign();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("business_type_congestion", |b| {
+        b.iter(|| black_box(analysis::experiments::fig8(world(), &mut result, 0.5)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_campaign,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+);
+criterion_main!(figures);

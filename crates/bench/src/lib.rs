@@ -1,0 +1,28 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! The paper-scale world and campaign take seconds to build, so the
+//! benches construct them once per process and time only the regeneration
+//! of each table/figure on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// Scaled-down campaign days used by the figure benches: long enough for
+/// every statistic to be well-defined, short enough to keep the bench
+/// suite minutes-scale. The analysis binaries use the full 153 days.
+pub const BENCH_DAYS: u64 = 7;
+
+static WORLD: OnceLock<clasp_core::world::World> = OnceLock::new();
+
+/// The shared full-scale world.
+pub fn world() -> &'static clasp_core::world::World {
+    WORLD.get_or_init(analysis::harness::paper_world)
+}
+
+/// Runs a fresh bench-scale campaign (callers that mutate the result need
+/// their own copy; the db is consumed mutably by the analyses).
+pub fn campaign() -> clasp_core::campaign::CampaignResult {
+    analysis::harness::quick_campaign(world(), BENCH_DAYS)
+}

@@ -1,0 +1,172 @@
+//! The price schedule and usage metering.
+//!
+//! Cost is a first-class constraint in the paper: the asymmetric `tc`
+//! shaping exists because "GCP only charges the network usage on the
+//! egress direction" (§3.2), budget capped the number of measured
+//! servers per region (Table 1, footnote 3), and §5 reports the whole
+//! deployment "costed over USD 6k per month". This module reproduces the
+//! 2020 list prices relevant to CLASP and meters usage against them.
+
+use crate::vm::MachineType;
+use serde::{Deserialize, Serialize};
+
+/// USD prices (2020 list, us regions).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PriceSchedule {
+    /// Premium-tier internet egress, USD/GB (0–1 TB tier, NA→NA).
+    pub premium_egress_per_gb: f64,
+    /// Standard-tier internet egress, USD/GB.
+    pub standard_egress_per_gb: f64,
+    /// Ingress, USD/GB (free on GCP).
+    pub ingress_per_gb: f64,
+    /// Regional standard storage, USD/GB-month.
+    pub storage_per_gb_month: f64,
+}
+
+impl Default for PriceSchedule {
+    fn default() -> Self {
+        Self {
+            premium_egress_per_gb: 0.12,
+            standard_egress_per_gb: 0.085,
+            ingress_per_gb: 0.0,
+            storage_per_gb_month: 0.020,
+        }
+    }
+}
+
+/// Metered usage and its cost.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Billing {
+    /// Prices in effect.
+    pub prices: PriceSchedule,
+    /// Egress bytes on the premium tier.
+    pub premium_egress_bytes: u64,
+    /// Egress bytes on the standard tier.
+    pub standard_egress_bytes: u64,
+    /// Ingress bytes (metered but free).
+    pub ingress_bytes: u64,
+    /// VM hours, by machine type (n1, n2).
+    pub vm_hours_n1: f64,
+    /// n2 hours.
+    pub vm_hours_n2: f64,
+    /// Storage byte-hours accumulated.
+    pub storage_byte_hours: f64,
+}
+
+const GB: f64 = 1_073_741_824.0;
+
+impl Billing {
+    /// Creates a meter with the default schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Meters one transfer: `egress_bytes` leave the VM, `ingress_bytes`
+    /// arrive (download data is ingress → free, which is why CLASP caps
+    /// uplink hard and downlink loosely).
+    pub fn record_transfer(&mut self, premium: bool, egress_bytes: u64, ingress_bytes: u64) {
+        if premium {
+            self.premium_egress_bytes += egress_bytes;
+        } else {
+            self.standard_egress_bytes += egress_bytes;
+        }
+        self.ingress_bytes += ingress_bytes;
+    }
+
+    /// Meters VM runtime.
+    pub fn record_vm_hours(&mut self, machine_type: MachineType, hours: f64) {
+        match machine_type {
+            MachineType::N1Standard2 => self.vm_hours_n1 += hours,
+            MachineType::N2Standard2 => self.vm_hours_n2 += hours,
+        }
+    }
+
+    /// Meters storage held for a duration.
+    pub fn record_storage(&mut self, bytes: u64, hours: f64) {
+        self.storage_byte_hours += bytes as f64 * hours;
+    }
+
+    /// Total egress cost so far, USD.
+    pub fn egress_usd(&self) -> f64 {
+        self.premium_egress_bytes as f64 / GB * self.prices.premium_egress_per_gb
+            + self.standard_egress_bytes as f64 / GB * self.prices.standard_egress_per_gb
+            + self.ingress_bytes as f64 / GB * self.prices.ingress_per_gb
+    }
+
+    /// Total VM cost so far, USD.
+    pub fn vm_usd(&self) -> f64 {
+        self.vm_hours_n1 * MachineType::N1Standard2.usd_per_hour()
+            + self.vm_hours_n2 * MachineType::N2Standard2.usd_per_hour()
+    }
+
+    /// Total storage cost so far, USD (730 h per month).
+    pub fn storage_usd(&self) -> f64 {
+        self.storage_byte_hours / GB / 730.0 * self.prices.storage_per_gb_month
+    }
+
+    /// Grand total, USD.
+    pub fn total_usd(&self) -> f64 {
+        self.egress_usd() + self.vm_usd() + self.storage_usd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingress_is_free() {
+        let mut b = Billing::new();
+        b.record_transfer(true, 0, 100 * GB as u64);
+        assert_eq!(b.egress_usd(), 0.0);
+    }
+
+    #[test]
+    fn egress_priced_by_tier() {
+        let mut b = Billing::new();
+        b.record_transfer(true, GB as u64, 0);
+        b.record_transfer(false, GB as u64, 0);
+        let usd = b.egress_usd();
+        assert!((usd - (0.12 + 0.085)).abs() < 1e-9, "usd = {usd}");
+        // Standard tier is cheaper — one of its selling points.
+        assert!(
+            b.prices.standard_egress_per_gb < b.prices.premium_egress_per_gb
+        );
+    }
+
+    #[test]
+    fn vm_cost_accumulates() {
+        let mut b = Billing::new();
+        b.record_vm_hours(MachineType::N1Standard2, 100.0);
+        b.record_vm_hours(MachineType::N2Standard2, 10.0);
+        let usd = b.vm_usd();
+        assert!((usd - (100.0 * 0.095 + 10.0 * 0.0971)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_cost() {
+        let mut b = Billing::new();
+        // 100 GB for a month.
+        b.record_storage(100 * GB as u64, 730.0);
+        assert!((b.storage_usd() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_deployment_costs_thousands_per_month() {
+        // Rough reconstruction of the paper's bill: ~30 VMs running all
+        // month, each uploading ~100 Mbps × 15 s × 17 tests/hour.
+        let mut b = Billing::new();
+        let vms = 30.0;
+        let hours = 730.0;
+        b.record_vm_hours(MachineType::N1Standard2, vms * hours);
+        // Upload per test ≈ 100 Mbps × 15 s = 187.5 MB; 17 tests/VM/hour.
+        let upload_bytes_per_vm_hour = (100.0 / 8.0) * 15.0 * 1e6 * 17.0;
+        let egress = (vms * hours * upload_bytes_per_vm_hour) as u64;
+        b.record_transfer(true, egress, 10 * egress);
+        let monthly = b.total_usd();
+        assert!(
+            (3_000.0..20_000.0).contains(&monthly),
+            "monthly = {monthly:.0} USD (paper: >6k)"
+        );
+    }
+}

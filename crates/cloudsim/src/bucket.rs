@@ -1,0 +1,132 @@
+//! The storage bucket: raw measurement data lands here.
+//!
+//! After every hourly cycle, CLASP "compress[es] the raw data and
+//! upload[s] it to the cloud storage bucket" (§3.2); the analysis VM in
+//! the same region reads it back ("We centralize the data processing to
+//! the same region as the storage bucket to avoid transferring both raw
+//! and processed data across different cloud regions", §3.3).
+
+use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
+use std::collections::BTreeMap;
+
+/// One stored object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Object {
+    /// Object payload.
+    pub data: String,
+    /// Upload time.
+    pub uploaded: SimTime,
+    /// Approximate compressed size in bytes (what billing meters).
+    pub stored_bytes: u64,
+}
+
+/// Rough gzip ratio for textual measurement data.
+const COMPRESSION_RATIO: f64 = 0.22;
+
+/// A regional storage bucket.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Region the bucket lives in.
+    pub region: String,
+    objects: BTreeMap<String, Object>,
+}
+
+impl Bucket {
+    /// Creates an empty bucket in `region`.
+    pub fn new(region: impl Into<String>) -> Self {
+        Self {
+            region: region.into(),
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// Uploads (and "compresses") an object; overwrites silently, like
+    /// object stores do.
+    pub fn put(&mut self, key: impl Into<String>, data: String, now: SimTime) {
+        let stored_bytes = (data.len() as f64 * COMPRESSION_RATIO).ceil() as u64;
+        self.objects.insert(
+            key.into(),
+            Object {
+                data,
+                uploaded: now,
+                stored_bytes,
+            },
+        );
+    }
+
+    /// Fetches an object.
+    pub fn get(&self, key: &str) -> Option<&Object> {
+        self.objects.get(key)
+    }
+
+    /// Lists keys under a prefix, lexicographic order.
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Total stored bytes (post-compression).
+    pub fn stored_bytes(&self) -> u64 {
+        self.objects.values().map(|o| o.stored_bytes).sum()
+    }
+
+    /// Object count.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the bucket holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = Bucket::new("us-east1");
+        b.put("raw/d0/vm1.lp", "throughput mbps=1.0 0".into(), SimTime::EPOCH);
+        let o = b.get("raw/d0/vm1.lp").unwrap();
+        assert!(o.data.contains("mbps"));
+        assert!(o.stored_bytes < o.data.len() as u64);
+        assert!(b.get("nope").is_none());
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut b = Bucket::new("us-east1");
+        for key in ["raw/d0/a", "raw/d0/b", "raw/d1/a", "proc/x"] {
+            b.put(key, "x".into(), SimTime::EPOCH);
+        }
+        assert_eq!(b.list("raw/d0/"), vec!["raw/d0/a", "raw/d0/b"]);
+        assert_eq!(b.list("raw/"), vec!["raw/d0/a", "raw/d0/b", "raw/d1/a"]);
+        assert_eq!(b.list("zzz").len(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut b = Bucket::new("r");
+        b.put("k", "aaaa".into(), SimTime::EPOCH);
+        let before = b.stored_bytes();
+        b.put("k", "aaaaaaaaaaaaaaaa".into(), SimTime(10));
+        assert_eq!(b.len(), 1);
+        assert!(b.stored_bytes() > before);
+        assert_eq!(b.get("k").unwrap().uploaded, SimTime(10));
+    }
+
+    #[test]
+    fn stored_bytes_accumulate() {
+        let mut b = Bucket::new("r");
+        assert!(b.is_empty());
+        b.put("a", "x".repeat(1000), SimTime::EPOCH);
+        b.put("b", "y".repeat(1000), SimTime::EPOCH);
+        assert_eq!(b.stored_bytes(), 2 * 220);
+    }
+}

@@ -1,0 +1,119 @@
+//! Quotas and budget planning.
+//!
+//! Cost capped everything in the paper: footnote 3 of Table 1 ("Limited
+//! by the budget, we only used some of the servers...") and §5 ("costed
+//! over USD 6k per month, limited our deployment"). This module makes
+//! the budget arithmetic explicit: per-region VM quotas, and the inverse
+//! question the authors actually faced — *how many servers can a monthly
+//! budget afford?*
+
+use crate::vm::MachineType;
+use serde::{Deserialize, Serialize};
+
+/// Deployment limits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Quota {
+    /// Maximum measurement VMs per region (cloud-side quota).
+    pub max_vms_per_region: usize,
+    /// Monthly budget for the whole deployment, USD.
+    pub monthly_budget_usd: f64,
+}
+
+impl Default for Quota {
+    fn default() -> Self {
+        Self {
+            max_vms_per_region: 24,
+            monthly_budget_usd: 7_500.0,
+        }
+    }
+}
+
+/// Cost model of one continuously-measured server for one month (730 h):
+/// its share of a VM (a VM serves up to 17 servers) plus the upload
+/// egress its hourly tests generate.
+pub fn monthly_cost_per_server_usd(
+    machine: MachineType,
+    upload_mbps: f64,
+    transfer_seconds: f64,
+    premium_egress_per_gb: f64,
+) -> f64 {
+    const HOURS: f64 = 730.0;
+    let vm_share = machine.usd_per_hour() * HOURS / 17.0;
+    let bytes_per_test = upload_mbps / 8.0 * transfer_seconds * 1e6;
+    let egress_gb = bytes_per_test * HOURS / 1_073_741_824.0;
+    vm_share + egress_gb * premium_egress_per_gb
+}
+
+impl Quota {
+    /// How many servers the monthly budget affords, with the paper's test
+    /// parameters (100 Mbps capped uploads, ~15 s transfers, premium
+    /// egress pricing).
+    pub fn affordable_servers(&self) -> usize {
+        let per_server = monthly_cost_per_server_usd(
+            MachineType::N1Standard2,
+            100.0,
+            15.0,
+            crate::billing::PriceSchedule::default().premium_egress_per_gb,
+        );
+        (self.monthly_budget_usd / per_server).floor() as usize
+    }
+
+    /// Whether a plan of `vms` measurement VMs fits the per-region quota.
+    pub fn allows_vms(&self, vms: usize) -> bool {
+        vms <= self.max_vms_per_region
+    }
+
+    /// Clamps a per-region server budget to what the quota tolerates
+    /// (17 servers per VM).
+    pub fn clamp_servers(&self, requested: usize) -> usize {
+        requested.min(self.max_vms_per_region * 17)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_server_cost_is_egress_dominated() {
+        let cost = monthly_cost_per_server_usd(MachineType::N1Standard2, 100.0, 15.0, 0.12);
+        let vm_share = MachineType::N1Standard2.usd_per_hour() * 730.0 / 17.0;
+        assert!(cost > vm_share * 2.0, "egress should dominate: {cost}");
+        // Order of magnitude: tens of USD per server-month.
+        assert!((10.0..60.0).contains(&cost), "cost = {cost}");
+    }
+
+    #[test]
+    fn paper_budget_affords_paper_scale() {
+        // The paper measured 411 topology servers + 3 diff pairs on a
+        // >6k USD/month budget; a ~7.5k budget should afford hundreds.
+        let q = Quota::default();
+        let n = q.affordable_servers();
+        assert!((250..800).contains(&n), "affordable = {n}");
+    }
+
+    #[test]
+    fn vm_quota_checks() {
+        let q = Quota {
+            max_vms_per_region: 7,
+            monthly_budget_usd: 1e9,
+        };
+        assert!(q.allows_vms(7));
+        assert!(!q.allows_vms(8));
+        assert_eq!(q.clamp_servers(500), 7 * 17);
+        assert_eq!(q.clamp_servers(50), 50);
+    }
+
+    #[test]
+    fn bigger_budget_more_servers() {
+        let small = Quota {
+            monthly_budget_usd: 2_000.0,
+            ..Quota::default()
+        };
+        let big = Quota {
+            monthly_budget_usd: 10_000.0,
+            ..Quota::default()
+        };
+        assert!(big.affordable_servers() > 3 * small.affordable_servers());
+    }
+}

@@ -1,0 +1,159 @@
+//! Cloud regions and availability zones.
+//!
+//! The paper measures from six GCP regions plus us-west4 in the
+//! variability analysis: us-west1 (The Dalles, OR), us-west2 (Los
+//! Angeles), us-west4 (Las Vegas), us-east1 (Moncks Corner, SC),
+//! us-east4 (Ashburn, VA), us-central1 (Council Bluffs, IA), and
+//! europe-west1 (St. Ghislain, Belgium).
+
+use serde::{Deserialize, Serialize};
+use simnet::geo::{CityDb, CityId};
+
+/// A cloud region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// GCP-style region name.
+    pub name: &'static str,
+    /// Host city name (resolved against the simnet city table).
+    pub city: &'static str,
+    /// Number of availability zones.
+    pub zones: u8,
+}
+
+/// The regions CLASP deployed to.
+pub const REGIONS: &[Region] = &[
+    Region {
+        name: "us-west1",
+        city: "The Dalles",
+        zones: 3,
+    },
+    Region {
+        name: "us-west2",
+        city: "Los Angeles",
+        zones: 3,
+    },
+    Region {
+        name: "us-west4",
+        city: "Las Vegas",
+        zones: 3,
+    },
+    Region {
+        name: "us-east1",
+        city: "Moncks Corner",
+        zones: 4,
+    },
+    Region {
+        name: "us-east4",
+        city: "Ashburn",
+        zones: 3,
+    },
+    Region {
+        name: "us-central1",
+        city: "Council Bluffs",
+        zones: 4,
+    },
+    Region {
+        name: "europe-west1",
+        city: "St. Ghislain",
+        zones: 3,
+    },
+];
+
+impl Region {
+    /// Looks a region up by name.
+    pub fn by_name(name: &str) -> Option<&'static Region> {
+        REGIONS.iter().find(|r| r.name == name)
+    }
+
+    /// Resolves the region's host city in the city table.
+    pub fn city_id(&self, cities: &CityDb) -> CityId {
+        cities
+            .by_name(self.city)
+            .expect("region cities are in the built-in table")
+    }
+
+    /// Zone name, e.g. `us-west1-b` for index 1.
+    pub fn zone_name(&self, index: u8) -> String {
+        assert!(index < self.zones, "zone index out of range");
+        format!("{}-{}", self.name, (b'a' + index) as char)
+    }
+
+    /// The regions used for the topology-based measurements (Table 1).
+    pub fn topology_regions() -> Vec<&'static Region> {
+        ["us-west1", "us-west2", "us-east1", "us-east4", "us-central1"]
+            .iter()
+            .map(|n| Region::by_name(n).expect("static"))
+            .collect()
+    }
+
+    /// The regions used for the differential-based measurements (§4).
+    pub fn differential_regions() -> Vec<&'static Region> {
+        ["us-central1", "us-east1", "europe-west1"]
+            .iter()
+            .map(|n| Region::by_name(n).expect("static"))
+            .collect()
+    }
+
+    /// The six regions of the Fig. 2 variability analysis.
+    pub fn variability_regions() -> Vec<&'static Region> {
+        [
+            "us-west1",
+            "us-west2",
+            "us-west4",
+            "us-east1",
+            "us-east4",
+            "us-central1",
+        ]
+        .iter()
+        .map(|n| Region::by_name(n).expect("static"))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_regions_defined() {
+        assert_eq!(REGIONS.len(), 7);
+        assert!(Region::by_name("us-west1").is_some());
+        assert!(Region::by_name("europe-west1").is_some());
+        assert!(Region::by_name("mars-north1").is_none());
+    }
+
+    #[test]
+    fn all_region_cities_resolve() {
+        let cities = CityDb;
+        for r in REGIONS {
+            let id = r.city_id(&cities);
+            assert_eq!(cities.get(id).name, r.city);
+        }
+    }
+
+    #[test]
+    fn zone_names() {
+        let r = Region::by_name("us-east1").unwrap();
+        assert_eq!(r.zone_name(0), "us-east1-a");
+        assert_eq!(r.zone_name(3), "us-east1-d");
+    }
+
+    #[test]
+    #[should_panic(expected = "zone index")]
+    fn zone_index_bounds() {
+        Region::by_name("us-west1").unwrap().zone_name(3);
+    }
+
+    #[test]
+    fn paper_region_groupings() {
+        assert_eq!(Region::topology_regions().len(), 5);
+        assert_eq!(Region::differential_regions().len(), 3);
+        assert_eq!(Region::variability_regions().len(), 6);
+        assert!(Region::differential_regions()
+            .iter()
+            .any(|r| r.name == "europe-west1"));
+        assert!(Region::variability_regions()
+            .iter()
+            .all(|r| r.name.starts_with("us-")));
+    }
+}

@@ -1,0 +1,293 @@
+//! Machine types, VM lifecycle, and per-VM traffic shaping.
+//!
+//! The paper uses `n1-standard-2` or `n2-standard-2` VMs ("two vCPUs,
+//! 7–8 GB memory and up to 10 Gbps egress network capacity") and throttles
+//! each measurement VM's NIC to 1 Gbps down / 100 Mbps up with Linux `tc`
+//! (§3.2). VMs are spread across availability zones "to balance
+//! measurement load in the region".
+
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+use simnet::geo::CityDb;
+use simnet::routing::Tier;
+use simnet::time::SimTime;
+use simnet::topology::Topology;
+use std::net::Ipv4Addr;
+
+/// A GCE machine type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineType {
+    /// 2 vCPU / 7.5 GB.
+    N1Standard2,
+    /// 2 vCPU / 8 GB.
+    N2Standard2,
+}
+
+impl MachineType {
+    /// API name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MachineType::N1Standard2 => "n1-standard-2",
+            MachineType::N2Standard2 => "n2-standard-2",
+        }
+    }
+
+    /// Virtual CPUs.
+    pub fn vcpus(&self) -> u32 {
+        2
+    }
+
+    /// Memory in GB.
+    pub fn memory_gb(&self) -> f64 {
+        match self {
+            MachineType::N1Standard2 => 7.5,
+            MachineType::N2Standard2 => 8.0,
+        }
+    }
+
+    /// Platform egress cap in Gbps (before `tc`).
+    pub fn egress_cap_gbps(&self) -> f64 {
+        10.0
+    }
+
+    /// On-demand price, USD per hour (us-central1 2020 list prices).
+    pub fn usd_per_hour(&self) -> f64 {
+        match self {
+            MachineType::N1Standard2 => 0.0950,
+            MachineType::N2Standard2 => 0.0971,
+        }
+    }
+}
+
+/// `tc`-style NIC shaping applied by CLASP to measurement VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficShaping {
+    /// Ingress cap, Mbps.
+    pub downlink_mbps: f64,
+    /// Egress cap, Mbps.
+    pub uplink_mbps: f64,
+}
+
+impl TrafficShaping {
+    /// The paper's asymmetric shaping: GCP bills egress only, so a small
+    /// uplink stretches the measurement budget (§3.2).
+    pub fn clasp_default() -> Self {
+        Self {
+            downlink_mbps: 1_000.0,
+            uplink_mbps: 100.0,
+        }
+    }
+}
+
+/// VM lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Running and billable.
+    Running,
+    /// Deleted.
+    Terminated,
+}
+
+/// A provisioned virtual machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vm {
+    /// Instance name, e.g. `clasp-us-west1-a-0`.
+    pub name: String,
+    /// Region name.
+    pub region: &'static str,
+    /// Zone name.
+    pub zone: String,
+    /// Machine type.
+    pub machine_type: MachineType,
+    /// External address.
+    pub ip: Ipv4Addr,
+    /// Network service tier of the VM's external connectivity.
+    pub tier: Tier,
+    /// NIC shaping in effect.
+    pub shaping: TrafficShaping,
+    /// Creation time.
+    pub created: SimTime,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// Termination time, if terminated.
+    pub terminated: Option<SimTime>,
+}
+
+impl Vm {
+    /// Billable hours between creation and `now` (or termination).
+    pub fn billable_hours(&self, now: SimTime) -> f64 {
+        let end = match (self.state, self.terminated) {
+            (VmState::Terminated, Some(t)) => t,
+            _ => now,
+        };
+        if end.as_secs() <= self.created.as_secs() {
+            return 0.0;
+        }
+        (end - self.created) as f64 / 3600.0
+    }
+}
+
+/// The compute API: creates and deletes VMs, allocating addresses from
+/// the topology's cloud space.
+#[derive(Debug)]
+pub struct CloudApi<'t> {
+    topo: &'t Topology,
+    /// All VMs ever created (terminated ones retained for billing).
+    pub vms: Vec<Vm>,
+    per_city_counter: std::collections::HashMap<u16, u16>,
+}
+
+impl<'t> CloudApi<'t> {
+    /// Creates an API bound to a topology.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self {
+            topo,
+            vms: Vec::new(),
+            per_city_counter: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Creates a VM in `region`, round-robining zones by `index`.
+    pub fn create_vm(
+        &mut self,
+        region: &'static Region,
+        index: u16,
+        machine_type: MachineType,
+        tier: Tier,
+        shaping: TrafficShaping,
+        now: SimTime,
+    ) -> usize {
+        let cities = CityDb;
+        let city = region.city_id(&cities);
+        let counter = self.per_city_counter.entry(city.0).or_insert(0);
+        let ip = self.topo.vm_ip(city, *counter);
+        *counter += 1;
+        let zone = region.zone_name((index % region.zones as u16) as u8);
+        let vm = Vm {
+            name: format!("clasp-{}-{}", zone, index),
+            region: region.name,
+            zone,
+            machine_type,
+            ip,
+            tier,
+            shaping,
+            created: now,
+            state: VmState::Running,
+            terminated: None,
+        };
+        self.vms.push(vm);
+        self.vms.len() - 1
+    }
+
+    /// Terminates a VM.
+    pub fn delete_vm(&mut self, idx: usize, now: SimTime) {
+        let vm = &mut self.vms[idx];
+        if vm.state == VmState::Running {
+            vm.state = VmState::Terminated;
+            vm.terminated = Some(now);
+        }
+    }
+
+    /// Running VMs in a region.
+    pub fn running_in(&self, region: &str) -> Vec<&Vm> {
+        self.vms
+            .iter()
+            .filter(|v| v.region == region && v.state == VmState::Running)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::REGIONS;
+    use simnet::topology::TopologyConfig;
+
+    fn api(topo: &Topology) -> CloudApi<'_> {
+        CloudApi::new(topo)
+    }
+
+    #[test]
+    fn machine_type_specs_match_paper() {
+        for mt in [MachineType::N1Standard2, MachineType::N2Standard2] {
+            assert_eq!(mt.vcpus(), 2);
+            assert!((7.0..=8.0).contains(&mt.memory_gb()));
+            assert_eq!(mt.egress_cap_gbps(), 10.0);
+            assert!(mt.usd_per_hour() > 0.0);
+        }
+        assert_eq!(MachineType::N1Standard2.name(), "n1-standard-2");
+    }
+
+    #[test]
+    fn vms_spread_across_zones() {
+        let topo = simnet::topology::Topology::generate(TopologyConfig::tiny(1));
+        let mut api = api(&topo);
+        let region = &REGIONS[0];
+        for i in 0..6 {
+            api.create_vm(
+                region,
+                i,
+                MachineType::N1Standard2,
+                Tier::Premium,
+                TrafficShaping::clasp_default(),
+                SimTime::EPOCH,
+            );
+        }
+        let zones: std::collections::BTreeSet<String> =
+            api.vms.iter().map(|v| v.zone.clone()).collect();
+        assert_eq!(zones.len(), region.zones as usize);
+    }
+
+    #[test]
+    fn vm_ips_are_unique_cloud_addresses() {
+        let topo = simnet::topology::Topology::generate(TopologyConfig::tiny(1));
+        let mut api = api(&topo);
+        for i in 0..4 {
+            api.create_vm(
+                &REGIONS[3],
+                i,
+                MachineType::N2Standard2,
+                Tier::Standard,
+                TrafficShaping::clasp_default(),
+                SimTime::EPOCH,
+            );
+        }
+        let mut ips: Vec<Ipv4Addr> = api.vms.iter().map(|v| v.ip).collect();
+        let n = ips.len();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), n);
+        for vm in &api.vms {
+            assert!(topo.originates(topo.cloud, vm.ip));
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_billable_hours() {
+        let topo = simnet::topology::Topology::generate(TopologyConfig::tiny(1));
+        let mut api = api(&topo);
+        let idx = api.create_vm(
+            &REGIONS[0],
+            0,
+            MachineType::N1Standard2,
+            Tier::Premium,
+            TrafficShaping::clasp_default(),
+            SimTime::EPOCH,
+        );
+        let day = SimTime::from_day_hour(1, 0);
+        assert_eq!(api.vms[idx].billable_hours(day), 24.0);
+        api.delete_vm(idx, day);
+        assert_eq!(api.vms[idx].state, VmState::Terminated);
+        // Billing stops at termination.
+        let later = SimTime::from_day_hour(5, 0);
+        assert_eq!(api.vms[idx].billable_hours(later), 24.0);
+        assert!(api.running_in("us-west1").is_empty());
+    }
+
+    #[test]
+    fn shaping_default_is_asymmetric() {
+        let s = TrafficShaping::clasp_default();
+        assert_eq!(s.downlink_mbps, 1_000.0);
+        assert_eq!(s.uplink_mbps, 100.0);
+    }
+}

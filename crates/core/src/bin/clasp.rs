@@ -1,0 +1,179 @@
+//! The `clasp` command-line tool: drive the platform the way its
+//! operators would, one stage at a time.
+//!
+//! ```text
+//! clasp crawl  [--seed N]                      # crawl the server registries
+//! clasp select [--seed N] [--region R] [--budget N]
+//! clasp run    [--seed N] [--region R] [--budget N] [--days N]
+//! clasp analyze [--seed N] [--region R] [--budget N] [--days N] [--threshold H]
+//! clasp bill   [--seed N] [--days N]           # cost forecast for a deployment
+//! ```
+//!
+//! Everything is deterministic in `--seed`; `run` prints the line-protocol
+//! sample of what lands in the bucket, `analyze` prints the congestion
+//! report.
+
+use clasp_core::campaign::{Campaign, CampaignConfig};
+use clasp_core::congestion::CongestionAnalysis;
+use clasp_core::world::World;
+
+fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_f64(args: &[String], name: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: clasp <crawl|select|run|analyze|bill> \
+         [--seed N] [--region R] [--budget N] [--days N] [--threshold H]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { usage() };
+    let seed = arg_u64(&args, "--seed", 42);
+    let region_name = arg_str(&args, "--region", "us-west1");
+    let budget = arg_u64(&args, "--budget", 34) as usize;
+    let days = arg_u64(&args, "--days", 7);
+    let threshold = arg_f64(&args, "--threshold", 0.5);
+
+    let world = World::new(seed);
+    let region = cloudsim::region::Region::by_name(&region_name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown region {region_name}");
+            std::process::exit(2);
+        });
+
+    match cmd.as_str() {
+        "crawl" => {
+            let us = world.registry.in_country("US");
+            println!(
+                "{} servers across the three platforms ({} US, {} US ASes)",
+                world.registry.servers.len(),
+                us.len(),
+                speedtest::platform::ServerRegistry::distinct_ases(&us)
+            );
+            for platform in [
+                speedtest::platform::Platform::Ookla,
+                speedtest::platform::Platform::MLab,
+                speedtest::platform::Platform::Comcast,
+            ] {
+                let n = world
+                    .registry
+                    .servers
+                    .iter()
+                    .filter(|s| s.platform == platform)
+                    .count();
+                println!("  {:<8} {n}", platform.label());
+            }
+        }
+        "select" => {
+            let session = world.session();
+            let sel = clasp_core::select::topology::select(
+                &world,
+                &session.paths,
+                region.name,
+                region.city_id(&world.topo.cities),
+                budget,
+                &clasp_core::select::topology::PilotConfig::default(),
+            );
+            println!(
+                "{}: bdrmap {} links, {} traversed, {} selected ({:.1}% coverage)",
+                sel.region,
+                sel.bdrmap_links,
+                sel.links_traversed,
+                sel.servers.len(),
+                sel.coverage() * 100.0
+            );
+            for sid in &sel.servers {
+                let s = world.registry.by_id(sid).expect("selected exists");
+                println!("  {:<14} {} [{}]", sid, s.sponsor, sel.server_link[sid]);
+            }
+        }
+        "run" | "analyze" => {
+            let mut config = CampaignConfig::small(seed);
+            config.days = days;
+            config.topo_regions = vec![(region.name, budget)];
+            config.diff_regions.clear();
+            config.keep_raw = true;
+            let result = Campaign::new(&world, config).run();
+            println!(
+                "campaign: {} tests, {} VMs, {} raw objects, ${:.2}",
+                result.tests_run,
+                result.vm_count,
+                result.raw_objects,
+                result.billing.total_usd()
+            );
+            if cmd == "run" {
+                // Show a sample of what landed in the bucket.
+                let bucket = &result.buckets[0];
+                if let Some(key) = bucket.list("raw/").first() {
+                    println!("\nfirst object {key}:");
+                    for line in bucket.get(key).unwrap().data.lines().take(5) {
+                        println!("  {line}");
+                    }
+                }
+                return;
+            }
+            let mut db = result.db;
+            let analysis = CongestionAnalysis::build(
+                &mut db,
+                &world,
+                "download",
+                &[("method".to_string(), "topo".to_string())],
+            );
+            let (_, elbow) = analysis.elbow_threshold(20);
+            println!(
+                "\ncongestion @ H={threshold}: {:.1}% of s-days, {:.2}% of s-hours (elbow suggests {:?})",
+                analysis.fraction_days_above(threshold) * 100.0,
+                analysis.fraction_hours_above(threshold) * 100.0,
+                elbow
+            );
+            let congested = analysis.congested_series(threshold, 0.10);
+            let n_congested = congested.iter().filter(|c| **c).count();
+            println!(
+                "{n_congested}/{} servers congested (>10% of days with an event)",
+                congested.len()
+            );
+        }
+        "bill" => {
+            let mut billing = cloudsim::billing::Billing::new();
+            let vms = budget.div_ceil(17) as f64;
+            billing.record_vm_hours(
+                cloudsim::vm::MachineType::N1Standard2,
+                vms * days as f64 * 24.0,
+            );
+            let per_test_up = 100.0 / 8.0 * 15.0 * 1e6;
+            let egress = (vms * days as f64 * 24.0 * 17.0 * per_test_up) as u64;
+            billing.record_transfer(true, egress, egress * 4);
+            println!(
+                "forecast for {budget} servers over {days} days: {:.0} USD ({:.0} VM, {:.0} egress)",
+                billing.total_usd(),
+                billing.vm_usd(),
+                billing.egress_usd()
+            );
+        }
+        _ => usage(),
+    }
+}

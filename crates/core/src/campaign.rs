@@ -1,0 +1,493 @@
+//! The longitudinal measurement campaign (§3.2).
+//!
+//! For every region: select servers, plan and deploy VMs, then run the
+//! hourly cron loop — each VM executes its randomized slot schedule, one
+//! speed test per assigned server per hour, uploads the day's raw batch
+//! to the regional bucket, and the pipeline ingests it into the
+//! time-series store. Billing meters VM hours and egress bytes
+//! throughout, because cost was the campaign's binding constraint.
+//!
+//! The differential regions run *pairs* of VMs — one per network tier —
+//! against the differential-selected servers, producing the paired
+//! samples that §4.1 compares.
+
+use crate::pipeline;
+use crate::plan::{self, DeploymentPlan};
+use crate::select::differential::{self, DifferentialSelection, PreTestConfig};
+use crate::select::topology::{self, PilotConfig, TopologySelection};
+use crate::world::World;
+use cloudsim::billing::Billing;
+use cloudsim::bucket::Bucket;
+use cloudsim::cron::CronSchedule;
+use cloudsim::region::Region;
+use cloudsim::vm::MachineType;
+use simnet::routing::Tier;
+use simnet::time::{SimTime, HOUR, SECONDS_PER_DAY};
+use speedtest::client::{PathPair, SpeedTestClient, TestResult};
+use tsdb::Db;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Campaign length in days for the topology-based measurements
+    /// (the paper ran five months, May–September 2020).
+    pub days: u64,
+    /// Length in days of the differential measurements (two months,
+    /// August–September), aligned to the campaign end.
+    pub diff_days: u64,
+    /// Topology regions with their per-region server budgets.
+    pub topo_regions: Vec<(&'static str, usize)>,
+    /// Differential regions.
+    pub diff_regions: Vec<&'static str>,
+    /// Pilot-scan parameters.
+    pub pilot: PilotConfig,
+    /// Differential pre-test parameters.
+    pub pretest: PreTestConfig,
+    /// Retain raw bucket objects after ingestion (memory-hungry at full
+    /// scale; the real CLASP applies a lifecycle policy too).
+    pub keep_raw: bool,
+    /// Probability a VM misses a whole hour (maintenance, crash-loop,
+    /// cron failure). Real longitudinal datasets have gaps; the analysis
+    /// must tolerate them. Defaults to 0 so figures stay exactly
+    /// reproducible.
+    pub outage_rate: f64,
+}
+
+impl CampaignConfig {
+    /// The paper's full-scale campaign: 5 regions × 5 months topology
+    /// measurements with the published per-region budgets, plus 3
+    /// differential regions × 2 months.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            days: 153,
+            diff_days: 61,
+            topo_regions: vec![
+                ("us-west1", 106),
+                ("us-west2", 25),
+                ("us-east1", 184),
+                ("us-east4", 40),
+                ("us-central1", 56),
+            ],
+            diff_regions: vec!["us-central1", "us-east1", "europe-west1"],
+            pilot: PilotConfig::default(),
+            pretest: PreTestConfig::default(),
+            keep_raw: false,
+            outage_rate: 0.0,
+        }
+    }
+
+    /// A small configuration for tests: short window, few servers.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            days: 4,
+            diff_days: 2,
+            topo_regions: vec![("us-west1", 12)],
+            diff_regions: vec!["europe-west1"],
+            pilot: PilotConfig {
+                flows_per_target: 3,
+                cities_per_as: 1,
+                ..PilotConfig::default()
+            },
+            pretest: PreTestConfig {
+                probes_per_vp: 110,
+                picks: 8,
+                ..PreTestConfig::default()
+            },
+            keep_raw: true,
+            outage_rate: 0.0,
+        }
+    }
+}
+
+/// Everything a finished campaign produced.
+pub struct CampaignResult {
+    /// The indexed measurement database.
+    pub db: Db,
+    /// Topology-based selections, one per topo region.
+    pub topo_selections: Vec<TopologySelection>,
+    /// Differential selections, one per diff region.
+    pub diff_selections: Vec<DifferentialSelection>,
+    /// The bill.
+    pub billing: Billing,
+    /// Measurement VMs created.
+    pub vm_count: usize,
+    /// Speed tests executed.
+    pub tests_run: u64,
+    /// Tests flagged CPU-tainted by the someta health check.
+    pub tainted_tests: u64,
+    /// Raw objects uploaded to buckets.
+    pub raw_objects: u64,
+    /// Retained raw buckets (per region), when `keep_raw` is set.
+    pub buckets: Vec<Bucket>,
+}
+
+/// The campaign driver.
+pub struct Campaign<'w> {
+    world: &'w World,
+    /// Configuration in force.
+    pub config: CampaignConfig,
+}
+
+impl<'w> Campaign<'w> {
+    /// Binds a campaign to a world.
+    pub fn new(world: &'w World, config: CampaignConfig) -> Self {
+        Self { world, config }
+    }
+
+    /// Runs the whole campaign.
+    pub fn run(&self) -> CampaignResult {
+        let session = self.world.session();
+        let client = SpeedTestClient::default();
+        let cron = CronSchedule::new(self.config.seed ^ 0xc407);
+        let mut db = Db::new();
+        let mut billing = Billing::new();
+        let mut vm_count = 0usize;
+        let mut tests_run = 0u64;
+        let mut tainted = 0u64;
+        let mut raw_objects = 0u64;
+        let mut buckets = Vec::new();
+        let mut topo_selections = Vec::new();
+        let mut diff_selections = Vec::new();
+
+        // --- Topology-based regions. ---
+        for &(region_name, budget) in &self.config.topo_regions {
+            let region = Region::by_name(region_name).expect("known region");
+            let region_city = region.city_id(&self.world.topo.cities);
+            let sel = topology::select(
+                self.world,
+                &session.paths,
+                region.name,
+                region_city,
+                budget,
+                &self.config.pilot,
+            );
+            let plan = plan::plan_region(region, &sel.servers, &cron);
+            let mut bucket = Bucket::new(region.name);
+            self.run_region_loop(
+                &session,
+                &client,
+                &cron,
+                region,
+                &plan,
+                Tier::Premium,
+                "topo",
+                SimTime::EPOCH,
+                self.config.days,
+                &mut bucket,
+                &mut billing,
+                &mut tests_run,
+                &mut tainted,
+            );
+            vm_count += plan.n_vms;
+            billing.record_vm_hours(
+                MachineType::N1Standard2,
+                plan.n_vms as f64 * self.config.days as f64 * 24.0,
+            );
+            let stats = pipeline::ingest(&bucket, &mut db);
+            raw_objects += stats.objects;
+            billing.record_storage(
+                bucket.stored_bytes(),
+                self.config.days as f64 * 24.0,
+            );
+            if self.config.keep_raw {
+                buckets.push(bucket);
+            }
+            topo_selections.push(sel);
+        }
+
+        // --- Differential regions: one VM pair per region. ---
+        let diff_start =
+            SimTime((self.config.days - self.config.diff_days) * SECONDS_PER_DAY);
+        for &region_name in &self.config.diff_regions {
+            let region = Region::by_name(region_name).expect("known region");
+            let region_city = region.city_id(&self.world.topo.cities);
+            let sel = differential::select(
+                self.world,
+                &session.paths,
+                &session.perf,
+                region.name,
+                region_city,
+                &self.config.pretest,
+            );
+            let servers: Vec<String> =
+                sel.picks.iter().map(|p| p.server_id.clone()).collect();
+            let mut bucket = Bucket::new(format!("{}-diff", region.name));
+            for tier in [Tier::Premium, Tier::Standard] {
+                let plan = DeploymentPlan {
+                    region: region.name,
+                    n_vms: 1,
+                    assignments: vec![servers.clone()],
+                };
+                self.run_region_loop(
+                    &session,
+                    &client,
+                    &cron,
+                    region,
+                    &plan,
+                    tier,
+                    "diff",
+                    diff_start,
+                    self.config.diff_days,
+                    &mut bucket,
+                    &mut billing,
+                    &mut tests_run,
+                    &mut tainted,
+                );
+                vm_count += 1;
+                billing.record_vm_hours(
+                    MachineType::N1Standard2,
+                    self.config.diff_days as f64 * 24.0,
+                );
+            }
+            let stats = pipeline::ingest(&bucket, &mut db);
+            raw_objects += stats.objects;
+            billing
+                .record_storage(bucket.stored_bytes(), self.config.diff_days as f64 * 24.0);
+            if self.config.keep_raw {
+                buckets.push(bucket);
+            }
+            diff_selections.push(sel);
+        }
+
+        CampaignResult {
+            db,
+            topo_selections,
+            diff_selections,
+            billing,
+            vm_count,
+            tests_run,
+            tainted_tests: tainted,
+            raw_objects,
+            buckets,
+        }
+    }
+
+    /// The hourly cron loop for one region/tier/server-assignment.
+    #[allow(clippy::too_many_arguments)]
+    fn run_region_loop(
+        &self,
+        session: &crate::world::Session<'_>,
+        client: &SpeedTestClient,
+        cron: &CronSchedule,
+        region: &'static Region,
+        plan: &DeploymentPlan,
+        tier: Tier,
+        method: &str,
+        start: SimTime,
+        days: u64,
+        bucket: &mut Bucket,
+        billing: &mut Billing,
+        tests_run: &mut u64,
+        tainted: &mut u64,
+    ) {
+        let region_city = region.city_id(&self.world.topo.cities);
+        // Each VM has its own crontab: the premium and standard VMs of a
+        // differential pair test the same server within the same hour but
+        // at different minutes, like the real deployment.
+        let tier_salt = match tier {
+            Tier::Premium => 0x11u64,
+            Tier::Standard => 0x22u64,
+        };
+        let cron = CronSchedule {
+            budget: cron.budget,
+            seed: cron.seed ^ tier_salt,
+        };
+        let cron = &cron;
+        // Resolve the path pair for every assigned server once (paths are
+        // stable across the campaign; CLASP re-selects only at start).
+        let mut pairs: std::collections::HashMap<&str, (PathPair, &speedtest::platform::Server)> =
+            Default::default();
+        for assignment in &plan.assignments {
+            for sid in assignment {
+                let server = self
+                    .world
+                    .registry
+                    .by_id(sid)
+                    .expect("selected servers exist");
+                let vm_ip = self.world.topo.vm_ip(region_city, 0);
+                if let Some(pair) =
+                    client.resolve_paths(&session.paths, region_city, vm_ip, server, tier)
+                {
+                    pairs.insert(sid.as_str(), (pair, server));
+                }
+            }
+        }
+
+        for (vm_idx, assignment) in plan.assignments.iter().enumerate() {
+            let vm_name = format!("clasp-{}-{}-{}", region.name, tier.label(), vm_idx);
+            let mut day_results: Vec<TestResult> = Vec::with_capacity(assignment.len() * 24);
+            for day in 0..days {
+                for hour in 0..24 {
+                    let hour_start = start + day * SECONDS_PER_DAY + hour * HOUR;
+                    // VM outages: the whole hour's cron run is lost.
+                    if self.config.outage_rate > 0.0 {
+                        let h = simnet::routing::load_key(
+                            b"outage",
+                            self.config.seed ^ vm_idx as u64 ^ tier_salt,
+                            hour_start.as_secs(),
+                        );
+                        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+                        if draw < self.config.outage_rate {
+                            continue;
+                        }
+                    }
+                    let items: Vec<&str> = assignment.iter().map(String::as_str).collect();
+                    for slot in cron.hour_slots(hour_start, &items) {
+                        let Some((pair, server)) = pairs.get(slot.item) else {
+                            continue;
+                        };
+                        let r = client.run_test(
+                            &session.perf,
+                            pair,
+                            server,
+                            slot.start,
+                            self.config.seed ^ tier_salt,
+                        );
+                        // Health check (someta).
+                        let meta = nettools::someta::record(
+                            &vm_name,
+                            region.name,
+                            slot.start,
+                            r.download_mbps,
+                        );
+                        if nettools::someta::is_tainted(&meta) {
+                            *tainted += 1;
+                        }
+                        // Billing: upload data + download ACK overhead is
+                        // egress; download data is (free) ingress.
+                        let up_bytes =
+                            (r.upload_mbps / 8.0 * server.platform.transfer_seconds() * 1e6)
+                                as u64;
+                        let down_bytes = (r.download_mbps / 8.0
+                            * server.platform.transfer_seconds()
+                            * 1e6) as u64;
+                        billing.record_transfer(
+                            tier == Tier::Premium,
+                            up_bytes + down_bytes / 50,
+                            down_bytes,
+                        );
+                        *tests_run += 1;
+                        day_results.push(r);
+                    }
+                }
+                // End of day: upload the raw batch.
+                if !day_results.is_empty() {
+                    pipeline::upload_batch(
+                        bucket,
+                        region.name,
+                        method,
+                        &vm_name,
+                        &day_results,
+                        start + (day + 1) * SECONDS_PER_DAY,
+                    );
+                    day_results.clear();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdb::{Aggregate, Query};
+
+    fn run_small() -> (World, CampaignResult) {
+        let world = World::tiny(121);
+        let result = Campaign::new(&world, CampaignConfig::small(121)).run();
+        (world, result)
+    }
+
+    #[test]
+    fn campaign_produces_hourly_series() {
+        let (_, res) = run_small();
+        assert!(res.tests_run > 0);
+        assert!(res.db.points_written > 0);
+        assert_eq!(res.db.points_written, res.tests_run);
+        // One topo selection, one diff selection.
+        assert_eq!(res.topo_selections.len(), 1);
+        assert_eq!(res.diff_selections.len(), 1);
+        assert!(res.vm_count >= 3); // ≥1 topo VM + 2 diff VMs
+        assert!(res.raw_objects > 0);
+    }
+
+    #[test]
+    fn topo_series_have_one_test_per_hour() {
+        let (_, res) = run_small();
+        let mut db = res.db;
+        let sel = &res.topo_selections[0];
+        let first = &sel.servers[0];
+        let rows = Query::select("speedtest", "download")
+            .r#where("server", first)
+            .r#where("method", "topo")
+            .group_by_time(3600)
+            .aggregate(Aggregate::Count)
+            .run(&mut db);
+        assert_eq!(rows.len(), 1);
+        // 4 days × 24 hours, one test per hour.
+        assert_eq!(rows[0].rows.len(), 96);
+        assert!(rows[0].rows.iter().all(|r| r.value == 1.0));
+    }
+
+    #[test]
+    fn differential_servers_measured_on_both_tiers() {
+        let (_, res) = run_small();
+        let mut db = res.db;
+        let sel = &res.diff_selections[0];
+        assert!(!sel.picks.is_empty());
+        let sid = &sel.picks[0].server_id;
+        for tier in ["premium", "standard"] {
+            let rows = Query::select("speedtest", "download")
+                .r#where("server", sid)
+                .r#where("tier", tier)
+                .r#where("method", "diff")
+                .aggregate(Aggregate::Count)
+                .run(&mut db);
+            assert_eq!(rows.len(), 1, "tier {tier} measured");
+            // 2 days × 24 hours.
+            assert_eq!(rows[0].rows[0].value, 48.0);
+        }
+    }
+
+    #[test]
+    fn billing_accumulates_vm_and_egress() {
+        let (_, res) = run_small();
+        assert!(res.billing.vm_usd() > 0.0);
+        assert!(res.billing.egress_usd() > 0.0);
+        assert!(res.billing.total_usd() > 0.0);
+        // Download is ingress → free; the bill is dominated by VM + the
+        // small upload egress.
+        assert!(res.billing.ingress_bytes > res.billing.premium_egress_bytes);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let world = World::tiny(131);
+        let a = Campaign::new(&world, CampaignConfig::small(131)).run();
+        let b = Campaign::new(&world, CampaignConfig::small(131)).run();
+        assert_eq!(a.tests_run, b.tests_run);
+        assert_eq!(a.db.points_written, b.db.points_written);
+        assert_eq!(
+            a.billing.premium_egress_bytes,
+            b.billing.premium_egress_bytes
+        );
+    }
+
+    #[test]
+    fn health_check_rarely_fires() {
+        let (_, res) = run_small();
+        // The paper verified the VM type was never CPU-starved.
+        assert!(res.tainted_tests * 10 < res.tests_run);
+    }
+
+    #[test]
+    fn raw_buckets_retained_when_asked() {
+        let (_, res) = run_small();
+        assert!(!res.buckets.is_empty());
+        assert!(res.buckets.iter().all(|b| !b.is_empty()));
+    }
+}

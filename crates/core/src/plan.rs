@@ -1,0 +1,118 @@
+//! Deployment planning (§3.2).
+//!
+//! "CLASP determines the number of measurement VMs to deploy in each
+//! cloud region and the number of tests each VM will perform to achieve
+//! measurement granularity of one throughput test per hour per test
+//! server." One VM runs at most 17 tests per hour (120 s per test, 20 min
+//! of traceroutes, 5 min of uploads); VMs spread across availability
+//! zones.
+
+use cloudsim::cron::CronSchedule;
+use cloudsim::region::Region;
+use cloudsim::vm::{CloudApi, MachineType, TrafficShaping};
+use simnet::routing::Tier;
+use simnet::time::SimTime;
+
+/// The deployment plan for one region.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    /// Region planned for.
+    pub region: &'static str,
+    /// Measurement VMs to create.
+    pub n_vms: usize,
+    /// Server ids assigned to each VM (round-robin).
+    pub assignments: Vec<Vec<String>>,
+}
+
+/// Plans one region's deployment for a server list.
+pub fn plan_region(
+    region: &'static Region,
+    servers: &[String],
+    cron: &CronSchedule,
+) -> DeploymentPlan {
+    let n_vms = cron.vms_needed(servers.len());
+    let assignments = if n_vms == 0 {
+        Vec::new()
+    } else {
+        cron.assign(
+            &servers.iter().map(String::as_str).collect::<Vec<_>>(),
+            n_vms,
+        )
+        .into_iter()
+        .map(|v| v.into_iter().map(str::to_string).collect())
+        .collect()
+    };
+    DeploymentPlan {
+        region: region.name,
+        n_vms,
+        assignments,
+    }
+}
+
+/// Materialises a plan: creates the VMs through the cloud API. Returns
+/// the VM indices, one per assignment.
+pub fn deploy(
+    api: &mut CloudApi<'_>,
+    region: &'static Region,
+    plan: &DeploymentPlan,
+    tier: Tier,
+    now: SimTime,
+) -> Vec<usize> {
+    (0..plan.n_vms)
+        .map(|i| {
+            api.create_vm(
+                region,
+                i as u16,
+                MachineType::N1Standard2,
+                tier,
+                TrafficShaping::clasp_default(),
+                now,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::region::REGIONS;
+
+    fn servers(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("srv-{i}")).collect()
+    }
+
+    #[test]
+    fn plan_matches_budget_math() {
+        let cron = CronSchedule::new(1);
+        let p = plan_region(&REGIONS[0], &servers(106), &cron);
+        assert_eq!(p.n_vms, 7); // ceil(106/17)
+        let total: usize = p.assignments.iter().map(Vec::len).sum();
+        assert_eq!(total, 106);
+        assert!(p.assignments.iter().all(|a| a.len() <= 17));
+    }
+
+    #[test]
+    fn empty_server_list_needs_no_vms() {
+        let cron = CronSchedule::new(1);
+        let p = plan_region(&REGIONS[1], &servers(0), &cron);
+        assert_eq!(p.n_vms, 0);
+        assert!(p.assignments.is_empty());
+    }
+
+    #[test]
+    fn deploy_creates_vms_across_zones() {
+        let topo = simnet::topology::Topology::generate(
+            simnet::topology::TopologyConfig::tiny(1),
+        );
+        let mut api = CloudApi::new(&topo);
+        let cron = CronSchedule::new(1);
+        let plan = plan_region(&REGIONS[0], &servers(40), &cron);
+        let vms = deploy(&mut api, &REGIONS[0], &plan, Tier::Premium, SimTime::EPOCH);
+        assert_eq!(vms.len(), 3); // ceil(40/17)
+        let zones: std::collections::BTreeSet<&str> = vms
+            .iter()
+            .map(|&i| api.vms[i].zone.as_str())
+            .collect();
+        assert!(zones.len() >= 2, "VMs spread across zones");
+    }
+}

@@ -1,0 +1,197 @@
+//! Automatic re-selection — the paper's §5 future work, built.
+//!
+//! "We conducted pilot tests to select test servers only once in the
+//! beginning of the experiment. CLASP cannot adapt to changes in the use
+//! of interdomain links and any new deployment of speed test servers. We
+//! will develop scripts to automatically re-perform the pilot tests and
+//! update the server lists."
+//!
+//! [`reselect`] re-runs the topology-based pilot against an updated
+//! server registry and diffs the result against the in-force selection,
+//! producing the minimal update plan an orchestrator applies between
+//! measurement epochs (keeping continuity for unchanged servers, which
+//! preserves their longitudinal series).
+
+use crate::select::topology::{self, PilotConfig, TopologySelection};
+use crate::world::World;
+use simnet::geo::CityId;
+use simnet::routing::Paths;
+use speedtest::platform::ServerRegistry;
+
+/// The update plan between two selections.
+#[derive(Debug, Clone)]
+pub struct SelectionUpdate {
+    /// Servers in both selections — their hourly series continue.
+    pub kept: Vec<String>,
+    /// Newly selected servers (new deployments or newly preferred links).
+    pub added: Vec<String>,
+    /// Servers dropped (decommissioned, or their link now has a better
+    /// representative).
+    pub removed: Vec<String>,
+    /// Border links covered before but not after.
+    pub links_lost: usize,
+    /// Border links covered after but not before.
+    pub links_gained: usize,
+}
+
+impl SelectionUpdate {
+    /// Fraction of the old selection that survives (continuity of the
+    /// longitudinal data).
+    pub fn continuity(&self) -> f64 {
+        let old = self.kept.len() + self.removed.len();
+        if old == 0 {
+            return 1.0;
+        }
+        self.kept.len() as f64 / old as f64
+    }
+}
+
+/// Re-runs the pilot against `new_registry` and diffs against `current`.
+pub fn reselect(
+    world: &World,
+    paths: &Paths<'_>,
+    current: &TopologySelection,
+    new_registry: &ServerRegistry,
+    region_city: CityId,
+    budget: usize,
+    pilot: &PilotConfig,
+) -> (TopologySelection, SelectionUpdate) {
+    let fresh = topology::select_with_registry(
+        world,
+        new_registry,
+        paths,
+        current.region,
+        region_city,
+        budget,
+        pilot,
+    );
+
+    let old_set: std::collections::BTreeSet<&str> =
+        current.servers.iter().map(String::as_str).collect();
+    let new_set: std::collections::BTreeSet<&str> =
+        fresh.servers.iter().map(String::as_str).collect();
+    let kept: Vec<String> = old_set
+        .intersection(&new_set)
+        .map(|s| s.to_string())
+        .collect();
+    let added: Vec<String> = new_set
+        .difference(&old_set)
+        .map(|s| s.to_string())
+        .collect();
+    let removed: Vec<String> = old_set
+        .difference(&new_set)
+        .map(|s| s.to_string())
+        .collect();
+
+    let old_links: std::collections::BTreeSet<_> =
+        current.server_link.values().copied().collect();
+    let new_links: std::collections::BTreeSet<_> =
+        fresh.server_link.values().copied().collect();
+    let update = SelectionUpdate {
+        kept,
+        added,
+        removed,
+        links_lost: old_links.difference(&new_links).count(),
+        links_gained: new_links.difference(&old_links).count(),
+    };
+    (fresh, update)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (World, TopologySelection) {
+        let world = World::tiny(601);
+        let sel = {
+            let session = world.session();
+            let region = world.topo.cities.by_name("The Dalles").unwrap();
+            topology::select(
+                &world,
+                &session.paths,
+                "us-west1",
+                region,
+                30,
+                &PilotConfig::default(),
+            )
+        };
+        (world, sel)
+    }
+
+    #[test]
+    fn reselect_against_unchanged_registry_is_stable() {
+        let (world, sel) = setup();
+        let session = world.session();
+        let region = world.topo.cities.by_name("The Dalles").unwrap();
+        let (fresh, update) = reselect(
+            &world,
+            &session.paths,
+            &sel,
+            &world.registry,
+            region,
+            30,
+            &PilotConfig::default(),
+        );
+        assert_eq!(fresh.servers, sel.servers);
+        assert!(update.added.is_empty());
+        assert!(update.removed.is_empty());
+        assert_eq!(update.continuity(), 1.0);
+    }
+
+    #[test]
+    fn churned_registry_produces_bounded_update() {
+        let (world, sel) = setup();
+        let session = world.session();
+        let region = world.topo.cities.by_name("The Dalles").unwrap();
+        let churned = world.registry.churned(&world.topo, 7, 0.25, 15);
+        let (fresh, update) = reselect(
+            &world,
+            &session.paths,
+            &sel,
+            &churned,
+            region,
+            30,
+            &PilotConfig::default(),
+        );
+        // Accounting holds.
+        assert_eq!(
+            update.kept.len() + update.removed.len(),
+            sel.servers.len()
+        );
+        assert_eq!(
+            update.kept.len() + update.added.len(),
+            fresh.servers.len()
+        );
+        // 25% churn should not destroy the whole selection.
+        assert!(
+            update.continuity() > 0.3,
+            "continuity = {}",
+            update.continuity()
+        );
+        // Removed servers that vanished from the registry really vanished.
+        for r in &update.removed {
+            let still_exists = churned.by_id(r).is_some();
+            let _ = still_exists; // may be replaced even if still deployed
+        }
+    }
+
+    #[test]
+    fn fresh_selection_only_contains_existing_servers() {
+        let (world, sel) = setup();
+        let session = world.session();
+        let region = world.topo.cities.by_name("The Dalles").unwrap();
+        let churned = world.registry.churned(&world.topo, 11, 0.5, 5);
+        let (fresh, _) = reselect(
+            &world,
+            &session.paths,
+            &sel,
+            &churned,
+            region,
+            30,
+            &PilotConfig::default(),
+        );
+        for s in &fresh.servers {
+            assert!(churned.by_id(s).is_some(), "{s} not in churned registry");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Server selection (§3.1): the paper's two methods.
+
+pub mod differential;
+pub mod topology;
+
+pub use differential::{DifferentialSelection, LatencyClass};
+pub use topology::TopologySelection;

@@ -1,0 +1,238 @@
+//! Premium-vs-standard tier comparison (§4.1, Fig. 5).
+//!
+//! The three differential-region VM pairs measure each selected server on
+//! both tiers in the same hour; the relative difference
+//! `Δ_m(S,t) = (T_m^prem(S,t) − T_m^std(S,t)) / T_m^std(S,t)` is computed
+//! per metric `m ∈ {download, upload, latency}` and grouped by the
+//! server's pre-test latency class (comparable / premium-lower /
+//! standard-lower), which colours the Fig. 5 CDFs.
+
+use crate::select::differential::{DifferentialSelection, LatencyClass};
+use std::collections::HashMap;
+use tsdb::Db;
+
+/// Relative differences for one server across the campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ServerDeltas {
+    /// Δ download per paired hour.
+    pub download: Vec<f64>,
+    /// Δ upload per paired hour.
+    pub upload: Vec<f64>,
+    /// Δ latency per paired hour.
+    pub latency: Vec<f64>,
+    /// Mean premium download loss (the ">10 % loss on eight targets"
+    /// diagnosis).
+    pub premium_dloss_mean: f64,
+    /// Mean standard download loss.
+    pub standard_dloss_mean: f64,
+}
+
+/// The full comparison for one differential region.
+#[derive(Debug)]
+pub struct TierComparison {
+    /// Region compared.
+    pub region: &'static str,
+    /// Per-server deltas with the server's latency class.
+    pub servers: Vec<(String, LatencyClass, ServerDeltas)>,
+}
+
+impl TierComparison {
+    /// Builds the comparison from the campaign database and the region's
+    /// differential selection.
+    pub fn build(db: &mut Db, selection: &DifferentialSelection) -> Self {
+        let mut servers = Vec::new();
+        for pick in &selection.picks {
+            let mut per_tier: HashMap<bool, HashMap<u64, (f64, f64, f64, f64)>> =
+                HashMap::new();
+            for premium in [true, false] {
+                let tier = if premium { "premium" } else { "standard" };
+                let filters = vec![
+                    ("server".to_string(), pick.server_id.clone()),
+                    ("tier".to_string(), tier.to_string()),
+                    ("method".to_string(), "diff".to_string()),
+                    ("region".to_string(), selection.region.to_string()),
+                ];
+                for s in db.matching_series("speedtest", &filters) {
+                    for (t, fields) in s.samples() {
+                        // Align to the hour: the two VMs test the same
+                        // server in the same hour but at different slots.
+                        let hour = *t / 3600;
+                        let entry = (
+                            fields.get("download").copied().unwrap_or(f64::NAN),
+                            fields.get("upload").copied().unwrap_or(f64::NAN),
+                            fields.get("latency").copied().unwrap_or(f64::NAN),
+                            fields.get("dloss").copied().unwrap_or(f64::NAN),
+                        );
+                        per_tier.entry(premium).or_default().insert(hour, entry);
+                    }
+                }
+            }
+            let (Some(prem), Some(std_)) = (per_tier.get(&true), per_tier.get(&false))
+            else {
+                continue;
+            };
+            let mut deltas = ServerDeltas::default();
+            let mut prem_loss = Vec::new();
+            let mut std_loss = Vec::new();
+            let mut hours: Vec<u64> = prem.keys().copied().collect();
+            hours.sort_unstable();
+            for h in hours {
+                let (Some(p), Some(s)) = (prem.get(&h), std_.get(&h)) else {
+                    continue;
+                };
+                let rel = |a: f64, b: f64| -> Option<f64> {
+                    (a.is_finite() && b.is_finite() && b > 0.0).then(|| (a - b) / b)
+                };
+                if let Some(d) = rel(p.0, s.0) {
+                    deltas.download.push(d);
+                }
+                if let Some(d) = rel(p.1, s.1) {
+                    deltas.upload.push(d);
+                }
+                if let Some(d) = rel(p.2, s.2) {
+                    deltas.latency.push(d);
+                }
+                if p.3.is_finite() {
+                    prem_loss.push(p.3);
+                }
+                if s.3.is_finite() {
+                    std_loss.push(s.3);
+                }
+            }
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
+            deltas.premium_dloss_mean = mean(&prem_loss);
+            deltas.standard_dloss_mean = mean(&std_loss);
+            servers.push((pick.server_id.clone(), pick.class, deltas));
+        }
+        Self {
+            region: selection.region,
+            servers,
+        }
+    }
+
+    /// Pools Δ values of one metric across servers of one class.
+    pub fn pooled(&self, class: LatencyClass, metric: Metric) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (_, c, d) in &self.servers {
+            if *c != class {
+                continue;
+            }
+            out.extend(match metric {
+                Metric::Download => d.download.iter(),
+                Metric::Upload => d.upload.iter(),
+                Metric::Latency => d.latency.iter(),
+            });
+        }
+        out
+    }
+
+    /// Fraction of download measurements where the standard tier was
+    /// faster (Δ_d < 0) — the paper's headline §4.1 observation.
+    pub fn standard_faster_fraction(&self) -> f64 {
+        let all: Vec<f64> = self
+            .servers
+            .iter()
+            .flat_map(|(_, _, d)| d.download.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        all.iter().filter(|&&d| d < 0.0).count() as f64 / all.len() as f64
+    }
+
+    /// Servers whose mean premium download loss exceeds `threshold`
+    /// (the paper found eight above 10 %).
+    pub fn premium_lossy_servers(&self, threshold: f64) -> Vec<&str> {
+        self.servers
+            .iter()
+            .filter(|(_, _, d)| d.premium_dloss_mean > threshold)
+            .map(|(id, _, _)| id.as_str())
+            .collect()
+    }
+}
+
+/// Metric selector for pooled distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Download throughput.
+    Download,
+    /// Upload throughput.
+    Upload,
+    /// Latency.
+    Latency,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use crate::world::World;
+
+    fn comparison() -> TierComparison {
+        let world = World::tiny(151);
+        let res = Campaign::new(&world, CampaignConfig::small(151)).run();
+        let mut db = res.db;
+        TierComparison::build(&mut db, &res.diff_selections[0])
+    }
+
+    #[test]
+    fn paired_deltas_exist_for_every_pick() {
+        let cmp = comparison();
+        assert!(!cmp.servers.is_empty());
+        for (_, _, d) in &cmp.servers {
+            // 2 days × 24 paired hours.
+            assert_eq!(d.download.len(), 48);
+            assert_eq!(d.upload.len(), 48);
+            assert_eq!(d.latency.len(), 48);
+        }
+    }
+
+    #[test]
+    fn deltas_are_finite() {
+        let cmp = comparison();
+        for (_, _, d) in &cmp.servers {
+            for v in d.download.iter().chain(&d.upload).chain(&d.latency) {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn standard_faster_fraction_in_unit_interval() {
+        let cmp = comparison();
+        let f = cmp.standard_faster_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn pooled_respects_class() {
+        let cmp = comparison();
+        let total: usize = [
+            LatencyClass::Comparable,
+            LatencyClass::PremiumLower,
+            LatencyClass::StandardLower,
+        ]
+        .iter()
+        .map(|c| cmp.pooled(*c, Metric::Download).len())
+        .sum();
+        let direct: usize = cmp.servers.iter().map(|(_, _, d)| d.download.len()).sum();
+        assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn loss_means_are_probabilities() {
+        let cmp = comparison();
+        for (_, _, d) in &cmp.servers {
+            assert!((0.0..=1.0).contains(&d.premium_dloss_mean));
+            assert!((0.0..=1.0).contains(&d.standard_dloss_mean));
+        }
+        let lossy = cmp.premium_lossy_servers(0.0);
+        assert!(lossy.len() <= cmp.servers.len());
+    }
+}

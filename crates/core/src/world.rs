@@ -1,0 +1,118 @@
+//! The shared measurement environment.
+//!
+//! A [`World`] owns everything the campaign needs that outlives a borrow:
+//! the generated topology, the crawled speed-test server registry, the
+//! prefix-to-AS dataset and the load-model seed. A [`Session`] borrows a
+//! world and adds the per-run machinery (routing caches, the perf model).
+//!
+//! Construction is deterministic in the seed: two worlds with the same
+//! seed are identical, which is what makes every figure regenerable.
+
+use simnet::load::LoadModel;
+use simnet::perf::PerfModel;
+use simnet::prefix2as::PrefixToAs;
+use simnet::routing::Paths;
+use simnet::topology::{Topology, TopologyConfig};
+use speedtest::platform::ServerRegistry;
+
+/// The default campaign seed used across examples and experiments.
+pub const DEFAULT_SEED: u64 = 0x5EED_CA1D;
+
+/// Owned measurement environment.
+pub struct World {
+    /// The generated Internet + cloud.
+    pub topo: Topology,
+    /// Crawled speed-test servers.
+    pub registry: ServerRegistry,
+    /// Prefix-to-AS dataset built from the topology.
+    pub p2a: PrefixToAs,
+    /// Seed for the link-load model.
+    pub load_seed: u64,
+}
+
+impl World {
+    /// Builds the full-scale world for a seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(TopologyConfig {
+            seed,
+            ..TopologyConfig::default()
+        })
+    }
+
+    /// Builds a world from an explicit topology configuration.
+    pub fn with_config(config: TopologyConfig) -> Self {
+        let seed = config.seed;
+        let topo = Topology::generate(config);
+        let registry = ServerRegistry::crawl(&topo, seed ^ 0x7e57);
+        let p2a = PrefixToAs::build(&topo);
+        Self {
+            topo,
+            registry,
+            p2a,
+            load_seed: seed ^ 0x10ad,
+        }
+    }
+
+    /// A scaled-down world for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self::with_config(TopologyConfig::tiny(seed))
+    }
+
+    /// Opens a session: routing caches + perf model borrowed from self.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            paths: Paths::new(&self.topo),
+            perf: PerfModel::new(&self.topo, LoadModel::new(self.load_seed)),
+        }
+    }
+}
+
+/// Borrowed per-run machinery.
+pub struct Session<'w> {
+    /// Router-level path construction (with routing-table caches).
+    pub paths: Paths<'w>,
+    /// The performance model.
+    pub perf: PerfModel<'w>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let a = World::tiny(5);
+        let b = World::tiny(5);
+        assert_eq!(a.topo.links.len(), b.topo.links.len());
+        assert_eq!(a.registry.servers.len(), b.registry.servers.len());
+        assert_eq!(a.load_seed, b.load_seed);
+    }
+
+    #[test]
+    fn session_borrows_world() {
+        let w = World::tiny(6);
+        let s = w.session();
+        let region = w.topo.cities.by_name("The Dalles").unwrap();
+        let leaf = w.topo.non_cloud_ases().next().unwrap();
+        let city = w.topo.as_node(leaf).home_city;
+        let path = s.paths.vm_host_path(
+            region,
+            w.topo.vm_ip(region, 0),
+            leaf,
+            city,
+            w.topo.host_ip(leaf, city, 0),
+            simnet::routing::Tier::Premium,
+            simnet::routing::Direction::ToServer,
+        );
+        assert!(path.is_some());
+    }
+
+    #[test]
+    fn registry_and_p2a_agree_on_server_asns() {
+        let w = World::tiny(7);
+        for s in w.registry.servers.iter().take(30) {
+            let (_, asn) = w.p2a.lookup(s.ip).expect("server IPs are routed");
+            assert_eq!(asn, s.asn);
+        }
+    }
+}

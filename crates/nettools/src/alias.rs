@@ -1,0 +1,256 @@
+//! Ally-style IP alias resolution.
+//!
+//! `bdrmap` needs to know when two interface addresses sit on the same
+//! physical router (the far-side /30 address and an address inside the
+//! neighbor's own space). The classic Ally technique probes both
+//! candidate addresses in quick succession and checks whether the
+//! returned IP-ID values interleave in one shared counter — routers keep
+//! a single global IP-ID counter per stack, so aliases produce a merged,
+//! monotonically-increasing sequence, while distinct routers produce two
+//! unrelated sequences.
+//!
+//! The simulation gives every router a deterministic counter (seeded by
+//! router identity) with a background increment rate; probing returns
+//! counter samples with jitter. [`ally_test`] then applies the real
+//! Ally decision rule. Silent routers (the same ones traceroute sees as
+//! `*`) never answer, so coverage is inherently partial — as in
+//! practice.
+
+use simnet::topology::Topology;
+use std::net::Ipv4Addr;
+
+/// Outcome of an Ally probe pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasVerdict {
+    /// The IP-ID sequences interleave in one counter: same router.
+    Aliases,
+    /// The sequences are inconsistent with one counter: different routers.
+    NotAliases,
+    /// One or both addresses never answered.
+    Unresponsive,
+}
+
+/// A router's IP-ID counter at a probing instant: deterministic base plus
+/// a background increment per probe interval.
+fn ip_id_sample(router_key: u64, probe_idx: u64, seed: u64) -> u16 {
+    let base = simnet::routing::load_key(b"ipid-base", router_key, 0) % 40_000;
+    // Background traffic advances the counter 3–40 ids per probe gap.
+    let rate = 3 + simnet::routing::load_key(b"ipid-rate", router_key, 0) % 38;
+    let jitter = simnet::routing::load_key(b"ipid-jit", router_key ^ seed, probe_idx) % 3;
+    ((base + probe_idx * rate + jitter) % 65_536) as u16
+}
+
+/// True when the interface is one of the ~5% silent routers.
+fn is_silent(ip: Ipv4Addr) -> bool {
+    let h = simnet::routing::load_key(b"silent", u64::from(u32::from(ip)), 0);
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < 0.05
+}
+
+/// The ground-truth router key for an interface: aliases share it.
+fn router_key(topo: &Topology, ip: Ipv4Addr) -> Option<u64> {
+    // Far-side interconnect interfaces and the in-AS border alias sit on
+    // the same physical router.
+    for l in &topo.links {
+        if l.far_ip == ip || topo.border_alias(l.id) == ip {
+            return Some(0x1000_0000_0000 + l.id.0 as u64);
+        }
+        if l.near_ip == ip {
+            // Cloud-side router, keyed by (pop, parallel-group).
+            return Some(0x2000_0000_0000 + l.id.0 as u64);
+        }
+    }
+    // Any other topology address is its own router for Ally's purposes.
+    Some(u64::from(u32::from(ip)))
+}
+
+/// Runs the Ally test between two addresses: `probes` alternating probes
+/// to each, then the interleaving check.
+pub fn ally_test(
+    topo: &Topology,
+    a: Ipv4Addr,
+    b: Ipv4Addr,
+    probes: u64,
+    seed: u64,
+) -> AliasVerdict {
+    if is_silent(a) || is_silent(b) {
+        return AliasVerdict::Unresponsive;
+    }
+    let (Some(ka), Some(kb)) = (router_key(topo, a), router_key(topo, b)) else {
+        return AliasVerdict::Unresponsive;
+    };
+    // Alternate probes: a at even indices, b at odd.
+    let mut samples: Vec<u16> = Vec::with_capacity(2 * probes as usize);
+    for i in 0..2 * probes {
+        let key = if i % 2 == 0 { ka } else { kb };
+        samples.push(ip_id_sample(key, i, seed));
+    }
+    // Ally rule: the merged sequence must be monotonically increasing
+    // (mod wraparound) within a small velocity bound.
+    let mut violations = 0;
+    for w in samples.windows(2) {
+        let delta = w[1].wrapping_sub(w[0]);
+        // A shared counter advances 0..~120 ids between consecutive
+        // probes; independent counters produce effectively random deltas.
+        if delta == 0 || delta > 400 {
+            violations += 1;
+        }
+    }
+    if violations <= (samples.len() / 10).max(1) - 1 {
+        AliasVerdict::Aliases
+    } else {
+        AliasVerdict::NotAliases
+    }
+}
+
+/// Resolves the operator of a candidate far-side interface by Ally-testing
+/// it against each neighbor-space border-router address; returns the
+/// neighbor ASN on a positive test. This is the mechanism behind
+/// `bdrmap`'s alias evidence.
+pub fn resolve_far_side(
+    topo: &Topology,
+    far_ip: Ipv4Addr,
+    seed: u64,
+) -> Option<simnet::asn::Asn> {
+    // Candidate in-AS aliases: the border routers of links sharing this
+    // far IP's /30 neighborhood. In practice a prober tests candidates
+    // from hostname/IP heuristics; here the candidate set is the known
+    // border aliases.
+    let link: &simnet::topology::InterdomainLink =
+        topo.links.iter().find(|l| l.far_ip == far_ip)?;
+    let candidate = topo.border_alias(link.id);
+    match ally_test(topo, far_ip, candidate, 8, seed) {
+        AliasVerdict::Aliases => Some(topo.as_node(link.neighbor).asn),
+        _ => None,
+    }
+}
+
+/// An [`crate::bdrmap::AliasResolver`] backed by real Ally probing
+/// rather than the ground-truth oracle.
+pub struct AllyResolver<'t> {
+    topo: &'t Topology,
+    seed: u64,
+}
+
+impl<'t> AllyResolver<'t> {
+    /// Creates a resolver.
+    pub fn new(topo: &'t Topology, seed: u64) -> Self {
+        Self { topo, seed }
+    }
+}
+
+impl crate::bdrmap::AliasResolver for AllyResolver<'_> {
+    fn resolve(&self, ip: Ipv4Addr) -> Option<simnet::asn::Asn> {
+        resolve_far_side(self.topo, ip, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::{LinkId, TopologyConfig};
+
+    fn topo() -> Topology {
+        Topology::generate(TopologyConfig::tiny(71))
+    }
+
+    fn responsive_link(t: &Topology) -> LinkId {
+        t.links
+            .iter()
+            .find(|l| {
+                !is_silent(l.far_ip)
+                    && !is_silent(t.border_alias(l.id))
+                    && !is_silent(l.near_ip)
+            })
+            .map(|l| l.id)
+            .expect("some fully responsive link")
+    }
+
+    #[test]
+    fn true_aliases_test_positive() {
+        let t = topo();
+        let l = responsive_link(&t);
+        let link = t.link(l);
+        let verdict = ally_test(&t, link.far_ip, t.border_alias(l), 8, 1);
+        assert_eq!(verdict, AliasVerdict::Aliases);
+    }
+
+    #[test]
+    fn different_routers_test_negative() {
+        let t = topo();
+        let l = responsive_link(&t);
+        let link = t.link(l);
+        // The near side is the cloud's router — not an alias of the far
+        // side.
+        let verdict = ally_test(&t, link.far_ip, link.near_ip, 8, 1);
+        assert_eq!(verdict, AliasVerdict::NotAliases);
+    }
+
+    #[test]
+    fn silent_interfaces_are_unresponsive() {
+        let t = topo();
+        let silent = t
+            .links
+            .iter()
+            .find(|l| is_silent(l.far_ip))
+            .map(|l| l.far_ip);
+        if let Some(ip) = silent {
+            let other = t.link(responsive_link(&t)).far_ip;
+            assert_eq!(ally_test(&t, ip, other, 8, 1), AliasVerdict::Unresponsive);
+        }
+    }
+
+    #[test]
+    fn resolver_attributes_far_sides_correctly() {
+        let t = topo();
+        let mut checked = 0;
+        let mut correct = 0;
+        for l in t.links.iter().take(60) {
+            if let Some(asn) = resolve_far_side(&t, l.far_ip, 3) {
+                checked += 1;
+                if asn == t.as_node(l.neighbor).asn {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(checked > 20, "resolved {checked}");
+        assert_eq!(correct, checked, "Ally positives must be correct");
+    }
+
+    #[test]
+    fn bdrmap_works_with_ally_resolver() {
+        use crate::bdrmap::BdrMap;
+        use crate::scamper::{Scamper, Target};
+        let t = topo();
+        let paths = simnet::routing::Paths::new(&t);
+        let region = t.cities.by_name("The Dalles").unwrap();
+        let targets: Vec<Target> = t
+            .non_cloud_ases()
+            .take(80)
+            .map(|id| {
+                let city = t.as_node(id).home_city;
+                Target {
+                    as_id: id,
+                    city,
+                    ip: t.host_ip(id, city, 0),
+                }
+            })
+            .collect();
+        let traces = Scamper::default().trace_many(
+            &paths,
+            region,
+            t.vm_ip(region, 0),
+            &targets,
+            simnet::routing::Tier::Premium,
+            crate::traceroute::TraceMode::Paris,
+            4,
+            1,
+        );
+        let resolver = AllyResolver::new(&t, 9);
+        let p2a = simnet::prefix2as::PrefixToAs::build(&t);
+        let map = BdrMap::infer(&traces, &p2a, simnet::topology::CLOUD_ASN, &resolver);
+        assert!(map.link_count() > 10);
+        // Some links should carry Ally-backed alias evidence.
+        let with_alias = map.links.values().filter(|l| l.alias_owner.is_some()).count();
+        assert!(with_alias > 0, "no Ally evidence at all");
+    }
+}

@@ -1,0 +1,164 @@
+//! RTT and loss estimation from captured packet headers.
+//!
+//! CLASP's analysis VM "identifies HTTP transactions from encrypted
+//! traffic and uses the corresponding TCP flows to estimate the
+//! round-trip latency and packet loss rate" (§3.3). We get packet headers
+//! from the `simtcp` capture (the tcpdump substitute) and reproduce the
+//! estimators:
+//!
+//! * **RTT** — time between a data segment's first transmission and the
+//!   first cumulative ACK covering it (retransmitted segments excluded,
+//!   as in Karn's rule);
+//! * **loss** — retransmission-based: segments transmitted more than
+//!   once over segments transmitted, per connection, aggregated.
+
+use simtcp::flow::{Capture, CaptureEvent};
+use std::collections::HashMap;
+
+/// Summary statistics extracted from a packet capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowStats {
+    /// Median of the RTT samples, ms.
+    pub rtt_ms: Option<f64>,
+    /// Estimated loss rate (retransmitted / transmitted).
+    pub loss_rate: f64,
+    /// Data segments transmitted (including retransmissions).
+    pub data_packets: u64,
+    /// Distinct data segments seen.
+    pub distinct_segments: u64,
+    /// RTT samples collected.
+    pub rtt_samples: usize,
+}
+
+/// Analyzes a capture from `simtcp` into flow statistics.
+pub fn analyze(capture: &Capture) -> FlowStats {
+    // Per (conn, seq): first send time and transmission count.
+    let mut sends: HashMap<(u16, u64), (f64, u32)> = HashMap::new();
+    let mut rtt_samples: Vec<f64> = Vec::new();
+    let mut data_packets: u64 = 0;
+
+    for rec in &capture.records {
+        match (rec.is_ack, rec.event) {
+            (false, CaptureEvent::Sent) => {
+                data_packets += 1;
+                sends
+                    .entry((rec.conn, rec.num))
+                    .and_modify(|(_, n)| *n += 1)
+                    .or_insert((rec.t_ms, 1));
+            }
+            (true, CaptureEvent::Delivered) => {
+                // ACK numbers pack (cumulative ack, echoed segment);
+                // sample the RTT of the echoed segment when it was
+                // transmitted exactly once.
+                let (_ack, echo) = simtcp::flow::unpack_ack(rec.num);
+                if let Some((t0, n)) = sends.remove(&(rec.conn, echo)) {
+                    if n == 1 && rec.t_ms >= t0 {
+                        rtt_samples.push(rec.t_ms - t0);
+                    } else if n > 1 {
+                        // Put the retransmission count back for loss
+                        // accounting.
+                        sends.insert((rec.conn, echo), (t0, n));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Count retransmissions among everything we saw sent.
+    let mut retransmitted: u64 = 0;
+    let mut distinct: u64 = 0;
+    for (_, (_, n)) in sends.iter() {
+        distinct += 1;
+        retransmitted += (*n as u64).saturating_sub(1);
+    }
+    // Segments already removed for RTT sampling were transmitted once.
+    let sampled = rtt_samples.len() as u64;
+    let distinct_segments = distinct + sampled;
+
+    rtt_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let rtt_ms = if rtt_samples.is_empty() {
+        None
+    } else {
+        Some(rtt_samples[rtt_samples.len() / 2])
+    };
+
+    FlowStats {
+        rtt_ms,
+        loss_rate: if data_packets == 0 {
+            0.0
+        } else {
+            retransmitted as f64 / data_packets as f64
+        },
+        data_packets,
+        distinct_segments,
+        rtt_samples: rtt_samples.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtcp::flow::{run_flow, FlowConfig, PathSpec};
+    use simtcp::link::LinkSpec;
+
+    fn capture_for(loss: f64) -> Capture {
+        let mut path = PathSpec::symmetric(vec![
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+            LinkSpec::new(100.0, 15.0, 128, 0.0),
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+        ]);
+        path.fwd[1].loss = loss;
+        run_flow(
+            &path,
+            &FlowConfig {
+                duration_s: 3.0,
+                capture: true,
+                ..Default::default()
+            },
+        )
+        .capture
+    }
+
+    #[test]
+    fn clean_flow_rtt_near_propagation() {
+        let stats = analyze(&capture_for(0.0));
+        let rtt = stats.rtt_ms.unwrap();
+        // 2 × 15.2 ms propagation plus queueing.
+        assert!((28.0..120.0).contains(&rtt), "rtt = {rtt}");
+        assert!(stats.rtt_samples > 50);
+        assert!(stats.loss_rate < 0.02, "loss = {}", stats.loss_rate);
+    }
+
+    #[test]
+    fn lossy_flow_estimates_loss() {
+        let stats = analyze(&capture_for(0.05));
+        assert!(
+            (0.01..0.15).contains(&stats.loss_rate),
+            "estimated loss = {}",
+            stats.loss_rate
+        );
+    }
+
+    #[test]
+    fn loss_ordering_preserved() {
+        let low = analyze(&capture_for(0.01)).loss_rate;
+        let high = analyze(&capture_for(0.08)).loss_rate;
+        assert!(high > low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn empty_capture() {
+        let stats = analyze(&Capture::default());
+        assert_eq!(stats.rtt_ms, None);
+        assert_eq!(stats.loss_rate, 0.0);
+        assert_eq!(stats.data_packets, 0);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let stats = analyze(&capture_for(0.02));
+        assert!(stats.data_packets >= stats.distinct_segments);
+        assert!(stats.distinct_segments > 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! In-band bottleneck localisation — the paper's §5 future work, built.
+//!
+//! "Conducting speed tests is bandwidth intensive, which is pessimal in
+//! terms of cloud charges. We will apply in-band measurement approaches
+//! (e.g., [FlowTrace]) to inject measurement probes into throughput
+//! measurement flows to identify the bottleneck link on the path and
+//! reduce the test duration."
+//!
+//! The FlowTrace idea: ride an existing TCP flow and inject back-to-back
+//! packet trains; the train's dispersion after k hops reflects the
+//! tightest link in the first k segments, so TTL-limited trains localise
+//! the bottleneck without a separate bulk transfer. Here the probe train
+//! is evaluated against the same per-segment available-bandwidth model
+//! the fluid TCP uses, with per-train measurement noise — and, because
+//! the substrate is simulated, the inference is scored against ground
+//! truth.
+
+use simnet::perf::PerfModel;
+use simnet::routing::RouterPath;
+use simnet::time::SimTime;
+
+/// One TTL-limited train's estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct HopEstimate {
+    /// Path segment index the train was limited to (inclusive).
+    pub segment: usize,
+    /// Dispersion-based available-bandwidth estimate for the prefix,
+    /// Mbps.
+    pub avail_mbps: f64,
+}
+
+/// The localisation result.
+#[derive(Debug, Clone)]
+pub struct BottleneckEstimate {
+    /// Per-prefix estimates, one per segment.
+    pub hops: Vec<HopEstimate>,
+    /// Index of the inferred bottleneck segment (largest drop in the
+    /// prefix-estimate curve).
+    pub bottleneck_segment: usize,
+    /// Estimated available bandwidth at the bottleneck, Mbps.
+    pub bottleneck_mbps: f64,
+    /// Probe bytes spent (the whole point: ≪ a bulk transfer).
+    pub probe_bytes: u64,
+}
+
+/// Number of packets per train.
+pub const TRAIN_LEN: u32 = 32;
+/// Probe packet size, bytes.
+pub const PROBE_BYTES: u32 = 1_200;
+
+/// Relative dispersion-measurement noise per train (timer granularity,
+/// interrupt coalescing — dispersion estimates are notoriously jittery).
+const TRAIN_NOISE: f64 = 0.12;
+
+/// Runs TTL-limited in-band trains along `path` at time `t`.
+///
+/// `trains_per_hop` trains are averaged per TTL (more trains, less
+/// noise, more probe bytes).
+pub fn locate_bottleneck(
+    perf: &PerfModel<'_>,
+    path: &RouterPath,
+    t: SimTime,
+    trains_per_hop: u32,
+    seed: u64,
+) -> BottleneckEstimate {
+    assert!(trains_per_hop > 0, "need at least one train per hop");
+    let mut hops = Vec::with_capacity(path.segments.len());
+    let mut prefix_min = f64::INFINITY;
+    for (i, seg) in path.segments.iter().enumerate() {
+        let avail = perf.bottleneck_of_segment(seg, t);
+        prefix_min = prefix_min.min(avail);
+        // Average several noisy dispersion readings of the prefix.
+        let mut acc = 0.0;
+        for k in 0..trains_per_hop {
+            let h = simnet::routing::load_key(
+                b"inband",
+                seed ^ seg.load_key,
+                t.as_secs().wrapping_add(k as u64),
+            );
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            let noise = 1.0 + TRAIN_NOISE * (2.0 * u - 1.0);
+            acc += prefix_min * noise;
+        }
+        hops.push(HopEstimate {
+            segment: i,
+            avail_mbps: acc / trains_per_hop as f64,
+        });
+    }
+
+    // The bottleneck is where the prefix curve drops the most.
+    let mut bottleneck = 0;
+    let mut largest_drop = f64::NEG_INFINITY;
+    let mut prev = f64::INFINITY;
+    for h in &hops {
+        let drop = prev - h.avail_mbps;
+        if drop > largest_drop {
+            largest_drop = drop;
+            bottleneck = h.segment;
+        }
+        prev = prev.min(h.avail_mbps);
+    }
+
+    let probe_bytes = u64::from(TRAIN_LEN)
+        * u64::from(PROBE_BYTES)
+        * u64::from(trains_per_hop)
+        * path.segments.len() as u64;
+    BottleneckEstimate {
+        bottleneck_mbps: hops[bottleneck].avail_mbps,
+        bottleneck_segment: bottleneck,
+        hops,
+        probe_bytes,
+    }
+}
+
+/// Ground-truth bottleneck segment (argmin of available bandwidth) —
+/// only computable because the substrate is simulated.
+pub fn true_bottleneck(perf: &PerfModel<'_>, path: &RouterPath, t: SimTime) -> usize {
+    path.segments
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            perf.bottleneck_of_segment(a.1, t)
+                .partial_cmp(&perf.bottleneck_of_segment(b.1, t))
+                .expect("finite")
+        })
+        .map(|(i, _)| i)
+        .expect("paths have segments")
+}
+
+/// Bytes a full bulk test of `duration_s` at `rate_mbps` would transfer —
+/// the cost the in-band approach avoids.
+pub fn bulk_test_bytes(rate_mbps: f64, duration_s: f64) -> u64 {
+    (rate_mbps / 8.0 * duration_s * 1e6) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::load::LoadModel;
+    use simnet::routing::{Direction, Paths, Tier};
+    use simnet::topology::{Topology, TopologyConfig};
+
+    fn setup() -> Topology {
+        Topology::generate(TopologyConfig::tiny(91))
+    }
+
+    fn a_path(topo: &Topology) -> RouterPath {
+        let paths = Paths::new(topo);
+        let region = topo.cities.by_name("The Dalles").unwrap();
+        let leaf = topo
+            .non_cloud_ases()
+            .find(|id| matches!(topo.as_node(*id).role, simnet::asn::AsRole::AccessIsp))
+            .unwrap();
+        let city = topo.as_node(leaf).home_city;
+        paths
+            .vm_host_path(
+                region,
+                topo.vm_ip(region, 0),
+                leaf,
+                city,
+                topo.host_ip(leaf, city, 0),
+                Tier::Premium,
+                Direction::ToCloud,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn estimates_cover_every_segment_and_decrease() {
+        let topo = setup();
+        let perf = PerfModel::new(&topo, LoadModel::new(3));
+        let path = a_path(&topo);
+        let est = locate_bottleneck(&perf, &path, SimTime::from_day_hour(1, 9), 8, 1);
+        assert_eq!(est.hops.len(), path.segments.len());
+        // Modulo noise, prefix estimates are non-increasing.
+        let mut prev = f64::INFINITY;
+        for h in &est.hops {
+            assert!(h.avail_mbps <= prev * (1.0 + 2.0 * TRAIN_NOISE));
+            prev = prev.min(h.avail_mbps);
+        }
+    }
+
+    #[test]
+    fn finds_the_true_bottleneck_with_enough_trains() {
+        let topo = setup();
+        let perf = PerfModel::new(&topo, LoadModel::new(3));
+        let path = a_path(&topo);
+        let t = SimTime::from_day_hour(2, 20);
+        let truth = true_bottleneck(&perf, &path, t);
+        let est = locate_bottleneck(&perf, &path, t, 16, 7);
+        // Allow off-by-one: consecutive segments can have near-equal
+        // availability, where dispersion methods genuinely can't split.
+        let diff = est.bottleneck_segment.abs_diff(truth);
+        assert!(
+            diff <= 1,
+            "inferred {} vs true {truth}",
+            est.bottleneck_segment
+        );
+    }
+
+    #[test]
+    fn probe_cost_is_orders_below_bulk_cost() {
+        let topo = setup();
+        let perf = PerfModel::new(&topo, LoadModel::new(3));
+        let path = a_path(&topo);
+        let est = locate_bottleneck(&perf, &path, SimTime::from_day_hour(0, 8), 8, 1);
+        let bulk = bulk_test_bytes(300.0, 15.0);
+        assert!(
+            est.probe_bytes * 100 < bulk,
+            "probes {} vs bulk {}",
+            est.probe_bytes,
+            bulk
+        );
+    }
+
+    #[test]
+    fn estimate_tracks_available_bandwidth() {
+        let topo = setup();
+        let perf = PerfModel::new(&topo, LoadModel::new(3));
+        let path = a_path(&topo);
+        let t = SimTime::from_day_hour(1, 10);
+        let est = locate_bottleneck(&perf, &path, t, 16, 3);
+        let truth = perf.bottleneck_mbps(&path, t);
+        let ratio = est.bottleneck_mbps / truth;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "estimate {} vs truth {truth}",
+            est.bottleneck_mbps
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let topo = setup();
+        let perf = PerfModel::new(&topo, LoadModel::new(3));
+        let path = a_path(&topo);
+        let t = SimTime::from_day_hour(1, 10);
+        let a = locate_bottleneck(&perf, &path, t, 4, 5);
+        let b = locate_bottleneck(&perf, &path, t, 4, 5);
+        assert_eq!(a.bottleneck_segment, b.bottleneck_segment);
+        assert_eq!(a.bottleneck_mbps, b.bottleneck_mbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one train")]
+    fn zero_trains_rejected() {
+        let topo = setup();
+        let perf = PerfModel::new(&topo, LoadModel::new(3));
+        let path = a_path(&topo);
+        locate_bottleneck(&perf, &path, SimTime::EPOCH, 0, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Measurement tooling over the simulated Internet.
+//!
+//! CLASP leans on a toolbox of active-measurement programs: `scamper`
+//! running paris-traceroute after every throughput test, `bdrmap` for the
+//! pilot interdomain-link scan, `tcpdump` + offline analysis to estimate
+//! RTT and loss from packet headers, and `someta` for VM metadata. This
+//! crate re-implements each of those against the `simnet` substrate:
+//!
+//! * [`ping`] — ICMP-style RTT probing;
+//! * [`traceroute`] — classic and paris-mode traceroute (flow-id
+//!   stability), with per-hop RTTs and responsive/silent hops;
+//! * [`scamper`] — batch probing engine with probing budgets;
+//! * [`bdrmap`] — interdomain border inference: finds the cloud's border
+//!   links (far-side router interfaces) from traceroutes, prefix-to-AS
+//!   data and alias resolution, and names the neighbor AS that operates
+//!   each far side;
+//! * [`flowrecords`] — RTT/loss estimation from captured packet headers;
+//! * [`someta`] — measurement metadata records;
+//! * [`inband`] — the paper's §5 future-work in-band (FlowTrace-style)
+//!   bottleneck localisation, with ground-truth scoring;
+//! * [`alias`] — Ally-style IP alias resolution (shared IP-ID counter
+//!   test), the evidence source behind bdrmap's border attribution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod bdrmap;
+pub mod flowrecords;
+pub mod inband;
+pub mod ping;
+pub mod scamper;
+pub mod someta;
+pub mod traceroute;
+
+pub use bdrmap::{BdrMap, BorderLink};
+pub use ping::ping;
+pub use scamper::Scamper;
+pub use traceroute::{traceroute, TraceHop, TraceMode, Traceroute};

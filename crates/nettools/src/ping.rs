@@ -1,0 +1,219 @@
+//! ICMP-style RTT probing.
+//!
+//! The differential-based pre-test (§3.1) measures latency from edge
+//! vantage points to VMs on both network tiers; `ping` is the primitive.
+//! Each probe's RTT is the forward + reverse one-way latency plus
+//! time-dependent queueing (from the perf model) plus per-probe jitter.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::geo::CityId;
+use simnet::perf::PerfModel;
+use simnet::routing::{Direction, Paths, Tier};
+use simnet::time::SimTime;
+use simnet::topology::AsId;
+use std::net::Ipv4Addr;
+
+/// Result of a ping burst.
+#[derive(Debug, Clone)]
+pub struct PingResult {
+    /// Individual probe RTTs in ms (lost probes omitted).
+    pub rtts_ms: Vec<f64>,
+    /// Probes sent.
+    pub sent: u32,
+    /// Probes lost.
+    pub lost: u32,
+}
+
+impl PingResult {
+    /// Minimum RTT (the usual latency summary).
+    pub fn min_ms(&self) -> Option<f64> {
+        self.rtts_ms.iter().copied().reduce(f64::min)
+    }
+
+    /// Mean RTT.
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.rtts_ms.is_empty() {
+            return None;
+        }
+        Some(self.rtts_ms.iter().sum::<f64>() / self.rtts_ms.len() as f64)
+    }
+
+    /// Loss fraction.
+    pub fn loss(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Sends `count` probes between a VM in `region_city` and a host, at time
+/// `t`, under `tier`. Returns `None` when no route exists.
+#[allow(clippy::too_many_arguments)]
+pub fn ping(
+    paths: &Paths<'_>,
+    perf: &PerfModel<'_>,
+    region_city: CityId,
+    vm_ip: Ipv4Addr,
+    host_as: AsId,
+    host_city: CityId,
+    host_ip: Ipv4Addr,
+    tier: Tier,
+    t: SimTime,
+    count: u32,
+    seed: u64,
+) -> Option<PingResult> {
+    let fwd = paths.vm_host_path(
+        region_city,
+        vm_ip,
+        host_as,
+        host_city,
+        host_ip,
+        tier,
+        Direction::ToServer,
+    )?;
+    let rev = paths.vm_host_path(
+        region_city,
+        vm_ip,
+        host_as,
+        host_city,
+        host_ip,
+        tier,
+        Direction::ToCloud,
+    )?;
+    let base = perf.idle_rtt_ms(&fwd, &rev, t);
+    let loss = perf.path_loss(&fwd, t) + perf.path_loss(&rev, t);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rtts = Vec::with_capacity(count as usize);
+    let mut lost = 0;
+    for _ in 0..count {
+        if rng.random::<f64>() < loss {
+            lost += 1;
+            continue;
+        }
+        rtts.push(base + rng.random::<f64>() * 1.8);
+    }
+    Some(PingResult {
+        rtts_ms: rtts,
+        sent: count,
+        lost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::load::LoadModel;
+    use simnet::topology::{Topology, TopologyConfig};
+
+    fn setup() -> Topology {
+        Topology::generate(TopologyConfig::tiny(41))
+    }
+
+    #[test]
+    fn ping_reports_plausible_rtts() {
+        let topo = setup();
+        let paths = Paths::new(&topo);
+        let perf = PerfModel::new(&topo, LoadModel::new(5));
+        let region = topo.cities.by_name("The Dalles").unwrap();
+        let id = topo.non_cloud_ases().next().unwrap();
+        let city = topo.as_node(id).home_city;
+        let r = ping(
+            &paths,
+            &perf,
+            region,
+            topo.vm_ip(region, 0),
+            id,
+            city,
+            topo.host_ip(id, city, 0),
+            Tier::Premium,
+            SimTime::from_day_hour(0, 10),
+            10,
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.sent, 10);
+        let min = r.min_ms().unwrap();
+        assert!(min > 0.5 && min < 400.0, "min rtt = {min}");
+        assert!(r.mean_ms().unwrap() >= min);
+    }
+
+    #[test]
+    fn ping_is_deterministic_per_seed() {
+        let topo = setup();
+        let paths = Paths::new(&topo);
+        let perf = PerfModel::new(&topo, LoadModel::new(5));
+        let region = topo.cities.by_name("The Dalles").unwrap();
+        let id = topo.non_cloud_ases().next().unwrap();
+        let city = topo.as_node(id).home_city;
+        let run = |seed| {
+            ping(
+                &paths,
+                &perf,
+                region,
+                topo.vm_ip(region, 0),
+                id,
+                city,
+                topo.host_ip(id, city, 0),
+                Tier::Standard,
+                SimTime::from_day_hour(1, 4),
+                5,
+                seed,
+            )
+            .unwrap()
+            .rtts_ms
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn empty_result_summaries() {
+        let r = PingResult {
+            rtts_ms: vec![],
+            sent: 4,
+            lost: 4,
+        };
+        assert_eq!(r.min_ms(), None);
+        assert_eq!(r.mean_ms(), None);
+        assert_eq!(r.loss(), 1.0);
+    }
+
+    #[test]
+    fn tier_changes_latency_for_remote_targets() {
+        // For an international target, premium (cold potato) should not be
+        // slower than standard by much; mostly we check both succeed and
+        // differ in some way.
+        let topo = setup();
+        let paths = Paths::new(&topo);
+        let perf = PerfModel::new(&topo, LoadModel::new(5));
+        let region = topo.cities.by_name("St. Ghislain").unwrap();
+        let target = topo
+            .non_cloud_ases()
+            .find(|id| topo.cities.get(topo.as_node(*id).home_city).country != "US")
+            .unwrap();
+        let city = topo.as_node(target).home_city;
+        let t = SimTime::from_day_hour(0, 12);
+        let mut mins = vec![];
+        for tier in [Tier::Premium, Tier::Standard] {
+            let r = ping(
+                &paths,
+                &perf,
+                region,
+                topo.vm_ip(region, 0),
+                target,
+                city,
+                topo.host_ip(target, city, 0),
+                tier,
+                t,
+                20,
+                9,
+            )
+            .unwrap();
+            mins.push(r.min_ms().unwrap_or(f64::INFINITY));
+        }
+        assert!(mins[0].is_finite() && mins[1].is_finite());
+    }
+}

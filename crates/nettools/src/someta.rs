@@ -1,0 +1,107 @@
+//! Measurement metadata à la `someta`.
+//!
+//! CLASP runs `someta` "to record metadata of the VM in the experiments"
+//! (§3.2) and verifies that "the VM type we chose had sufficient
+//! computational power to support the test without depleting the CPU".
+//! This module produces per-test metadata records with a deterministic
+//! CPU/memory model and the health check the paper applies.
+
+use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
+
+/// Metadata captured around one measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Metadata {
+    /// VM identifier.
+    pub vm: String,
+    /// Cloud region name.
+    pub region: String,
+    /// Measurement timestamp (seconds since campaign epoch).
+    pub time: u64,
+    /// CPU utilization during the test, fraction of all vCPUs.
+    pub cpu_util: f64,
+    /// Memory in use, MB.
+    pub mem_used_mb: f64,
+    /// Kernel string.
+    pub kernel: String,
+    /// Tool versions (scamper, browser).
+    pub tool_versions: Vec<(String, String)>,
+}
+
+/// vCPU saturation threshold above which a test is considered tainted
+/// (CPU-starved tests under-report network throughput).
+pub const CPU_TAINT_THRESHOLD: f64 = 0.9;
+
+/// Records metadata for one test: CPU/memory use is a deterministic
+/// function of the VM, the time, and the test throughput (faster tests
+/// push the browser harder).
+pub fn record(vm: &str, region: &str, t: SimTime, throughput_mbps: f64) -> Metadata {
+    let key = simnet::routing::load_key(b"someta", hash_str(vm), t.as_secs());
+    let u = (key >> 11) as f64 / (1u64 << 53) as f64;
+    // A Chromium speed test on n1-standard-2 uses roughly 25–55% of two
+    // vCPUs at gigabit rates; scale with throughput.
+    let cpu = (0.18 + 0.35 * (throughput_mbps / 1000.0) + 0.08 * u).min(1.0);
+    Metadata {
+        vm: vm.to_string(),
+        region: region.to_string(),
+        time: t.as_secs(),
+        cpu_util: cpu,
+        mem_used_mb: 1800.0 + 900.0 * u,
+        kernel: "5.4.0-sim".to_string(),
+        tool_versions: vec![
+            ("scamper".to_string(), "20200717".to_string()),
+            ("chromium".to_string(), "83.0.4103".to_string()),
+        ],
+    }
+}
+
+/// The paper's health check: was the VM CPU-saturated during the test?
+pub fn is_tainted(meta: &Metadata) -> bool {
+    meta.cpu_util >= CPU_TAINT_THRESHOLD
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut x = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        x = (x ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_deterministic() {
+        let t = SimTime::from_day_hour(2, 14);
+        let a = record("vm-1", "us-west1", t, 400.0);
+        let b = record("vm-1", "us-west1", t, 400.0);
+        assert_eq!(a.cpu_util, b.cpu_util);
+        assert_eq!(a.mem_used_mb, b.mem_used_mb);
+    }
+
+    #[test]
+    fn cpu_scales_with_throughput() {
+        let t = SimTime::from_day_hour(2, 14);
+        let slow = record("vm-1", "us-west1", t, 50.0);
+        let fast = record("vm-1", "us-west1", t, 950.0);
+        assert!(fast.cpu_util > slow.cpu_util);
+    }
+
+    #[test]
+    fn normal_tests_are_not_tainted() {
+        let t = SimTime::from_day_hour(1, 3);
+        let m = record("vm-2", "us-east1", t, 600.0);
+        assert!(!is_tainted(&m), "cpu = {}", m.cpu_util);
+        assert!(m.cpu_util < CPU_TAINT_THRESHOLD);
+    }
+
+    #[test]
+    fn metadata_carries_tool_versions() {
+        let m = record("vm-3", "us-central1", SimTime::EPOCH, 100.0);
+        assert!(m.tool_versions.iter().any(|(k, _)| k == "scamper"));
+        assert_eq!(m.kernel, "5.4.0-sim");
+        assert_eq!(m.region, "us-central1");
+    }
+}

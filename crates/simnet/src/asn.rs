@@ -1,0 +1,154 @@
+//! Autonomous systems: numbers, roles, business types, relationships.
+
+use serde::{Deserialize, Serialize};
+
+/// An autonomous-system number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Asn(pub u32);
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Structural role of an AS in the generated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsRole {
+    /// The cloud provider (one per topology).
+    Cloud,
+    /// Global transit-free backbone (peers with other tier-1s).
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Access ISP serving end users; hosts most speed-test servers.
+    AccessIsp,
+    /// Hosting / datacenter network.
+    Hosting,
+    /// University or research network.
+    Education,
+    /// Enterprise network.
+    Business,
+}
+
+/// Business category as returned by an ipinfo.io-style lookup (Appendix B,
+/// Fig. 8). `Unknown` models database misses ("The database did not return
+/// a category").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusinessType {
+    /// Access ISP.
+    Isp,
+    /// Hosting provider.
+    Hosting,
+    /// Enterprise.
+    Business,
+    /// Education/research.
+    Education,
+    /// Lookup returned no category.
+    Unknown,
+}
+
+impl BusinessType {
+    /// Short label used in Fig. 8 axis labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BusinessType::Isp => "ISP",
+            BusinessType::Hosting => "Hosting",
+            BusinessType::Business => "Business",
+            BusinessType::Education => "Education",
+            BusinessType::Unknown => "Unknown",
+        }
+    }
+
+    /// All categories in display order.
+    pub fn all() -> [BusinessType; 5] {
+        [
+            BusinessType::Isp,
+            BusinessType::Hosting,
+            BusinessType::Business,
+            BusinessType::Education,
+            BusinessType::Unknown,
+        ]
+    }
+}
+
+impl AsRole {
+    /// The ground-truth business type implied by the role.
+    pub fn business_type(&self) -> BusinessType {
+        match self {
+            AsRole::Cloud | AsRole::Tier1 | AsRole::Transit | AsRole::AccessIsp => {
+                BusinessType::Isp
+            }
+            AsRole::Hosting => BusinessType::Hosting,
+            AsRole::Education => BusinessType::Education,
+            AsRole::Business => BusinessType::Business,
+        }
+    }
+}
+
+/// Inter-AS relationship on a link, from the perspective of the first AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsRelationship {
+    /// The first AS sells transit to the second (first is provider).
+    CustomerOf,
+    /// The first AS buys transit from the second (first is customer).
+    ProviderOf,
+    /// Settlement-free peering.
+    Peer,
+}
+
+impl AsRelationship {
+    /// The same relationship seen from the other endpoint.
+    pub fn reverse(&self) -> AsRelationship {
+        match self {
+            AsRelationship::CustomerOf => AsRelationship::ProviderOf,
+            AsRelationship::ProviderOf => AsRelationship::CustomerOf,
+            AsRelationship::Peer => AsRelationship::Peer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display() {
+        assert_eq!(Asn(22773).to_string(), "AS22773");
+    }
+
+    #[test]
+    fn relationship_reverse_is_involution() {
+        for r in [
+            AsRelationship::CustomerOf,
+            AsRelationship::ProviderOf,
+            AsRelationship::Peer,
+        ] {
+            assert_eq!(r.reverse().reverse(), r);
+        }
+        assert_eq!(
+            AsRelationship::CustomerOf.reverse(),
+            AsRelationship::ProviderOf
+        );
+        assert_eq!(AsRelationship::Peer.reverse(), AsRelationship::Peer);
+    }
+
+    #[test]
+    fn role_business_types() {
+        assert_eq!(AsRole::AccessIsp.business_type(), BusinessType::Isp);
+        assert_eq!(AsRole::Hosting.business_type(), BusinessType::Hosting);
+        assert_eq!(AsRole::Education.business_type(), BusinessType::Education);
+        assert_eq!(AsRole::Business.business_type(), BusinessType::Business);
+    }
+
+    #[test]
+    fn business_type_labels_unique() {
+        let labels: Vec<&str> = BusinessType::all().iter().map(|b| b.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Dataset exports in the formats the measurement community uses.
+//!
+//! The paper consumes CAIDA datasets (prefix-to-AS, AS relationships via
+//! bdrmap's inputs); the simulator can emit its ground truth in the same
+//! text formats, so existing tooling — or a skeptical reviewer — can
+//! inspect the virtual Internet directly:
+//!
+//! * [`as_rel`] — CAIDA serial-1 AS-relationship format
+//!   (`<provider>|<customer>|-1`, `<peer>|<peer>|0`);
+//! * [`prefix2as`] — Routeviews-style `prefix  length  asn` rows;
+//! * [`interdomain_links`] — the cloud border-link inventory bdrmap is
+//!   graded against.
+
+use crate::asn::AsRelationship;
+use crate::prefix2as::PrefixToAs;
+use crate::topology::Topology;
+
+/// Serialises the AS graph in CAIDA's serial-1 `as-rel` format.
+///
+/// Lines are `a|b|rel` with `rel = -1` for provider→customer (a is the
+/// provider) and `0` for peering, sorted for stable diffs. Cloud peerings
+/// are included.
+pub fn as_rel(topo: &Topology) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for edge in &topo.edges {
+        let a = topo.as_node(edge.a).asn.0;
+        let b = topo.as_node(edge.b).asn.0;
+        match edge.rel {
+            AsRelationship::CustomerOf => lines.push(format!("{}|{}|-1", b, a)),
+            AsRelationship::ProviderOf => lines.push(format!("{}|{}|-1", a, b)),
+            AsRelationship::Peer => {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                lines.push(format!("{lo}|{hi}|0"));
+            }
+        }
+    }
+    // Cloud peerings (kept on the AS nodes, not in `edges`).
+    let cloud_asn = topo.as_node(topo.cloud).asn.0;
+    for id in topo.non_cloud_ases() {
+        if topo.as_node(id).peers_with_cloud {
+            let asn = topo.as_node(id).asn.0;
+            let (lo, hi) = if asn < cloud_asn {
+                (asn, cloud_asn)
+            } else {
+                (cloud_asn, asn)
+            };
+            lines.push(format!("{lo}|{hi}|0"));
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    let mut out = String::from("# CLASP-sim AS relationships (CAIDA serial-1)\n");
+    out.push_str(&lines.join("\n"));
+    out.push('\n');
+    out
+}
+
+/// Serialises the prefix-to-AS dataset in Routeviews `pfx2as` style:
+/// `network<TAB>length<TAB>asn`.
+pub fn prefix2as(p2a: &PrefixToAs) -> String {
+    let mut out = String::new();
+    for (prefix, _, asn) in p2a.entries() {
+        out.push_str(&format!("{}\t{}\t{}\n", prefix.network, prefix.len, asn.0));
+    }
+    out
+}
+
+/// Serialises the cloud's interdomain-link inventory:
+/// `link_id near_ip far_ip neighbor_asn pop_city capacity_gbps`.
+pub fn interdomain_links(topo: &Topology) -> String {
+    let mut out =
+        String::from("# link_id near_ip far_ip neighbor_asn pop capacity_gbps\n");
+    for l in &topo.links {
+        out.push_str(&format!(
+            "{} {} {} {} {} {:.1}\n",
+            l.id.0,
+            l.near_ip,
+            l.far_ip,
+            topo.as_node(l.neighbor).asn.0,
+            topo.cities.get(l.pop).name.replace(' ', "_"),
+            l.capacity_gbps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::generate(TopologyConfig::tiny(13))
+    }
+
+    #[test]
+    fn as_rel_has_both_relationship_kinds() {
+        let t = topo();
+        let dump = as_rel(&t);
+        assert!(dump.lines().any(|l| l.ends_with("|-1")));
+        assert!(dump.lines().any(|l| l.ends_with("|0")));
+        // Every data line parses as a|b|rel.
+        for line in dump.lines().skip(1) {
+            let parts: Vec<&str> = line.split('|').collect();
+            assert_eq!(parts.len(), 3, "{line}");
+            parts[0].parse::<u32>().unwrap();
+            parts[1].parse::<u32>().unwrap();
+            assert!(parts[2] == "-1" || parts[2] == "0");
+        }
+    }
+
+    #[test]
+    fn as_rel_provider_direction_is_consistent() {
+        let t = topo();
+        let dump = as_rel(&t);
+        // Pick a known provider-customer pair and check orientation.
+        let leaf = t
+            .non_cloud_ases()
+            .find(|id| !t.as_node(*id).providers.is_empty())
+            .unwrap();
+        let provider = t.as_node(leaf).providers[0];
+        let expect = format!(
+            "{}|{}|-1",
+            t.as_node(provider).asn.0,
+            t.as_node(leaf).asn.0
+        );
+        assert!(dump.contains(&expect), "missing {expect}");
+    }
+
+    #[test]
+    fn cloud_peerings_appear() {
+        let t = topo();
+        let dump = as_rel(&t);
+        let cloud = t.as_node(t.cloud).asn.0;
+        assert!(
+            dump.lines().filter(|l| l.contains(&cloud.to_string())).count() > 10,
+            "cloud peerings exported"
+        );
+    }
+
+    #[test]
+    fn prefix2as_rows_parse() {
+        let t = topo();
+        let p2a = PrefixToAs::build(&t);
+        let dump = prefix2as(&p2a);
+        assert_eq!(dump.lines().count(), p2a.len());
+        for line in dump.lines().take(20) {
+            let parts: Vec<&str> = line.split('\t').collect();
+            assert_eq!(parts.len(), 3);
+            parts[0].parse::<std::net::Ipv4Addr>().unwrap();
+            let len: u8 = parts[1].parse().unwrap();
+            assert!(len <= 32);
+            parts[2].parse::<u32>().unwrap();
+        }
+    }
+
+    #[test]
+    fn link_inventory_lists_every_link() {
+        let t = topo();
+        let dump = interdomain_links(&t);
+        assert_eq!(dump.lines().count() - 1, t.links.len());
+        assert!(dump.lines().nth(1).unwrap().split(' ').count() == 6);
+    }
+}

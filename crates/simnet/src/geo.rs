@@ -1,0 +1,349 @@
+//! Geography: cities, coordinates, great-circle distance, fiber latency.
+//!
+//! The paper geolocates speed-test servers and cloud regions (Fig. 7) and
+//! converts measurement timestamps to server-local time (Fig. 6). This
+//! module carries a built-in city database covering the US metros where
+//! speed-test servers concentrate, the cities hosting the six GCP regions
+//! used in the paper, and the international cities reached by the
+//! differential-based selection (Europe, India, Australia).
+//!
+//! Latency from distance uses the usual fiber heuristic: light in fiber
+//! travels at roughly 2/3 c, and real paths are not geodesics, so we apply
+//! a path-stretch factor on top.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Speed of light in fiber, km per millisecond (≈ 2/3 c).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Multiplier accounting for fiber paths not following great circles.
+pub const PATH_STRETCH: f64 = 1.4;
+
+/// A latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, north positive.
+    pub lat: f64,
+    /// Longitude in degrees, east positive.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating the coordinate ranges.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range");
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range");
+        Self { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// One-way propagation delay to `other` in milliseconds through fiber,
+    /// including path stretch.
+    pub fn propagation_ms(&self, other: &GeoPoint) -> f64 {
+        self.distance_km(other) * PATH_STRETCH / FIBER_KM_PER_MS
+    }
+}
+
+/// Index of a city in the [`CityDb`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CityId(pub u16);
+
+/// A city: name, region/country, coordinates, fixed UTC offset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    /// City name, e.g. "Las Vegas".
+    pub name: &'static str,
+    /// Two-letter country code.
+    pub country: &'static str,
+    /// Coordinates.
+    pub location: GeoPoint,
+    /// Fixed UTC offset in hours (no DST; the campaign is entirely within
+    /// one DST period so a fixed offset is faithful).
+    pub utc_offset_hours: i32,
+    /// Rough population weight used when the topology generator spreads
+    /// ISPs and servers across cities (bigger → more infrastructure).
+    pub weight: f64,
+}
+
+macro_rules! city {
+    ($name:literal, $cc:literal, $lat:expr, $lon:expr, $tz:expr, $w:expr) => {
+        City {
+            name: $name,
+            country: $cc,
+            location: GeoPoint {
+                lat: $lat,
+                lon: $lon,
+            },
+            utc_offset_hours: $tz,
+            weight: $w,
+        }
+    };
+}
+
+/// The built-in city table. US metros dominate (matching where speed-test
+/// servers deploy); GCP region cities and differential-selection countries
+/// are all present.
+pub const CITIES: &[City] = &[
+    // --- GCP region host cities (indices matter to nobody; looked up by name) ---
+    city!("The Dalles", "US", 45.59, -121.18, -8, 0.3), // us-west1
+    city!("Los Angeles", "US", 34.05, -118.24, -8, 9.0), // us-west2
+    city!("Las Vegas", "US", 36.17, -115.14, -8, 2.5),  // us-west4
+    city!("Moncks Corner", "US", 33.20, -80.01, -5, 0.3), // us-east1
+    city!("Ashburn", "US", 39.04, -77.49, -5, 1.5),     // us-east4
+    city!("Council Bluffs", "US", 41.26, -95.86, -6, 0.3), // us-central1
+    city!("St. Ghislain", "BE", 50.45, 3.82, 1, 0.3),   // europe-west1
+    // --- Major US metros ---
+    city!("New York", "US", 40.71, -74.01, -5, 10.0),
+    city!("Chicago", "US", 41.88, -87.63, -6, 7.0),
+    city!("Dallas", "US", 32.78, -96.80, -6, 6.0),
+    city!("Houston", "US", 29.76, -95.37, -6, 5.5),
+    city!("Phoenix", "US", 33.45, -112.07, -7, 4.0),
+    city!("Philadelphia", "US", 39.95, -75.17, -5, 4.5),
+    city!("San Antonio", "US", 29.42, -98.49, -6, 2.5),
+    city!("San Diego", "US", 32.72, -117.16, -8, 3.0),
+    city!("San Jose", "US", 37.34, -121.89, -8, 3.5),
+    city!("San Francisco", "US", 37.77, -122.42, -8, 5.0),
+    city!("Seattle", "US", 47.61, -122.33, -8, 4.5),
+    city!("Denver", "US", 39.74, -104.99, -7, 3.5),
+    city!("Washington", "US", 38.91, -77.04, -5, 4.5),
+    city!("Boston", "US", 42.36, -71.06, -5, 4.0),
+    city!("Atlanta", "US", 33.75, -84.39, -5, 5.0),
+    city!("Miami", "US", 25.76, -80.19, -5, 4.5),
+    city!("Tampa", "US", 27.95, -82.46, -5, 2.5),
+    city!("Orlando", "US", 28.54, -81.38, -5, 2.0),
+    city!("Minneapolis", "US", 44.98, -93.27, -6, 3.0),
+    city!("Detroit", "US", 42.33, -83.05, -5, 3.0),
+    city!("St. Louis", "US", 38.63, -90.20, -6, 2.0),
+    city!("Kansas City", "US", 39.10, -94.58, -6, 2.0),
+    city!("Charlotte", "US", 35.23, -80.84, -5, 2.0),
+    city!("Raleigh", "US", 35.78, -78.64, -5, 1.8),
+    city!("Nashville", "US", 36.16, -86.78, -6, 1.8),
+    city!("Salt Lake City", "US", 40.76, -111.89, -7, 1.8),
+    city!("Portland", "US", 45.52, -122.68, -8, 3.0),
+    city!("Sacramento", "US", 38.58, -121.49, -8, 2.0),
+    city!("Fresno", "US", 36.74, -119.79, -8, 1.2),
+    city!("Albuquerque", "US", 35.08, -106.65, -7, 1.2),
+    city!("Tucson", "US", 32.22, -110.97, -7, 1.0),
+    city!("Oklahoma City", "US", 35.47, -97.52, -6, 1.2),
+    city!("Omaha", "US", 41.26, -95.93, -6, 1.0),
+    city!("Des Moines", "US", 41.59, -93.62, -6, 0.8),
+    city!("Milwaukee", "US", 43.04, -87.91, -6, 1.5),
+    city!("Indianapolis", "US", 39.77, -86.16, -5, 1.8),
+    city!("Columbus", "US", 39.96, -83.00, -5, 1.8),
+    city!("Cleveland", "US", 41.50, -81.69, -5, 1.8),
+    city!("Pittsburgh", "US", 40.44, -79.99, -5, 1.8),
+    city!("Cincinnati", "US", 39.10, -84.51, -5, 1.5),
+    city!("Baltimore", "US", 39.29, -76.61, -5, 1.8),
+    city!("Richmond", "US", 37.54, -77.44, -5, 1.2),
+    city!("Jacksonville", "US", 30.33, -81.66, -5, 1.5),
+    city!("New Orleans", "US", 29.95, -90.07, -6, 1.2),
+    city!("Memphis", "US", 35.15, -90.05, -6, 1.2),
+    city!("Louisville", "US", 38.25, -85.76, -5, 1.2),
+    city!("Buffalo", "US", 42.89, -78.88, -5, 1.0),
+    city!("Hartford", "US", 41.77, -72.67, -5, 1.0),
+    city!("Providence", "US", 41.82, -71.41, -5, 0.9),
+    city!("Boise", "US", 43.62, -116.21, -7, 0.8),
+    city!("Spokane", "US", 47.66, -117.43, -8, 0.7),
+    city!("Reno", "US", 39.53, -119.81, -8, 0.8),
+    city!("Bakersfield", "US", 35.37, -119.02, -8, 0.8),
+    city!("Anaheim", "US", 33.84, -117.91, -8, 1.5),
+    city!("Riverside", "US", 33.95, -117.40, -8, 1.4),
+    city!("Grass Valley", "US", 39.22, -121.06, -8, 0.3),
+    city!("Tulsa", "US", 36.15, -95.99, -6, 0.9),
+    city!("Birmingham", "US", 33.52, -86.80, -6, 1.0),
+    city!("Greenville", "US", 34.85, -82.40, -5, 0.8),
+    city!("Columbia", "US", 34.00, -81.03, -5, 0.8),
+    city!("Savannah", "US", 32.08, -81.09, -5, 0.7),
+    city!("Knoxville", "US", 35.96, -83.92, -5, 0.8),
+    city!("El Paso", "US", 31.76, -106.49, -7, 1.0),
+    city!("Austin", "US", 30.27, -97.74, -6, 2.2),
+    // --- Europe ---
+    city!("London", "GB", 51.51, -0.13, 0, 8.0),
+    city!("Paris", "FR", 48.86, 2.35, 1, 7.0),
+    city!("Frankfurt", "DE", 50.11, 8.68, 1, 5.0),
+    city!("Amsterdam", "NL", 52.37, 4.90, 1, 4.0),
+    city!("Brussels", "BE", 50.85, 4.35, 1, 2.5),
+    city!("Madrid", "ES", 40.42, -3.70, 1, 4.0),
+    city!("Milan", "IT", 45.46, 9.19, 1, 3.5),
+    city!("Zurich", "CH", 47.38, 8.54, 1, 2.0),
+    city!("Dublin", "IE", 53.35, -6.26, 0, 1.8),
+    city!("Stockholm", "SE", 59.33, 18.07, 1, 2.0),
+    city!("Warsaw", "PL", 52.23, 21.01, 1, 2.5),
+    city!("Vienna", "AT", 48.21, 16.37, 1, 2.0),
+    // --- Asia / Oceania (differential-based selection reaches these) ---
+    city!("Mumbai", "IN", 19.08, 72.88, 5, 8.0),
+    city!("Delhi", "IN", 28.70, 77.10, 5, 8.0),
+    city!("Chennai", "IN", 13.08, 80.27, 5, 4.0),
+    city!("Sydney", "AU", -33.87, 151.21, 10, 5.0),
+    city!("Melbourne", "AU", -37.81, 144.96, 10, 4.5),
+    city!("Singapore", "SG", 1.35, 103.82, 8, 4.0),
+    city!("Tokyo", "JP", 35.68, 139.65, 9, 9.0),
+    city!("Sao Paulo", "BR", -23.55, -46.63, -3, 7.0),
+    city!("Toronto", "CA", 43.65, -79.38, -5, 4.0),
+    city!("Vancouver", "CA", 49.28, -123.12, -8, 2.0),
+];
+
+/// Read-only accessor over the built-in city table.
+#[derive(Debug, Clone, Default)]
+pub struct CityDb;
+
+impl CityDb {
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        CITIES.len()
+    }
+
+    /// Always false; present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        CITIES.is_empty()
+    }
+
+    /// Looks a city up by id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id (ids come from this table, so an
+    /// out-of-range id is a logic error).
+    pub fn get(&self, id: CityId) -> &'static City {
+        &CITIES[id.0 as usize]
+    }
+
+    /// Finds a city by exact name.
+    pub fn by_name(&self, name: &str) -> Option<CityId> {
+        CITIES
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CityId(i as u16))
+    }
+
+    /// All city ids.
+    pub fn ids(&self) -> impl Iterator<Item = CityId> {
+        (0..CITIES.len() as u16).map(CityId)
+    }
+
+    /// Ids of cities in a given country.
+    pub fn in_country(&self, cc: &str) -> Vec<CityId> {
+        CITIES
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.country == cc)
+            .map(|(i, _)| CityId(i as u16))
+            .collect()
+    }
+
+    /// The city nearest to `point`.
+    pub fn nearest(&self, point: &GeoPoint) -> CityId {
+        let (i, _) = CITIES
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.location.distance_km(point)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .expect("city table is non-empty");
+        CityId(i as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // LA ↔ NY is about 3,940 km.
+        let db = CityDb;
+        let la = db.get(db.by_name("Los Angeles").unwrap());
+        let ny = db.get(db.by_name("New York").unwrap());
+        let d = la.location.distance_km(&ny.location);
+        assert!((3800.0..4100.0).contains(&d), "d = {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = GeoPoint::new(45.0, -120.0);
+        let b = GeoPoint::new(-33.0, 151.0);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn propagation_cross_country_tens_of_ms() {
+        let db = CityDb;
+        let sea = db.get(db.by_name("Seattle").unwrap());
+        let mia = db.get(db.by_name("Miami").unwrap());
+        let ms = sea.location.propagation_ms(&mia.location);
+        // One way, with stretch: roughly 4,400 km * 1.4 / 200 ≈ 31 ms.
+        assert!((20.0..45.0).contains(&ms), "ms = {ms}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn invalid_latitude_panics() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    fn all_region_cities_present() {
+        let db = CityDb;
+        for name in [
+            "The Dalles",
+            "Los Angeles",
+            "Las Vegas",
+            "Moncks Corner",
+            "Ashburn",
+            "Council Bluffs",
+            "St. Ghislain",
+        ] {
+            assert!(db.by_name(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn city_table_is_sane() {
+        let db = CityDb;
+        assert!(db.len() >= 80, "expected a rich city table");
+        for id in db.ids() {
+            let c = db.get(id);
+            assert!((-90.0..=90.0).contains(&c.location.lat));
+            assert!((-180.0..=180.0).contains(&c.location.lon));
+            assert!((-12..=14).contains(&c.utc_offset_hours));
+            assert!(c.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn nearest_city_to_itself() {
+        let db = CityDb;
+        let vegas = db.by_name("Las Vegas").unwrap();
+        assert_eq!(db.nearest(&db.get(vegas).location), vegas);
+    }
+
+    #[test]
+    fn in_country_filters() {
+        let db = CityDb;
+        let india = db.in_country("IN");
+        assert_eq!(india.len(), 3);
+        assert!(db.in_country("ZZ").is_empty());
+    }
+
+    #[test]
+    fn unique_city_names() {
+        let mut names: Vec<&str> = CITIES.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CITIES.len(), "duplicate city names");
+    }
+}

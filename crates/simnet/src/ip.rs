@@ -1,0 +1,188 @@
+//! IPv4 prefixes and the address planner.
+//!
+//! The topology generator assigns every AS one or more prefixes and carves
+//! point-to-point /30 subnets for interdomain links. Crucially — and
+//! faithfully to why `bdrmap` exists — the /30s for cloud interconnects
+//! are allocated **from the cloud AS's own address space**, so a naive
+//! prefix-to-AS lookup attributes the far-side router interface of an
+//! interdomain link to the cloud, not to the neighbor that actually owns
+//! the router. Border inference has to untangle that.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A CIDR IPv4 prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address (host bits zero).
+    pub network: Ipv4Addr,
+    /// Prefix length, `0..=32`.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, zeroing any host bits.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range");
+        let bits = u32::from(addr) & Self::mask(len);
+        Self {
+            network: Ipv4Addr::from(bits),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// True when `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == u32::from(self.network)
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th address inside the prefix.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        assert!(i < self.size(), "address index out of prefix");
+        Ipv4Addr::from(u32::from(self.network) + i as u32)
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network, self.len)
+    }
+}
+
+/// Sequentially allocates non-overlapping prefixes from a base pool.
+///
+/// The pool starts at `start` and walks upward; the planner never reuses
+/// space, so all allocations are disjoint by construction.
+#[derive(Debug, Clone)]
+pub struct AddressPlanner {
+    next: u32,
+    end: u32,
+}
+
+impl AddressPlanner {
+    /// Creates a planner over `[start, start + capacity)` addresses.
+    pub fn new(start: Ipv4Addr, capacity: u64) -> Self {
+        let s = u32::from(start);
+        let end = s
+            .checked_add(u32::try_from(capacity.min(u32::MAX as u64)).expect("capacity fits"))
+            .expect("pool fits in IPv4 space");
+        Self { next: s, end }
+    }
+
+    /// Allocates the next prefix of the given length, aligned to its size.
+    ///
+    /// Returns `None` when the pool is exhausted.
+    pub fn alloc(&mut self, len: u8) -> Option<Prefix> {
+        assert!(len <= 32);
+        let size = 1u64 << (32 - len);
+        let aligned = (self.next as u64).div_ceil(size) * size;
+        let after = aligned.checked_add(size)?;
+        if after > self.end as u64 || aligned > u32::MAX as u64 {
+            return None;
+        }
+        self.next = after as u32;
+        Some(Prefix::new(Ipv4Addr::from(aligned as u32), len))
+    }
+
+    /// Addresses remaining in the pool.
+    pub fn remaining(&self) -> u64 {
+        (self.end - self.next) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_zeroes_host_bits() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(p.network, Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn containment() {
+        let p = Prefix::new(Ipv4Addr::new(192, 168, 4, 0), 22);
+        assert!(p.contains(Ipv4Addr::new(192, 168, 4, 1)));
+        assert!(p.contains(Ipv4Addr::new(192, 168, 7, 255)));
+        assert!(!p.contains(Ipv4Addr::new(192, 168, 8, 0)));
+        assert!(!p.contains(Ipv4Addr::new(192, 168, 3, 255)));
+    }
+
+    #[test]
+    fn zero_length_prefix_contains_everything() {
+        let p = Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(p.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(p.size(), 1 << 32);
+    }
+
+    #[test]
+    fn nth_address() {
+        let p = Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 30);
+        assert_eq!(p.nth(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(p.nth(3), Ipv4Addr::new(10, 0, 0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of prefix")]
+    fn nth_out_of_range_panics() {
+        Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 30).nth(4);
+    }
+
+    #[test]
+    fn planner_allocations_are_disjoint_and_aligned() {
+        let mut planner = AddressPlanner::new(Ipv4Addr::new(20, 0, 0, 0), 1 << 24);
+        let a = planner.alloc(16).unwrap();
+        let b = planner.alloc(20).unwrap();
+        let c = planner.alloc(30).unwrap();
+        for p in [a, b, c] {
+            // Alignment: network address is a multiple of the block size.
+            assert_eq!(u64::from(u32::from(p.network)) % p.size(), 0);
+        }
+        assert!(!a.contains(b.network));
+        assert!(!b.contains(c.network));
+        assert!(!a.contains(c.network));
+    }
+
+    #[test]
+    fn planner_mixed_sizes_realign() {
+        let mut planner = AddressPlanner::new(Ipv4Addr::new(30, 0, 0, 0), 1 << 20);
+        let small = planner.alloc(30).unwrap();
+        let big = planner.alloc(24).unwrap();
+        assert!(!big.contains(small.network));
+        assert_eq!(u32::from(big.network) % 256, 0);
+    }
+
+    #[test]
+    fn planner_exhaustion() {
+        let mut planner = AddressPlanner::new(Ipv4Addr::new(40, 0, 0, 0), 8);
+        assert!(planner.alloc(30).is_some());
+        assert!(planner.alloc(30).is_some());
+        assert_eq!(planner.alloc(30), None);
+    }
+
+    #[test]
+    fn planner_remaining_decreases() {
+        let mut planner = AddressPlanner::new(Ipv4Addr::new(50, 0, 0, 0), 1024);
+        let before = planner.remaining();
+        planner.alloc(24).unwrap();
+        assert!(planner.remaining() < before);
+    }
+}

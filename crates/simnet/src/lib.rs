@@ -1,0 +1,51 @@
+//! A deterministic, seeded model of the Internet as seen from a public
+//! cloud platform.
+//!
+//! The CLASP paper measures the real Internet from Google Cloud VMs. This
+//! crate is the substitute substrate: it generates an AS-level topology
+//! with realistic structure (tier-1 / transit / regional ISP / hosting /
+//! education ASes, customer-provider and peering relationships, a cloud AS
+//! with a private WAN and thousands of interdomain links), routes traffic
+//! through it with Gao–Rexford valley-free policies and hot-/cold-potato
+//! egress selection, and drives per-link background load with diurnal
+//! profiles so that congestion emerges at specific links during local peak
+//! hours — the phenomenon the paper detects.
+//!
+//! Module map:
+//!
+//! * [`time`] — simulation clock, days/hours, fixed-offset timezones;
+//! * [`geo`] — cities, coordinates, great-circle distance, fiber latency;
+//! * [`ip`] — IPv4 prefixes and the address planner;
+//! * [`asn`] — AS numbers, business types, relationships;
+//! * [`topology`] — the generated graph: ASes, routers, links, the cloud;
+//! * [`prefix2as`] — longest-prefix-match IP→AS dataset (CAIDA-style);
+//! * [`routing`] — valley-free path computation and router-level paths;
+//! * [`load`] — diurnal background-load profiles per directed link;
+//! * [`perf`] — utilization → loss / queueing-delay model and the fluid
+//!   TCP throughput model used by the longitudinal campaign;
+//! * [`export`] — CAIDA-format dumps of the ground truth (as-rel,
+//!   prefix2as, border-link inventory).
+//!
+//! Everything is reproducible from a single `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod export;
+pub mod geo;
+pub mod ip;
+pub mod load;
+pub mod perf;
+pub mod prefix2as;
+pub mod routing;
+pub mod time;
+pub mod topology;
+
+pub use asn::{AsRelationship, Asn, BusinessType};
+pub use geo::{City, CityId, GeoPoint};
+pub use ip::Prefix;
+pub use perf::{FlowSpec, PathPerf};
+pub use routing::{RouterPath, Tier};
+pub use time::{SimTime, HOUR, MINUTE, SECONDS_PER_DAY};
+pub use topology::{InterdomainLink, LinkId, Topology, TopologyConfig};

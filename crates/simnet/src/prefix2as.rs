@@ -1,0 +1,167 @@
+//! CAIDA-style prefix-to-AS dataset with longest-prefix-match lookup.
+//!
+//! CLASP "resolve[s] each IP hop in the traceroutes using the
+//! Prefix-to-AS dataset" (§3.1). This module builds that dataset from the
+//! topology's originated prefixes. Like the real Routeviews-derived
+//! dataset, it reflects *BGP origination*, not interface ownership: the
+//! /30 interconnect subnets are announced by the cloud, so the far-side
+//! interface of an interdomain link resolves to the cloud's ASN even
+//! though the router belongs to the neighbor. `bdrmap` exists to correct
+//! exactly this.
+
+use crate::asn::Asn;
+use crate::ip::Prefix;
+use crate::topology::{AsId, Topology};
+use std::net::Ipv4Addr;
+
+/// Longest-prefix-match table mapping prefixes to origin ASes.
+#[derive(Debug, Clone)]
+pub struct PrefixToAs {
+    /// Entries sorted by (network, descending length) for binary search.
+    entries: Vec<(Prefix, AsId, Asn)>,
+    /// Shortest prefix length in the table; bounds the backward scan.
+    min_len: u8,
+}
+
+impl PrefixToAs {
+    /// Builds the dataset from all prefixes originated in `topo`.
+    pub fn build(topo: &Topology) -> Self {
+        let mut entries: Vec<(Prefix, AsId, Asn)> = Vec::new();
+        for (i, node) in topo.ases.iter().enumerate() {
+            for p in &node.prefixes {
+                entries.push((*p, AsId(i as u32), node.asn));
+            }
+        }
+        Self::from_entries(entries)
+    }
+
+    /// Builds a table from explicit entries (tests, synthetic datasets).
+    pub fn from_entries(mut entries: Vec<(Prefix, AsId, Asn)>) -> Self {
+        entries.sort_by_key(|(p, _, _)| (u32::from(p.network), std::cmp::Reverse(p.len)));
+        let min_len = entries.iter().map(|(p, _, _)| p.len).min().unwrap_or(32);
+        Self { entries, min_len }
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Longest-prefix match: the origin AS of the most specific covering
+    /// prefix, or `None` for unrouted space.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<(AsId, Asn)> {
+        // Binary search for the last entry with network <= ip, then walk
+        // backwards over candidates; prefixes are disjoint per generator,
+        // but the algorithm stays correct for overlapping inputs.
+        let ip_u = u32::from(ip);
+        let idx = self
+            .entries
+            .partition_point(|(p, _, _)| u32::from(p.network) <= ip_u);
+        // The widest prefix in the table spans `max_span` addresses; any
+        // entry whose network is further below `ip` than that cannot
+        // cover it, so the backward scan is bounded.
+        let max_span = 1u64 << (32 - self.min_len);
+        let mut best: Option<(u8, AsId, Asn)> = None;
+        for (p, id, asn) in self.entries[..idx].iter().rev() {
+            if (ip_u as u64 - u32::from(p.network) as u64) >= max_span {
+                break;
+            }
+            if p.contains(ip) {
+                match best {
+                    Some((len, _, _)) if len >= p.len => {}
+                    _ => best = Some((p.len, *id, *asn)),
+                }
+            }
+        }
+        best.map(|(_, id, asn)| (id, asn))
+    }
+
+    /// All entries (for dumping the dataset).
+    pub fn entries(&self) -> &[(Prefix, AsId, Asn)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn table() -> (Topology, PrefixToAs) {
+        let t = Topology::generate(TopologyConfig::tiny(5));
+        let p2a = PrefixToAs::build(&t);
+        (t, p2a)
+    }
+
+    #[test]
+    fn resolves_host_ips_to_their_as() {
+        let (t, p2a) = table();
+        for id in t.non_cloud_ases() {
+            let node = t.as_node(id);
+            let ip = t.host_ip(id, node.home_city, 0);
+            let (got, asn) = p2a.lookup(ip).expect("host IP resolves");
+            assert_eq!(got, id, "IP {ip} of {}", node.name);
+            assert_eq!(asn, node.asn);
+        }
+    }
+
+    #[test]
+    fn far_side_interfaces_resolve_to_cloud_not_neighbor() {
+        // The deliberate lie that motivates bdrmap.
+        let (t, p2a) = table();
+        for l in t.links.iter().take(50) {
+            let (id, _) = p2a.lookup(l.far_ip).expect("interconnect resolves");
+            assert_eq!(id, t.cloud);
+            assert_ne!(id, l.neighbor);
+        }
+    }
+
+    #[test]
+    fn unrouted_space_misses() {
+        let (_, p2a) = table();
+        assert_eq!(p2a.lookup(Ipv4Addr::new(203, 0, 113, 1)), None);
+        assert_eq!(p2a.lookup(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn table_covers_all_originated_prefixes() {
+        let (t, p2a) = table();
+        let total: usize = t.ases.iter().map(|a| a.prefixes.len()).sum();
+        assert_eq!(p2a.len(), total);
+    }
+
+    #[test]
+    fn longest_match_wins_with_overlapping_input() {
+        use crate::asn::Asn;
+        // Construct a synthetic overlapping table directly.
+        let e = vec![
+            (
+                Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+                AsId(1),
+                Asn(100),
+            ),
+            (
+                Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16),
+                AsId(2),
+                Asn(200),
+            ),
+        ];
+        let t = PrefixToAs::from_entries(e);
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap().1, Asn(200));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 2, 0, 1)).unwrap().1, Asn(100));
+    }
+
+    #[test]
+    fn router_ips_resolve_to_owner() {
+        let (t, p2a) = table();
+        let id = t.non_cloud_ases().next().unwrap();
+        let city = t.as_node(id).home_city;
+        let ip = t.router_ip(id, city, 3);
+        assert_eq!(p2a.lookup(ip).unwrap().0, id);
+    }
+}

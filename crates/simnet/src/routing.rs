@@ -1,0 +1,1073 @@
+//! Valley-free interdomain routing and router-level path construction.
+//!
+//! AS-level routes follow the Gao–Rexford export rules: routes learned
+//! from customers are exported to everyone; routes learned from peers or
+//! providers are exported only to customers. Route preference is
+//! customer > peer > provider, then shortest AS path, then lowest
+//! next-hop index (deterministic tie-break).
+//!
+//! On top of AS paths, [`Paths`] constructs **router-level paths** between
+//! cloud VMs and Internet hosts under the two GCP network service tiers:
+//!
+//! * **Premium** (cold potato, Google's documented behaviour): egress
+//!   traffic rides the private WAN to the PoP nearest the destination;
+//!   ingress traffic enters the cloud at the PoP nearest the source.
+//! * **Standard** (hot potato): egress exits at the PoP nearest the origin
+//!   region; ingress traverses the public Internet and enters at the PoP
+//!   nearest the region.
+//!
+//! Note: §1 of the paper describes ingress as entering "at the
+//! interconnections nearest to the destination/source" for
+//! premium/standard; this inverts Google's documented semantics and we
+//! follow the documentation (premium enters near the *source*). DESIGN.md
+//! records the discrepancy.
+
+use crate::geo::CityId;
+use crate::topology::{AsId, CongestionClass, EdgeId, LinkId, Topology};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// GCP network service tier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Tier {
+    /// Cold-potato routing over the private WAN.
+    Premium,
+    /// Hot-potato routing over the public Internet.
+    Standard,
+}
+
+impl Tier {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Premium => "premium",
+            Tier::Standard => "standard",
+        }
+    }
+}
+
+/// How a route was learned, in preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RouteKind {
+    /// Learned from a customer (most preferred).
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider (least preferred).
+    Provider,
+}
+
+/// A routing-table entry toward some destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// How the best route was learned.
+    pub kind: RouteKind,
+    /// AS-path length (number of AS hops to the destination).
+    pub len: u32,
+    /// Next-hop AS on the best route.
+    pub next: AsId,
+}
+
+/// Per-destination routing tables with caching.
+///
+/// `routes_to(d)[v]` answers "what is AS v's best route toward d". Tables
+/// are computed on first use and memoised; the campaign touches a few
+/// hundred destination ASes out of thousands.
+pub struct Routing<'t> {
+    topo: &'t Topology,
+    cache: RefCell<HashMap<AsId, Rc<Vec<Option<RouteEntry>>>>>,
+}
+
+impl<'t> Routing<'t> {
+    /// Creates a routing view over a topology.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self {
+            topo,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// Returns the (cached) routing table toward `dst`.
+    pub fn routes_to(&self, dst: AsId) -> Rc<Vec<Option<RouteEntry>>> {
+        if let Some(t) = self.cache.borrow().get(&dst) {
+            return Rc::clone(t);
+        }
+        let table = Rc::new(self.compute(dst));
+        self.cache.borrow_mut().insert(dst, Rc::clone(&table));
+        table
+    }
+
+    /// Gao–Rexford three-phase computation of best routes toward `dst`.
+    fn compute(&self, dst: AsId) -> Vec<Option<RouteEntry>> {
+        let n = self.topo.as_count();
+        let mut table: Vec<Option<RouteEntry>> = vec![None; n];
+        // The destination itself: length 0, kind Customer (so it exports
+        // to everyone, as an origin does).
+        table[dst.0 as usize] = Some(RouteEntry {
+            kind: RouteKind::Customer,
+            len: 0,
+            next: dst,
+        });
+
+        let better = |candidate: &RouteEntry, incumbent: &Option<RouteEntry>| -> bool {
+            match incumbent {
+                None => true,
+                Some(cur) => {
+                    (candidate.kind, candidate.len, candidate.next.0)
+                        < (cur.kind, cur.len, cur.next.0)
+                }
+            }
+        };
+
+        // Phase 1: customer routes climb provider edges (dst's providers
+        // hear it as a customer route, their providers in turn, ...).
+        let mut frontier = vec![dst];
+        while let Some(u) = frontier.pop() {
+            let u_entry = table[u.0 as usize].expect("frontier members are routed");
+            if u_entry.kind != RouteKind::Customer {
+                continue;
+            }
+            for &p in &self.topo.as_node(u).providers {
+                let cand = RouteEntry {
+                    kind: RouteKind::Customer,
+                    len: u_entry.len + 1,
+                    next: u,
+                };
+                if better(&cand, &table[p.0 as usize]) {
+                    table[p.0 as usize] = Some(cand);
+                    frontier.push(p);
+                }
+            }
+        }
+
+        // Phase 2: one peer hop. An AS with a customer route (or the
+        // origin) exports it to its peers.
+        let mut peer_updates: Vec<(AsId, RouteEntry)> = Vec::new();
+        for u_idx in 0..n {
+            let Some(entry) = table[u_idx] else { continue };
+            if entry.kind != RouteKind::Customer {
+                continue;
+            }
+            let u = AsId(u_idx as u32);
+            for &v in &self.topo.as_node(u).peers {
+                peer_updates.push((
+                    v,
+                    RouteEntry {
+                        kind: RouteKind::Peer,
+                        len: entry.len + 1,
+                        next: u,
+                    },
+                ));
+            }
+        }
+        for (v, cand) in peer_updates {
+            if better(&cand, &table[v.0 as usize]) {
+                table[v.0 as usize] = Some(cand);
+            }
+        }
+
+        // Phase 3: provider routes descend customer edges from every
+        // routed AS, breadth-first by length so shorter paths win.
+        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
+            (0..n)
+                .filter_map(|i| table[i].map(|e| std::cmp::Reverse((e.len, i as u32))))
+                .collect();
+        while let Some(std::cmp::Reverse((len, u_idx))) = queue.pop() {
+            let u = AsId(u_idx);
+            let Some(entry) = table[u_idx as usize] else {
+                continue;
+            };
+            if entry.len != len {
+                continue; // stale heap entry
+            }
+            for &c in &self.topo.as_node(u).customers {
+                let cand = RouteEntry {
+                    kind: RouteKind::Provider,
+                    len: entry.len + 1,
+                    next: u,
+                };
+                if better(&cand, &table[c.0 as usize]) {
+                    table[c.0 as usize] = Some(cand);
+                    queue.push(std::cmp::Reverse((cand.len, c.0)));
+                }
+            }
+        }
+
+        table
+    }
+
+    /// AS-level path from `src` to `dst` (inclusive on both ends), or
+    /// `None` when no policy-compliant route exists.
+    pub fn as_path(&self, src: AsId, dst: AsId) -> Option<Vec<AsId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let table = self.routes_to(dst);
+        let mut path = vec![src];
+        let mut cur = src;
+        // Bounded walk: AS paths are far shorter than 32.
+        for _ in 0..32 {
+            let entry = table[cur.0 as usize]?;
+            cur = entry.next;
+            path.push(cur);
+            if cur == dst {
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    /// AS-path length in AS hops (0 when `src == dst`).
+    pub fn as_path_len(&self, src: AsId, dst: AsId) -> Option<u32> {
+        self.as_path(src, dst).map(|p| (p.len() - 1) as u32)
+    }
+}
+
+/// Direction of a unidirectional data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Data flows from the cloud VM toward the Internet host
+    /// (CLASP's *upload* direction, GCP egress).
+    ToServer,
+    /// Data flows from the Internet host toward the cloud VM
+    /// (CLASP's *download* direction, GCP ingress).
+    ToCloud,
+}
+
+/// What a path segment physically is; determines its load profile anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Intra-region cloud fabric.
+    CloudFabric,
+    /// Private WAN span between two cloud PoP cities.
+    CloudWan,
+    /// A cloud interdomain link.
+    CloudEdge(LinkId),
+    /// An interconnect between two non-cloud ASes.
+    AsEdge(EdgeId),
+    /// Aggregation inside one AS (metro/backhaul).
+    AsInternal(AsId),
+    /// The server's access/LAN attachment.
+    ServerAccess,
+}
+
+/// One capacity-bearing element of a unidirectional path.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// What this segment is.
+    pub kind: SegmentKind,
+    /// Capacity in Gbps in the direction of this path.
+    pub capacity_gbps: f64,
+    /// Congestion behaviour in the direction of this path.
+    pub congestion: CongestionClass,
+    /// City anchoring the segment's local clock (diurnal profiles follow
+    /// the local time where users live).
+    pub city: CityId,
+    /// Stable identity for load-noise hashing.
+    pub load_key: u64,
+}
+
+/// One traceroute-visible router interface on a path.
+#[derive(Debug, Clone, Copy)]
+pub struct Hop {
+    /// Interface address a probe would see.
+    pub ip: Ipv4Addr,
+    /// Ground-truth owner of the interface.
+    pub owner: AsId,
+    /// City where the router sits.
+    pub city: CityId,
+    /// One-way latency from the path source to this hop, in ms.
+    pub oneway_ms: f64,
+}
+
+/// A fully resolved unidirectional router path.
+#[derive(Debug, Clone)]
+pub struct RouterPath {
+    /// Direction of data flow.
+    pub direction: Direction,
+    /// Network tier the path was computed for.
+    pub tier: Tier,
+    /// AS-level path, source first (cloud AS first for `ToServer`).
+    pub as_path: Vec<AsId>,
+    /// Router interfaces in path order.
+    pub hops: Vec<Hop>,
+    /// Capacity-bearing segments in path order.
+    pub segments: Vec<Segment>,
+    /// Total one-way propagation + processing latency in ms (no queueing).
+    pub oneway_ms: f64,
+    /// The cloud interdomain link the path crosses.
+    pub egress_link: Option<LinkId>,
+}
+
+/// Per-hop router processing latency, ms.
+const HOP_PROCESS_MS: f64 = 0.08;
+/// Intra-metro hop latency, ms.
+const METRO_MS: f64 = 0.35;
+
+/// Path builder: combines AS routing, tier policy, and geography into
+/// router paths.
+pub struct Paths<'t> {
+    routing: Routing<'t>,
+}
+
+impl<'t> Paths<'t> {
+    /// Creates a path builder.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self {
+            routing: Routing::new(topo),
+        }
+    }
+
+    /// The AS-level routing view.
+    pub fn routing(&self) -> &Routing<'t> {
+        &self.routing
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.routing.topology()
+    }
+
+    /// Picks the interdomain link used between the cloud and `neighbor`
+    /// for a flow anchored at `anchor_city` (hot potato: the region city;
+    /// cold potato: the remote host's city). Deterministic: nearest PoP,
+    /// then lowest link id among parallel interfaces.
+    pub fn pick_link(&self, neighbor: AsId, anchor_city: CityId) -> Option<LinkId> {
+        self.pick_link_with_flow(neighbor, anchor_city, 0)
+    }
+
+    /// Like [`Self::pick_link`] but models per-flow (ECMP) load balancing
+    /// across parallel interfaces at the chosen PoP: the five-tuple hash
+    /// (`flow_id`) selects among them. paris-traceroute holds `flow_id`
+    /// constant; classic traceroute and bdrmap's deliberate flow-id sweeps
+    /// observe several parallel interfaces of the same interconnect.
+    pub fn pick_link_with_flow(
+        &self,
+        neighbor: AsId,
+        anchor_city: CityId,
+        flow_id: u64,
+    ) -> Option<LinkId> {
+        let topo = self.topology();
+        let anchor = topo.cities.get(anchor_city).location;
+        // Nearest PoP with links to this neighbor.
+        let best_pop = topo
+            .links_to(neighbor)
+            .iter()
+            .map(|l| topo.link(*l).pop)
+            .min_by(|a, b| {
+                let da = topo.cities.get(*a).location.distance_km(&anchor);
+                let db = topo.cities.get(*b).location.distance_km(&anchor);
+                da.partial_cmp(&db).expect("finite").then(a.0.cmp(&b.0))
+            })?;
+        // Parallel interfaces at that PoP, stable order.
+        let mut parallel: Vec<LinkId> = topo
+            .links_to(neighbor)
+            .iter()
+            .copied()
+            .filter(|l| topo.link(*l).pop == best_pop)
+            .collect();
+        parallel.sort_by_key(|l| l.0);
+        // Per-prefix assignment is primary-heavy: the lowest interface of
+        // a bundle carries most prefixes (IGP prefers it), the rest take
+        // an overflow share. This is why the paper's 1,329 server traces
+        // touch only a few hundred of ~6k interfaces, while bdrmap's
+        // broad prefix sweeps still discover the parallel ones.
+        let h = load_key(b"ecmp", neighbor.0 as u64, flow_id);
+        let idx = if parallel.len() == 1 || h % 100 < 75 {
+            0
+        } else {
+            1 + ((h >> 8) % (parallel.len() as u64 - 1)) as usize
+        };
+        Some(parallel[idx])
+    }
+
+    /// All parallel interfaces between the cloud and `neighbor` at `pop`.
+    pub fn parallel_links(&self, neighbor: AsId, pop: CityId) -> Vec<LinkId> {
+        let topo = self.topology();
+        let mut v: Vec<LinkId> = topo
+            .links_to(neighbor)
+            .iter()
+            .copied()
+            .filter(|l| topo.link(*l).pop == pop)
+            .collect();
+        v.sort_by_key(|l| l.0);
+        v
+    }
+
+    /// Distance under which an interconnect counts as "region-local" for
+    /// standard-tier announcements, km.
+    const REGION_LOCAL_KM: f64 = 2_500.0;
+
+    /// True when `neighbor` has a cloud interconnect within
+    /// [`Self::REGION_LOCAL_KM`] of the region.
+    fn region_local(&self, neighbor: AsId, region_city: CityId) -> bool {
+        let topo = self.topology();
+        let region = topo.cities.get(region_city).location;
+        topo.links_to(neighbor).iter().any(|l| {
+            topo.cities
+                .get(topo.link(*l).pop)
+                .location
+                .distance_km(&region)
+                < Self::REGION_LOCAL_KM
+        })
+    }
+
+    /// Climbs `host`'s provider ancestry (breadth-first, up to three
+    /// levels) for the nearest AS holding a region-local cloud link;
+    /// returns the chain `[that AS, ..., host]`, or `None` when no
+    /// ancestor qualifies.
+    fn provider_chain_to_local(&self, host: AsId, region_city: CityId) -> Option<Vec<AsId>> {
+        let topo = self.topology();
+        let mut frontier: Vec<Vec<AsId>> = vec![vec![host]];
+        for _depth in 0..3 {
+            let mut next: Vec<Vec<AsId>> = Vec::new();
+            for chain in &frontier {
+                let top = *chain.last().expect("non-empty chain");
+                let mut providers = topo.as_node(top).providers.clone();
+                providers.sort_by_key(|p| p.0);
+                for p in providers {
+                    if chain.contains(&p) {
+                        continue;
+                    }
+                    let mut c = chain.clone();
+                    c.push(p);
+                    if self.region_local(p, region_city) {
+                        c.reverse();
+                        return Some(c);
+                    }
+                    next.push(c);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Builds the unidirectional router path between a VM in the region
+    /// hosted at `region_city` and a host (`host_as`, `host_city`,
+    /// `host_ip`), in `direction`, under `tier`.
+    ///
+    /// Returns `None` when interdomain routing cannot produce a
+    /// policy-compliant path (never the case for the generated topologies,
+    /// which guarantee provider chains, but the API is honest).
+    pub fn vm_host_path(
+        &self,
+        region_city: CityId,
+        vm_ip: Ipv4Addr,
+        host_as: AsId,
+        host_city: CityId,
+        host_ip: Ipv4Addr,
+        tier: Tier,
+        direction: Direction,
+    ) -> Option<RouterPath> {
+        self.vm_host_path_flow(
+            region_city,
+            vm_ip,
+            host_as,
+            host_city,
+            host_ip,
+            tier,
+            direction,
+            0,
+        )
+    }
+
+    /// [`Self::vm_host_path`] with an explicit flow id: ECMP hashes the
+    /// flow onto one of the parallel border interfaces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vm_host_path_flow(
+        &self,
+        region_city: CityId,
+        vm_ip: Ipv4Addr,
+        host_as: AsId,
+        host_city: CityId,
+        host_ip: Ipv4Addr,
+        tier: Tier,
+        direction: Direction,
+        flow_id: u64,
+    ) -> Option<RouterPath> {
+        let topo = self.topology();
+        let cloud = topo.cloud;
+
+        // AS path on the Internet side. For ToServer we need the cloud's
+        // route to the host AS; for ToCloud the host AS's route to the
+        // cloud. Both exclude the cloud itself from the "middle".
+        let mut as_path_forward: Vec<AsId> = match direction {
+            Direction::ToServer => self.routing.as_path(cloud, host_as)?,
+            Direction::ToCloud => {
+                let mut p = self.routing.as_path(host_as, cloud)?;
+                p.reverse(); // normalise to cloud-first ordering
+                p
+            }
+        };
+        debug_assert_eq!(as_path_forward.first(), Some(&cloud));
+
+        // Standard-tier traffic crosses the cloud border *near the
+        // region* (the standard announcement is regional). If the path's
+        // cloud-neighbor has no region-local interconnect — say an
+        // Australian ISP whose only peering is in Melbourne, measured
+        // from a Belgian region — the traffic instead rides the host's
+        // transit providers to one that does. Premium rides the private
+        // WAN to/from the remote interconnect, so it is unaffected.
+        if tier == Tier::Standard {
+            let neighbor = *as_path_forward.get(1)?;
+            if !self.region_local(neighbor, region_city) {
+                if let Some(chain) = self.provider_chain_to_local(host_as, region_city) {
+                    // chain is [local-linked AS, ..., host_as].
+                    as_path_forward = std::iter::once(cloud).chain(chain).collect();
+                }
+            }
+        }
+
+        // The cloud's neighbor AS on this path.
+        let neighbor = *as_path_forward.get(1)?;
+
+        // Tier policy → which PoP the traffic crosses the border at.
+        //
+        // * Standard (both directions): the region-local interconnect.
+        // * Premium egress: cold potato — the WAN carries traffic to the
+        //   neighbor's PoP nearest the destination.
+        // * Premium ingress: the *neighbor* decides where to hand off,
+        //   and ASes hand off hot-potato from wherever they received the
+        //   traffic. A directly-peering host hands off near itself; a
+        //   transit hands off near the interconnect where it picked the
+        //   traffic up from its customer.
+        let anchor_city = match (tier, direction) {
+            (Tier::Standard, _) => region_city,
+            (Tier::Premium, Direction::ToServer) => host_city,
+            (Tier::Premium, Direction::ToCloud) => {
+                if as_path_forward.len() <= 2 {
+                    host_city
+                } else {
+                    let n = as_path_forward[1];
+                    let a = as_path_forward[2];
+                    match topo.edge_between(n, a) {
+                        Some(e) => topo.edge(e).city,
+                        None => host_city,
+                    }
+                }
+            }
+        };
+        let link_id = self.pick_link_with_flow(neighbor, anchor_city, flow_id)?;
+        let link = topo.link(link_id);
+        let pop_city = link.pop;
+
+        // Build in cloud→host orientation, then reverse for ToCloud.
+        let mut hops: Vec<Hop> = Vec::new();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut clock_ms = 0.0;
+        let cities = &topo.cities;
+        let dist_ms = |a: CityId, b: CityId| -> f64 {
+            cities
+                .get(a)
+                .location
+                .propagation_ms(&cities.get(b).location)
+        };
+
+        // 1. VM + region fabric.
+        hops.push(Hop {
+            ip: vm_ip,
+            owner: cloud,
+            city: region_city,
+            oneway_ms: 0.0,
+        });
+        clock_ms += METRO_MS;
+        hops.push(Hop {
+            ip: topo.cloud_router_ip(region_city, 0),
+            owner: cloud,
+            city: region_city,
+            oneway_ms: clock_ms,
+        });
+        segments.push(Segment {
+            kind: SegmentKind::CloudFabric,
+            capacity_gbps: 1000.0,
+            congestion: CongestionClass::Clean,
+            city: region_city,
+            load_key: load_key(b"fabric", region_city.0 as u64, 0),
+        });
+
+        // 2. Private WAN span to the egress PoP (if different city).
+        if pop_city != region_city {
+            let wan_ms = dist_ms(region_city, pop_city);
+            // Intermediate WAN routers roughly every 1500 km (at most 3
+            // respond; the full propagation is preserved regardless).
+            let km = cities
+                .get(region_city)
+                .location
+                .distance_km(&cities.get(pop_city).location);
+            let n_mid = ((km / 1500.0).floor() as u8).min(3);
+            for i in 0..n_mid {
+                clock_ms += wan_ms / (n_mid as f64 + 1.0);
+                hops.push(Hop {
+                    ip: topo.cloud_router_ip(region_city, 2 + i),
+                    owner: cloud,
+                    city: region_city,
+                    oneway_ms: clock_ms,
+                });
+            }
+            clock_ms += wan_ms / (n_mid as f64 + 1.0);
+            segments.push(Segment {
+                kind: SegmentKind::CloudWan,
+                capacity_gbps: 800.0,
+                congestion: CongestionClass::Clean,
+                city: pop_city,
+                load_key: load_key(b"wan", region_city.0 as u64, pop_city.0 as u64),
+            });
+        }
+        // Cloud border router at the PoP (near side of the link).
+        clock_ms += HOP_PROCESS_MS;
+        hops.push(Hop {
+            ip: link.near_ip,
+            owner: cloud,
+            city: pop_city,
+            oneway_ms: clock_ms,
+        });
+
+        // 3. The interdomain link itself; far side owned by the neighbor.
+        clock_ms += METRO_MS;
+        hops.push(Hop {
+            ip: link.far_ip,
+            owner: neighbor,
+            city: pop_city,
+            oneway_ms: clock_ms,
+        });
+        segments.push(Segment {
+            kind: SegmentKind::CloudEdge(link_id),
+            capacity_gbps: link.capacity_gbps,
+            congestion: match direction {
+                // Interconnect congestion in the paper is on the
+                // ISP→cloud direction (the Cox reverse-path story).
+                Direction::ToCloud => link.congestion,
+                Direction::ToServer => CongestionClass::Clean,
+            },
+            city: pop_city,
+            load_key: load_key(b"edge", link_id.0 as u64, direction as u64),
+        });
+
+        // 4. Walk the remaining AS path. `entry_city` tracks where the
+        // traffic currently sits inside the current AS.
+        let mut entry_city = pop_city;
+        for w in as_path_forward[1..].windows(2) {
+            let (cur, nxt) = (w[0], w[1]);
+            let edge_id = topo
+                .edge_between(cur, nxt)
+                .expect("consecutive path ASes share an edge");
+            let edge = topo.edge(edge_id);
+            let exit_city = edge.city;
+            // Internal haul across `cur` from entry to the interconnect.
+            push_internal(
+                topo,
+                &mut hops,
+                &mut segments,
+                &mut clock_ms,
+                cur,
+                entry_city,
+                exit_city,
+                direction,
+            );
+            // Cross the interconnect into `nxt`'s border router.
+            clock_ms += METRO_MS;
+            hops.push(Hop {
+                ip: topo.router_ip(nxt, exit_city, (edge_id.0 % 8) as u8),
+                owner: nxt,
+                city: exit_city,
+                oneway_ms: clock_ms,
+            });
+            segments.push(Segment {
+                kind: SegmentKind::AsEdge(edge_id),
+                capacity_gbps: edge.capacity_gbps,
+                congestion: match direction {
+                    Direction::ToCloud => edge.congestion,
+                    Direction::ToServer => CongestionClass::Clean,
+                },
+                city: exit_city,
+                load_key: load_key(b"asedge", edge_id.0 as u64, direction as u64),
+            });
+            entry_city = exit_city;
+        }
+
+        // 5. Final haul inside the host AS to the host's city, plus the
+        // access segment and the host itself.
+        let host_node = topo.as_node(host_as);
+        push_internal(
+            topo,
+            &mut hops,
+            &mut segments,
+            &mut clock_ms,
+            host_as,
+            entry_city,
+            host_city,
+            direction,
+        );
+        segments.push(Segment {
+            kind: SegmentKind::ServerAccess,
+            capacity_gbps: 10.0,
+            congestion: CongestionClass::Clean,
+            city: host_city,
+            load_key: load_key(b"access", u64::from(u32::from(host_ip)), 0),
+        });
+        clock_ms += METRO_MS;
+        hops.push(Hop {
+            ip: host_ip,
+            owner: host_as,
+            city: host_city,
+            oneway_ms: clock_ms,
+        });
+        let _ = host_node;
+
+        // Normalise orientation: hops/segments were built cloud→host.
+        let as_path = as_path_forward;
+        if direction == Direction::ToCloud {
+            let total = clock_ms;
+            hops.reverse();
+            for h in &mut hops {
+                h.oneway_ms = total - h.oneway_ms;
+            }
+            segments.reverse();
+        }
+
+        Some(RouterPath {
+            direction,
+            tier,
+            as_path,
+            hops,
+            segments,
+            oneway_ms: clock_ms,
+            egress_link: Some(link_id),
+        })
+    }
+}
+
+/// Internal-haul helper: adds hops/segments for crossing AS `owner` from
+/// `from` to `to` (no-op segment-wise when the cities coincide, but always
+/// adds one internal router hop so traceroutes see the AS).
+#[allow(clippy::too_many_arguments)]
+fn push_internal(
+    topo: &Topology,
+    hops: &mut Vec<Hop>,
+    segments: &mut Vec<Segment>,
+    clock_ms: &mut f64,
+    owner: AsId,
+    from: CityId,
+    to: CityId,
+    direction: Direction,
+) {
+    let node = topo.as_node(owner);
+    let haul_ms = topo
+        .cities
+        .get(from)
+        .location
+        .propagation_ms(&topo.cities.get(to).location);
+    *clock_ms += haul_ms + HOP_PROCESS_MS;
+    hops.push(Hop {
+        ip: topo.router_ip(owner, to, 1),
+        owner,
+        city: to,
+        oneway_ms: *clock_ms,
+    });
+    segments.push(Segment {
+        kind: SegmentKind::AsInternal(owner),
+        capacity_gbps: internal_capacity(topo, owner),
+        congestion: match direction {
+            Direction::ToCloud => node.congestion,
+            Direction::ToServer => match node.congestion {
+                // Downstream (toward users) is better provisioned but not
+                // perfect for the worst networks.
+                CongestionClass::AllDayCongested => CongestionClass::Mild,
+                _ => CongestionClass::Clean,
+            },
+        },
+        city: node.home_city,
+        load_key: load_key(b"internal", owner.0 as u64, direction as u64),
+    });
+}
+
+fn internal_capacity(topo: &Topology, owner: AsId) -> f64 {
+    use crate::asn::AsRole;
+    match topo.as_node(owner).role {
+        AsRole::Cloud => 1000.0,
+        AsRole::Tier1 => 400.0,
+        AsRole::Transit => 200.0,
+        AsRole::AccessIsp => 40.0,
+        AsRole::Hosting => 80.0,
+        AsRole::Education | AsRole::Business => 20.0,
+    }
+}
+
+/// Stable 64-bit key mixing a namespace and two ids (splitmix64 finaliser).
+pub fn load_key(ns: &[u8], a: u64, b: u64) -> u64 {
+    let mut x = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in ns {
+        x = (x ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    x ^= a.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= b.rotate_left(32).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    // splitmix64 finaliser
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::generate(TopologyConfig::tiny(11))
+    }
+
+    fn some_leaf(topo: &Topology) -> AsId {
+        topo.non_cloud_ases()
+            .find(|id| {
+                let n = topo.as_node(*id);
+                matches!(n.role, crate::asn::AsRole::AccessIsp) && !n.peers_with_cloud
+            })
+            .expect("tiny topology has non-peering access ISPs")
+    }
+
+    #[test]
+    fn as_path_to_self_is_singleton() {
+        let t = topo();
+        let r = Routing::new(&t);
+        assert_eq!(r.as_path(t.cloud, t.cloud), Some(vec![t.cloud]));
+    }
+
+    #[test]
+    fn cloud_reaches_every_as() {
+        let t = topo();
+        let r = Routing::new(&t);
+        for id in t.non_cloud_ases() {
+            assert!(
+                r.as_path(t.cloud, id).is_some(),
+                "no route to {}",
+                t.as_node(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn every_as_reaches_cloud() {
+        let t = topo();
+        let r = Routing::new(&t);
+        for id in t.non_cloud_ases() {
+            assert!(
+                r.as_path(id, t.cloud).is_some(),
+                "no route from {}",
+                t.as_node(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        use crate::asn::AsRelationship;
+        let t = topo();
+        let r = Routing::new(&t);
+        // On a valley-free path, once we traverse a peer or
+        // provider→customer step, every later step must be
+        // provider→customer.
+        for id in t.non_cloud_ases().take(30) {
+            let Some(path) = r.as_path(t.cloud, id) else {
+                continue;
+            };
+            let mut descending = false;
+            for w in path.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let rel = if t.as_node(a).customers.contains(&b) {
+                    AsRelationship::ProviderOf // a is provider of b: down
+                } else if t.as_node(a).providers.contains(&b) {
+                    AsRelationship::CustomerOf // up
+                } else {
+                    AsRelationship::Peer
+                };
+                match rel {
+                    AsRelationship::CustomerOf => {
+                        assert!(!descending, "valley in path {path:?}");
+                    }
+                    AsRelationship::Peer | AsRelationship::ProviderOf => {
+                        if rel == AsRelationship::Peer {
+                            assert!(!descending, "peer after descent in {path:?}");
+                        }
+                        descending = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_peer_paths_are_length_one() {
+        let t = topo();
+        let r = Routing::new(&t);
+        let peered = t
+            .non_cloud_ases()
+            .find(|id| t.as_node(*id).peers_with_cloud)
+            .unwrap();
+        assert_eq!(r.as_path_len(t.cloud, peered), Some(1));
+        assert_eq!(r.as_path_len(peered, t.cloud), Some(1));
+    }
+
+    #[test]
+    fn routing_tables_are_cached() {
+        let t = topo();
+        let r = Routing::new(&t);
+        let leaf = some_leaf(&t);
+        let a = r.routes_to(leaf);
+        let b = r.routes_to(leaf);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn vm_host_path_both_directions() {
+        let t = topo();
+        let p = Paths::new(&t);
+        let region = t.cities.by_name("The Dalles").unwrap();
+        let leaf = some_leaf(&t);
+        let host_city = t.as_node(leaf).home_city;
+        let host_ip = t.host_ip(leaf, host_city, 0);
+        let vm_ip = t.vm_ip(region, 0);
+        for dir in [Direction::ToServer, Direction::ToCloud] {
+            let path = p
+                .vm_host_path(region, vm_ip, leaf, host_city, host_ip, Tier::Premium, dir)
+                .expect("path exists");
+            assert!(path.hops.len() >= 5, "{} hops", path.hops.len());
+            assert!(!path.segments.is_empty());
+            assert!(path.oneway_ms > 0.0);
+            match dir {
+                Direction::ToServer => {
+                    assert_eq!(path.hops.first().unwrap().ip, vm_ip);
+                    assert_eq!(path.hops.last().unwrap().ip, host_ip);
+                }
+                Direction::ToCloud => {
+                    assert_eq!(path.hops.first().unwrap().ip, host_ip);
+                    assert_eq!(path.hops.last().unwrap().ip, vm_ip);
+                }
+            }
+            // Hop latencies are nondecreasing along the path.
+            let mut prev = -1.0;
+            for h in &path.hops {
+                assert!(h.oneway_ms >= prev - 1e-9, "latency not monotone");
+                prev = h.oneway_ms;
+            }
+        }
+    }
+
+    #[test]
+    fn path_crosses_exactly_one_cloud_edge() {
+        let t = topo();
+        let p = Paths::new(&t);
+        let region = t.cities.by_name("Council Bluffs").unwrap();
+        let leaf = some_leaf(&t);
+        let host_city = t.as_node(leaf).home_city;
+        let path = p
+            .vm_host_path(
+                region,
+                t.vm_ip(region, 0),
+                leaf,
+                host_city,
+                t.host_ip(leaf, host_city, 0),
+                Tier::Standard,
+                Direction::ToServer,
+            )
+            .unwrap();
+        let edges = path
+            .segments
+            .iter()
+            .filter(|s| matches!(s.kind, SegmentKind::CloudEdge(_)))
+            .count();
+        assert_eq!(edges, 1);
+        assert!(path.egress_link.is_some());
+    }
+
+    #[test]
+    fn premium_egress_pop_is_nearer_destination_than_standard() {
+        // Cold potato must hand off closer to the destination (or equal).
+        let t = Topology::generate(TopologyConfig::default());
+        let p = Paths::new(&t);
+        let region = t.cities.by_name("Council Bluffs").unwrap();
+        // A cloud-peering ISP far from the region.
+        let target = t
+            .non_cloud_ases()
+            .find(|id| {
+                let n = t.as_node(*id);
+                n.peers_with_cloud
+                    && t.cities.get(n.home_city).name == "Miami"
+                    && !t.links_to(*id).is_empty()
+            })
+            .or_else(|| {
+                t.non_cloud_ases().find(|id| {
+                    let n = t.as_node(*id);
+                    n.peers_with_cloud && !t.links_to(*id).is_empty()
+                })
+            })
+            .unwrap();
+        let host_city = t.as_node(target).home_city;
+        let host_ip = t.host_ip(target, host_city, 0);
+        let vm_ip = t.vm_ip(region, 0);
+        let prem = p
+            .vm_host_path(region, vm_ip, target, host_city, host_ip, Tier::Premium, Direction::ToServer)
+            .unwrap();
+        let std_ = p
+            .vm_host_path(region, vm_ip, target, host_city, host_ip, Tier::Standard, Direction::ToServer)
+            .unwrap();
+        let dist = |link: LinkId, city: CityId| {
+            t.cities
+                .get(t.link(link).pop)
+                .location
+                .distance_km(&t.cities.get(city).location)
+        };
+        let d_prem = dist(prem.egress_link.unwrap(), host_city);
+        let d_std_to_region = dist(std_.egress_link.unwrap(), region);
+        let d_prem_to_region = dist(prem.egress_link.unwrap(), region);
+        assert!(d_prem <= dist(std_.egress_link.unwrap(), host_city) + 1e-9);
+        assert!(d_std_to_region <= d_prem_to_region + 1e-9);
+    }
+
+    #[test]
+    fn load_keys_are_stable_and_distinct() {
+        let a = load_key(b"edge", 1, 0);
+        let b = load_key(b"edge", 1, 0);
+        let c = load_key(b"edge", 2, 0);
+        let d = load_key(b"asedge", 1, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn tocloud_hops_are_reversed_with_consistent_latency() {
+        let t = topo();
+        let p = Paths::new(&t);
+        let region = t.cities.by_name("The Dalles").unwrap();
+        let leaf = some_leaf(&t);
+        let host_city = t.as_node(leaf).home_city;
+        let path = p
+            .vm_host_path(
+                region,
+                t.vm_ip(region, 0),
+                leaf,
+                host_city,
+                t.host_ip(leaf, host_city, 0),
+                Tier::Premium,
+                Direction::ToCloud,
+            )
+            .unwrap();
+        assert!((path.hops.first().unwrap().oneway_ms - 0.0).abs() < 1e-9);
+        assert!(
+            (path.hops.last().unwrap().oneway_ms - path.oneway_ms).abs() < 1e-9
+        );
+    }
+}

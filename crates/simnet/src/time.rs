@@ -1,0 +1,205 @@
+//! Simulation time.
+//!
+//! The campaign runs on a virtual clock counted in whole seconds since the
+//! campaign epoch (the paper's campaign started 2020-05-01 00:00 UTC; we
+//! keep the epoch abstract). No wall-clock time is ever consulted.
+//!
+//! Timezones are fixed UTC offsets per city (no DST). The paper converts
+//! timestamps "to the timezone of the location of the test servers to
+//! better align with user activities" (§4.2); [`SimTime::local_hour`] does
+//! the same conversion.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one minute.
+pub const MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const HOUR: u64 = 3600;
+/// Seconds in one day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+/// Hours in one day.
+pub const HOURS_PER_DAY: u64 = 24;
+
+/// A point in simulated time: whole seconds since the campaign epoch (UTC).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The campaign epoch.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Builds a time from day index and hour-of-day (UTC).
+    pub fn from_day_hour(day: u64, hour: u64) -> Self {
+        SimTime(day * SECONDS_PER_DAY + hour * HOUR)
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as `f64` (for model evaluation).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// UTC day index since the epoch.
+    pub fn day(self) -> u64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// UTC hour of day, `0..24`.
+    pub fn utc_hour(self) -> u64 {
+        (self.0 % SECONDS_PER_DAY) / HOUR
+    }
+
+    /// UTC hour index since epoch (day * 24 + hour).
+    pub fn hour_index(self) -> u64 {
+        self.0 / HOUR
+    }
+
+    /// Day of week, `0..7`, with day 0 defined to be a Friday
+    /// (2020-05-01 was a Friday).
+    pub fn weekday(self) -> u64 {
+        (self.day() + 4) % 7 // 0=Mon .. 6=Sun; day 0 → 4 (Friday)
+    }
+
+    /// True on Saturday/Sunday.
+    pub fn is_weekend(self) -> bool {
+        self.weekday() >= 5
+    }
+
+    /// Fractional local hour of day `[0, 24)` under a fixed UTC offset in
+    /// hours (may be negative, e.g. −8 for the US west coast).
+    pub fn local_hour(self, utc_offset_hours: i32) -> f64 {
+        let secs = self.0 as i64 + utc_offset_hours as i64 * HOUR as i64;
+        let day_secs = secs.rem_euclid(SECONDS_PER_DAY as i64);
+        day_secs as f64 / HOUR as f64
+    }
+
+    /// Local day index under a fixed UTC offset (used to group "s-days" in
+    /// server-local time).
+    pub fn local_day(self, utc_offset_hours: i32) -> i64 {
+        let secs = self.0 as i64 + utc_offset_hours as i64 * HOUR as i64;
+        secs.div_euclid(SECONDS_PER_DAY as i64)
+    }
+
+    /// Adds a number of seconds.
+    pub fn plus(self, secs: u64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+impl std::ops::Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day(),
+            self.utc_hour(),
+            (self.0 % HOUR) / MINUTE,
+            self.0 % MINUTE
+        )
+    }
+}
+
+/// An iterator over hourly instants in `[start, end)`.
+pub fn hourly(start: SimTime, end: SimTime) -> impl Iterator<Item = SimTime> {
+    let first = start.0.div_ceil(HOUR);
+    let last = end.0.div_ceil(HOUR);
+    (first..last).map(|h| SimTime(h * HOUR))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_and_hour_extraction() {
+        let t = SimTime::from_day_hour(3, 7) + 125;
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.utc_hour(), 7);
+        assert_eq!(t.hour_index(), 3 * 24 + 7);
+    }
+
+    #[test]
+    fn epoch_is_a_friday() {
+        assert_eq!(SimTime::EPOCH.weekday(), 4);
+        assert!(!SimTime::EPOCH.is_weekend());
+        assert!(SimTime::from_day_hour(1, 0).is_weekend()); // Saturday
+        assert!(SimTime::from_day_hour(2, 0).is_weekend()); // Sunday
+        assert!(!SimTime::from_day_hour(3, 0).is_weekend()); // Monday
+    }
+
+    #[test]
+    fn local_hour_positive_offset() {
+        // 23:00 UTC at +2 → 01:00 next local day.
+        let t = SimTime::from_day_hour(0, 23);
+        assert!((t.local_hour(2) - 1.0).abs() < 1e-9);
+        assert_eq!(t.local_day(2), 1);
+    }
+
+    #[test]
+    fn local_hour_negative_offset() {
+        // 03:00 UTC at −8 → 19:00 previous local day.
+        let t = SimTime::from_day_hour(1, 3);
+        assert!((t.local_hour(-8) - 19.0).abs() < 1e-9);
+        assert_eq!(t.local_day(-8), 0);
+    }
+
+    #[test]
+    fn local_hour_is_fractional() {
+        let t = SimTime(30 * MINUTE);
+        assert!((t.local_hour(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_day_and_time() {
+        let t = SimTime::from_day_hour(12, 9) + 61;
+        assert_eq!(t.to_string(), "d12+09:01:01");
+    }
+
+    #[test]
+    fn hourly_iterator_covers_range() {
+        let hours: Vec<SimTime> =
+            hourly(SimTime(10), SimTime::from_day_hour(0, 3) + 1).collect();
+        assert_eq!(
+            hours,
+            vec![
+                SimTime(HOUR),
+                SimTime(2 * HOUR),
+                SimTime(3 * HOUR),
+            ]
+        );
+    }
+
+    #[test]
+    fn hourly_iterator_includes_aligned_start() {
+        let hours: Vec<SimTime> = hourly(SimTime(0), SimTime(2 * HOUR)).collect();
+        assert_eq!(hours, vec![SimTime(0), SimTime(HOUR)]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = SimTime(100);
+        assert_eq!((a + 50).as_secs(), 150);
+        assert_eq!(SimTime(150) - a, 50);
+        assert_eq!(a.plus(3).as_secs(), 103);
+    }
+}

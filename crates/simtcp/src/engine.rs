@@ -1,0 +1,227 @@
+//! The discrete-event engine: a simulated clock and an event queue.
+//!
+//! Time is counted in integer nanoseconds so event ordering is exact and
+//! runs are bit-reproducible. Ties are broken by insertion order (FIFO),
+//! which keeps the simulation deterministic even when two events land on
+//! the same tick.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct SimClock(pub u64);
+
+impl SimClock {
+    /// Zero time.
+    pub const ZERO: SimClock = SimClock(0);
+
+    /// Builds a clock value from seconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite time");
+        SimClock((s * 1e9).round() as u64)
+    }
+
+    /// Builds a clock value from milliseconds.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Seconds as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Adds a duration in nanoseconds.
+    pub fn plus_ns(self, ns: u64) -> SimClock {
+        SimClock(self.0 + ns)
+    }
+
+    /// Adds a duration in (fractional) seconds.
+    pub fn plus_secs_f64(self, s: f64) -> SimClock {
+        SimClock(self.0 + (s * 1e9).round() as u64)
+    }
+}
+
+/// A scheduled event: fires at `at`, carries a payload.
+struct Scheduled<E> {
+    at: SimClock,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimClock,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimClock::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimClock {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics when `at` is in the past — scheduling into the past would
+    /// silently corrupt causality.
+    pub fn schedule_at(&mut self, at: SimClock, payload: E) {
+        assert!(at >= self.now, "event scheduled in the past");
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a delay of `ns` nanoseconds.
+    pub fn schedule_in_ns(&mut self, ns: u64, payload: E) {
+        self.schedule_at(self.now.plus_ns(ns), payload);
+    }
+
+    /// Schedules `payload` after a delay in fractional seconds.
+    pub fn schedule_in_secs(&mut self, s: f64, payload: E) {
+        self.schedule_at(self.now.plus_secs_f64(s), payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimClock, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_conversions_roundtrip() {
+        let c = SimClock::from_millis_f64(12.5);
+        assert_eq!(c.0, 12_500_000);
+        assert!((c.as_millis_f64() - 12.5).abs() < 1e-9);
+        assert!((c.as_secs_f64() - 0.0125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_time_rejected() {
+        SimClock::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_in_ns(300, "c");
+        q.schedule_in_ns(100, "a");
+        q.schedule_in_ns(200, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_in_ns(100, 1);
+        q.schedule_in_ns(100, 2);
+        q.schedule_in_ns(100, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in_ns(500, ());
+        assert_eq!(q.now(), SimClock::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimClock(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_in_ns(100, ());
+        q.pop();
+        q.schedule_at(SimClock(50), ());
+    }
+
+    #[test]
+    fn relative_scheduling_is_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in_ns(100, "first");
+        q.pop();
+        q.schedule_in_ns(100, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimClock(200));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in_ns(1, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

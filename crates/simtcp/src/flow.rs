@@ -1,0 +1,634 @@
+//! The flow harness: TCP connections over a simulated path.
+//!
+//! Wires `n` [`TcpSender`]/[`TcpReceiver`] pairs across a forward path
+//! (data) and a reverse path (ACKs), both built from [`LinkSpec`]s with
+//! shared queues — parallel connections contend for the same bottleneck,
+//! as the multi-connection speed tests in the paper do. Produces a
+//! tcpdump-style [`Capture`] when asked.
+
+use crate::engine::{EventQueue, SimClock};
+use crate::link::{LinkSpec, LinkState, Offer};
+use crate::tcp::{CongestionControl, SenderActions, TcpReceiver, TcpSender};
+
+/// Ethernet+IP+TCP header overhead per segment, bytes.
+const HEADER_BYTES: usize = 54;
+/// ACK packet size, bytes.
+const ACK_BYTES: usize = 66;
+/// Cap on capture records so long runs do not balloon memory.
+const CAPTURE_CAP: usize = 200_000;
+
+/// The path a flow traverses: forward links carry data, reverse links
+/// carry ACKs. Queues are independent per direction.
+#[derive(Debug, Clone)]
+pub struct PathSpec {
+    /// Data-direction links, source first.
+    pub fwd: Vec<LinkSpec>,
+    /// ACK-direction links, receiver first.
+    pub rev: Vec<LinkSpec>,
+}
+
+impl PathSpec {
+    /// A symmetric path using the same specs both ways.
+    pub fn symmetric(links: Vec<LinkSpec>) -> Self {
+        let mut rev = links.clone();
+        rev.reverse();
+        Self { fwd: links, rev }
+    }
+}
+
+/// Flow-harness configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Congestion control algorithm for every connection.
+    pub cc: CongestionControl,
+    /// Parallel connections sharing the path.
+    pub n_connections: usize,
+    /// Maximum segment size (payload), bytes.
+    pub mss_bytes: usize,
+    /// Wall-clock duration of the transfer, seconds.
+    pub duration_s: f64,
+    /// RNG seed for link loss.
+    pub seed: u64,
+    /// Bytes to transfer per connection (`None` = bulk, duration-bounded).
+    pub total_bytes: Option<u64>,
+    /// Record a packet capture.
+    pub capture: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            cc: CongestionControl::Cubic,
+            n_connections: 1,
+            mss_bytes: 1448,
+            duration_s: 10.0,
+            seed: 1,
+            total_bytes: None,
+            capture: false,
+        }
+    }
+}
+
+/// One captured packet event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureRecord {
+    /// Time in ms since flow start.
+    pub t_ms: f64,
+    /// Connection index.
+    pub conn: u16,
+    /// Segment index (data) or cumulative ACK (ack).
+    pub num: u64,
+    /// True for ACK packets.
+    pub is_ack: bool,
+    /// What happened.
+    pub event: CaptureEvent,
+}
+
+/// Packet event kind in a capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureEvent {
+    /// Sent by an endpoint.
+    Sent,
+    /// Delivered to an endpoint.
+    Delivered,
+    /// Dropped by a link.
+    Dropped,
+}
+
+/// A bounded packet capture.
+#[derive(Debug, Default, Clone)]
+pub struct Capture {
+    /// Recorded events (capped).
+    pub records: Vec<CaptureRecord>,
+    /// Events that were not recorded because the cap was hit.
+    pub truncated: u64,
+}
+
+impl Capture {
+    fn push(&mut self, rec: CaptureRecord) {
+        if self.records.len() < CAPTURE_CAP {
+            self.records.push(rec);
+        } else {
+            self.truncated += 1;
+        }
+    }
+}
+
+/// Result of a flow run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Application bytes delivered in order across all connections.
+    pub delivered_bytes: u64,
+    /// Effective measurement duration, seconds.
+    pub duration_s: f64,
+    /// Goodput in Mbps.
+    pub throughput_mbps: f64,
+    /// Total retransmitted segments.
+    pub retransmits: u64,
+    /// Total RTO firings.
+    pub timeouts: u64,
+    /// Mean smoothed RTT across connections with samples, ms.
+    pub srtt_ms: Option<f64>,
+    /// Fraction of data packets dropped by the forward path.
+    pub observed_loss: f64,
+    /// Packet capture (empty unless requested).
+    pub capture: Capture,
+}
+
+/// Packed packet token carried through link queues.
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    conn: u16,
+    num: u64,
+    is_ack: bool,
+}
+
+impl Token {
+    fn pack(self) -> u64 {
+        debug_assert!(self.num < (1 << 47));
+        ((self.conn as u64) << 48) | ((self.is_ack as u64) << 47) | self.num
+    }
+    fn unpack(v: u64) -> Self {
+        Token {
+            conn: (v >> 48) as u16,
+            is_ack: (v >> 47) & 1 == 1,
+            num: v & ((1 << 47) - 1),
+        }
+    }
+}
+
+/// ACK tokens pack (cumulative ack, echoed segment) into the 47-bit num.
+const ACK_FIELD_BITS: u32 = 23;
+
+/// Packs a (cumulative ack, echoed data segment) pair into an ACK `num`.
+pub fn pack_ack(ack: u64, echo: u64) -> u64 {
+    debug_assert!(ack < (1 << ACK_FIELD_BITS) && echo < (1 << ACK_FIELD_BITS));
+    (ack << ACK_FIELD_BITS) | echo
+}
+
+/// Inverse of [`pack_ack`]: `(cumulative_ack, echoed_segment)`.
+pub fn unpack_ack(num: u64) -> (u64, u64) {
+    (num >> ACK_FIELD_BITS, num & ((1 << ACK_FIELD_BITS) - 1))
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Packet finished link `hop` (serialisation + propagation) and
+    /// arrives at the next stage.
+    Deliver { hop: usize, fwd: bool, token: u64 },
+    /// Link `hop` finished serialising its in-service packet.
+    ServiceDone { hop: usize, fwd: bool },
+    /// Retransmission timer for a connection.
+    Timer { conn: usize, gen: u64 },
+}
+
+struct Harness {
+    q: EventQueue<Ev>,
+    fwd: Vec<LinkState>,
+    rev: Vec<LinkState>,
+    senders: Vec<TcpSender>,
+    receivers: Vec<TcpReceiver>,
+    timer_gen: Vec<u64>,
+    mss: usize,
+    capture_on: bool,
+    capture: Capture,
+    deadline: SimClock,
+}
+
+impl Harness {
+    fn now_ms(&self) -> f64 {
+        self.q.now().as_millis_f64()
+    }
+
+    fn record(&mut self, token: Token, event: CaptureEvent) {
+        if self.capture_on {
+            let t_ms = self.now_ms();
+            self.capture.push(CaptureRecord {
+                t_ms,
+                conn: token.conn,
+                num: token.num,
+                is_ack: token.is_ack,
+                event,
+            });
+        }
+    }
+
+    /// Offers a packet to link `hop` of the given direction; schedules the
+    /// service-done and delivery events on acceptance.
+    fn send_on(&mut self, hop: usize, fwd: bool, token: Token, bytes: usize) {
+        let link = if fwd {
+            &mut self.fwd[hop]
+        } else {
+            &mut self.rev[hop]
+        };
+        let prop = link.spec.prop_ns();
+        match link.offer(bytes, token.pack()) {
+            Offer::Transmit(total) => {
+                let tx = total - prop;
+                self.q.schedule_in_ns(tx, Ev::ServiceDone { hop, fwd });
+                self.q.schedule_in_ns(
+                    total,
+                    Ev::Deliver {
+                        hop,
+                        fwd,
+                        token: token.pack(),
+                    },
+                );
+            }
+            Offer::Queued => {}
+            Offer::Dropped => self.record(token, CaptureEvent::Dropped),
+        }
+    }
+
+    fn apply_actions(&mut self, conn: usize, actions: SenderActions) {
+        for seq in actions.send {
+            let token = Token {
+                conn: conn as u16,
+                num: seq,
+                is_ack: false,
+            };
+            self.record(token, CaptureEvent::Sent);
+            self.send_on(0, true, token, self.mss + HEADER_BYTES);
+        }
+        if actions.rearm_timer {
+            self.arm_timer(conn);
+        }
+    }
+
+    fn arm_timer(&mut self, conn: usize) {
+        self.timer_gen[conn] += 1;
+        let gen = self.timer_gen[conn];
+        let rto = self.senders[conn].rto_ms();
+        self.q
+            .schedule_in_secs(rto / 1000.0, Ev::Timer { conn, gen });
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::ServiceDone { hop, fwd } => {
+                let link = if fwd {
+                    &mut self.fwd[hop]
+                } else {
+                    &mut self.rev[hop]
+                };
+                if let Some((bytes, token, total)) = link.service_complete() {
+                    let prop = link.spec.prop_ns();
+                    let tx = total - prop;
+                    let _ = bytes;
+                    self.q.schedule_in_ns(tx, Ev::ServiceDone { hop, fwd });
+                    self.q.schedule_in_ns(total, Ev::Deliver { hop, fwd, token });
+                }
+            }
+            Ev::Deliver { hop, fwd, token } => {
+                let t = Token::unpack(token);
+                let links_len = if fwd { self.fwd.len() } else { self.rev.len() };
+                if hop + 1 < links_len {
+                    let bytes = if t.is_ack {
+                        ACK_BYTES
+                    } else {
+                        self.mss + HEADER_BYTES
+                    };
+                    self.send_on(hop + 1, fwd, t, bytes);
+                    return;
+                }
+                // Endpoint reached.
+                if fwd {
+                    // Data arrives at the receiver → emit a cumulative ACK
+                    // that also echoes the triggering segment (the
+                    // simulator's SACK information).
+                    self.record(t, CaptureEvent::Delivered);
+                    let ack = self.receivers[t.conn as usize].on_data(t.num);
+                    let ack_token = Token {
+                        conn: t.conn,
+                        num: pack_ack(ack, t.num),
+                        is_ack: true,
+                    };
+                    self.record(ack_token, CaptureEvent::Sent);
+                    self.send_on(0, false, ack_token, ACK_BYTES);
+                } else {
+                    // ACK arrives at the sender.
+                    self.record(t, CaptureEvent::Delivered);
+                    let (ack, echo) = unpack_ack(t.num);
+                    let now = self.now_ms();
+                    let actions =
+                        self.senders[t.conn as usize].on_ack_sack(ack, Some(echo), now);
+                    self.apply_actions(t.conn as usize, actions);
+                }
+            }
+            Ev::Timer { conn, gen } => {
+                if self.timer_gen[conn] != gen {
+                    return; // superseded
+                }
+                if !self.senders[conn].has_outstanding() {
+                    return;
+                }
+                let now = self.now_ms();
+                let actions = self.senders[conn].on_timeout(now);
+                self.apply_actions(conn, actions);
+            }
+        }
+    }
+}
+
+/// Runs `config.n_connections` TCP connections over `path` and reports
+/// aggregate goodput and loss statistics.
+pub fn run_flow(path: &PathSpec, config: &FlowConfig) -> FlowResult {
+    assert!(config.n_connections >= 1, "need at least one connection");
+    assert!(config.duration_s > 0.0, "duration must be positive");
+    assert!(!path.fwd.is_empty() && !path.rev.is_empty(), "empty path");
+
+    let total_segments = config
+        .total_bytes
+        .map(|b| b.div_ceil(config.mss_bytes as u64));
+
+    let mut h = Harness {
+        q: EventQueue::new(),
+        fwd: path
+            .fwd
+            .iter()
+            .enumerate()
+            .map(|(i, s)| LinkState::new(*s, config.seed.wrapping_add(i as u64 * 2 + 1)))
+            .collect(),
+        rev: path
+            .rev
+            .iter()
+            .enumerate()
+            .map(|(i, s)| LinkState::new(*s, config.seed.wrapping_add(i as u64 * 2 + 2)))
+            .collect(),
+        senders: (0..config.n_connections)
+            .map(|_| match total_segments {
+                Some(t) => TcpSender::with_total(config.cc, t),
+                None => TcpSender::new(config.cc),
+            })
+            .collect(),
+        receivers: (0..config.n_connections)
+            .map(|_| TcpReceiver::new())
+            .collect(),
+        timer_gen: vec![0; config.n_connections],
+        mss: config.mss_bytes,
+        capture_on: config.capture,
+        capture: Capture::default(),
+        deadline: SimClock::from_secs_f64(config.duration_s),
+    };
+
+    // Prime every connection's initial window; apply_actions arms the
+    // retransmission timers.
+    for conn in 0..config.n_connections {
+        let actions = h.senders[conn].tick_send(0.0);
+        h.apply_actions(conn, actions);
+    }
+
+    while let Some((t, ev)) = h.q.pop() {
+        if t > h.deadline {
+            break;
+        }
+        h.handle(ev);
+        if let Some(_total) = total_segments {
+            if h.senders.iter().all(|s| s.finished()) {
+                break;
+            }
+        }
+    }
+
+    let delivered_segments: u64 = h.receivers.iter().map(|r| r.delivered()).sum();
+    let delivered_bytes = delivered_segments * config.mss_bytes as u64;
+    let duration_s = if total_segments.is_some() {
+        h.q.now().as_secs_f64().max(1e-6)
+    } else {
+        config.duration_s
+    };
+    let (offered, dropped) = h.fwd.iter().fold((0u64, 0u64), |(o, d), l| {
+        (
+            o + l.accepted + l.drops_queue + l.drops_random,
+            d + l.drops_queue + l.drops_random,
+        )
+    });
+    let srtts: Vec<f64> = h.senders.iter().filter_map(|s| s.srtt_ms()).collect();
+
+    FlowResult {
+        delivered_bytes,
+        duration_s,
+        throughput_mbps: delivered_bytes as f64 * 8.0 / duration_s / 1e6,
+        retransmits: h.senders.iter().map(|s| s.retransmits).sum(),
+        timeouts: h.senders.iter().map(|s| s.timeouts).sum(),
+        srtt_ms: if srtts.is_empty() {
+            None
+        } else {
+            Some(srtts.iter().sum::<f64>() / srtts.len() as f64)
+        },
+        observed_loss: if offered == 0 {
+            0.0
+        } else {
+            dropped as f64 / offered as f64
+        },
+        capture: h.capture,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_path(rate_mbps: f64, delay_ms: f64) -> PathSpec {
+        PathSpec::symmetric(vec![
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+            LinkSpec::new(rate_mbps, delay_ms, 128, 0.0),
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+        ])
+    }
+
+    #[test]
+    fn clean_path_saturates_bottleneck() {
+        let r = run_flow(
+            &clean_path(50.0, 5.0),
+            &FlowConfig {
+                duration_s: 5.0,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.throughput_mbps > 35.0 && r.throughput_mbps <= 50.0,
+            "throughput = {:.1} Mbps",
+            r.throughput_mbps
+        );
+        assert_eq!(r.timeouts, 0, "no timeouts on a clean path");
+    }
+
+    #[test]
+    fn srtt_reflects_propagation() {
+        let r = run_flow(
+            &clean_path(100.0, 20.0),
+            &FlowConfig {
+                duration_s: 3.0,
+                ..Default::default()
+            },
+        );
+        let srtt = r.srtt_ms.unwrap();
+        // 2 × (0.1 + 20 + 0.1) ≈ 40.4 ms plus queueing.
+        assert!((38.0..90.0).contains(&srtt), "srtt = {srtt}");
+    }
+
+    #[test]
+    fn random_loss_degrades_throughput() {
+        let clean = run_flow(
+            &clean_path(200.0, 10.0),
+            &FlowConfig {
+                duration_s: 5.0,
+                ..Default::default()
+            },
+        );
+        let mut lossy_links = clean_path(200.0, 10.0);
+        lossy_links.fwd[1].loss = 0.02;
+        let lossy = run_flow(
+            &lossy_links,
+            &FlowConfig {
+                duration_s: 5.0,
+                ..Default::default()
+            },
+        );
+        assert!(
+            lossy.throughput_mbps < clean.throughput_mbps * 0.6,
+            "lossy {:.1} vs clean {:.1}",
+            lossy.throughput_mbps,
+            clean.throughput_mbps
+        );
+        assert!(lossy.retransmits > 0);
+        assert!(lossy.observed_loss > 0.005);
+    }
+
+    #[test]
+    fn multiple_connections_share_but_exceed_single_under_loss() {
+        // With random loss, aggregate of 4 connections should beat 1
+        // (each connection's Mathis limit adds up).
+        let mut path = clean_path(500.0, 15.0);
+        path.fwd[1].loss = 0.005;
+        let one = run_flow(
+            &path,
+            &FlowConfig {
+                duration_s: 5.0,
+                n_connections: 1,
+                ..Default::default()
+            },
+        );
+        let four = run_flow(
+            &path,
+            &FlowConfig {
+                duration_s: 5.0,
+                n_connections: 4,
+                ..Default::default()
+            },
+        );
+        assert!(
+            four.throughput_mbps > one.throughput_mbps * 1.5,
+            "4conn {:.1} vs 1conn {:.1}",
+            four.throughput_mbps,
+            one.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn bounded_transfer_completes_early() {
+        let r = run_flow(
+            &clean_path(100.0, 2.0),
+            &FlowConfig {
+                duration_s: 30.0,
+                total_bytes: Some(1_000_000),
+                ..Default::default()
+            },
+        );
+        assert!(r.delivered_bytes >= 1_000_000);
+        assert!(r.duration_s < 30.0, "finished early: {}", r.duration_s);
+    }
+
+    #[test]
+    fn capture_records_data_and_acks() {
+        let r = run_flow(
+            &clean_path(100.0, 2.0),
+            &FlowConfig {
+                duration_s: 1.0,
+                capture: true,
+                ..Default::default()
+            },
+        );
+        assert!(!r.capture.records.is_empty());
+        assert!(r.capture.records.iter().any(|c| c.is_ack));
+        assert!(r.capture.records.iter().any(|c| !c.is_ack));
+        // Time stamps are nondecreasing.
+        let mut prev = 0.0;
+        for rec in &r.capture.records {
+            assert!(rec.t_ms >= prev - 1e-9);
+            prev = rec.t_ms;
+        }
+    }
+
+    #[test]
+    fn no_capture_by_default() {
+        let r = run_flow(&clean_path(100.0, 2.0), &FlowConfig::default());
+        assert!(r.capture.records.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = FlowConfig {
+            duration_s: 3.0,
+            seed: 42,
+            ..Default::default()
+        };
+        let mut path = clean_path(100.0, 5.0);
+        path.fwd[1].loss = 0.01;
+        let a = run_flow(&path, &cfg);
+        let b = run_flow(&path, &cfg);
+        assert_eq!(a.delivered_bytes, b.delivered_bytes);
+        assert_eq!(a.retransmits, b.retransmits);
+    }
+
+    #[test]
+    fn token_pack_roundtrip() {
+        let t = Token {
+            conn: 513,
+            num: (1 << 40) + 12345,
+            is_ack: true,
+        };
+        let u = Token::unpack(t.pack());
+        assert_eq!(u.conn, t.conn);
+        assert_eq!(u.num, t.num);
+        assert_eq!(u.is_ack, t.is_ack);
+    }
+
+    #[test]
+    fn reno_and_cubic_both_work() {
+        for cc in [CongestionControl::Reno, CongestionControl::Cubic] {
+            let r = run_flow(
+                &clean_path(50.0, 10.0),
+                &FlowConfig {
+                    cc,
+                    duration_s: 4.0,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                r.throughput_mbps > 20.0,
+                "{cc:?}: {:.1} Mbps",
+                r.throughput_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_queue_causes_drops_and_recovery() {
+        let path = PathSpec::symmetric(vec![
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+            LinkSpec::new(20.0, 10.0, 6, 0.0), // shallow buffer
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+        ]);
+        let r = run_flow(
+            &path,
+            &FlowConfig {
+                duration_s: 5.0,
+                ..Default::default()
+            },
+        );
+        assert!(r.retransmits > 0, "shallow buffer must drop");
+        assert!(r.throughput_mbps > 8.0, "still makes progress");
+    }
+}

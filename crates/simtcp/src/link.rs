@@ -1,0 +1,220 @@
+//! Store-and-forward links with drop-tail queues and fault injection.
+//!
+//! A link serialises packets at a fixed rate, delays them by a fixed
+//! propagation time, holds at most `queue_pkts` packets (drop-tail), and
+//! can drop packets at random with a configured probability — the same
+//! fault-injection knob the smoltcp examples expose via `--drop-chance`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Static description of a unidirectional link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Serialisation rate in Mbps.
+    pub rate_mbps: f64,
+    /// One-way propagation delay in ms.
+    pub delay_ms: f64,
+    /// Drop-tail queue capacity in packets (excluding the one in service).
+    pub queue_pkts: usize,
+    /// Random loss probability applied per packet on top of queue drops.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// Validates and constructs a spec.
+    pub fn new(rate_mbps: f64, delay_ms: f64, queue_pkts: usize, loss: f64) -> Self {
+        assert!(rate_mbps > 0.0, "rate must be positive");
+        assert!(delay_ms >= 0.0, "delay must be nonnegative");
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        Self {
+            rate_mbps,
+            delay_ms,
+            queue_pkts,
+            loss,
+        }
+    }
+
+    /// Serialisation time for `bytes` in nanoseconds.
+    pub fn tx_time_ns(&self, bytes: usize) -> u64 {
+        ((bytes as f64 * 8.0) / self.rate_mbps * 1000.0).round() as u64
+    }
+
+    /// Propagation delay in nanoseconds.
+    pub fn prop_ns(&self) -> u64 {
+        (self.delay_ms * 1e6).round() as u64
+    }
+}
+
+/// Runtime state of a link: its queue and loss RNG.
+#[derive(Debug)]
+pub struct LinkState {
+    /// The static spec.
+    pub spec: LinkSpec,
+    /// Queued packet sizes (bytes), head first; does not include the
+    /// packet currently being serialised.
+    queue: std::collections::VecDeque<(usize, u64)>,
+    /// Whether a packet is in service.
+    busy: bool,
+    rng: SmallRng,
+    /// Counters for diagnostics.
+    pub drops_queue: u64,
+    /// Random (fault-injected) drops.
+    pub drops_random: u64,
+    /// Packets accepted for transmission.
+    pub accepted: u64,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Packet began service immediately; departure completes after the
+    /// returned number of nanoseconds (serialisation + propagation).
+    Transmit(u64),
+    /// Packet was queued behind others.
+    Queued,
+    /// Packet was dropped (queue overflow or random loss).
+    Dropped,
+}
+
+impl LinkState {
+    /// Creates link state with a per-link RNG seed.
+    pub fn new(spec: LinkSpec, seed: u64) -> Self {
+        Self {
+            spec,
+            queue: std::collections::VecDeque::new(),
+            busy: false,
+            rng: SmallRng::seed_from_u64(seed),
+            drops_queue: 0,
+            drops_random: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Offers a packet of `bytes` with opaque token `token` to the link.
+    pub fn offer(&mut self, bytes: usize, token: u64) -> Offer {
+        if self.spec.loss > 0.0 && self.rng.random::<f64>() < self.spec.loss {
+            self.drops_random += 1;
+            return Offer::Dropped;
+        }
+        if self.busy {
+            if self.queue.len() >= self.spec.queue_pkts {
+                self.drops_queue += 1;
+                return Offer::Dropped;
+            }
+            self.queue.push_back((bytes, token));
+            self.accepted += 1;
+            return Offer::Queued;
+        }
+        self.busy = true;
+        self.accepted += 1;
+        Offer::Transmit(self.spec.tx_time_ns(bytes) + self.spec.prop_ns())
+    }
+
+    /// Called when the in-service packet finishes serialisation; returns
+    /// the next queued packet `(bytes, token, total_delay_ns)` to put in
+    /// service, if any.
+    pub fn service_complete(&mut self) -> Option<(usize, u64, u64)> {
+        match self.queue.pop_front() {
+            Some((bytes, token)) => {
+                let delay = self.spec.tx_time_ns(bytes) + self.spec.prop_ns();
+                Some((bytes, token, delay))
+            }
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    /// Packets currently queued (excluding in-service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the link is serialising a packet.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_math() {
+        // 1500 bytes at 12 Mbps = 1 ms.
+        let s = LinkSpec::new(12.0, 0.0, 10, 0.0);
+        assert_eq!(s.tx_time_ns(1500), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn zero_rate_rejected() {
+        LinkSpec::new(0.0, 1.0, 1, 0.0);
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut l = LinkState::new(LinkSpec::new(100.0, 1.0, 4, 0.0), 1);
+        match l.offer(1000, 0) {
+            Offer::Transmit(ns) => {
+                // 1000 B at 100 Mbps = 80 µs; +1 ms propagation.
+                assert_eq!(ns, 80_000 + 1_000_000);
+            }
+            other => panic!("expected Transmit, got {other:?}"),
+        }
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut l = LinkState::new(LinkSpec::new(100.0, 0.0, 2, 0.0), 1);
+        assert!(matches!(l.offer(1000, 0), Offer::Transmit(_)));
+        assert_eq!(l.offer(1000, 1), Offer::Queued);
+        assert_eq!(l.offer(1000, 2), Offer::Queued);
+        assert_eq!(l.offer(1000, 3), Offer::Dropped);
+        assert_eq!(l.drops_queue, 1);
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn service_complete_drains_queue_in_order() {
+        let mut l = LinkState::new(LinkSpec::new(100.0, 0.0, 4, 0.0), 1);
+        l.offer(1000, 10);
+        l.offer(500, 11);
+        l.offer(250, 12);
+        let (b1, t1, _) = l.service_complete().unwrap();
+        assert_eq!((b1, t1), (500, 11));
+        let (b2, t2, _) = l.service_complete().unwrap();
+        assert_eq!((b2, t2), (250, 12));
+        assert!(l.service_complete().is_none());
+        assert!(!l.is_busy());
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_at_rate() {
+        let mut l = LinkState::new(LinkSpec::new(1000.0, 0.0, 1_000_000, 0.3), 7);
+        let mut dropped = 0;
+        for i in 0..10_000 {
+            if l.offer(100, i) == Offer::Dropped {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn loss_is_seed_deterministic() {
+        let run = |seed| {
+            let mut l = LinkState::new(LinkSpec::new(1000.0, 0.0, 10, 0.5), seed);
+            (0..64)
+                .map(|i| l.offer(100, i) == Offer::Dropped)
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

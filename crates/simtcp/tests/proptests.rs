@@ -1,0 +1,88 @@
+//! Property tests for the packet-level TCP simulator.
+
+use proptest::prelude::*;
+use simtcp::flow::{run_flow, FlowConfig, PathSpec};
+use simtcp::link::LinkSpec;
+use simtcp::tcp::{CongestionControl, TcpReceiver, TcpSender};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The receiver's delivery point never decreases and never exceeds
+    /// what was received, under arbitrary arrival orders.
+    #[test]
+    fn receiver_delivery_monotone(seqs in prop::collection::vec(0u64..64, 1..200)) {
+        let mut r = TcpReceiver::new();
+        let mut prev = 0;
+        for s in &seqs {
+            let ack = r.on_data(*s);
+            prop_assert!(ack >= prev, "cumulative ack regressed");
+            prev = ack;
+        }
+        // The delivery point is exactly the first missing index.
+        let present: std::collections::BTreeSet<u64> = seqs.iter().copied().collect();
+        let expected = (0..).find(|i| !present.contains(i)).unwrap();
+        prop_assert_eq!(r.delivered(), expected);
+    }
+
+    /// ACKing arbitrary prefixes never panics, never regresses snd_una,
+    /// and keeps the pipe within the window.
+    #[test]
+    fn sender_handles_arbitrary_ack_sequence(acks in prop::collection::vec(0u64..200, 1..100)) {
+        let mut s = TcpSender::new(CongestionControl::Reno);
+        let mut now = 0.0;
+        s.tick_send(now);
+        let mut prev_una = 0;
+        for a in acks {
+            now += 1.0;
+            s.on_ack(a, now);
+            prop_assert!(s.snd_una() >= prev_una);
+            prop_assert!(s.snd_una() <= s.next_seq());
+            prev_una = s.snd_una();
+        }
+    }
+
+    /// Timeouts at arbitrary times always leave a sane window.
+    #[test]
+    fn sender_survives_timeout_storms(events in prop::collection::vec(0u8..3, 1..60)) {
+        let mut s = TcpSender::new(CongestionControl::Cubic);
+        let mut now = 0.0;
+        for e in events {
+            now += 10.0;
+            match e {
+                0 => { s.tick_send(now); }
+                1 => { s.on_ack(s.snd_una() + 1, now); }
+                _ => { s.on_timeout(now); }
+            }
+            prop_assert!(s.cwnd() >= 1.0);
+            prop_assert!(s.rto_ms() >= 200.0 && s.rto_ms() <= 60_000.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whatever the (sane) path, a flow delivers data, never exceeds the
+    /// bottleneck by more than rounding, and is deterministic.
+    #[test]
+    fn flow_respects_bottleneck(
+        rate in 10.0..400.0f64,
+        delay in 0.5..40.0f64,
+        queue in 16usize..256,
+        loss in 0.0..0.05f64,
+        seed in 0u64..1000,
+    ) {
+        let path = PathSpec::symmetric(vec![
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+            LinkSpec::new(rate, delay, queue, loss),
+            LinkSpec::new(1000.0, 0.1, 256, 0.0),
+        ]);
+        let cfg = FlowConfig { duration_s: 2.0, seed, ..Default::default() };
+        let a = run_flow(&path, &cfg);
+        prop_assert!(a.throughput_mbps <= rate * 1.02, "exceeded bottleneck");
+        prop_assert!(a.delivered_bytes > 0, "made no progress");
+        let b = run_flow(&path, &cfg);
+        prop_assert_eq!(a.delivered_bytes, b.delivered_bytes, "nondeterministic");
+    }
+}

@@ -1,0 +1,30 @@
+//! Speed-test platforms, servers, the test client, and edge vantage
+//! points.
+//!
+//! CLASP measures throughput *through* third-party speed-test
+//! infrastructure: Ookla, Comcast Xfinity, and M-Lab servers deployed
+//! across access ISPs, hosting providers and research networks (§3.1).
+//! This crate models:
+//!
+//! * [`platform`] — the three platforms and their server deployments over
+//!   a `simnet` topology (counts and AS diversity matching the paper:
+//!   ~1.3 k US servers across ~800 ASes);
+//! * [`client`] — the browser-driven speed-test client: latency pre-test,
+//!   multi-connection download and upload with the VM-side `tc` caps, and
+//!   the result record a test's web interface would report;
+//! * [`packetize`] — converting a `simnet` router path into a `simtcp`
+//!   link path, so single tests can be replayed packet-by-packet;
+//! * [`vantage`] — Speedchecker-style edge vantage points for the
+//!   differential pre-test (latency to both network tiers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod packetize;
+pub mod platform;
+pub mod vantage;
+
+pub use client::{SpeedTestClient, TestResult};
+pub use platform::{Platform, Server, ServerRegistry};
+pub use vantage::{VantagePoint, VantageSet};

@@ -1,0 +1,167 @@
+//! Converting a `simnet` path into a `simtcp` packet-level path.
+//!
+//! The fluid model answers "what throughput would TCP get here" in
+//! microseconds; the packet simulator answers the same question in
+//! milliseconds of CPU but with full TCP dynamics. This bridge lets any
+//! single campaign measurement be replayed packet-by-packet — used for
+//! model validation (integration tests compare the two) and for the
+//! deep-dive example binaries.
+
+use simnet::perf::PerfModel;
+use simnet::routing::RouterPath;
+use simnet::time::SimTime;
+use simtcp::flow::PathSpec;
+use simtcp::link::LinkSpec;
+
+/// Builds a `simtcp` path for data flowing along `fwd` (with ACKs
+/// returning along `rev`) as the network stands at time `t`.
+///
+/// Each capacity-bearing segment becomes one link whose rate is the
+/// segment's *available* bandwidth at `t` and whose loss is the
+/// segment's loss rate at `t`; propagation is spread over the links so
+/// the end-to-end base RTT matches the fluid model's.
+pub fn packetize(
+    perf: &PerfModel<'_>,
+    fwd: &RouterPath,
+    rev: &RouterPath,
+    t: SimTime,
+    queue_pkts: usize,
+) -> PathSpec {
+    PathSpec {
+        fwd: segments_to_links(perf, fwd, t, queue_pkts),
+        rev: segments_to_links(perf, rev, t, queue_pkts),
+    }
+}
+
+fn segments_to_links(
+    perf: &PerfModel<'_>,
+    path: &RouterPath,
+    t: SimTime,
+    queue_pkts: usize,
+) -> Vec<LinkSpec> {
+    let n = path.segments.len().max(1);
+    let delay_per_link = path.oneway_ms / n as f64;
+    path.segments
+        .iter()
+        .map(|seg| {
+            let avail = perf.bottleneck_of_segment(seg, t);
+            let loss = perf.segment_loss(seg, t);
+            LinkSpec::new(avail.max(0.5), delay_per_link, queue_pkts, loss.min(0.9))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::load::LoadModel;
+    use simnet::perf::FlowSpec;
+    use simnet::routing::{Direction, Paths, Tier};
+    use simnet::topology::{Topology, TopologyConfig};
+    use simtcp::flow::{run_flow, FlowConfig};
+    use simtcp::tcp::CongestionControl;
+
+    #[test]
+    fn packet_level_agrees_with_fluid_model_within_factor_three() {
+        let topo = Topology::generate(TopologyConfig::tiny(81));
+        let paths = Paths::new(&topo);
+        let perf = PerfModel::new(&topo, LoadModel::new(8));
+        let region = topo.cities.by_name("The Dalles").unwrap();
+        let leaf = topo
+            .non_cloud_ases()
+            .find(|id| {
+                let n = topo.as_node(*id);
+                matches!(n.role, simnet::asn::AsRole::AccessIsp)
+                    && n.congestion == simnet::topology::CongestionClass::Clean
+                    && topo.cities.get(n.home_city).country == "US"
+            })
+            .unwrap();
+        let city = topo.as_node(leaf).home_city;
+        let ip = topo.host_ip(leaf, city, 0);
+        let vm = topo.vm_ip(region, 0);
+        let down = paths
+            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToCloud)
+            .unwrap();
+        let up = paths
+            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToServer)
+            .unwrap();
+        let t = SimTime::from_day_hour(2, 10);
+
+        let fluid = perf.tcp_throughput(&down, &up, t, &FlowSpec::download());
+        let spec = packetize(&perf, &down, &up, t, 512);
+        let pkt = run_flow(
+            &spec,
+            &FlowConfig {
+                cc: CongestionControl::Cubic,
+                n_connections: 8,
+                duration_s: 12.0,
+                ..Default::default()
+            },
+        );
+        let ratio = pkt.throughput_mbps / fluid.throughput_mbps.min(1000.0);
+        assert!(
+            (0.33..3.0).contains(&ratio),
+            "packet {:.0} Mbps vs fluid {:.0} Mbps (ratio {ratio:.2})",
+            pkt.throughput_mbps,
+            fluid.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn rtt_agreement() {
+        let topo = Topology::generate(TopologyConfig::tiny(82));
+        let paths = Paths::new(&topo);
+        let perf = PerfModel::new(&topo, LoadModel::new(8));
+        let region = topo.cities.by_name("Council Bluffs").unwrap();
+        let leaf = topo.non_cloud_ases().next().unwrap();
+        let city = topo.as_node(leaf).home_city;
+        let ip = topo.host_ip(leaf, city, 0);
+        let vm = topo.vm_ip(region, 0);
+        let down = paths
+            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToCloud)
+            .unwrap();
+        let up = paths
+            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToServer)
+            .unwrap();
+        let t = SimTime::from_day_hour(2, 9);
+        let fluid_rtt = perf.rtt_ms(&down, &up, t);
+        let spec = packetize(&perf, &down, &up, t, 512);
+        let pkt = run_flow(
+            &spec,
+            &FlowConfig {
+                duration_s: 4.0,
+                ..Default::default()
+            },
+        );
+        let srtt = pkt.srtt_ms.unwrap();
+        assert!(
+            srtt > fluid_rtt * 0.5 && srtt < fluid_rtt * 4.0 + 50.0,
+            "packet srtt {srtt:.1} vs fluid {fluid_rtt:.1}"
+        );
+    }
+
+    #[test]
+    fn links_match_segment_count() {
+        let topo = Topology::generate(TopologyConfig::tiny(83));
+        let paths = Paths::new(&topo);
+        let perf = PerfModel::new(&topo, LoadModel::new(8));
+        let region = topo.cities.by_name("The Dalles").unwrap();
+        let leaf = topo.non_cloud_ases().next().unwrap();
+        let city = topo.as_node(leaf).home_city;
+        let ip = topo.host_ip(leaf, city, 0);
+        let vm = topo.vm_ip(region, 0);
+        let down = paths
+            .vm_host_path(region, vm, leaf, city, ip, Tier::Standard, Direction::ToCloud)
+            .unwrap();
+        let up = paths
+            .vm_host_path(region, vm, leaf, city, ip, Tier::Standard, Direction::ToServer)
+            .unwrap();
+        let spec = packetize(&perf, &down, &up, SimTime::EPOCH, 64);
+        assert_eq!(spec.fwd.len(), down.segments.len());
+        assert_eq!(spec.rev.len(), up.segments.len());
+        for l in spec.fwd.iter().chain(&spec.rev) {
+            assert!(l.rate_mbps > 0.0);
+            assert!((0.0..=0.9).contains(&l.loss));
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Speed-test platforms and their server deployments.
+//!
+//! §3.1: "we used servers from three speed test platforms (Ookla, M-Lab,
+//! and Comcast Xfinity speed test) for their diverse server deployment
+//! and the ability to allow clients to choose test servers". The paper
+//! found ~1,300 US servers across ~800 ASes; Ookla dominates because ISPs
+//! self-host Ookla servers close to their users, M-Lab runs a small
+//! number of well-connected pods, and Xfinity servers live inside
+//! Comcast's network.
+//!
+//! [`ServerRegistry::crawl`] plays the role of CLASP's metadata crawl: it
+//! "generates" the deployment from the topology (deterministically) and
+//! returns the per-server metadata CLASP collects (IP, network name,
+//! location), which downstream selection maps to ASNs via prefix-to-AS.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simnet::asn::{AsRole, Asn};
+use simnet::geo::CityId;
+use simnet::topology::{AsId, Topology};
+use std::net::Ipv4Addr;
+
+/// A speed-test platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Ookla Speedtest: ISP-hosted servers everywhere.
+    Ookla,
+    /// Measurement Lab: a few research-grade pods.
+    MLab,
+    /// Comcast Xfinity speed test: servers inside Comcast.
+    Comcast,
+}
+
+impl Platform {
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Platform::Ookla => "ookla",
+            Platform::MLab => "mlab",
+            Platform::Comcast => "comcast",
+        }
+    }
+
+    /// Parallel TCP connections the platform's test uses.
+    pub fn connections(&self) -> u32 {
+        match self {
+            Platform::Ookla => 8,
+            Platform::MLab => 1, // NDT is single-stream
+            Platform::Comcast => 6,
+        }
+    }
+
+    /// Nominal duration of one direction's transfer, seconds.
+    pub fn transfer_seconds(&self) -> f64 {
+        match self {
+            Platform::Ookla => 15.0,
+            Platform::MLab => 10.0,
+            Platform::Comcast => 20.0,
+        }
+    }
+}
+
+/// One deployed speed-test server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Server {
+    /// Registry-unique identifier, e.g. `ookla-0412`.
+    pub id: String,
+    /// Hosting platform.
+    pub platform: Platform,
+    /// Sponsor string shown on the test page ("Cox - Las Vegas, NV").
+    pub sponsor: String,
+    /// Server address.
+    pub ip: Ipv4Addr,
+    /// Hosting AS (ground truth; CLASP re-derives it via prefix-to-AS).
+    pub as_id: AsId,
+    /// Hosting AS number.
+    pub asn: Asn,
+    /// Server city.
+    pub city: CityId,
+    /// Two-letter country code.
+    pub country: &'static str,
+    /// Advertised capacity in Gbps (Ookla requires ≥ 1 Gbps).
+    pub capacity_gbps: f64,
+}
+
+/// The crawled registry of all servers across platforms.
+#[derive(Debug, Clone)]
+pub struct ServerRegistry {
+    /// All servers, stable order.
+    pub servers: Vec<Server>,
+}
+
+impl ServerRegistry {
+    /// Crawls the three platforms over a topology. Deterministic in
+    /// `(topology, seed)`.
+    pub fn crawl(topo: &Topology, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_7e57);
+        let mut servers: Vec<Server> = Vec::new();
+        let mut host_idx_used: std::collections::HashMap<(AsId, CityId), u8> =
+            std::collections::HashMap::new();
+
+        let push = |servers: &mut Vec<Server>,
+                        host_idx_used: &mut std::collections::HashMap<(AsId, CityId), u8>,
+                        platform: Platform,
+                        as_id: AsId,
+                        city: CityId,
+                        rng: &mut SmallRng| {
+            let idx = host_idx_used.entry((as_id, city)).or_insert(1);
+            if *idx >= 15 {
+                return; // host block exhausted in this city
+            }
+            let ip = topo.host_ip(as_id, city, *idx);
+            *idx += 1;
+            let node = topo.as_node(as_id);
+            let city_info = topo.cities.get(city);
+            servers.push(Server {
+                id: format!("{}-{:04}", platform.label(), servers.len()),
+                platform,
+                sponsor: format!("{} - {}", node.name, city_info.name),
+                ip,
+                as_id,
+                asn: node.asn,
+                city,
+                country: city_info.country,
+                capacity_gbps: {
+                    // Ookla requires ≥1 Gbps; most sponsors provision the
+                    // minimum, a few run 10 GbE.
+                    let x: f64 = rng.random();
+                    if x < 0.55 {
+                        1.0
+                    } else if x < 0.80 {
+                        2.0
+                    } else if x < 0.92 {
+                        5.0
+                    } else {
+                        10.0
+                    }
+                },
+            });
+        };
+
+        for id in topo.non_cloud_ases() {
+            let node = topo.as_node(id);
+            let is_us = topo.cities.get(node.home_city).country == "US";
+            // How many Ookla servers this AS hosts, by role. These rates
+            // are tuned so the US total lands near the paper's 1,329
+            // servers in ~800 ASes.
+            let n_ookla: usize = match node.role {
+                AsRole::AccessIsp => {
+                    if rng.random::<f64>() < 0.88 {
+                        1 + usize::from(rng.random::<f64>() < 0.55)
+                            + usize::from(rng.random::<f64>() < 0.33)
+                    } else {
+                        0
+                    }
+                }
+                AsRole::Hosting => {
+                    if rng.random::<f64>() < 0.5 {
+                        1 + usize::from(rng.random::<f64>() < 0.4)
+                    } else {
+                        0
+                    }
+                }
+                AsRole::Education => usize::from(rng.random::<f64>() < 0.35),
+                AsRole::Business => usize::from(rng.random::<f64>() < 0.02),
+                AsRole::Transit => usize::from(rng.random::<f64>() < 0.4),
+                AsRole::Tier1 => 2,
+                AsRole::Cloud => 0,
+            };
+            for k in 0..n_ookla {
+                let city = node.cities[k % node.cities.len()];
+                push(&mut servers, &mut host_idx_used, Platform::Ookla, id, city, &mut rng);
+            }
+            let _ = is_us;
+        }
+
+        // M-Lab: pods in the largest metros, hosted in transit/hosting
+        // ASes present there.
+        let mlab_cities = [
+            "New York", "Chicago", "Dallas", "Los Angeles", "Seattle", "Atlanta",
+            "Denver", "Miami", "Washington", "San Jose", "London", "Frankfurt",
+            "Sydney", "Mumbai",
+        ];
+        for (ci, name) in mlab_cities.iter().enumerate() {
+            let Some(city) = topo.cities.by_name(name) else {
+                continue;
+            };
+            let hosts: Vec<AsId> = topo
+                .non_cloud_ases()
+                .filter(|id| {
+                    let n = topo.as_node(*id);
+                    matches!(n.role, AsRole::Transit | AsRole::Hosting)
+                        && n.cities.contains(&city)
+                })
+                .collect();
+            // Rotate across eligible hosts so no single transit carries
+            // every pod (a couple on Cogent is realistic; all of them is
+            // not).
+            if !hosts.is_empty() {
+                let h = hosts[ci % hosts.len()];
+                push(&mut servers, &mut host_idx_used, Platform::MLab, h, city, &mut rng);
+            }
+        }
+
+        // Comcast Xfinity: one server per Comcast city.
+        if let Some(comcast) = topo.by_asn(Asn(7922)) {
+            let cities: Vec<CityId> = topo.as_node(comcast).cities.clone();
+            for city in cities {
+                push(&mut servers, &mut host_idx_used, Platform::Comcast, comcast, city, &mut rng);
+            }
+        }
+
+        Self { servers }
+    }
+
+    /// Servers located in the given country.
+    pub fn in_country(&self, cc: &str) -> Vec<&Server> {
+        self.servers.iter().filter(|s| s.country == cc).collect()
+    }
+
+    /// Evolves the deployment: a deterministic fraction of servers is
+    /// decommissioned and `add` new servers appear at `<AS, city>` spots
+    /// that currently host none. §5 of the paper motivates this: "CLASP
+    /// cannot adapt to changes in the use of interdomain links and any
+    /// new deployment of speed test servers."
+    pub fn churned(
+        &self,
+        topo: &Topology,
+        seed: u64,
+        remove_fraction: f64,
+        add: usize,
+    ) -> ServerRegistry {
+        let keep_draw = |s: &Server| {
+            let h = simnet::routing::load_key(
+                b"churn",
+                seed ^ u64::from(u32::from(s.ip)),
+                0,
+            );
+            ((h >> 11) as f64 / (1u64 << 53) as f64) >= remove_fraction
+        };
+        let mut servers: Vec<Server> = self
+            .servers
+            .iter()
+            .filter(|s| keep_draw(s))
+            .cloned()
+            .collect();
+        let used: std::collections::BTreeSet<(u32, u16)> = self
+            .servers
+            .iter()
+            .map(|s| (s.as_id.0, s.city.0))
+            .collect();
+        let taken_ips: std::collections::BTreeSet<std::net::Ipv4Addr> =
+            servers.iter().map(|s| s.ip).collect();
+        let mut added = 0usize;
+        let mut counter = self.servers.len();
+        for id in topo.non_cloud_ases() {
+            if added >= add {
+                break;
+            }
+            let node = topo.as_node(id);
+            if !matches!(node.role, AsRole::AccessIsp | AsRole::Hosting) {
+                continue;
+            }
+            let cities = node.cities.clone();
+            for city in cities {
+                if added >= add {
+                    break;
+                }
+                if used.contains(&(id.0, city.0)) {
+                    continue;
+                }
+                // Deterministic sparse placement of new deployments.
+                let h = simnet::routing::load_key(
+                    b"churn-add",
+                    seed ^ id.0 as u64,
+                    city.0 as u64,
+                );
+                if h % 7 != 0 {
+                    continue;
+                }
+                let ip = topo.host_ip(id, city, 14);
+                if taken_ips.contains(&ip) {
+                    continue;
+                }
+                let city_info = topo.cities.get(city);
+                servers.push(Server {
+                    id: format!("ookla-n{counter:04}"),
+                    platform: Platform::Ookla,
+                    sponsor: format!("{} - {}", node.name, city_info.name),
+                    ip,
+                    as_id: id,
+                    asn: node.asn,
+                    city,
+                    country: city_info.country,
+                    capacity_gbps: 1.0,
+                });
+                counter += 1;
+                added += 1;
+            }
+        }
+        ServerRegistry { servers }
+    }
+
+    /// Number of distinct hosting ASes among `servers`.
+    pub fn distinct_ases(servers: &[&Server]) -> usize {
+        let mut ases: Vec<AsId> = servers.iter().map(|s| s.as_id).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        ases.len()
+    }
+
+    /// Looks up a server by id.
+    pub fn by_id(&self, id: &str) -> Option<&Server> {
+        self.servers.iter().find(|s| s.id == id)
+    }
+
+    /// Servers hosted in a given AS.
+    pub fn in_as(&self, as_id: AsId) -> Vec<&Server> {
+        self.servers.iter().filter(|s| s.as_id == as_id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::TopologyConfig;
+
+    fn full() -> (Topology, ServerRegistry) {
+        let topo = Topology::generate(TopologyConfig::default());
+        let reg = ServerRegistry::crawl(&topo, 1);
+        (topo, reg)
+    }
+
+    #[test]
+    fn us_deployment_matches_paper_scale() {
+        let (_, reg) = full();
+        let us = reg.in_country("US");
+        assert!(
+            (1_000..1_800).contains(&us.len()),
+            "US servers = {}",
+            us.len()
+        );
+        let ases = ServerRegistry::distinct_ases(&us);
+        assert!((550..1_100).contains(&ases), "US server ASes = {ases}");
+    }
+
+    #[test]
+    fn all_platforms_present() {
+        let (_, reg) = full();
+        for p in [Platform::Ookla, Platform::MLab, Platform::Comcast] {
+            assert!(
+                reg.servers.iter().any(|s| s.platform == p),
+                "{p:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn comcast_servers_live_in_comcast() {
+        let (topo, reg) = full();
+        let comcast = topo.by_asn(Asn(7922)).unwrap();
+        for s in reg.servers.iter().filter(|s| s.platform == Platform::Comcast) {
+            assert_eq!(s.as_id, comcast);
+        }
+    }
+
+    #[test]
+    fn server_ips_are_unique_and_owned() {
+        let (topo, reg) = full();
+        let mut ips: Vec<Ipv4Addr> = reg.servers.iter().map(|s| s.ip).collect();
+        let n = ips.len();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), n, "duplicate server IPs");
+        for s in reg.servers.iter().take(200) {
+            assert!(topo.originates(s.as_id, s.ip));
+        }
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let topo = Topology::generate(TopologyConfig::tiny(3));
+        let a = ServerRegistry::crawl(&topo, 9);
+        let b = ServerRegistry::crawl(&topo, 9);
+        assert_eq!(a.servers.len(), b.servers.len());
+        for (x, y) in a.servers.iter().zip(&b.servers) {
+            assert_eq!(x.ip, y.ip);
+            assert_eq!(x.id, y.id);
+        }
+    }
+
+    #[test]
+    fn capacity_meets_ookla_requirement() {
+        let (_, reg) = full();
+        assert!(reg.servers.iter().all(|s| s.capacity_gbps >= 1.0));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let (_, reg) = full();
+        let first = &reg.servers[0];
+        assert_eq!(reg.by_id(&first.id).unwrap().ip, first.ip);
+        assert!(reg.in_as(first.as_id).iter().any(|s| s.id == first.id));
+        assert!(reg.by_id("nope").is_none());
+    }
+
+    #[test]
+    fn churn_removes_and_adds_deterministically() {
+        let topo = Topology::generate(TopologyConfig::tiny(4));
+        let reg = ServerRegistry::crawl(&topo, 1);
+        let a = reg.churned(&topo, 9, 0.2, 10);
+        let b = reg.churned(&topo, 9, 0.2, 10);
+        assert_eq!(a.servers.len(), b.servers.len());
+        // Some removed, some added.
+        let old_ids: std::collections::BTreeSet<&str> =
+            reg.servers.iter().map(|s| s.id.as_str()).collect();
+        let removed = old_ids.len()
+            - a.servers
+                .iter()
+                .filter(|s| old_ids.contains(s.id.as_str()))
+                .count();
+        assert!(removed > 0, "20% churn must remove something");
+        let added = a
+            .servers
+            .iter()
+            .filter(|s| s.id.starts_with("ookla-n"))
+            .count();
+        assert!(added > 0 && added <= 10);
+        // IPs stay unique.
+        let mut ips: Vec<Ipv4Addr> = a.servers.iter().map(|s| s.ip).collect();
+        let n = ips.len();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), n);
+    }
+
+    #[test]
+    fn zero_churn_is_identity_plus_additions() {
+        let topo = Topology::generate(TopologyConfig::tiny(5));
+        let reg = ServerRegistry::crawl(&topo, 1);
+        let a = reg.churned(&topo, 3, 0.0, 0);
+        assert_eq!(a.servers.len(), reg.servers.len());
+    }
+
+    #[test]
+    fn platform_parameters() {
+        assert_eq!(Platform::MLab.connections(), 1);
+        assert!(Platform::Ookla.connections() > 1);
+        assert!(Platform::Comcast.transfer_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Autocorrelation analysis.
+//!
+//! §5 of the paper: "we will improve our congestion detection method
+//! using time series analysis approaches, such as autocorrelation [11]
+//! ... to capture changes and patterns in throughput and latency data".
+//! This module implements that extension: the sample autocorrelation
+//! function and a diurnal-periodicity detector built on it (a strong
+//! lag-24 peak in hourly throughput is the signature of time-of-day
+//! congestion, per Dhamdhere et al.'s interdomain congestion work the
+//! paper cites).
+
+/// Sample autocorrelation of `series` at `lag`.
+///
+/// ```
+/// // A perfectly periodic series correlates strongly at its period.
+/// let s: Vec<f64> = (0..96).map(|h| ((h % 24) as f64)).collect();
+/// let a24 = clasp_stats::autocorrelation(&s, 24).unwrap();
+/// assert!(a24 > 0.7);
+/// ```
+///
+/// Uses the biased estimator (normalising by `n`), which keeps the ACF
+/// positive semi-definite. Returns `None` when the series is shorter than
+/// `lag + 2` or has zero variance.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    let n = series.len();
+    if n < lag + 2 {
+        return None;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|v| (v - mean).powi(2)).sum();
+    if var <= 0.0 {
+        return None;
+    }
+    let cov: f64 = series[..n - lag]
+        .iter()
+        .zip(&series[lag..])
+        .map(|(a, b)| (a - mean) * (b - mean))
+        .sum();
+    Some(cov / var)
+}
+
+/// The autocorrelation function for lags `0..=max_lag`.
+pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag)
+        .map(|lag| autocorrelation(series, lag).unwrap_or(0.0))
+        .collect()
+}
+
+/// Diurnal-periodicity verdict for an hourly series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalSignal {
+    /// ACF at lag 24 (one local day).
+    pub acf_24: f64,
+    /// Mean ACF at the non-harmonic lags 6..18 (the "background").
+    pub background: f64,
+    /// Whether the lag-24 peak stands out of the background.
+    pub is_diurnal: bool,
+}
+
+/// Threshold by which the lag-24 autocorrelation must exceed the
+/// non-harmonic background to call a series diurnal.
+pub const DIURNAL_MARGIN: f64 = 0.15;
+
+/// Detects time-of-day structure in an hourly series: a clear ACF peak at
+/// lag 24 relative to intermediate lags.
+pub fn diurnal_signal(hourly: &[f64]) -> Option<DiurnalSignal> {
+    let acf_24 = autocorrelation(hourly, 24)?;
+    let mid: Vec<f64> = (6..=18)
+        .filter_map(|lag| autocorrelation(hourly, lag))
+        .collect();
+    if mid.is_empty() {
+        return None;
+    }
+    let background = mid.iter().sum::<f64>() / mid.len() as f64;
+    Some(DiurnalSignal {
+        acf_24,
+        background,
+        is_diurnal: acf_24 > background + DIURNAL_MARGIN && acf_24 > 0.2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sinusoid_24(days: usize, amp: f64, noise: f64) -> Vec<f64> {
+        (0..days * 24)
+            .map(|h| {
+                let phase = (h % 24) as f64 / 24.0 * std::f64::consts::TAU;
+                // Deterministic pseudo-noise.
+                let n = ((h * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                500.0 + amp * phase.sin() + noise * n
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let s = sinusoid_24(5, 100.0, 10.0);
+        assert!((autocorrelation(&s, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_or_flat_series_yield_none() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
+        assert_eq!(autocorrelation(&[3.0; 50], 1), None);
+    }
+
+    #[test]
+    fn periodic_series_peaks_at_period() {
+        let s = sinusoid_24(10, 150.0, 20.0);
+        let a24 = autocorrelation(&s, 24).unwrap();
+        let a11 = autocorrelation(&s, 11).unwrap();
+        assert!(a24 > 0.7, "acf24 = {a24}");
+        assert!(a24 > a11 + 0.5);
+    }
+
+    #[test]
+    fn acf_has_expected_length_and_bounds() {
+        let s = sinusoid_24(6, 80.0, 30.0);
+        let f = acf(&s, 48);
+        assert_eq!(f.len(), 49);
+        for v in &f {
+            assert!((-1.0001..=1.0001).contains(v));
+        }
+        assert!(f[48] > 0.3, "two-day lag echoes the period: {}", f[48]);
+    }
+
+    #[test]
+    fn diurnal_detector_flags_diurnal_series() {
+        let s = sinusoid_24(10, 150.0, 25.0);
+        let d = diurnal_signal(&s).unwrap();
+        assert!(d.is_diurnal, "{d:?}");
+        assert!(d.acf_24 > d.background);
+    }
+
+    #[test]
+    fn diurnal_detector_rejects_white_noise() {
+        let s: Vec<f64> = (0..240)
+            .map(|h| 400.0 + (((h * 2654435761u64 as usize) % 997) as f64 - 498.0))
+            .collect();
+        let d = diurnal_signal(&s).unwrap();
+        assert!(!d.is_diurnal, "{d:?}");
+    }
+
+    #[test]
+    fn diurnal_detector_rejects_trend_only() {
+        // A pure linear trend correlates at every lag — no 24h peak.
+        let s: Vec<f64> = (0..240).map(|h| h as f64).collect();
+        let d = diurnal_signal(&s).unwrap();
+        assert!(
+            !d.is_diurnal,
+            "trend must not read as diurnal: {d:?}"
+        );
+    }
+}

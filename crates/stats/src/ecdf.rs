@@ -1,0 +1,154 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Fig. 5 of the paper plots CDFs of the relative tier difference
+//! `Δ_m(S,t)`; this module provides the ECDF evaluated at arbitrary points
+//! plus an export of the step function for plotting.
+
+/// An empirical CDF built from a finite sample.
+///
+/// ```
+/// use clasp_stats::Ecdf;
+/// let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(e.eval(2.5), 0.5);
+/// assert_eq!(e.eval(4.0), 1.0);
+/// ```
+///
+/// The constructor sorts a copy of the sample once; evaluation is then a
+/// binary search, so evaluating the CDF at many points (as the plot
+/// renderers do) is cheap.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from `sample`. NaN values are dropped.
+    ///
+    /// Returns `None` when the sample contains no finite values.
+    pub fn new(sample: &[f64]) -> Option<Self> {
+        let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        Some(Self { sorted })
+    }
+
+    /// Number of (finite) observations backing the ECDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the ECDF holds no observations (never the case for a
+    /// successfully constructed value, kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we
+        // predicate on `v <= x` over a sorted slice.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of the sample strictly below `x`, i.e. `P(X < x)`.
+    pub fn eval_strict(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the step-function support points `(x_i, F(x_i))` suitable for
+    /// plotting; one point per distinct observation.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] == x {
+                j += 1;
+            }
+            out.push((x, j as f64 / n));
+            i = j;
+        }
+        out
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Inverse CDF by linear interpolation (used to sample display grids).
+    pub fn inverse(&self, q: f64) -> f64 {
+        crate::percentile::quantile_sorted(&self.sorted, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_or_all_nan_is_none() {
+        assert!(Ecdf::new(&[]).is_none());
+        assert!(Ecdf::new(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn eval_basic_steps() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn strict_vs_inclusive_at_atom() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.eval(1.0), 0.5);
+        assert_eq!(e.eval_strict(1.0), 0.0);
+    }
+
+    #[test]
+    fn nan_dropped_not_counted() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.eval(2.0), 0.5);
+    }
+
+    #[test]
+    fn steps_deduplicate() {
+        let e = Ecdf::new(&[2.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.steps(), vec![(1.0, 1.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn min_max_inverse() {
+        let e = Ecdf::new(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 5.0);
+        assert_eq!(e.inverse(0.5), 3.0);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let e = Ecdf::new(&[0.3, -1.2, 4.5, 2.2, 2.2]).unwrap();
+        let mut prev = 0.0;
+        for i in -20..=60 {
+            let f = e.eval(i as f64 / 10.0);
+            assert!(f >= prev, "ECDF must be monotone");
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Elbow-point detection on monotone curves.
+//!
+//! §3.3 of the paper: "We applies the elbow method to locate a cut-off
+//! point that would label a reasonable portion (<30%) of VM-server days
+//! (s-days) and hours (s-hours) as congested by varying H." The authors
+//! sweep the variability threshold `H` from 0 to 1, look at the fraction of
+//! s-days labelled congested, and pick the knee of that curve (H = 0.5).
+//!
+//! We implement the standard maximum-distance-to-chord method (the core of
+//! the "Kneedle" algorithm): normalise the curve to the unit square, draw
+//! the chord between the first and last points, and return the index whose
+//! perpendicular distance to the chord is largest.
+
+/// Returns the index of the elbow (knee) of the curve `(xs[i], ys[i])`.
+///
+/// The curve is expected to be sampled on increasing `xs`. Returns `None`
+/// when fewer than three points are given, when lengths differ, or when the
+/// curve is completely flat in either axis (no elbow exists).
+pub fn elbow_index(xs: &[f64], ys: &[f64]) -> Option<usize> {
+    if xs.len() != ys.len() || xs.len() < 3 {
+        return None;
+    }
+    let (x0, xn) = (xs[0], xs[xs.len() - 1]);
+    let (y0, yn) = (ys[0], ys[ys.len() - 1]);
+    let dx = xn - x0;
+    let dy = yn - y0;
+    if dx == 0.0 || dy == 0.0 {
+        return None;
+    }
+
+    // Normalise into the unit square so the chord distance is scale-free.
+    let mut best = (0.0_f64, None);
+    for i in 1..xs.len() - 1 {
+        let u = (xs[i] - x0) / dx;
+        let v = (ys[i] - y0) / dy;
+        // Perpendicular distance from (u, v) to the chord (0,0)-(1,1) is
+        // |u - v| / sqrt(2); the constant factor does not affect argmax.
+        let d = (u - v).abs();
+        if d > best.0 {
+            best = (d, Some(i));
+        }
+    }
+    best.1
+}
+
+/// Convenience wrapper: sweep a labelling function over thresholds and
+/// return `(threshold, fraction)` pairs plus the detected elbow threshold.
+///
+/// `fraction_at` maps a threshold to the fraction of items labelled
+/// positive at that threshold; the paper's use is
+/// "fraction of s-days with V(s,d) > H".
+pub fn threshold_sweep<F>(
+    thresholds: &[f64],
+    mut fraction_at: F,
+) -> (Vec<(f64, f64)>, Option<f64>)
+where
+    F: FnMut(f64) -> f64,
+{
+    let curve: Vec<(f64, f64)> = thresholds.iter().map(|&h| (h, fraction_at(h))).collect();
+    let xs: Vec<f64> = curve.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = curve.iter().map(|p| p.1).collect();
+    let elbow = elbow_index(&xs, &ys).map(|i| xs[i]);
+    (curve, elbow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_short_or_mismatched() {
+        assert_eq!(elbow_index(&[0.0, 1.0], &[1.0, 0.0]), None);
+        assert_eq!(elbow_index(&[0.0, 0.5, 1.0], &[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn flat_curve_has_no_elbow() {
+        assert_eq!(elbow_index(&[0.0, 0.5, 1.0], &[1.0, 1.0, 1.0]), None);
+        assert_eq!(elbow_index(&[1.0, 1.0, 1.0], &[0.0, 0.5, 1.0]), None);
+    }
+
+    #[test]
+    fn sharp_knee_is_found() {
+        // y stays ~1 until x = 0.5 then collapses: elbow at the drop.
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 0.5 { 1.0 - 0.05 * x } else { 0.5 - x })
+            .collect();
+        let idx = elbow_index(&xs, &ys).unwrap();
+        assert!(
+            (4..=6).contains(&idx),
+            "elbow at {idx} (x = {})",
+            xs[idx]
+        );
+    }
+
+    #[test]
+    fn exponential_decay_knee() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (-8.0 * x).exp()).collect();
+        let idx = elbow_index(&xs, &ys).unwrap();
+        // Analytic knee of e^(-8x) against the chord is near x = ln(8)/8 ≈ 0.26.
+        assert!((0.1..0.45).contains(&xs[idx]), "x = {}", xs[idx]);
+    }
+
+    #[test]
+    fn straight_line_distance_is_tiny() {
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        // A perfectly straight line still returns *an* index (ties broken by
+        // first max) but every interior distance is ~0; the function's
+        // contract is argmax, so we just require it not to panic.
+        let _ = elbow_index(&xs, &ys);
+    }
+
+    #[test]
+    fn sweep_reports_curve_and_elbow() {
+        let thresholds: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+        let (curve, elbow) = threshold_sweep(&thresholds, |h| (-6.0 * h).exp());
+        assert_eq!(curve.len(), 21);
+        let h = elbow.unwrap();
+        assert!((0.1..0.6).contains(&h), "elbow h = {h}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Fixed-width histograms.
+//!
+//! Used for the hour-of-day congestion probability profiles (Fig. 6): 24
+//! bins, each accumulating "congestion events in the hour" over
+//! "measurements in the hour".
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets.
+///
+/// Values outside the range are counted in saturating edge buckets when
+/// `clamp` is enabled, otherwise dropped (and counted as `out_of_range`).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    out_of_range: u64,
+    clamp: bool,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width buckets.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            out_of_range: 0,
+            clamp: false,
+        }
+    }
+
+    /// Enables clamping: out-of-range values land in the edge buckets.
+    pub fn clamped(mut self) -> Self {
+        self.clamp = true;
+        self
+    }
+
+    /// Bucket index for `x`, if in range (or clamped).
+    fn index_of(&self, x: f64) -> Option<usize> {
+        if x.is_nan() {
+            return None;
+        }
+        let n = self.counts.len();
+        if x < self.lo {
+            return self.clamp.then_some(0);
+        }
+        if x >= self.hi {
+            return self.clamp.then_some(n - 1);
+        }
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        Some(((frac * n as f64) as usize).min(n - 1))
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        match self.index_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.out_of_range += 1,
+        }
+    }
+
+    /// Adds `w` observations at `x`.
+    pub fn add_n(&mut self, x: f64, w: u64) {
+        match self.index_of(x) {
+            Some(i) => self.counts[i] += w,
+            None => self.out_of_range += w,
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations that fell outside `[lo, hi)` (zero when clamped).
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Total observations recorded in buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let n = self.counts.len();
+        let w = (self.hi - self.lo) / n as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Normalised bucket frequencies (empty histogram yields all-zero).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Ratio-of-histograms helper: per-bucket `events / trials`, with empty
+/// buckets reported as 0. This is exactly the paper's hourly congestion
+/// probability (# congestion events in the hour / # measurements).
+pub fn bucket_probability(events: &Histogram, trials: &Histogram) -> Vec<f64> {
+    assert_eq!(
+        events.counts.len(),
+        trials.counts.len(),
+        "histograms must have the same shape"
+    );
+    events
+        .counts
+        .iter()
+        .zip(&trials.counts)
+        .map(|(&e, &t)| if t == 0 { 0.0 } else { e as f64 / t as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert_eq!(h.counts(), &[1; 10]);
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn upper_edge_is_exclusive() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(10.0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.out_of_range(), 1);
+    }
+
+    #[test]
+    fn clamped_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10).clamped();
+        h.add(-5.0);
+        h.add(15.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.out_of_range(), 0);
+    }
+
+    #[test]
+    fn nan_never_counted_even_clamped() {
+        let mut h = Histogram::new(0.0, 1.0, 2).clamped();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.out_of_range(), 1);
+    }
+
+    #[test]
+    fn weighted_add() {
+        let mut h = Histogram::new(0.0, 24.0, 24);
+        h.add_n(13.2, 7);
+        assert_eq!(h.counts()[13], 7);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.centers().iter().map(|p| p.0).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        for i in 0..50 {
+            h.add((i % 5) as f64 / 5.0 + 0.01);
+        }
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_frequencies_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.frequencies(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hourly_probability_ratio() {
+        let mut events = Histogram::new(0.0, 24.0, 24);
+        let mut trials = Histogram::new(0.0, 24.0, 24);
+        for hour in 0..24 {
+            trials.add_n(hour as f64 + 0.5, 10);
+        }
+        events.add_n(20.5, 3); // evening congestion
+        let p = bucket_probability(&events, &trials);
+        assert_eq!(p[20], 0.3);
+        assert_eq!(p[3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn probability_shape_mismatch_panics() {
+        let a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 1.0, 3);
+        bucket_probability(&a, &b);
+    }
+}

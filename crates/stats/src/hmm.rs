@@ -1,0 +1,329 @@
+//! A two-state Gaussian hidden Markov model.
+//!
+//! The second §5 extension: "hidden Markov model [28] to capture changes
+//! and patterns in throughput and latency data to detect different types
+//! of congestion events" (the paper cites Mouchet et al.'s HMM RTT
+//! characterisation). This is a small, dependency-free implementation of
+//! a 2-state Gaussian HMM — states ≈ {uncongested, congested} — with
+//! Baum–Welch training (in log space) and Viterbi decoding. The
+//! `clasp-core` congestion module layers the congestion semantics on top.
+
+/// Model parameters for `K = 2` states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianHmm {
+    /// Initial state distribution (length 2).
+    pub pi: [f64; 2],
+    /// Transition matrix, `trans[i][j] = P(j at t+1 | i at t)`.
+    pub trans: [[f64; 2]; 2],
+    /// Per-state emission mean.
+    pub mean: [f64; 2],
+    /// Per-state emission standard deviation (floored).
+    pub std: [f64; 2],
+}
+
+const STD_FLOOR: f64 = 1e-3;
+const LOG_EPS: f64 = -1e12;
+
+fn ln_gauss(x: f64, mean: f64, std: f64) -> f64 {
+    let s = std.max(STD_FLOOR);
+    let z = (x - mean) / s;
+    -0.5 * z * z - s.ln() - 0.918_938_533_204_672_7 // ln(sqrt(2π))
+}
+
+fn ln_sum_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let m = a.max(b);
+    m + ((a - m).exp() + (b - m).exp()).ln()
+}
+
+impl GaussianHmm {
+    /// A data-driven starting point: state 0 around the upper third of
+    /// the sample, state 1 around the lower third, sticky transitions.
+    pub fn init_from(data: &[f64]) -> Option<Self> {
+        if data.len() < 4 {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+        let hi = crate::percentile::quantile_sorted(&sorted, 0.75);
+        let lo = crate::percentile::quantile_sorted(&sorted, 0.25);
+        if !(hi > lo) {
+            return None; // degenerate sample
+        }
+        let spread = ((hi - lo) / 2.0).max(STD_FLOOR);
+        Some(Self {
+            pi: [0.9, 0.1],
+            trans: [[0.9, 0.1], [0.2, 0.8]],
+            mean: [hi, lo],
+            std: [spread, spread],
+        })
+    }
+
+    /// Log-likelihood of `data` under the model (forward algorithm).
+    pub fn log_likelihood(&self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut alpha = [
+            self.pi[0].max(1e-300).ln() + ln_gauss(data[0], self.mean[0], self.std[0]),
+            self.pi[1].max(1e-300).ln() + ln_gauss(data[0], self.mean[1], self.std[1]),
+        ];
+        for &x in &data[1..] {
+            let mut next = [LOG_EPS; 2];
+            for j in 0..2 {
+                let from0 = alpha[0] + self.trans[0][j].max(1e-300).ln();
+                let from1 = alpha[1] + self.trans[1][j].max(1e-300).ln();
+                next[j] = ln_sum_exp(from0, from1) + ln_gauss(x, self.mean[j], self.std[j]);
+            }
+            alpha = next;
+        }
+        ln_sum_exp(alpha[0], alpha[1])
+    }
+
+    /// One Baum–Welch iteration; returns the updated model and the
+    /// pre-update log-likelihood.
+    fn em_step(&self, data: &[f64]) -> (Self, f64) {
+        let n = data.len();
+        // Forward (log).
+        let mut alpha = vec![[LOG_EPS; 2]; n];
+        for j in 0..2 {
+            alpha[0][j] =
+                self.pi[j].max(1e-300).ln() + ln_gauss(data[0], self.mean[j], self.std[j]);
+        }
+        for t in 1..n {
+            for j in 0..2 {
+                let a = alpha[t - 1][0] + self.trans[0][j].max(1e-300).ln();
+                let b = alpha[t - 1][1] + self.trans[1][j].max(1e-300).ln();
+                alpha[t][j] = ln_sum_exp(a, b) + ln_gauss(data[t], self.mean[j], self.std[j]);
+            }
+        }
+        let ll = ln_sum_exp(alpha[n - 1][0], alpha[n - 1][1]);
+
+        // Backward (log).
+        let mut beta = vec![[0.0f64; 2]; n];
+        for t in (0..n - 1).rev() {
+            for i in 0..2 {
+                let a = self.trans[i][0].max(1e-300).ln()
+                    + ln_gauss(data[t + 1], self.mean[0], self.std[0])
+                    + beta[t + 1][0];
+                let b = self.trans[i][1].max(1e-300).ln()
+                    + ln_gauss(data[t + 1], self.mean[1], self.std[1])
+                    + beta[t + 1][1];
+                beta[t][i] = ln_sum_exp(a, b);
+            }
+        }
+
+        // Posteriors.
+        let mut gamma = vec![[0.0f64; 2]; n];
+        for t in 0..n {
+            let g0 = alpha[t][0] + beta[t][0] - ll;
+            let g1 = alpha[t][1] + beta[t][1] - ll;
+            let norm = ln_sum_exp(g0, g1);
+            gamma[t] = [(g0 - norm).exp(), (g1 - norm).exp()];
+        }
+        // Expected transitions.
+        let mut xi_sum = [[0.0f64; 2]; 2];
+        for t in 0..n - 1 {
+            let mut xis = [[LOG_EPS; 2]; 2];
+            let mut norm = f64::NEG_INFINITY;
+            for i in 0..2 {
+                for j in 0..2 {
+                    xis[i][j] = alpha[t][i]
+                        + self.trans[i][j].max(1e-300).ln()
+                        + ln_gauss(data[t + 1], self.mean[j], self.std[j])
+                        + beta[t + 1][j];
+                    norm = ln_sum_exp(norm, xis[i][j]);
+                }
+            }
+            for i in 0..2 {
+                for j in 0..2 {
+                    xi_sum[i][j] += (xis[i][j] - norm).exp();
+                }
+            }
+        }
+
+        // Re-estimate.
+        let mut new = self.clone();
+        new.pi = [gamma[0][0].max(1e-6), gamma[0][1].max(1e-6)];
+        let pin = new.pi[0] + new.pi[1];
+        new.pi = [new.pi[0] / pin, new.pi[1] / pin];
+        for i in 0..2 {
+            let denom: f64 = (0..n - 1).map(|t| gamma[t][i]).sum::<f64>().max(1e-9);
+            for j in 0..2 {
+                new.trans[i][j] = (xi_sum[i][j] / denom).clamp(1e-4, 1.0);
+            }
+            let row = new.trans[i][0] + new.trans[i][1];
+            new.trans[i] = [new.trans[i][0] / row, new.trans[i][1] / row];
+
+            let weight: f64 = (0..n).map(|t| gamma[t][i]).sum::<f64>().max(1e-9);
+            let mean: f64 = (0..n).map(|t| gamma[t][i] * data[t]).sum::<f64>() / weight;
+            let var: f64 = (0..n)
+                .map(|t| gamma[t][i] * (data[t] - mean).powi(2))
+                .sum::<f64>()
+                / weight;
+            new.mean[i] = mean;
+            new.std[i] = var.sqrt().max(STD_FLOOR);
+        }
+        (new, ll)
+    }
+
+    /// Trains with Baum–Welch until the log-likelihood improves by less
+    /// than `tol` or `max_iters` is reached. Returns the trained model
+    /// and the final log-likelihood.
+    pub fn train(data: &[f64], max_iters: usize, tol: f64) -> Option<(Self, f64)> {
+        let mut model = Self::init_from(data)?;
+        let mut last_ll = f64::NEG_INFINITY;
+        for _ in 0..max_iters {
+            let (next, ll) = model.em_step(data);
+            model = next;
+            if (ll - last_ll).abs() < tol {
+                last_ll = ll;
+                break;
+            }
+            last_ll = ll;
+        }
+        Some((model, last_ll))
+    }
+
+    /// Viterbi decoding: the most likely state sequence (0 = the
+    /// higher-mean state by construction of [`Self::init_from`], though
+    /// training may swap them — use [`Self::low_state`] to identify the
+    /// congested one).
+    pub fn viterbi(&self, data: &[f64]) -> Vec<u8> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let n = data.len();
+        let mut delta = vec![[LOG_EPS; 2]; n];
+        let mut psi = vec![[0u8; 2]; n];
+        for j in 0..2 {
+            delta[0][j] =
+                self.pi[j].max(1e-300).ln() + ln_gauss(data[0], self.mean[j], self.std[j]);
+        }
+        for t in 1..n {
+            for j in 0..2 {
+                let via0 = delta[t - 1][0] + self.trans[0][j].max(1e-300).ln();
+                let via1 = delta[t - 1][1] + self.trans[1][j].max(1e-300).ln();
+                let (best, arg) = if via0 >= via1 { (via0, 0) } else { (via1, 1) };
+                delta[t][j] = best + ln_gauss(data[t], self.mean[j], self.std[j]);
+                psi[t][j] = arg;
+            }
+        }
+        let mut states = vec![0u8; n];
+        states[n - 1] = u8::from(delta[n - 1][1] > delta[n - 1][0]);
+        for t in (0..n - 1).rev() {
+            states[t] = psi[t + 1][states[t + 1] as usize];
+        }
+        states
+    }
+
+    /// Index of the lower-mean state (the "congested" one for throughput
+    /// observations).
+    pub fn low_state(&self) -> u8 {
+        u8::from(self.mean[1] < self.mean[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A series that sits around `hi` but dips to `lo` for the given
+    /// hour ranges each day.
+    fn dipping_series(days: usize, hi: f64, lo: f64, dip: std::ops::Range<usize>) -> Vec<f64> {
+        (0..days * 24)
+            .map(|h| {
+                let hour = h % 24;
+                let n = (((h * 48271) % 997) as f64 / 997.0 - 0.5) * 0.06;
+                if dip.contains(&hour) {
+                    lo * (1.0 + n)
+                } else {
+                    hi * (1.0 + n)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn init_requires_spread() {
+        assert!(GaussianHmm::init_from(&[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(GaussianHmm::init_from(&[1.0, 2.0]).is_none());
+        assert!(GaussianHmm::init_from(&[1.0, 2.0, 3.0, 4.0]).is_some());
+    }
+
+    #[test]
+    fn training_improves_likelihood() {
+        let data = dipping_series(10, 500.0, 120.0, 19..23);
+        let init = GaussianHmm::init_from(&data).unwrap();
+        let ll0 = init.log_likelihood(&data);
+        let (trained, ll1) = GaussianHmm::train(&data, 30, 1e-4).unwrap();
+        assert!(ll1 >= ll0, "EM must not decrease likelihood: {ll0} → {ll1}");
+        assert!(trained.std[0] > 0.0 && trained.std[1] > 0.0);
+    }
+
+    #[test]
+    fn trained_means_separate_the_modes() {
+        let data = dipping_series(10, 500.0, 120.0, 19..23);
+        let (m, _) = GaussianHmm::train(&data, 40, 1e-4).unwrap();
+        let lo = m.mean[m.low_state() as usize];
+        let hi = m.mean[1 - m.low_state() as usize];
+        assert!((100.0..200.0).contains(&lo), "low mean {lo}");
+        assert!((420.0..580.0).contains(&hi), "high mean {hi}");
+    }
+
+    #[test]
+    fn viterbi_recovers_the_dips() {
+        let data = dipping_series(8, 500.0, 120.0, 19..23);
+        let (m, _) = GaussianHmm::train(&data, 40, 1e-4).unwrap();
+        let states = m.viterbi(&data);
+        let low = m.low_state();
+        let mut correct = 0;
+        for (h, s) in states.iter().enumerate() {
+            let hour = h % 24;
+            let should_dip = (19..23).contains(&hour);
+            if (*s == low) == should_dip {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / states.len() as f64;
+        assert!(acc > 0.95, "viterbi accuracy = {acc}");
+    }
+
+    #[test]
+    fn flat_series_yields_one_dominant_state() {
+        // Noise-only series: viterbi should not flap between states
+        // constantly once trained.
+        let data: Vec<f64> = (0..300)
+            .map(|h| 400.0 + (((h * 48271) % 997) as f64 / 997.0 - 0.5) * 8.0)
+            .collect();
+        if let Some((m, _)) = GaussianHmm::train(&data, 30, 1e-4) {
+            let states = m.viterbi(&data);
+            let flips = states.windows(2).filter(|w| w[0] != w[1]).count();
+            assert!(flips < states.len() / 4, "{flips} flips");
+        }
+    }
+
+    #[test]
+    fn log_likelihood_prefers_matching_model() {
+        let data = dipping_series(6, 500.0, 120.0, 19..23);
+        let (good, _) = GaussianHmm::train(&data, 30, 1e-4).unwrap();
+        let bad = GaussianHmm {
+            pi: [0.5, 0.5],
+            trans: [[0.5, 0.5], [0.5, 0.5]],
+            mean: [50.0, 60.0],
+            std: [1.0, 1.0],
+        };
+        assert!(good.log_likelihood(&data) > bad.log_likelihood(&data));
+    }
+
+    #[test]
+    fn viterbi_empty_input() {
+        let m = GaussianHmm::init_from(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(m.viterbi(&[]).is_empty());
+    }
+}

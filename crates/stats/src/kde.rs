@@ -1,0 +1,169 @@
+//! Gaussian kernel density estimation.
+//!
+//! Fig. 4 of the paper decorates each scatter plot with "the kernel density
+//! of throughput and latency" along the axes. This module provides a plain
+//! Gaussian KDE with Silverman's rule-of-thumb bandwidth, which is what the
+//! common plotting stacks (seaborn/matplotlib) default to.
+
+/// A Gaussian kernel density estimator over a one-dimensional sample.
+#[derive(Debug, Clone)]
+pub struct GaussianKde {
+    sample: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Builds a KDE with Silverman's rule-of-thumb bandwidth
+    /// `0.9 * min(sigma, IQR/1.34) * n^(-1/5)`.
+    ///
+    /// NaN values are dropped. Returns `None` when fewer than two finite
+    /// observations remain or when the sample is degenerate (zero spread),
+    /// in which case a density estimate is meaningless.
+    pub fn new(sample: &[f64]) -> Option<Self> {
+        let clean: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        if clean.len() < 2 {
+            return None;
+        }
+        let n = clean.len() as f64;
+        let mean = clean.iter().sum::<f64>() / n;
+        let var = clean.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let sigma = var.sqrt();
+
+        let mut sorted = clean.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let iqr = crate::percentile::quantile_sorted(&sorted, 0.75)
+            - crate::percentile::quantile_sorted(&sorted, 0.25);
+
+        let spread = if iqr > 0.0 {
+            sigma.min(iqr / 1.34)
+        } else {
+            sigma
+        };
+        if spread <= 0.0 {
+            return None;
+        }
+        let bandwidth = 0.9 * spread * n.powf(-0.2);
+        Some(Self {
+            sample: clean,
+            bandwidth,
+        })
+    }
+
+    /// Builds a KDE with an explicit bandwidth (must be positive and finite).
+    pub fn with_bandwidth(sample: &[f64], bandwidth: f64) -> Option<Self> {
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return None;
+        }
+        let clean: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        if clean.is_empty() {
+            return None;
+        }
+        Some(Self {
+            sample: clean,
+            bandwidth,
+        })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Evaluates the density estimate at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+        let h = self.bandwidth;
+        let n = self.sample.len() as f64;
+        let sum: f64 = self
+            .sample
+            .iter()
+            .map(|&xi| {
+                let u = (x - xi) / h;
+                (-0.5 * u * u).exp()
+            })
+            .sum();
+        sum * INV_SQRT_2PI / (n * h)
+    }
+
+    /// Evaluates the density on an evenly spaced grid of `points` values
+    /// spanning `[lo, hi]`; returns `(x, density)` pairs for plotting.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "grid needs at least two points");
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_samples_rejected() {
+        assert!(GaussianKde::new(&[]).is_none());
+        assert!(GaussianKde::new(&[1.0]).is_none());
+        assert!(GaussianKde::new(&[2.0, 2.0, 2.0]).is_none());
+        assert!(GaussianKde::new(&[f64::NAN, 1.0]).is_none());
+    }
+
+    #[test]
+    fn explicit_bandwidth_validation() {
+        assert!(GaussianKde::with_bandwidth(&[1.0], 0.0).is_none());
+        assert!(GaussianKde::with_bandwidth(&[1.0], f64::NAN).is_none());
+        assert!(GaussianKde::with_bandwidth(&[1.0], 1.0).is_some());
+    }
+
+    #[test]
+    fn density_peaks_near_data() {
+        let kde = GaussianKde::new(&[0.0, 0.1, -0.1, 0.05, -0.05]).unwrap();
+        assert!(kde.eval(0.0) > kde.eval(1.0));
+        assert!(kde.eval(0.0) > kde.eval(-1.0));
+    }
+
+    #[test]
+    fn density_is_nonnegative_everywhere() {
+        let kde = GaussianKde::new(&[1.0, 5.0, 9.0]).unwrap();
+        for i in -100..200 {
+            assert!(kde.eval(i as f64 / 10.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn integrates_to_about_one() {
+        let kde = GaussianKde::new(&[0.0, 1.0, 2.0, 3.0, 4.0]).unwrap();
+        // Trapezoid rule over a wide window.
+        let grid = kde.grid(-20.0, 24.0, 4401);
+        let mut integral = 0.0;
+        for w in grid.windows(2) {
+            integral += 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0);
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn bimodal_sample_has_two_modes() {
+        let mut s = vec![];
+        for i in 0..50 {
+            s.push(i as f64 * 0.01); // cluster at ~0
+            s.push(10.0 + i as f64 * 0.01); // cluster at ~10
+        }
+        let kde = GaussianKde::new(&s).unwrap();
+        let trough = kde.eval(5.0);
+        assert!(kde.eval(0.25) > trough * 2.0);
+        assert!(kde.eval(10.25) > trough * 2.0);
+    }
+
+    #[test]
+    fn grid_endpoints_and_length() {
+        let kde = GaussianKde::new(&[0.0, 1.0]).unwrap();
+        let g = kde.grid(-1.0, 2.0, 4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0].0, -1.0);
+        assert_eq!(g[3].0, 2.0);
+    }
+}

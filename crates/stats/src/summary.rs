@@ -1,0 +1,204 @@
+//! Streaming summary statistics.
+//!
+//! Welford's online algorithm for mean/variance plus running extrema. The
+//! campaign pipeline keeps one `Summary` per (VM, server, day) to compute
+//! the peak-to-trough variability `V(s,d)` without retaining raw samples.
+
+/// Online mean / variance / min / max accumulator (Welford).
+///
+/// ```
+/// use clasp_stats::Summary;
+/// // A day of throughput samples: V(s,d) = (max-min)/max.
+/// let day: Summary = [400.0, 380.0, 120.0, 390.0].into_iter().collect();
+/// assert_eq!(day.normalized_variability(), Some(0.7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation. NaN observations are ignored.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations accumulated.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n−1 denominator); `None` with fewer than two points.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Peak-to-trough range `max − min`; `None` when empty.
+    pub fn range(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.max - self.min)
+    }
+
+    /// The paper's normalised peak-to-trough variability
+    /// `V = (max − min) / max` (§3.3). `None` when empty or when the peak
+    /// is not positive (throughput of 0 for a whole day carries no
+    /// variability signal).
+    pub fn normalized_variability(&self) -> Option<f64> {
+        if self.n == 0 || self.max <= 0.0 {
+            return None;
+        }
+        Some((self.max - self.min) / self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.normalized_variability(), None);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: Summary = [5.0].into_iter().collect();
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.range(), Some(0.0));
+        assert_eq!(s.normalized_variability(), Some(0.0));
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance of that classic set is 32/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_is_skipped() {
+        let s: Summary = [1.0, f64::NAN, 3.0].into_iter().collect();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn variability_matches_formula() {
+        let s: Summary = [100.0, 400.0, 250.0].into_iter().collect();
+        assert!((s.normalized_variability().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variability_none_for_nonpositive_peak() {
+        let s: Summary = [0.0, 0.0].into_iter().collect();
+        assert_eq!(s.normalized_variability(), None);
+        let s: Summary = [-3.0, -1.0].into_iter().collect();
+        assert_eq!(s.normalized_variability(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let all: Summary = data.into_iter().collect();
+        let mut a: Summary = data[..4].iter().copied().collect();
+        let b: Summary = data[4..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 2);
+        let mut e = Summary::new();
+        let b: Summary = [1.0, 2.0].into_iter().collect();
+        e.merge(&b);
+        assert_eq!(e.mean(), Some(1.5));
+    }
+}

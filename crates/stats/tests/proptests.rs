@@ -1,0 +1,106 @@
+//! Property-based tests for the statistics crate.
+
+use clasp_stats::{elbow_index, median, quantile, Ecdf, GaussianKde, Histogram, Summary};
+use proptest::prelude::*;
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6_f64, min_len..200)
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_within_sample_range(data in finite_vec(1), q in 0.0..=1.0_f64) {
+        let v = quantile(&data, q).unwrap();
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(data in finite_vec(1), a in 0.0..=1.0_f64, b in 0.0..=1.0_f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn median_is_translation_equivariant(data in finite_vec(1), shift in -1.0e3..1.0e3_f64) {
+        let m = median(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|v| v + shift).collect();
+        let ms = median(&shifted).unwrap();
+        prop_assert!((ms - (m + shift)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(data in finite_vec(1), probe in finite_vec(2)) {
+        let e = Ecdf::new(&data).unwrap();
+        let mut xs = probe.clone();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in xs {
+            let f = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn ecdf_at_max_is_one(data in finite_vec(1)) {
+        let e = Ecdf::new(&data).unwrap();
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+    }
+
+    #[test]
+    fn summary_matches_batch_computation(data in finite_vec(2)) {
+        let s: Summary = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        prop_assert!((s.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.variance().unwrap() - var).abs() < 1e-4 * (1.0 + var.abs()));
+    }
+
+    #[test]
+    fn summary_merge_is_associative_enough(data in finite_vec(3), split in 1usize..100) {
+        let cut = split % (data.len() - 1) + 1;
+        let whole: Summary = data.iter().copied().collect();
+        let mut left: Summary = data[..cut].iter().copied().collect();
+        let right: Summary = data[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6 * (1.0 + whole.mean().unwrap().abs()));
+    }
+
+    #[test]
+    fn variability_is_in_unit_interval_for_positive_data(
+        data in prop::collection::vec(0.001..1.0e6_f64, 1..100)
+    ) {
+        let s: Summary = data.iter().copied().collect();
+        let v = s.normalized_variability().unwrap();
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn histogram_conserves_observations(data in finite_vec(1)) {
+        let mut h = Histogram::new(-1.0e6, 1.0e6, 32).clamped();
+        for &x in &data {
+            h.add(x);
+        }
+        prop_assert_eq!(h.total() as usize, data.len());
+    }
+
+    #[test]
+    fn kde_nonnegative(data in prop::collection::vec(-100.0..100.0_f64, 2..50), x in -200.0..200.0_f64) {
+        if let Some(kde) = GaussianKde::new(&data) {
+            prop_assert!(kde.eval(x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn elbow_index_is_interior(ys in prop::collection::vec(0.0..1.0_f64, 3..50)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        if let Some(i) = elbow_index(&xs, &ys) {
+            prop_assert!(i > 0 && i < xs.len() - 1);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Storage: series-indexed, time-ordered point store.
+
+use crate::point::{series_key, Point};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// A stored sample inside one series: `(time, fields)`.
+pub type Sample = (u64, BTreeMap<String, f64>);
+
+/// One series: the shared tag set plus its time-ordered samples.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Measurement name.
+    pub measurement: String,
+    /// The series' tag set.
+    pub tags: BTreeMap<String, String>,
+    /// Time-ordered samples. Out-of-order inserts are re-sorted lazily.
+    samples: Vec<Sample>,
+    sorted: bool,
+}
+
+impl Series {
+    fn new(measurement: String, tags: BTreeMap<String, String>) -> Self {
+        Self {
+            measurement,
+            tags,
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    fn push(&mut self, time: u64, fields: BTreeMap<String, f64>) {
+        if let Some((last, _)) = self.samples.last() {
+            if time < *last {
+                self.sorted = false;
+            }
+        }
+        self.samples.push((time, fields));
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by_key(|(t, _)| *t);
+            self.sorted = true;
+        }
+    }
+
+    /// Time-ordered view of the samples.
+    pub fn samples(&mut self) -> &[Sample] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Drops samples with `time < horizon`; returns how many were
+    /// removed (used by retention enforcement).
+    pub fn drop_before(&mut self, horizon: u64) -> u64 {
+        self.ensure_sorted();
+        let cut = self.samples.partition_point(|(t, _)| *t < horizon);
+        self.samples.drain(..cut);
+        cut as u64
+    }
+
+    /// True when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// The database: an in-memory, single-writer time-series store.
+#[derive(Debug, Default)]
+pub struct Db {
+    series: Vec<Series>,
+    index: HashMap<String, usize>,
+    /// Points accepted in total.
+    pub points_written: u64,
+}
+
+impl Db {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one point, routing it to its series.
+    pub fn insert(&mut self, p: Point) {
+        let key = p.series_key();
+        let idx = match self.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.series.len();
+                self.series
+                    .push(Series::new(p.measurement.clone(), p.tags.clone()));
+                self.index.insert(key, i);
+                i
+            }
+        };
+        self.series[idx].push(p.time, p.fields);
+        self.points_written += 1;
+    }
+
+    /// Inserts many points.
+    pub fn insert_batch(&mut self, points: impl IntoIterator<Item = Point>) {
+        for p in points {
+            self.insert(p);
+        }
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Looks a series up by measurement and exact tag set.
+    pub fn series_mut(
+        &mut self,
+        measurement: &str,
+        tags: &BTreeMap<String, String>,
+    ) -> Option<&mut Series> {
+        let key = series_key(measurement, tags);
+        let idx = *self.index.get(&key)?;
+        Some(&mut self.series[idx])
+    }
+
+    /// Iterates over the series of a measurement that match all `filters`
+    /// (tag key → required value). Yields mutable references because
+    /// reading samples may trigger a lazy re-sort.
+    pub fn matching_series(
+        &mut self,
+        measurement: &str,
+        filters: &[(String, String)],
+    ) -> Vec<&mut Series> {
+        self.series
+            .iter_mut()
+            .filter(|s| {
+                s.measurement == measurement
+                    && filters
+                        .iter()
+                        .all(|(k, v)| s.tags.get(k).is_some_and(|tv| tv == v))
+            })
+            .collect()
+    }
+
+    /// Distinct values of `tag` across all series of a measurement.
+    pub fn tag_values(&self, measurement: &str, tag: &str) -> Vec<String> {
+        let mut vals: Vec<String> = self
+            .series
+            .iter()
+            .filter(|s| s.measurement == measurement)
+            .filter_map(|s| s.tags.get(tag).cloned())
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(server: &str, t: u64, mbps: f64) -> Point {
+        Point::new("throughput", t)
+            .tag("server", server)
+            .field("mbps", mbps)
+    }
+
+    #[test]
+    fn insert_routes_to_series() {
+        let mut db = Db::new();
+        db.insert(point("a", 0, 1.0));
+        db.insert(point("a", 10, 2.0));
+        db.insert(point("b", 5, 3.0));
+        assert_eq!(db.series_count(), 2);
+        assert_eq!(db.points_written, 3);
+        let tags: BTreeMap<String, String> =
+            [("server".to_string(), "a".to_string())].into();
+        let s = db.series_mut("throughput", &tags).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_sorted_on_read() {
+        let mut db = Db::new();
+        db.insert(point("a", 100, 1.0));
+        db.insert(point("a", 50, 2.0));
+        db.insert(point("a", 75, 3.0));
+        let tags: BTreeMap<String, String> =
+            [("server".to_string(), "a".to_string())].into();
+        let s = db.series_mut("throughput", &tags).unwrap();
+        let times: Vec<u64> = s.samples().iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn matching_series_filters_by_tags() {
+        let mut db = Db::new();
+        db.insert(
+            Point::new("throughput", 0)
+                .tag("region", "us-west1")
+                .tag("server", "a")
+                .field("mbps", 1.0),
+        );
+        db.insert(
+            Point::new("throughput", 0)
+                .tag("region", "us-east1")
+                .tag("server", "b")
+                .field("mbps", 2.0),
+        );
+        let matched = db.matching_series(
+            "throughput",
+            &[("region".to_string(), "us-west1".to_string())],
+        );
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].tags["server"], "a");
+    }
+
+    #[test]
+    fn matching_series_requires_measurement() {
+        let mut db = Db::new();
+        db.insert(point("a", 0, 1.0));
+        assert!(db.matching_series("latency", &[]).is_empty());
+    }
+
+    #[test]
+    fn tag_values_are_sorted_distinct() {
+        let mut db = Db::new();
+        for s in ["b", "a", "b", "c"] {
+            db.insert(point(s, 0, 1.0));
+        }
+        assert_eq!(db.tag_values("throughput", "server"), vec!["a", "b", "c"]);
+        assert!(db.tag_values("throughput", "nope").is_empty());
+    }
+
+    #[test]
+    fn different_tag_sets_are_distinct_series() {
+        let mut db = Db::new();
+        db.insert(point("a", 0, 1.0));
+        db.insert(
+            Point::new("throughput", 0)
+                .tag("server", "a")
+                .tag("tier", "premium")
+                .field("mbps", 2.0),
+        );
+        assert_eq!(db.series_count(), 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Influx-style line protocol: `measurement,tag=v field=1.5 1620000000`.
+//!
+//! Used to persist raw campaign results to the storage bucket and read
+//! them back in the analysis pipeline. The dialect is a subset of
+//! InfluxDB's: numeric fields only, whitespace-free tag values (the writer
+//! escapes spaces as `\ `), integer-second timestamps.
+
+use crate::point::Point;
+use std::collections::BTreeMap;
+
+/// Serialises a point to one protocol line.
+///
+/// ```
+/// let p = tsdb::Point::new("speedtest", 3600)
+///     .tag("server", "ookla-1")
+///     .field("download", 412.5);
+/// let line = tsdb::line::encode(&p);
+/// assert_eq!(line, "speedtest,server=ookla-1 download=412.5 3600");
+/// assert_eq!(tsdb::line::decode(&line).unwrap(), p);
+/// ```
+pub fn encode(p: &Point) -> String {
+    let mut out = String::new();
+    out.push_str(&escape(&p.measurement));
+    for (k, v) in &p.tags {
+        out.push(',');
+        out.push_str(&escape(k));
+        out.push('=');
+        out.push_str(&escape(v));
+    }
+    out.push(' ');
+    let mut first = true;
+    for (k, v) in &p.fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&escape(k));
+        out.push('=');
+        out.push_str(&format_float(*v));
+    }
+    out.push(' ');
+    out.push_str(&p.time.to_string());
+    out
+}
+
+fn format_float(v: f64) -> String {
+    // Shortest representation that round-trips.
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace(' ', "\\ ")
+        .replace(',', "\\,")
+        .replace('=', "\\=")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Errors from parsing a protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Line had fewer than three space-separated sections.
+    MissingSection,
+    /// A tag or field was not `key=value`.
+    BadKeyValue(String),
+    /// A field value was not a number.
+    BadNumber(String),
+    /// The timestamp was not an integer.
+    BadTimestamp(String),
+    /// The field set was empty.
+    NoFields,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingSection => write!(f, "line has fewer than 3 sections"),
+            ParseError::BadKeyValue(s) => write!(f, "bad key=value pair: {s}"),
+            ParseError::BadNumber(s) => write!(f, "bad numeric value: {s}"),
+            ParseError::BadTimestamp(s) => write!(f, "bad timestamp: {s}"),
+            ParseError::NoFields => write!(f, "no fields"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Splits on `sep` outside escape sequences.
+fn split_unescaped(s: &str, sep: char) -> Vec<String> {
+    let mut parts = vec![String::new()];
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            let part = parts.last_mut().expect("non-empty");
+            part.push(c);
+            if let Some(n) = chars.next() {
+                part.push(n);
+            }
+        } else if c == sep {
+            parts.push(String::new());
+        } else {
+            parts.last_mut().expect("non-empty").push(c);
+        }
+    }
+    parts
+}
+
+/// Parses one protocol line back into a [`Point`].
+pub fn decode(line: &str) -> Result<Point, ParseError> {
+    let sections = split_unescaped(line.trim(), ' ');
+    if sections.len() != 3 {
+        return Err(ParseError::MissingSection);
+    }
+    let head = split_unescaped(&sections[0], ',');
+    let measurement = unescape(&head[0]);
+    let mut tags = BTreeMap::new();
+    for kv in &head[1..] {
+        let pair = split_unescaped(kv, '=');
+        if pair.len() != 2 {
+            return Err(ParseError::BadKeyValue(kv.clone()));
+        }
+        tags.insert(unescape(&pair[0]), unescape(&pair[1]));
+    }
+    let mut fields = BTreeMap::new();
+    for kv in split_unescaped(&sections[1], ',') {
+        let pair = split_unescaped(&kv, '=');
+        if pair.len() != 2 {
+            return Err(ParseError::BadKeyValue(kv.clone()));
+        }
+        let v: f64 = pair[1]
+            .parse()
+            .map_err(|_| ParseError::BadNumber(pair[1].clone()))?;
+        fields.insert(unescape(&pair[0]), v);
+    }
+    if fields.is_empty() {
+        return Err(ParseError::NoFields);
+    }
+    let time: u64 = sections[2]
+        .parse()
+        .map_err(|_| ParseError::BadTimestamp(sections[2].clone()))?;
+    Ok(Point {
+        measurement,
+        tags,
+        fields,
+        time,
+    })
+}
+
+/// Encodes many points, one per line.
+pub fn encode_batch(points: &[Point]) -> String {
+    let mut out = String::new();
+    for p in points {
+        out.push_str(&encode(p));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes a batch, skipping blank lines; fails on the first bad line.
+pub fn decode_batch(text: &str) -> Result<Vec<Point>, ParseError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(decode)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Point {
+        Point::new("throughput", 1234)
+            .tag("region", "us-west1")
+            .tag("server", "s 1") // space to exercise escaping
+            .field("mbps", 412.5)
+            .field("loss", 0.01)
+    }
+
+    #[test]
+    fn encode_shape() {
+        let line = encode(&sample());
+        assert!(line.starts_with("throughput,region=us-west1,server=s\\ 1 "));
+        assert!(line.ends_with(" 1234"));
+        assert!(line.contains("mbps=412.5"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let q = decode(&encode(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_special_characters() {
+        let p = Point::new("m,x=y", 7)
+            .tag("k=1", "v,2 z")
+            .field("f 1", -3.25e-4);
+        let q = decode(&encode(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn integer_valued_field_roundtrips_as_float() {
+        let p = Point::new("m", 0).field("n", 100.0);
+        let line = encode(&p);
+        assert!(line.contains("n=100.0"), "{line}");
+        assert_eq!(decode(&line).unwrap().fields["n"], 100.0);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode("nope"), Err(ParseError::MissingSection));
+        assert!(matches!(
+            decode("m f=x 0"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            decode("m f=1 tomorrow"),
+            Err(ParseError::BadTimestamp(_))
+        ));
+        assert!(matches!(
+            decode("m,oops f=1 0"),
+            Err(ParseError::BadKeyValue(_))
+        ));
+    }
+
+    #[test]
+    fn batch_roundtrip_skips_blanks() {
+        let pts = vec![sample(), Point::new("m", 1).field("x", 1.0)];
+        let text = format!("\n{}\n\n", encode_batch(&pts));
+        let back = decode_batch(&text).unwrap();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn batch_fails_on_bad_line() {
+        assert!(decode_batch("m f=1 0\nbroken\n").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! The data model: measurements, tags, fields, timestamps.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One timestamped observation: a measurement name, a sorted tag set
+/// (indexing dimensions), numeric fields, and a timestamp in seconds.
+///
+/// Tags are `BTreeMap`s so the serialised series key is canonical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Measurement name, e.g. `"throughput"`.
+    pub measurement: String,
+    /// Indexed dimensions, e.g. `region=us-west1, server=ookla-123`.
+    pub tags: BTreeMap<String, String>,
+    /// Numeric observations, e.g. `mbps=412.3, loss=0.002`.
+    pub fields: BTreeMap<String, f64>,
+    /// Seconds since the campaign epoch.
+    pub time: u64,
+}
+
+impl Point {
+    /// Starts building a point for `measurement` at `time`.
+    pub fn new(measurement: impl Into<String>, time: u64) -> Self {
+        Self {
+            measurement: measurement.into(),
+            tags: BTreeMap::new(),
+            fields: BTreeMap::new(),
+            time,
+        }
+    }
+
+    /// Adds a tag.
+    pub fn tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds a field. Non-finite values are rejected.
+    ///
+    /// # Panics
+    /// Panics on NaN/infinite values: persisting them silently would
+    /// poison downstream aggregates.
+    pub fn field(mut self, key: impl Into<String>, value: f64) -> Self {
+        assert!(value.is_finite(), "field value must be finite");
+        self.fields.insert(key.into(), value);
+        self
+    }
+
+    /// The canonical series key: `measurement,tag1=v1,tag2=v2`.
+    pub fn series_key(&self) -> String {
+        series_key(&self.measurement, &self.tags)
+    }
+}
+
+/// Builds a canonical series key from a measurement and tag set.
+pub fn series_key(measurement: &str, tags: &BTreeMap<String, String>) -> String {
+    let mut key = String::with_capacity(measurement.len() + tags.len() * 16);
+    key.push_str(measurement);
+    for (k, v) in tags {
+        key.push(',');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let p = Point::new("throughput", 3600)
+            .tag("region", "us-west1")
+            .tag("server", "s1")
+            .field("mbps", 412.5)
+            .field("loss", 0.01);
+        assert_eq!(p.measurement, "throughput");
+        assert_eq!(p.tags.len(), 2);
+        assert_eq!(p.fields["mbps"], 412.5);
+        assert_eq!(p.time, 3600);
+    }
+
+    #[test]
+    fn series_key_is_canonical_regardless_of_insertion_order() {
+        let a = Point::new("m", 0).tag("b", "2").tag("a", "1");
+        let b = Point::new("m", 0).tag("a", "1").tag("b", "2");
+        assert_eq!(a.series_key(), b.series_key());
+        assert_eq!(a.series_key(), "m,a=1,b=2");
+    }
+
+    #[test]
+    fn series_key_without_tags_is_measurement() {
+        assert_eq!(Point::new("cpu", 0).series_key(), "cpu");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_field_rejected() {
+        Point::new("m", 0).field("x", f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_field_rejected() {
+        Point::new("m", 0).field("x", f64::INFINITY);
+    }
+
+    #[test]
+    fn duplicate_tag_overwrites() {
+        let p = Point::new("m", 0).tag("a", "1").tag("a", "2");
+        assert_eq!(p.tags["a"], "2");
+    }
+}

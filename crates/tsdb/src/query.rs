@@ -1,0 +1,320 @@
+//! The query engine: filter → window → aggregate.
+//!
+//! A [`Query`] selects one field of one measurement, filters by tags and
+//! time range, optionally groups into fixed windows (`group_by_time`), and
+//! reduces each window (or the whole range) with an [`Aggregate`]. Results
+//! come back per matching series, so `SELECT max(mbps) FROM throughput
+//! WHERE region='us-west1' GROUP BY time(1d)` is one call.
+
+use crate::db::Db;
+
+/// Reduction applied to the samples of one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregate {
+    /// Smallest value.
+    Min,
+    /// Largest value.
+    Max,
+    /// Arithmetic mean.
+    Mean,
+    /// Number of samples.
+    Count,
+    /// Sum of values.
+    Sum,
+    /// Last value in time order.
+    Last,
+    /// Linear-interpolation percentile, `0.0 ..= 100.0`.
+    Percentile(f64),
+}
+
+impl Aggregate {
+    fn apply(&self, values: &mut Vec<f64>) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        match self {
+            Aggregate::Min => values.iter().copied().reduce(f64::min),
+            Aggregate::Max => values.iter().copied().reduce(f64::max),
+            Aggregate::Mean => Some(values.iter().sum::<f64>() / values.len() as f64),
+            Aggregate::Count => Some(values.len() as f64),
+            Aggregate::Sum => Some(values.iter().sum()),
+            Aggregate::Last => values.last().copied(),
+            Aggregate::Percentile(p) => {
+                values.sort_by(|a, b| a.partial_cmp(b).expect("finite fields"));
+                let pos = (p / 100.0).clamp(0.0, 1.0) * (values.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                Some(values[lo] + (values[hi] - values[lo]) * (pos - lo as f64))
+            }
+        }
+    }
+}
+
+/// One output row: window start time and aggregated value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Window start (or range start for un-grouped queries).
+    pub time: u64,
+    /// Aggregated value.
+    pub value: f64,
+}
+
+/// Result for one matching series.
+#[derive(Debug, Clone)]
+pub struct SeriesResult {
+    /// The series' tags rendered as the canonical key.
+    pub series_key: String,
+    /// One row per non-empty window.
+    pub rows: Vec<Row>,
+}
+
+/// A query under construction.
+#[derive(Debug, Clone)]
+pub struct Query {
+    measurement: String,
+    field: String,
+    filters: Vec<(String, String)>,
+    start: u64,
+    end: u64,
+    window: Option<u64>,
+    aggregate: Aggregate,
+}
+
+impl Query {
+    /// Selects `field` from `measurement` with a [`Aggregate::Last`]
+    /// reduction over the full time range (override with the builders).
+    pub fn select(measurement: impl Into<String>, field: impl Into<String>) -> Self {
+        Self {
+            measurement: measurement.into(),
+            field: field.into(),
+            filters: Vec::new(),
+            start: 0,
+            end: u64::MAX,
+            window: None,
+            aggregate: Aggregate::Last,
+        }
+    }
+
+    /// Requires `tag == value` on matching series.
+    pub fn r#where(mut self, tag: impl Into<String>, value: impl Into<String>) -> Self {
+        self.filters.push((tag.into(), value.into()));
+        self
+    }
+
+    /// Restricts to samples with `start <= time < end`.
+    pub fn time_range(mut self, start: u64, end: u64) -> Self {
+        assert!(start <= end, "inverted time range");
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Groups samples into fixed windows of `seconds`.
+    pub fn group_by_time(mut self, seconds: u64) -> Self {
+        assert!(seconds > 0, "zero window");
+        self.window = Some(seconds);
+        self
+    }
+
+    /// Sets the reduction.
+    pub fn aggregate(mut self, agg: Aggregate) -> Self {
+        self.aggregate = agg;
+        self
+    }
+
+    /// Runs the query against a database.
+    pub fn run(&self, db: &mut Db) -> Vec<SeriesResult> {
+        let mut out = Vec::new();
+        for series in db.matching_series(&self.measurement, &self.filters) {
+            let key = crate::point::series_key(&series.measurement, &series.tags);
+            let samples = series.samples();
+            // Binary search the time range bounds.
+            let lo = samples.partition_point(|(t, _)| *t < self.start);
+            let hi = samples.partition_point(|(t, _)| *t < self.end);
+            let in_range = &samples[lo..hi];
+
+            let mut rows = Vec::new();
+            match self.window {
+                None => {
+                    let mut values: Vec<f64> = in_range
+                        .iter()
+                        .filter_map(|(_, f)| f.get(&self.field).copied())
+                        .collect();
+                    if let Some(v) = self.aggregate.apply(&mut values) {
+                        rows.push(Row {
+                            time: self.start,
+                            value: v,
+                        });
+                    }
+                }
+                Some(w) => {
+                    let mut i = 0;
+                    while i < in_range.len() {
+                        let window_start = in_range[i].0 / w * w;
+                        let window_end = window_start + w;
+                        let mut values = Vec::new();
+                        while i < in_range.len() && in_range[i].0 < window_end {
+                            if let Some(v) = in_range[i].1.get(&self.field) {
+                                values.push(*v);
+                            }
+                            i += 1;
+                        }
+                        if let Some(v) = self.aggregate.apply(&mut values) {
+                            rows.push(Row {
+                                time: window_start,
+                                value: v,
+                            });
+                        }
+                    }
+                }
+            }
+            if !rows.is_empty() {
+                out.push(SeriesResult {
+                    series_key: key,
+                    rows,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.series_key.cmp(&b.series_key));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn db_with_day() -> Db {
+        let mut db = Db::new();
+        // 24 hourly samples for two servers; server "a" dips at hour 20.
+        for h in 0..24u64 {
+            let mbps_a = if h == 20 { 100.0 } else { 400.0 + h as f64 };
+            db.insert(
+                Point::new("throughput", h * 3600)
+                    .tag("server", "a")
+                    .field("mbps", mbps_a),
+            );
+            db.insert(
+                Point::new("throughput", h * 3600)
+                    .tag("server", "b")
+                    .field("mbps", 300.0),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn ungrouped_max() {
+        let mut db = db_with_day();
+        let res = Query::select("throughput", "mbps")
+            .r#where("server", "a")
+            .aggregate(Aggregate::Max)
+            .run(&mut db);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].rows[0].value, 423.0);
+    }
+
+    #[test]
+    fn grouped_by_six_hours() {
+        let mut db = db_with_day();
+        let res = Query::select("throughput", "mbps")
+            .r#where("server", "a")
+            .group_by_time(6 * 3600)
+            .aggregate(Aggregate::Min)
+            .run(&mut db);
+        let rows = &res[0].rows;
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].time, 0);
+        assert_eq!(rows[3].value, 100.0, "the hour-20 dip");
+    }
+
+    #[test]
+    fn time_range_excludes_end() {
+        let mut db = db_with_day();
+        let res = Query::select("throughput", "mbps")
+            .r#where("server", "b")
+            .time_range(0, 3 * 3600)
+            .aggregate(Aggregate::Count)
+            .run(&mut db);
+        assert_eq!(res[0].rows[0].value, 3.0);
+    }
+
+    #[test]
+    fn all_series_when_unfiltered() {
+        let mut db = db_with_day();
+        let res = Query::select("throughput", "mbps")
+            .aggregate(Aggregate::Count)
+            .run(&mut db);
+        assert_eq!(res.len(), 2);
+        // Sorted by series key.
+        assert!(res[0].series_key < res[1].series_key);
+    }
+
+    #[test]
+    fn percentile_aggregate() {
+        let mut db = Db::new();
+        for (i, v) in (0..=100).enumerate() {
+            db.insert(
+                Point::new("m", i as u64)
+                    .tag("s", "x")
+                    .field("f", v as f64),
+            );
+        }
+        let res = Query::select("m", "f")
+            .aggregate(Aggregate::Percentile(95.0))
+            .run(&mut db);
+        assert_eq!(res[0].rows[0].value, 95.0);
+    }
+
+    #[test]
+    fn missing_field_yields_no_rows() {
+        let mut db = db_with_day();
+        let res = Query::select("throughput", "nonexistent")
+            .aggregate(Aggregate::Mean)
+            .run(&mut db);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn mean_and_sum_and_last() {
+        let mut db = Db::new();
+        for (t, v) in [(0u64, 1.0), (1, 2.0), (2, 6.0)] {
+            db.insert(Point::new("m", t).tag("s", "x").field("f", v));
+        }
+        let mut run = |agg| {
+            Query::select("m", "f").aggregate(agg).run(&mut db)[0].rows[0].value
+        };
+        assert_eq!(run(Aggregate::Mean), 3.0);
+        assert_eq!(run(Aggregate::Sum), 9.0);
+        assert_eq!(run(Aggregate::Last), 6.0);
+        assert_eq!(run(Aggregate::Min), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        Query::select("m", "f").time_range(10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero window")]
+    fn zero_window_panics() {
+        Query::select("m", "f").group_by_time(0);
+    }
+
+    #[test]
+    fn windows_align_to_epoch() {
+        let mut db = Db::new();
+        db.insert(Point::new("m", 3599).tag("s", "x").field("f", 1.0));
+        db.insert(Point::new("m", 3600).tag("s", "x").field("f", 2.0));
+        let res = Query::select("m", "f")
+            .group_by_time(3600)
+            .aggregate(Aggregate::Count)
+            .run(&mut db);
+        let rows = &res[0].rows;
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].time, 0);
+        assert_eq!(rows[1].time, 3600);
+    }
+}

@@ -1,0 +1,98 @@
+//! Watch a congested ISP the way §4.2 does: run a campaign against one
+//! region, rank servers by congestion events, and print the worst
+//! server's two-day time series with V_H overlays and its hour-of-day
+//! congestion probability — a runnable miniature of Fig. 3 + Fig. 6.
+//!
+//! ```text
+//! cargo run --release -p clasp-examples --bin congestion_watch [--seed N] [--days N] [--budget N]
+//! ```
+
+use clasp_core::campaign::{Campaign, CampaignConfig};
+use clasp_core::congestion::CongestionAnalysis;
+use clasp_core::world::World;
+use clasp_examples::arg_u64;
+
+fn main() {
+    let seed = arg_u64("--seed", 21);
+    let days = arg_u64("--days", 14);
+    let budget = arg_u64("--budget", 34) as usize;
+    let world = World::new(seed);
+
+    let mut config = CampaignConfig::small(seed);
+    config.days = days;
+    config.topo_regions = vec![("us-west1", budget)];
+    config.diff_regions.clear();
+    let result = Campaign::new(&world, config).run();
+    let mut db = result.db;
+
+    let analysis = CongestionAnalysis::build(
+        &mut db,
+        &world,
+        "download",
+        &[("method".to_string(), "topo".to_string())],
+    );
+    let h = 0.5;
+    let events = analysis.events_per_series(h);
+    let mut ranked: Vec<usize> = (0..analysis.series.len()).collect();
+    ranked.sort_by_key(|&i| std::cmp::Reverse(events[i]));
+
+    println!("== congestion ranking, us-west1, {days} days, H = {h} ==");
+    let probs = analysis.hourly_probability(h);
+    for &i in ranked.iter().take(8) {
+        if events[i] == 0 {
+            break;
+        }
+        let info = &analysis.series[i];
+        let srv = world.registry.by_id(&info.server);
+        let label = srv
+            .map(|s| s.sponsor.clone())
+            .unwrap_or_else(|| info.server.clone());
+        let profile: String = probs[i]
+            .iter()
+            .map(|p| {
+                if *p > 0.5 { '█' } else if *p > 0.2 { '▓' } else if *p > 0.0 { '░' } else { '·' }
+            })
+            .collect();
+        println!("{:>4} events  {profile}  {label}", events[i]);
+    }
+    println!("{:>14}(hour-of-day profile, local midnight → 23:00)\n", "");
+
+    // Two-day deep dive on the worst server.
+    let Some(&worst) = ranked.first().filter(|&&i| events[i] > 0) else {
+        println!("no congestion events — rerun with more days or servers");
+        return;
+    };
+    let info = &analysis.series[worst];
+    let worst_day = analysis
+        .day_vars
+        .iter()
+        .filter(|d| d.series == info.key)
+        .max_by(|a, b| a.v.partial_cmp(&b.v).unwrap())
+        .map(|d| d.local_day)
+        .unwrap_or(0);
+    println!(
+        "== two-day series for {} (worst local day {worst_day}) ==",
+        info.server
+    );
+    let mut rows: Vec<&clasp_core::congestion::HourSample> = analysis
+        .samples
+        .iter()
+        .filter(|s| {
+            s.series_idx == worst as u32
+                && (s.local_day == worst_day || s.local_day == worst_day + 1)
+        })
+        .collect();
+    rows.sort_by_key(|s| s.time);
+    let max = rows.iter().map(|s| s.value).fold(1.0_f64, f64::max);
+    for s in rows {
+        let bar_len = ((s.value / max) * 48.0).round() as usize;
+        println!(
+            "{:>14} {:>7.1} Mbps |{:<48}| V_H={:.2}{}",
+            simnet::time::SimTime(s.time).to_string(),
+            s.value,
+            "█".repeat(bar_len),
+            s.v_h,
+            if s.v_h > h { "  << CONGESTED" } else { "" }
+        );
+    }
+}

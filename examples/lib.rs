@@ -1,0 +1,33 @@
+//! Shared helpers for the example binaries.
+
+/// Parses `--seed N` / `--days N`-style flags from `std::env::args`,
+/// returning the value after `name` when present.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a string-valued flag.
+pub fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        assert_eq!(arg_u64("--definitely-not-passed", 7), 7);
+        assert_eq!(arg_str("--nope", "x"), "x");
+    }
+}

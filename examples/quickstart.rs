@@ -1,0 +1,99 @@
+//! Quickstart: build a world, run a one-week CLASP campaign in one
+//! region, and print what the platform found.
+//!
+//! ```text
+//! cargo run --release -p clasp-examples --bin quickstart [--seed N] [--days N]
+//! ```
+
+use clasp_core::campaign::{Campaign, CampaignConfig};
+use clasp_core::congestion::CongestionAnalysis;
+use clasp_core::world::World;
+use clasp_examples::arg_u64;
+
+fn main() {
+    let seed = arg_u64("--seed", 42);
+    let days = arg_u64("--days", 7);
+
+    println!("== CLASP quickstart: seed {seed}, {days} days ==\n");
+
+    // 1. The world: a simulated Internet with a cloud platform in it.
+    let world = World::new(seed);
+    println!(
+        "world: {} ASes, {} cloud interdomain links, {} speed-test servers ({} US)",
+        world.topo.as_count(),
+        world.topo.links.len(),
+        world.registry.servers.len(),
+        world.registry.in_country("US").len()
+    );
+
+    // 2. A small campaign: one topology region, one differential region.
+    let mut config = CampaignConfig::small(seed);
+    config.days = days;
+    config.topo_regions = vec![("us-west1", 34)];
+    let result = Campaign::new(&world, config).run();
+    println!(
+        "campaign: {} tests from {} VMs, {} raw objects uploaded, bill ${:.2}",
+        result.tests_run,
+        result.vm_count,
+        result.raw_objects,
+        result.billing.total_usd()
+    );
+    let sel = &result.topo_selections[0];
+    println!(
+        "topology selection: bdrmap saw {} links, {} traversed by US servers, {} measured",
+        sel.bdrmap_links,
+        sel.links_traversed,
+        sel.servers.len()
+    );
+
+    // 3. Congestion detection on the collected data.
+    let mut db = result.db;
+    let analysis = CongestionAnalysis::build(
+        &mut db,
+        &world,
+        "download",
+        &[("method".to_string(), "topo".to_string())],
+    );
+    let (_, elbow) = analysis.elbow_threshold(20);
+    println!(
+        "\ncongestion: {} s-days analysed, elbow threshold H = {:?}",
+        analysis.day_vars.len(),
+        elbow
+    );
+    let h = 0.5;
+    println!(
+        "at H = {h}: {:.1}% of s-days and {:.2}% of s-hours congested, {} events",
+        analysis.fraction_days_above(h) * 100.0,
+        analysis.fraction_hours_above(h) * 100.0,
+        analysis.events(h).len()
+    );
+
+    // 4. The most congested server's day profile.
+    let per_series = analysis.events_per_series(h);
+    if let Some((idx, events)) = per_series
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &e)| e)
+        .filter(|(_, &e)| e > 0)
+    {
+        let info = &analysis.series[idx];
+        let probs = analysis.hourly_probability(h);
+        let profile = &probs[idx];
+        let peak = profile
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        println!(
+            "\nmost congested server: {} ({events} events, peak probability {:.2} at {:02}:00 local)",
+            info.server, peak.1, peak.0
+        );
+        print!("hourly profile: ");
+        for p in profile {
+            print!("{}", if *p > 0.2 { '#' } else if *p > 0.0 { '+' } else { '.' });
+        }
+        println!("  (midnight→23:00 local)");
+    } else {
+        println!("\nno congested servers in this short window — try more days");
+    }
+}

@@ -1,0 +1,85 @@
+//! Run one speed test two ways: through the fluid TCP model the campaign
+//! uses, and replayed packet-by-packet through the discrete-event TCP
+//! simulator — then recover RTT/loss from the packet capture the way the
+//! paper's pipeline does from tcpdump.
+//!
+//! ```text
+//! cargo run --release -p clasp-examples --bin speedtest_single [--seed N] [--hour H]
+//! ```
+
+use clasp_core::world::World;
+use clasp_examples::arg_u64;
+use simnet::routing::Tier;
+use simnet::time::SimTime;
+use simtcp::flow::{run_flow, FlowConfig};
+use simtcp::tcp::CongestionControl;
+
+fn main() {
+    let seed = arg_u64("--seed", 7);
+    let hour = arg_u64("--hour", 15);
+    let world = World::new(seed);
+    let session = world.session();
+    let client = speedtest::client::SpeedTestClient::default();
+
+    let region = world.topo.cities.by_name("The Dalles").unwrap();
+    let server = world
+        .registry
+        .in_country("US")
+        .into_iter()
+        .find(|s| s.platform == speedtest::platform::Platform::Ookla)
+        .expect("US Ookla server exists");
+    println!(
+        "test server: {} ({}), capacity {} Gbps",
+        server.id, server.sponsor, server.capacity_gbps
+    );
+
+    let pair = client
+        .resolve_paths(&session.paths, region, world.topo.vm_ip(region, 0), server, Tier::Premium)
+        .expect("routable");
+    let t = SimTime::from_day_hour(3, hour);
+
+    // --- Fluid model (what the longitudinal campaign uses). ---
+    let result = client.run_test(&session.perf, &pair, server, t, seed);
+    println!("\nfluid model @ {t}:");
+    println!("  latency   {:.1} ms", result.latency_ms);
+    println!("  download  {:.1} Mbps (loss {:.4})", result.download_mbps, result.download_loss);
+    println!("  upload    {:.1} Mbps (loss {:.4})", result.upload_mbps, result.upload_loss);
+
+    // --- Packet-level replay of the download. ---
+    let spec = speedtest::packetize::packetize(&session.perf, &pair.to_cloud, &pair.to_server, t, 512);
+    let pkt = run_flow(
+        &spec,
+        &FlowConfig {
+            cc: CongestionControl::Cubic,
+            n_connections: server.platform.connections() as usize,
+            duration_s: server.platform.transfer_seconds(),
+            capture: true,
+            seed,
+            ..Default::default()
+        },
+    );
+    println!("\npacket-level replay ({} connections, {:.0} s):", server.platform.connections(), server.platform.transfer_seconds());
+    println!("  goodput      {:.1} Mbps", pkt.throughput_mbps);
+    println!("  srtt         {:?} ms", pkt.srtt_ms.map(|v| v.round()));
+    println!("  retransmits  {} (timeouts {})", pkt.retransmits, pkt.timeouts);
+    println!("  link drops   {:.4}", pkt.observed_loss);
+
+    // --- tcpdump-style analysis of the capture (the paper's pipeline). ---
+    let stats = nettools::flowrecords::analyze(&pkt.capture);
+    println!("\nheader-capture analysis (the paper's RTT/loss estimators):");
+    println!("  est. RTT    {:?} ms", stats.rtt_ms.map(|v| v.round()));
+    println!("  est. loss   {:.4}", stats.loss_rate);
+    println!("  packets     {} ({} distinct segments)", stats.data_packets, stats.distinct_segments);
+
+    let ratio = pkt.throughput_mbps / result.download_mbps.max(1.0);
+    println!("\npacket/fluid download ratio: {ratio:.2} (the campaign's fluid substitution)");
+
+    // --- someta metadata, as recorded around every real test. ---
+    let meta = nettools::someta::record("example-vm", "us-west1", t, result.download_mbps);
+    println!(
+        "someta: cpu {:.0}%, mem {:.0} MB, tainted: {}",
+        meta.cpu_util * 100.0,
+        meta.mem_used_mb,
+        nettools::someta::is_tainted(&meta)
+    );
+}

@@ -1,0 +1,161 @@
+//! Integration tests of the experiment drivers (the `analysis` crate)
+//! on a small campaign — the same code paths the figure binaries run at
+//! paper scale.
+
+use analysis::experiments;
+use clasp_core::campaign::{Campaign, CampaignConfig, CampaignResult};
+use clasp_core::world::World;
+
+fn campaign() -> (World, CampaignResult) {
+    let world = World::tiny(701);
+    let mut config = CampaignConfig::small(701);
+    config.days = 6;
+    config.diff_days = 3;
+    let result = Campaign::new(&world, config).run();
+    (world, result)
+}
+
+#[test]
+fn table1_rows_are_consistent() {
+    let (_, result) = campaign();
+    let rows = experiments::table1(&result);
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0];
+    assert!(r.servers_measured <= r.links_traversed);
+    assert!(r.links_traversed <= r.bdrmap_links);
+    assert!((0.0..=1.0).contains(&r.coverage));
+    assert_eq!(
+        r.coverage,
+        r.servers_measured as f64 / r.links_traversed as f64
+    );
+}
+
+#[test]
+fn fig2_curves_are_monotone_and_anchored() {
+    let (world, mut result) = campaign();
+    let regions = experiments::fig2(&world, &mut result, 10);
+    assert_eq!(regions.len(), 1);
+    let r = &regions[0];
+    assert_eq!(r.day_curve.len(), 11);
+    // Monotone nonincreasing in H, 100% at H=0, ~0 at H=1.
+    for w in r.day_curve.windows(2) {
+        assert!(w[1].1 <= w[0].1 + 1e-12);
+    }
+    assert_eq!(r.day_curve[0].1, 1.0);
+    assert!(r.day_curve[10].1 < 0.05);
+    assert!(r.hours_at_h05 <= r.days_at_h05 + 1e-12);
+}
+
+#[test]
+fn fig3_window_is_two_consecutive_days() {
+    let (world, mut result) = campaign();
+    if let Some(fig) = experiments::fig3(&world, &mut result, 0.5) {
+        assert!(!fig.points.is_empty());
+        assert!(fig.points.len() <= 48);
+        // Sorted by time, all congested flags consistent with v_h.
+        for w in fig.points.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for (_, _, v_h, flag) in &fig.points {
+            assert_eq!(*flag, *v_h > 0.5);
+        }
+        assert_eq!(
+            fig.congested_hours,
+            fig.points.iter().filter(|p| p.3).count()
+        );
+    }
+}
+
+#[test]
+fn fig4_points_respect_caps() {
+    let (_, mut result) = campaign();
+    let pts = experiments::fig4(&mut result, "topo", "premium");
+    assert!(!pts.is_empty());
+    for p in &pts {
+        assert!(p.download_p95 > 0.0 && p.download_p95 <= 1000.0);
+        assert!(p.upload_p95 > 0.0 && p.upload_p95 <= 100.0);
+        assert!(p.latency_p05 > 0.0);
+    }
+    let s = experiments::fig4_summary(&pts);
+    for frac in [s.latency_under_150, s.download_200_600, s.upload_near_cap] {
+        assert!((0.0..=1.0).contains(&frac));
+    }
+}
+
+#[test]
+fn fig5_pooling_accounts_for_every_delta() {
+    let (_, mut result) = campaign();
+    let fig = experiments::fig5(&mut result, "europe-west1").expect("diff region present");
+    let pooled_download: usize = fig
+        .pooled
+        .iter()
+        .filter(|(_, m, _)| *m == clasp_core::tiercmp::Metric::Download)
+        .map(|(_, _, v)| v.len())
+        .sum();
+    let direct: usize = fig
+        .comparison
+        .servers
+        .iter()
+        .map(|(_, _, d)| d.download.len())
+        .sum();
+    assert_eq!(pooled_download, direct);
+    assert!((0.0..=1.0).contains(&fig.standard_faster));
+    assert!((0.0..=1.0).contains(&fig.delta_under_half));
+}
+
+#[test]
+fn fig6_lines_are_ranked_by_events() {
+    let (world, mut result) = campaign();
+    let lines = experiments::fig6(&world, &mut result, "us-west1", "topo", 0.5, 10);
+    for w in lines.windows(2) {
+        assert!(w[0].events >= w[1].events, "ranking must be descending");
+    }
+    for l in &lines {
+        assert!(l.events > 0);
+        assert!(l.probability.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}
+
+#[test]
+fn fig7_locates_every_selected_server() {
+    let (_, result) = campaign();
+    let regions = experiments::fig7(&_w(&result), &result);
+    // Every topo selection server appears with valid coordinates.
+    let topo_total: usize = result.topo_selections.iter().map(|s| s.servers.len()).sum();
+    let mapped: usize = regions
+        .iter()
+        .flat_map(|r| r.servers.iter())
+        .filter(|(_, _, _, m)| *m == "topology")
+        .count();
+    assert_eq!(mapped, topo_total);
+    for r in &regions {
+        for (_, lat, lon, _) in &r.servers {
+            assert!((-90.0..=90.0).contains(lat));
+            assert!((-180.0..=180.0).contains(lon));
+        }
+    }
+}
+
+// fig7 needs the world; reconstruct deterministically (same seed).
+fn _w(_r: &CampaignResult) -> World {
+    World::tiny(701)
+}
+
+#[test]
+fn fig8_counts_every_selected_server_once() {
+    let (world, mut result) = campaign();
+    let regions = experiments::fig8(&world, &mut result, 0.5);
+    for r in &regions {
+        let total: u32 = r.by_type.values().map(|(_, t)| *t).sum();
+        let congested: u32 = r.by_type.values().map(|(c, _)| *c).sum();
+        assert!(congested <= total);
+        if r.method == "topo" {
+            let sel = result
+                .topo_selections
+                .iter()
+                .find(|s| s.region == r.region)
+                .unwrap();
+            assert_eq!(total as usize, sel.servers.len());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-validation of the fluid TCP model against the packet-level
+//! simulator, and of the measurement tools against the simulator's
+//! ground truth.
+
+use clasp_core::world::World;
+use simnet::perf::FlowSpec;
+use simnet::routing::{Direction, Tier};
+use simnet::time::SimTime;
+use simtcp::flow::{run_flow, FlowConfig};
+
+#[test]
+fn fluid_and_packet_models_agree_on_order_of_magnitude() {
+    let world = World::tiny(401);
+    let session = world.session();
+    let region = world.topo.cities.by_name("The Dalles").unwrap();
+    let vm = world.topo.vm_ip(region, 0);
+
+    let mut compared = 0;
+    for server in world.registry.in_country("US").into_iter().take(6) {
+        let down = session.paths.vm_host_path(
+            region, vm, server.as_id, server.city, server.ip,
+            Tier::Premium, Direction::ToCloud,
+        );
+        let up = session.paths.vm_host_path(
+            region, vm, server.as_id, server.city, server.ip,
+            Tier::Premium, Direction::ToServer,
+        );
+        let (Some(down), Some(up)) = (down, up) else { continue };
+        let t = SimTime::from_day_hour(1, 10);
+        let fluid = session.perf.tcp_throughput(&down, &up, t, &FlowSpec::download());
+        let spec = speedtest::packetize::packetize(&session.perf, &down, &up, t, 512);
+        let pkt = run_flow(
+            &spec,
+            &FlowConfig {
+                n_connections: 8,
+                duration_s: 8.0,
+                ..Default::default()
+            },
+        );
+        let ratio = pkt.throughput_mbps / fluid.throughput_mbps.min(1000.0);
+        assert!(
+            (0.25..4.0).contains(&ratio),
+            "{}: packet {:.0} vs fluid {:.0} (ratio {ratio:.2})",
+            server.id,
+            pkt.throughput_mbps,
+            fluid.throughput_mbps
+        );
+        compared += 1;
+    }
+    assert!(compared >= 4, "compared only {compared} paths");
+}
+
+#[test]
+fn packet_capture_recovers_injected_loss() {
+    // Inject a known loss rate; the tcpdump-style estimator should see
+    // something correlated with it.
+    let mk = |loss: f64| {
+        let mut path = simtcp::flow::PathSpec::symmetric(vec![
+            simtcp::link::LinkSpec::new(1000.0, 0.1, 512, 0.0),
+            simtcp::link::LinkSpec::new(200.0, 20.0, 256, 0.0),
+            simtcp::link::LinkSpec::new(1000.0, 0.1, 512, 0.0),
+        ]);
+        path.fwd[1].loss = loss;
+        let r = run_flow(
+            &path,
+            &FlowConfig {
+                duration_s: 4.0,
+                capture: true,
+                ..Default::default()
+            },
+        );
+        nettools::flowrecords::analyze(&r.capture).loss_rate
+    };
+    let low = mk(0.002);
+    let high = mk(0.04);
+    assert!(high > low, "estimated loss must order: {high} vs {low}");
+    assert!(high > 0.01, "4% injected, estimated {high}");
+}
+
+#[test]
+fn traceroute_hops_are_real_path_interfaces() {
+    let world = World::tiny(402);
+    let session = world.session();
+    let region = world.topo.cities.by_name("Council Bluffs").unwrap();
+    let vm = world.topo.vm_ip(region, 0);
+    let server = world.registry.servers.first().unwrap();
+    let path = session
+        .paths
+        .vm_host_path(
+            region, vm, server.as_id, server.city, server.ip,
+            Tier::Premium, Direction::ToServer,
+        )
+        .unwrap();
+    let trace = nettools::traceroute::traceroute(
+        &session.paths, region, vm, server.as_id, server.city, server.ip,
+        Tier::Premium, nettools::traceroute::TraceMode::Paris, 0, 1,
+    )
+    .unwrap();
+    let path_ips: std::collections::BTreeSet<std::net::Ipv4Addr> =
+        path.hops.iter().map(|h| h.ip).collect();
+    for ip in trace.responsive_ips() {
+        assert!(path_ips.contains(&ip), "trace hop {ip} not on the path");
+    }
+}
+
+#[test]
+fn bdrmap_counts_are_bounded_by_ground_truth() {
+    let world = World::tiny(403);
+    let session = world.session();
+    let region = world.topo.cities.by_name("The Dalles").unwrap();
+    let sel = clasp_core::select::topology::select(
+        &world,
+        &session.paths,
+        "us-west1",
+        region,
+        10_000,
+        &clasp_core::select::topology::PilotConfig::default(),
+    );
+    assert!(sel.bdrmap_links <= world.topo.links.len());
+    assert!(sel.links_traversed <= sel.bdrmap_links);
+    assert!(sel.servers.len() <= sel.links_traversed);
+}
+
+#[test]
+fn premium_latency_not_worse_than_standard_for_direct_us_peers() {
+    // For a US host that peers with the cloud near itself, premium should
+    // never have meaningfully higher base latency than standard from a
+    // remote region (cold potato rides the clean WAN).
+    let world = World::tiny(404);
+    let session = world.session();
+    let region = world.topo.cities.by_name("Moncks Corner").unwrap();
+    let vm = world.topo.vm_ip(region, 0);
+    let mut checked = 0;
+    for server in world.registry.in_country("US") {
+        if !world.topo.as_node(server.as_id).peers_with_cloud {
+            continue;
+        }
+        let t = SimTime::from_day_hour(0, 9);
+        let mut rtt = |tier| {
+            let fwd = session.paths.vm_host_path(
+                region, vm, server.as_id, server.city, server.ip, tier, Direction::ToServer,
+            )?;
+            let rev = session.paths.vm_host_path(
+                region, vm, server.as_id, server.city, server.ip, tier, Direction::ToCloud,
+            )?;
+            Some(session.perf.idle_rtt_ms(&fwd, &rev, t))
+        };
+        let (Some(p), Some(s)) = (rtt(Tier::Premium), rtt(Tier::Standard)) else {
+            continue;
+        };
+        assert!(
+            p <= s * 1.5 + 15.0,
+            "{}: premium {p:.1} ms vs standard {s:.1} ms",
+            server.id
+        );
+        checked += 1;
+        if checked >= 10 {
+            break;
+        }
+    }
+    assert!(checked >= 3);
+}
+
+#[test]
+fn standard_tier_enters_near_region() {
+    // The standard-tier ingress must cross the border at a PoP near the
+    // region even for far-away hosts (the regional-announcement rule).
+    let world = World::tiny(405);
+    let session = world.session();
+    let region_city = world.topo.cities.by_name("St. Ghislain").unwrap();
+    let region_loc = world.topo.cities.get(region_city).location;
+    let vm = world.topo.vm_ip(region_city, 0);
+    let mut checked = 0;
+    for server in &world.registry.servers {
+        if server.country == "US" || server.country == "BE" {
+            continue;
+        }
+        let Some(path) = session.paths.vm_host_path(
+            region_city, vm, server.as_id, server.city, server.ip,
+            Tier::Standard, Direction::ToCloud,
+        ) else {
+            continue;
+        };
+        let link = path.egress_link.unwrap();
+        let pop = world.topo.link(link).pop;
+        let d = world.topo.cities.get(pop).location.distance_km(&region_loc);
+        assert!(
+            d < 2_500.0,
+            "{}: standard ingress entered {:.0} km from the region",
+            server.id,
+            d
+        );
+        checked += 1;
+        if checked >= 15 {
+            break;
+        }
+    }
+    assert!(checked >= 5);
+}

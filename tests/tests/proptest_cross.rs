@@ -1,0 +1,123 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs across crate boundaries.
+
+use proptest::prelude::*;
+use simnet::topology::{Topology, TopologyConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed yields a topology whose interconnect invariants hold.
+    #[test]
+    fn topology_invariants_for_any_seed(seed in 0u64..1_000) {
+        let t = Topology::generate(TopologyConfig::tiny(seed));
+        // Far-side IPs unique and cloud-originated.
+        let mut fars: Vec<_> = t.links.iter().map(|l| l.far_ip).collect();
+        let n = fars.len();
+        fars.sort_unstable();
+        fars.dedup();
+        prop_assert_eq!(fars.len(), n);
+        for l in t.links.iter().take(50) {
+            prop_assert!(t.originates(t.cloud, l.far_ip));
+        }
+        // Relationships mutual.
+        for (i, node) in t.ases.iter().enumerate() {
+            for &p in &node.providers {
+                prop_assert!(t.as_node(p).customers.contains(&simnet::topology::AsId(i as u32)));
+            }
+        }
+    }
+
+    /// Routing reaches everything, for any seed.
+    #[test]
+    fn full_reachability_for_any_seed(seed in 0u64..200) {
+        let t = Topology::generate(TopologyConfig::tiny(seed));
+        let r = simnet::routing::Routing::new(&t);
+        for id in t.non_cloud_ases() {
+            prop_assert!(r.as_path(t.cloud, id).is_some());
+            prop_assert!(r.as_path(id, t.cloud).is_some());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Line-protocol roundtrip through the real pipeline types for
+    /// arbitrary tag/field content.
+    #[test]
+    fn line_protocol_roundtrips_arbitrary_points(
+        measurement in "[a-zA-Z][a-zA-Z0-9_ ,=]{0,20}",
+        tagk in "[a-z][a-z0-9 ,=]{0,10}",
+        tagv in "[a-zA-Z0-9 ,=_.-]{1,20}",
+        value in -1.0e9..1.0e9f64,
+        time in 0u64..10_000_000,
+    ) {
+        let p = tsdb::Point::new(measurement, time)
+            .tag(tagk, tagv)
+            .field("v", value);
+        let line = tsdb::line::encode(&p);
+        let q = tsdb::line::decode(&line).expect("roundtrip");
+        prop_assert_eq!(p, q);
+    }
+
+    /// The variability formula matches the Summary implementation for
+    /// arbitrary positive throughput series.
+    #[test]
+    fn variability_formula_consistency(series in prop::collection::vec(0.5..1000.0f64, 2..48)) {
+        let s: clasp_stats::Summary = series.iter().copied().collect();
+        let v = s.normalized_variability().unwrap();
+        let max = series.iter().copied().fold(f64::MIN, f64::max);
+        let min = series.iter().copied().fold(f64::MAX, f64::min);
+        prop_assert!((v - (max - min) / max).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// The fluid TCP model is monotone in loss and bounded by its caps,
+    /// for arbitrary loss/rtt.
+    #[test]
+    fn mathis_monotonicity(rtt_ms in 2.0..300.0f64, p1 in 1e-5..0.2f64, factor in 1.1..10.0f64) {
+        let mathis = |p: f64| {
+            let mss_bits = 1448.0 * 8.0;
+            (mss_bits / (rtt_ms / 1000.0)) * (1.5f64).sqrt() / p.sqrt() / 1.0e6
+        };
+        let hi = mathis(p1);
+        let lo = mathis(p1 * factor);
+        prop_assert!(hi > lo, "more loss must mean less throughput");
+    }
+
+    /// Cron slots always fit the hour and cover every assigned item once,
+    /// for arbitrary assignment sizes and hours.
+    #[test]
+    fn cron_slots_cover_exactly(n in 1usize..17, hour in 0u64..2000, seed in 0u64..1000) {
+        let cron = cloudsim::cron::CronSchedule::new(seed);
+        let items: Vec<u32> = (0..n as u32).collect();
+        let start = simnet::time::SimTime(hour * 3600);
+        let slots = cron.hour_slots(start, &items);
+        prop_assert_eq!(slots.len(), n);
+        let mut seen: Vec<u32> = slots.iter().map(|s| s.item).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, items);
+        for s in &slots {
+            prop_assert!(s.start.as_secs() >= start.as_secs());
+            prop_assert!(s.start.as_secs() + 120 <= start.as_secs() + 3600);
+        }
+    }
+
+    /// Histogram probability ratios stay in [0,1] for arbitrary event
+    /// subsets.
+    #[test]
+    fn hourly_probability_bounds(hours in prop::collection::vec(0.0..24.0f64, 1..200), p in 0.0..1.0f64) {
+        let mut events = clasp_stats::Histogram::new(0.0, 24.0, 24);
+        let mut trials = clasp_stats::Histogram::new(0.0, 24.0, 24);
+        for (i, h) in hours.iter().enumerate() {
+            trials.add(*h);
+            if (i as f64 / hours.len() as f64) < p {
+                events.add(*h);
+            }
+        }
+        for v in clasp_stats::histogram::bucket_probability(&events, &trials) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
