@@ -56,7 +56,12 @@ fn main() {
     // ---- Fig. 2 ----
     println!("\n== Fig 2 (paper: days@0.25 → 71-90%, days@0.5 → 11-30%, hours@0.5 → 1.3-3%)");
     for r in experiments::fig2(&world, &mut result, 20) {
-        let d25 = r.day_curve.iter().find(|p| (p.0 - 0.25).abs() < 1e-9).map(|p| p.1).unwrap_or(f64::NAN);
+        let d25 = r
+            .day_curve
+            .iter()
+            .find(|p| (p.0 - 0.25).abs() < 1e-9)
+            .map(|p| p.1)
+            .unwrap_or(f64::NAN);
         println!(
             "  {:<12} days@0.25={:.1}% days@0.5={:.1}% hours@0.5={:.2}% elbow={:?}",
             r.region,
@@ -95,7 +100,12 @@ fn main() {
         for (class, metric, vals) in &f5.pooled {
             if *metric == clasp_core::tiercmp::Metric::Download && !vals.is_empty() {
                 let med = clasp_stats::median(vals).unwrap();
-                println!("    class {:<15} n={:<6} median Δd={:+.3}", class.label(), vals.len(), med);
+                println!(
+                    "    class {:<15} n={:<6} median Δd={:+.3}",
+                    class.label(),
+                    vals.len(),
+                    med
+                );
             }
         }
         // Per-pick detail for calibration.

@@ -33,8 +33,14 @@ fn main() {
         ],
     );
     let cmp = compare_methods(&analysis, 0.5);
-    println!("threshold method (V_H > 0.5, >10% of days): {} congested series", cmp.threshold_congested);
-    println!("2-state Gaussian HMM (bimodal + low-state hours): {} congested series", cmp.hmm_congested);
+    println!(
+        "threshold method (V_H > 0.5, >10% of days): {} congested series",
+        cmp.threshold_congested
+    );
+    println!(
+        "2-state Gaussian HMM (bimodal + low-state hours): {} congested series",
+        cmp.hmm_congested
+    );
     println!("lag-24 autocorrelation: {} diurnal series", cmp.diurnal);
     println!(
         "threshold ∩ HMM = {} (Jaccard {:.2})\n",
@@ -45,7 +51,10 @@ fn main() {
     let hmm = hmm_detect(&analysis);
     let acf = diurnal_detect(&analysis);
     let thr = analysis.congested_series(0.5, 0.10);
-    println!("{:<46} {:>9} {:>12} {:>9}", "series", "threshold", "hmm-hours", "acf24");
+    println!(
+        "{:<46} {:>9} {:>12} {:>9}",
+        "series", "threshold", "hmm-hours", "acf24"
+    );
     let mut shown = 0;
     for (i, info) in analysis.series.iter().enumerate() {
         let h = &hmm[i];

@@ -46,7 +46,11 @@ fn main() {
     println!("\nThreshold sweep detail (H, %days, %hours), us-west1:");
     if let Some(r) = regions.first() {
         for (i, (h, d)) in r.day_curve.iter().enumerate() {
-            println!("  H={h:.2}  days={:>5.1}%  hours={:>5.2}%", d * 100.0, r.hour_curve[i].1 * 100.0);
+            println!(
+                "  H={h:.2}  days={:>5.1}%  hours={:>5.2}%",
+                d * 100.0,
+                r.hour_curve[i].1 * 100.0
+            );
         }
     }
 }

@@ -28,7 +28,10 @@ fn main() {
         .iter()
         .map(|p| if p.3 { '#' } else { '.' })
         .collect();
-    println!("congested   {marks}   ({} hours over H=0.5)\n", fig.congested_hours);
+    println!(
+        "congested   {marks}   ({} hours over H=0.5)\n",
+        fig.congested_hours
+    );
 
     println!("{:>6} {:>10} {:>8} {:>6}", "hour", "Mbps", "V_H", "event");
     for (t, mbps, v, ev) in &fig.points {

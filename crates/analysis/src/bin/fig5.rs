@@ -47,13 +47,18 @@ fn main() {
             if *m != metric || vals.is_empty() {
                 continue;
             }
-            print!("{}", render::cdf_summary(&format!("  {:<15}", class.label()), vals));
+            print!(
+                "{}",
+                render::cdf_summary(&format!("  {:<15}", class.label()), vals)
+            );
             if let Some(e) = Ecdf::new(vals) {
                 // CDF evaluated on a fixed grid [-1, 1].
-                let ys: Vec<f64> = (0..=40)
-                    .map(|i| e.eval(-1.0 + i as f64 / 20.0))
-                    .collect();
-                println!("    CDF -1→+1: {}  F(0)={:.2}", render::sparkline(&ys), e.eval(0.0));
+                let ys: Vec<f64> = (0..=40).map(|i| e.eval(-1.0 + i as f64 / 20.0)).collect();
+                println!(
+                    "    CDF -1→+1: {}  F(0)={:.2}",
+                    render::sparkline(&ys),
+                    e.eval(0.0)
+                );
             }
         }
     }

@@ -44,9 +44,7 @@ fn main() {
         let mut pts: Vec<(f64, f64, char)> = r
             .servers
             .iter()
-            .map(|(_, la, lo, method)| {
-                (*la, *lo, if *method == "topology" { 'o' } else { 'x' })
-            })
+            .map(|(_, la, lo, method)| (*la, *lo, if *method == "topology" { 'o' } else { 'x' }))
             .collect();
         pts.push((r.region_loc.0, r.region_loc.1, 'R'));
         println!("{}", ascii_map(&pts));

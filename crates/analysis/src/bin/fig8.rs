@@ -13,7 +13,16 @@ fn main() {
     let mut result = harness::paper_campaign(&world);
     let regions = experiments::fig8(&world, &mut result, 0.5);
 
-    let headers = ["region", "method", "ISP", "Hosting", "Business", "Education", "Unknown", "ISP congested"];
+    let headers = [
+        "region",
+        "method",
+        "ISP",
+        "Hosting",
+        "Business",
+        "Education",
+        "Unknown",
+        "ISP congested",
+    ];
     let mut rows = Vec::new();
     for r in &regions {
         let cell = |label: &str| -> String {
@@ -23,7 +32,7 @@ fn main() {
             }
         };
         let isp_frac = experiments::fig8_isp_congested_fraction(r)
-            .map(|f| render::pct(f))
+            .map(render::pct)
             .unwrap_or_else(|| "-".into());
         rows.push(vec![
             r.region.clone(),

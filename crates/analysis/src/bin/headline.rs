@@ -41,8 +41,7 @@ fn main() {
                 .registry
                 .by_id(&info.server)
                 .map(|srv| {
-                    world.topo.as_node(srv.as_id).lookup_type
-                        == simnet::asn::BusinessType::Isp
+                    world.topo.as_node(srv.as_id).lookup_type == simnet::asn::BusinessType::Isp
                 })
                 .unwrap_or(false)
         })
@@ -92,12 +91,16 @@ fn main() {
     // loss stays <1% on the same servers.
     let mut cox_down: Vec<f64> = Vec::new();
     let mut cox_up: Vec<f64> = Vec::new();
-    for series in result.db.matching_series(
-        "speedtest",
-        &[("method".to_string(), "topo".to_string())],
-    ) {
-        let Some(server) = series.tags.get("server") else { continue };
-        let Some(srv) = world.registry.by_id(server) else { continue };
+    for series in result
+        .db
+        .matching_series("speedtest", &[("method".to_string(), "topo".to_string())])
+    {
+        let Some(server) = series.tags.get("server") else {
+            continue;
+        };
+        let Some(srv) = world.registry.by_id(server) else {
+            continue;
+        };
         if !srv.sponsor.starts_with("Cox") {
             continue;
         }

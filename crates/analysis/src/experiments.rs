@@ -197,12 +197,11 @@ pub struct Fig4Point {
     pub upload_p95: f64,
 }
 
+/// Per-month `(download, upload, latency)` sample accumulators.
+type MonthAccum = (Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Computes the Fig. 4 scatter for one method/tier slice.
-pub fn fig4(
-    result: &mut CampaignResult,
-    method: &str,
-    tier: &str,
-) -> Vec<Fig4Point> {
+pub fn fig4(result: &mut CampaignResult, method: &str, tier: &str) -> Vec<Fig4Point> {
     const MONTH_S: u64 = 30 * 86_400;
     let filters = vec![
         ("method".to_string(), method.to_string()),
@@ -212,7 +211,7 @@ pub fn fig4(
     for series in result.db.matching_series("speedtest", &filters) {
         let server = series.tags.get("server").cloned().unwrap_or_default();
         let region = series.tags.get("region").cloned().unwrap_or_default();
-        let mut by_month: HashMap<u64, (Vec<f64>, Vec<f64>, Vec<f64>)> = HashMap::new();
+        let mut by_month: HashMap<u64, MonthAccum> = HashMap::new();
         for (t, fields) in series.samples() {
             let m = *t / MONTH_S;
             let entry = by_month.entry(m).or_default();
@@ -268,10 +267,7 @@ pub fn fig4_summary(points: &[Fig4Point]) -> Fig4Summary {
             .count() as f64
             / n,
         upload_near_cap: points.iter().filter(|p| p.upload_p95 > 90.0).count() as f64 / n,
-        max_download: points
-            .iter()
-            .map(|p| p.download_p95)
-            .fold(0.0, f64::max),
+        max_download: points.iter().map(|p| p.download_p95).fold(0.0, f64::max),
     }
 }
 

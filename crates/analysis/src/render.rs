@@ -59,7 +59,7 @@ pub fn cdf_summary(label: &str, values: &[f64]) -> String {
 pub fn sparkline(values: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if !(max > 0.0) {
+    if max <= 0.0 {
         return "▁".repeat(values.len());
     }
     values

@@ -26,10 +26,26 @@ fn bench_fluid_vs_packet(c: &mut Criterion) {
     let region = w.topo.cities.by_name("The Dalles").unwrap();
     let s = w.registry.in_country("US")[3];
     let down = paths
-        .vm_host_path(region, w.topo.vm_ip(region, 0), s.as_id, s.city, s.ip, Tier::Premium, Direction::ToCloud)
+        .vm_host_path(
+            region,
+            w.topo.vm_ip(region, 0),
+            s.as_id,
+            s.city,
+            s.ip,
+            Tier::Premium,
+            Direction::ToCloud,
+        )
         .unwrap();
     let up = paths
-        .vm_host_path(region, w.topo.vm_ip(region, 0), s.as_id, s.city, s.ip, Tier::Premium, Direction::ToServer)
+        .vm_host_path(
+            region,
+            w.topo.vm_ip(region, 0),
+            s.as_id,
+            s.city,
+            s.ip,
+            Tier::Premium,
+            Direction::ToServer,
+        )
         .unwrap();
     let t = SimTime::from_day_hour(2, 9);
 
@@ -60,7 +76,10 @@ fn bench_potato_policies(c: &mut Criterion) {
     let region = w.topo.cities.by_name("Council Bluffs").unwrap();
     let servers = w.registry.in_country("US");
     let mut g = c.benchmark_group("egress_policy");
-    for (name, tier) in [("cold_potato_premium", Tier::Premium), ("hot_potato_standard", Tier::Standard)] {
+    for (name, tier) in [
+        ("cold_potato_premium", Tier::Premium),
+        ("hot_potato_standard", Tier::Standard),
+    ] {
         g.bench_function(name, |b| {
             let mut i = 0;
             b.iter(|| {
@@ -123,11 +142,9 @@ fn bench_elbow_resolution(c: &mut Criterion) {
     for steps in [10usize, 20, 100] {
         g.bench_function(format!("steps_{steps}"), |b| {
             b.iter(|| {
-                let thresholds: Vec<f64> =
-                    (0..=steps).map(|i| i as f64 / steps as f64).collect();
+                let thresholds: Vec<f64> = (0..=steps).map(|i| i as f64 / steps as f64).collect();
                 black_box(clasp_stats::elbow::threshold_sweep(&thresholds, |h| {
-                    day_vars.iter().filter(|v| **v > h).count() as f64
-                        / day_vars.len() as f64
+                    day_vars.iter().filter(|v| **v > h).count() as f64 / day_vars.len() as f64
                 }))
             })
         });

@@ -1,0 +1,56 @@
+//! Fault-injection overhead bench: the faultsim hooks threaded through
+//! the campaign loop must cost nothing when no faults are configured.
+//!
+//! Three variants of the same 7-day bench-scale campaign:
+//!
+//! * `baseline`  — `FaultPlan::none()`, the default: every hook
+//!   short-circuits on `is_none()` before hashing anything;
+//! * `zero_rate` — a plan with a seed but all rates zero: hooks hash
+//!   and compare, never fire (the worst pristine case);
+//! * `moderate`  — the built-in 1% profile: faults inject, the
+//!   orchestrator retries, the completeness report reconciles.
+//!
+//! `baseline` vs `zero_rate` bounds the overhead of the injection
+//! points themselves; `moderate` shows the full resilience machinery is
+//! still campaign-scale cheap.
+//!
+//! ```text
+//! cargo bench -p clasp-bench --bench fault_overhead
+//! ```
+
+use analysis::harness::PAPER_SEED;
+use clasp_bench::{world, BENCH_DAYS};
+use clasp_core::campaign::{Campaign, CampaignConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultsim::FaultPlan;
+use std::hint::black_box;
+
+fn bench_config(plan: FaultPlan) -> CampaignConfig {
+    let mut cfg = CampaignConfig::paper(PAPER_SEED);
+    cfg.days = BENCH_DAYS;
+    cfg.diff_days = cfg.diff_days.min(BENCH_DAYS);
+    cfg.fault_plan = plan;
+    cfg
+}
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let w = world();
+    let mut g = c.benchmark_group("fault_overhead");
+    g.sample_size(10);
+    g.bench_function("campaign_7d_baseline", |b| {
+        b.iter(|| black_box(Campaign::new(w, bench_config(FaultPlan::none())).run()))
+    });
+    g.bench_function("campaign_7d_zero_rate", |b| {
+        b.iter(|| {
+            black_box(Campaign::new(w, bench_config(FaultPlan::uniform(PAPER_SEED, 0.0))).run())
+        })
+    });
+    g.bench_function("campaign_7d_moderate", |b| {
+        let plan = FaultPlan::builtin("moderate").expect("built-in profile");
+        b.iter(|| black_box(Campaign::new(w, bench_config(plan.clone())).run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead);
+criterion_main!(benches);

@@ -92,10 +92,26 @@ fn bench_fluid_model(c: &mut Criterion) {
     let region = w.topo.cities.by_name("The Dalles").unwrap();
     let s = w.registry.in_country("US")[10];
     let down = paths
-        .vm_host_path(region, w.topo.vm_ip(region, 0), s.as_id, s.city, s.ip, Tier::Premium, Direction::ToCloud)
+        .vm_host_path(
+            region,
+            w.topo.vm_ip(region, 0),
+            s.as_id,
+            s.city,
+            s.ip,
+            Tier::Premium,
+            Direction::ToCloud,
+        )
         .unwrap();
     let up = paths
-        .vm_host_path(region, w.topo.vm_ip(region, 0), s.as_id, s.city, s.ip, Tier::Premium, Direction::ToServer)
+        .vm_host_path(
+            region,
+            w.topo.vm_ip(region, 0),
+            s.as_id,
+            s.city,
+            s.ip,
+            Tier::Premium,
+            Direction::ToServer,
+        )
         .unwrap();
     c.bench_function("perf/fluid_tcp_throughput", |b| {
         let mut t = 0u64;
@@ -188,13 +204,8 @@ fn bench_bdrmap(c: &mut Criterion) {
 fn bench_prefix2as(c: &mut Criterion) {
     let w = world();
     c.bench_function("prefix2as/lookup", |b| {
-        let ips: Vec<std::net::Ipv4Addr> = w
-            .registry
-            .servers
-            .iter()
-            .map(|s| s.ip)
-            .take(1000)
-            .collect();
+        let ips: Vec<std::net::Ipv4Addr> =
+            w.registry.servers.iter().map(|s| s.ip).take(1000).collect();
         let mut i = 0;
         b.iter(|| {
             let ip = ips[i % ips.len()];

@@ -129,9 +129,7 @@ mod tests {
         let usd = b.egress_usd();
         assert!((usd - (0.12 + 0.085)).abs() < 1e-9, "usd = {usd}");
         // Standard tier is cheaper — one of its selling points.
-        assert!(
-            b.prices.standard_egress_per_gb < b.prices.premium_egress_per_gb
-        );
+        assert!(b.prices.standard_egress_per_gb < b.prices.premium_egress_per_gb);
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub struct Object {
 /// Rough gzip ratio for textual measurement data.
 const COMPRESSION_RATIO: f64 = 0.22;
 
+/// A failed upload attempt (transient; retryable with backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadError {
+    /// Batch day the upload carried.
+    pub day: u64,
+    /// Which attempt failed (0 = the initial upload).
+    pub attempt: u32,
+}
+
 /// A regional storage bucket.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Bucket {
@@ -53,6 +62,32 @@ impl Bucket {
                 stored_bytes,
             },
         );
+    }
+
+    /// Fault-aware upload: consults the fault plan before storing.
+    /// `vm` is the uploading instance, `day` the batch day, `attempt`
+    /// the 0-based retry counter (each attempt draws independently).
+    /// With an empty plan this is exactly [`Self::put`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_put(
+        &mut self,
+        key: impl Into<String>,
+        data: String,
+        now: SimTime,
+        plan: &faultsim::FaultPlan,
+        vm: &str,
+        day: u64,
+        attempt: u32,
+    ) -> Result<(), UploadError> {
+        let scope = faultsim::plan::VmScope {
+            region: &self.region,
+            vm,
+        };
+        if plan.upload_fails(scope, day, attempt) {
+            return Err(UploadError { day, attempt });
+        }
+        self.put(key, data, now);
+        Ok(())
     }
 
     /// Fetches an object.
@@ -92,7 +127,11 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut b = Bucket::new("us-east1");
-        b.put("raw/d0/vm1.lp", "throughput mbps=1.0 0".into(), SimTime::EPOCH);
+        b.put(
+            "raw/d0/vm1.lp",
+            "throughput mbps=1.0 0".into(),
+            SimTime::EPOCH,
+        );
         let o = b.get("raw/d0/vm1.lp").unwrap();
         assert!(o.data.contains("mbps"));
         assert!(o.stored_bytes < o.data.len() as u64);
@@ -119,6 +158,30 @@ mod tests {
         assert_eq!(b.len(), 1);
         assert!(b.stored_bytes() > before);
         assert_eq!(b.get("k").unwrap().uploaded, SimTime(10));
+    }
+
+    #[test]
+    fn try_put_injects_and_recovers() {
+        let mut b = Bucket::new("us-east1");
+        // Empty plan: identical to put.
+        b.try_put(
+            "k0",
+            "x".into(),
+            SimTime::EPOCH,
+            &faultsim::FaultPlan::none(),
+            "vm-0",
+            0,
+            0,
+        )
+        .unwrap();
+        assert!(b.get("k0").is_some());
+
+        // Certain failure: nothing stored, error reports the attempt.
+        let mut plan = faultsim::FaultPlan::uniform(1, 0.0);
+        plan.rates.upload_failure = 1.0;
+        let err = b.try_put("k1", "x".into(), SimTime::EPOCH, &plan, "vm-0", 3, 2);
+        assert_eq!(err, Err(UploadError { day: 3, attempt: 2 }));
+        assert!(b.get("k1").is_none());
     }
 
     #[test]

@@ -68,6 +68,21 @@ impl Quota {
     pub fn clamp_servers(&self, requested: usize) -> usize {
         requested.min(self.max_vms_per_region * 17)
     }
+
+    /// Whether provisioning calls (VM create/restart) can go through in
+    /// `region` during sim-hour `hour`: the static VM quota must allow
+    /// the count *and* the fault plan must not have the regional API
+    /// quota exhausted this hour. With an empty plan this reduces to
+    /// [`Self::allows_vms`].
+    pub fn allows_provisioning(
+        &self,
+        vms: usize,
+        region: &str,
+        hour: u64,
+        plan: &faultsim::FaultPlan,
+    ) -> bool {
+        self.allows_vms(vms) && !plan.quota_exhausted(region, hour)
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +117,27 @@ mod tests {
         assert!(!q.allows_vms(8));
         assert_eq!(q.clamp_servers(500), 7 * 17);
         assert_eq!(q.clamp_servers(50), 50);
+    }
+
+    #[test]
+    fn provisioning_blocked_by_quota_bursts() {
+        let q = Quota::default();
+        let none = faultsim::FaultPlan::none();
+        assert!(q.allows_provisioning(4, "us-west1", 10, &none));
+        assert!(!q.allows_provisioning(25, "us-west1", 10, &none));
+
+        let mut plan = faultsim::FaultPlan::none();
+        plan.scheduled.push(faultsim::ScheduledFault {
+            kind: faultsim::FaultKind::QuotaExhausted,
+            start_hour: 10,
+            duration_hours: 2,
+            region: Some("us-west1".into()),
+            vm: None,
+        });
+        assert!(!q.allows_provisioning(4, "us-west1", 10, &plan));
+        assert!(!q.allows_provisioning(4, "us-west1", 11, &plan));
+        assert!(q.allows_provisioning(4, "us-west1", 12, &plan));
+        assert!(q.allows_provisioning(4, "us-east1", 10, &plan));
     }
 
     #[test]

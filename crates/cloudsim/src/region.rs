@@ -80,10 +80,16 @@ impl Region {
 
     /// The regions used for the topology-based measurements (Table 1).
     pub fn topology_regions() -> Vec<&'static Region> {
-        ["us-west1", "us-west2", "us-east1", "us-east4", "us-central1"]
-            .iter()
-            .map(|n| Region::by_name(n).expect("static"))
-            .collect()
+        [
+            "us-west1",
+            "us-west2",
+            "us-east1",
+            "us-east4",
+            "us-central1",
+        ]
+        .iter()
+        .map(|n| Region::by_name(n).expect("static"))
+        .collect()
     }
 
     /// The regions used for the differential-based measurements (§4).

@@ -84,8 +84,22 @@ impl TrafficShaping {
 pub enum VmState {
     /// Running and billable.
     Running,
+    /// Preempted by the platform: stopped but not deleted. The instance
+    /// reservation (and disk) keep billing in this coarse model; it can
+    /// be restarted in place once the maintenance event passes.
+    Preempted,
     /// Deleted.
     Terminated,
+}
+
+/// A transient control-plane error (HTTP 5xx / rate-limit class).
+/// Retryable: the same call may succeed on the next attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApiError {
+    /// The operation that failed, e.g. `create_vm`.
+    pub op: &'static str,
+    /// Which attempt failed (0 = the initial call).
+    pub attempt: u32,
 }
 
 /// A provisioned virtual machine.
@@ -179,12 +193,54 @@ impl<'t> CloudApi<'t> {
         self.vms.len() - 1
     }
 
+    /// Fault-aware variant of [`Self::create_vm`]: consults the fault
+    /// plan for a transient API error before allocating. With an empty
+    /// plan this is exactly `create_vm` — no draw is made, no state
+    /// differs — so the zero-fault path stays bitwise identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_create_vm(
+        &mut self,
+        region: &'static Region,
+        index: u16,
+        machine_type: MachineType,
+        tier: Tier,
+        shaping: TrafficShaping,
+        now: SimTime,
+        plan: &faultsim::FaultPlan,
+        attempt: u32,
+    ) -> Result<usize, ApiError> {
+        if plan.api_error("create_vm", now.as_secs(), attempt) {
+            return Err(ApiError {
+                op: "create_vm",
+                attempt,
+            });
+        }
+        Ok(self.create_vm(region, index, machine_type, tier, shaping, now))
+    }
+
     /// Terminates a VM.
     pub fn delete_vm(&mut self, idx: usize, now: SimTime) {
         let vm = &mut self.vms[idx];
         if vm.state == VmState::Running {
             vm.state = VmState::Terminated;
             vm.terminated = Some(now);
+        }
+    }
+
+    /// Preempts a running VM (platform maintenance event). It stops
+    /// serving measurements but is not deleted.
+    pub fn preempt_vm(&mut self, idx: usize) {
+        let vm = &mut self.vms[idx];
+        if vm.state == VmState::Running {
+            vm.state = VmState::Preempted;
+        }
+    }
+
+    /// Restarts a preempted VM in place.
+    pub fn restart_vm(&mut self, idx: usize) {
+        let vm = &mut self.vms[idx];
+        if vm.state == VmState::Preempted {
+            vm.state = VmState::Running;
         }
     }
 
@@ -282,6 +338,70 @@ mod tests {
         let later = SimTime::from_day_hour(5, 0);
         assert_eq!(api.vms[idx].billable_hours(later), 24.0);
         assert!(api.running_in("us-west1").is_empty());
+    }
+
+    #[test]
+    fn preemption_pauses_and_restart_resumes() {
+        let topo = simnet::topology::Topology::generate(TopologyConfig::tiny(1));
+        let mut api = api(&topo);
+        let idx = api.create_vm(
+            &REGIONS[0],
+            0,
+            MachineType::N1Standard2,
+            Tier::Premium,
+            TrafficShaping::clasp_default(),
+            SimTime::EPOCH,
+        );
+        api.preempt_vm(idx);
+        assert_eq!(api.vms[idx].state, VmState::Preempted);
+        assert!(api.running_in("us-west1").is_empty());
+        api.restart_vm(idx);
+        assert_eq!(api.vms[idx].state, VmState::Running);
+        assert_eq!(api.running_in("us-west1").len(), 1);
+        // Terminated VMs do not restart.
+        api.delete_vm(idx, SimTime(100));
+        api.restart_vm(idx);
+        assert_eq!(api.vms[idx].state, VmState::Terminated);
+    }
+
+    #[test]
+    fn try_create_vm_respects_fault_plan() {
+        let topo = simnet::topology::Topology::generate(TopologyConfig::tiny(1));
+        let mut api = api(&topo);
+        let ok = api.try_create_vm(
+            &REGIONS[0],
+            0,
+            MachineType::N1Standard2,
+            Tier::Premium,
+            TrafficShaping::clasp_default(),
+            SimTime::EPOCH,
+            &faultsim::FaultPlan::none(),
+            0,
+        );
+        assert!(ok.is_ok());
+
+        // With api_error = 1.0 every attempt fails, and no VM appears.
+        let mut plan = faultsim::FaultPlan::uniform(1, 0.0);
+        plan.rates.api_error = 1.0;
+        let n_before = api.vms.len();
+        let err = api.try_create_vm(
+            &REGIONS[0],
+            1,
+            MachineType::N1Standard2,
+            Tier::Premium,
+            TrafficShaping::clasp_default(),
+            SimTime::EPOCH,
+            &plan,
+            0,
+        );
+        assert_eq!(
+            err,
+            Err(ApiError {
+                op: "create_vm",
+                attempt: 0
+            })
+        );
+        assert_eq!(api.vms.len(), n_before);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! ```text
 //! clasp crawl  [--seed N]                      # crawl the server registries
 //! clasp select [--seed N] [--region R] [--budget N]
-//! clasp run    [--seed N] [--region R] [--budget N] [--days N]
+//! clasp run    [--seed N] [--region R] [--budget N] [--days N] [--fault-profile P]
 //! clasp analyze [--seed N] [--region R] [--budget N] [--days N] [--threshold H]
 //! clasp bill   [--seed N] [--days N]           # cost forecast for a deployment
 //! ```
@@ -12,6 +12,11 @@
 //! Everything is deterministic in `--seed`; `run` prints the line-protocol
 //! sample of what lands in the bucket, `analyze` prints the congestion
 //! report.
+//!
+//! `--fault-profile` takes a built-in profile name (`none`, `light`,
+//! `moderate`, `heavy`, `gcp-2020`) or a path to a JSON plan; the run
+//! then injects faults, retries its way through them, and reports the
+//! fault summary and per-region data completeness.
 
 use clasp_core::campaign::{Campaign, CampaignConfig};
 use clasp_core::congestion::CongestionAnalysis;
@@ -44,14 +49,37 @@ fn arg_str(args: &[String], name: &str, default: &str) -> String {
 fn usage() -> ! {
     eprintln!(
         "usage: clasp <crawl|select|run|analyze|bill> \
-         [--seed N] [--region R] [--budget N] [--days N] [--threshold H]"
+         [--seed N] [--region R] [--budget N] [--days N] [--threshold H] \
+         [--fault-profile <name|path.json>]"
     );
     std::process::exit(2);
 }
 
+/// Resolves `--fault-profile`: a built-in name first, else a JSON file.
+fn load_fault_profile(spec: &str) -> faultsim::FaultPlan {
+    if let Some(plan) = faultsim::FaultPlan::builtin(spec) {
+        return plan;
+    }
+    match std::fs::read_to_string(spec) {
+        Ok(text) => match faultsim::FaultPlan::from_json_str(&text) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("bad fault profile {spec}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("unknown fault profile {spec} (not a built-in, and not readable: {e})");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().cloned() else { usage() };
+    let Some(cmd) = args.first().cloned() else {
+        usage()
+    };
     let seed = arg_u64(&args, "--seed", 42);
     let region_name = arg_str(&args, "--region", "us-west1");
     let budget = arg_u64(&args, "--budget", 34) as usize;
@@ -59,11 +87,10 @@ fn main() {
     let threshold = arg_f64(&args, "--threshold", 0.5);
 
     let world = World::new(seed);
-    let region = cloudsim::region::Region::by_name(&region_name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown region {region_name}");
-            std::process::exit(2);
-        });
+    let region = cloudsim::region::Region::by_name(&region_name).unwrap_or_else(|| {
+        eprintln!("unknown region {region_name}");
+        std::process::exit(2);
+    });
 
     match cmd.as_str() {
         "crawl" => {
@@ -117,6 +144,8 @@ fn main() {
             config.topo_regions = vec![(region.name, budget)];
             config.diff_regions.clear();
             config.keep_raw = true;
+            let fault_spec = arg_str(&args, "--fault-profile", "none");
+            config.fault_plan = load_fault_profile(&fault_spec);
             let result = Campaign::new(&world, config).run();
             println!(
                 "campaign: {} tests, {} VMs, {} raw objects, ${:.2}",
@@ -125,6 +154,25 @@ fn main() {
                 result.raw_objects,
                 result.billing.total_usd()
             );
+            if !result.fault_log.is_empty() {
+                let s = result.fault_log.summary();
+                println!(
+                    "faults: {} injected, {} recovered ({} retries), {} lost ({} s-hours)",
+                    s.total, s.recovered, s.retries, s.lost, s.lost_s_hours
+                );
+                for (kind, n) in &s.by_kind {
+                    println!("  {kind:<16} {n}");
+                }
+                println!(
+                    "\ncompleteness ({}):\n{}",
+                    if result.completeness.reconciles() {
+                        "reconciles with fault log"
+                    } else {
+                        "DOES NOT RECONCILE"
+                    },
+                    result.completeness.render()
+                );
+            }
             if cmd == "run" {
                 // Show a sample of what landed in the bucket.
                 let bucket = &result.buckets[0];

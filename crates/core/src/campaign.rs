@@ -21,6 +21,9 @@ use cloudsim::bucket::Bucket;
 use cloudsim::cron::CronSchedule;
 use cloudsim::region::Region;
 use cloudsim::vm::MachineType;
+use faultsim::{
+    CompletenessReport, CronEffect, FaultKind, FaultLog, FaultPlan, RetryPolicy, VmScope,
+};
 use simnet::routing::Tier;
 use simnet::time::{SimTime, HOUR, SECONDS_PER_DAY};
 use speedtest::client::{PathPair, SpeedTestClient, TestResult};
@@ -52,7 +55,18 @@ pub struct CampaignConfig {
     /// cron failure). Real longitudinal datasets have gaps; the analysis
     /// must tolerate them. Defaults to 0 so figures stay exactly
     /// reproducible.
+    ///
+    /// **Deprecated**: this knob is now a thin shim over
+    /// [`FaultPlan::legacy_outage`] — the draws are bit-identical to the
+    /// old inline implementation, so existing seeds reproduce the same
+    /// gaps, but new code should configure [`Self::fault_plan`] instead,
+    /// which types the faults, logs ground truth, and lets the
+    /// orchestrator retry its way past the recoverable ones.
     pub outage_rate: f64,
+    /// Fault-injection plan for the run. [`FaultPlan::none`] (the
+    /// default) is bitwise invisible: the campaign output is identical
+    /// to a build without any fault hooks.
+    pub fault_plan: FaultPlan,
 }
 
 impl CampaignConfig {
@@ -76,6 +90,7 @@ impl CampaignConfig {
             pretest: PreTestConfig::default(),
             keep_raw: false,
             outage_rate: 0.0,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -99,7 +114,18 @@ impl CampaignConfig {
             },
             keep_raw: true,
             outage_rate: 0.0,
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// The effective fault plan: [`Self::fault_plan`] with the
+    /// deprecated [`Self::outage_rate`] folded in as a legacy shim.
+    pub fn effective_fault_plan(&self) -> FaultPlan {
+        let mut plan = self.fault_plan.clone();
+        if self.outage_rate > 0.0 {
+            plan.legacy_outage_rate = self.outage_rate;
+        }
+        plan
     }
 }
 
@@ -123,6 +149,15 @@ pub struct CampaignResult {
     pub raw_objects: u64,
     /// Retained raw buckets (per region), when `keep_raw` is set.
     pub buckets: Vec<Bucket>,
+    /// Ground truth: every fault injected during the run.
+    pub fault_log: FaultLog,
+    /// Expected vs. collected server-hours, per region unit. Under any
+    /// fault plan this reconciles exactly against [`Self::fault_log`].
+    pub completeness: CompletenessReport,
+    /// One checkpoint per completed work unit (JSON). Feeding any of
+    /// them to [`Campaign::resume`] re-produces the identical final
+    /// result without re-running the completed units.
+    pub checkpoints: Vec<serde_json::Value>,
 }
 
 /// The campaign driver.
@@ -138,11 +173,25 @@ impl<'w> Campaign<'w> {
         Self { world, config }
     }
 
-    /// Runs the whole campaign.
+    /// Runs the whole campaign from the start.
     pub fn run(&self) -> CampaignResult {
+        self.run_resumable(None).expect("fresh runs cannot fail")
+    }
+
+    /// Resumes a campaign from a checkpoint taken by a previous run.
+    /// Completed work units are not re-executed: their selections are
+    /// re-derived (they are pure functions of world + config) and their
+    /// raw data replayed from the checkpoint's durable bucket snapshot,
+    /// producing a final result identical to an uninterrupted run.
+    pub fn resume(&self, checkpoint: &serde_json::Value) -> Result<CampaignResult, String> {
+        self.run_resumable(Some(checkpoint))
+    }
+
+    fn run_resumable(&self, resume: Option<&serde_json::Value>) -> Result<CampaignResult, String> {
         let session = self.world.session();
         let client = SpeedTestClient::default();
         let cron = CronSchedule::new(self.config.seed ^ 0xc407);
+        let fplan = self.config.effective_fault_plan();
         let mut db = Db::new();
         let mut billing = Billing::new();
         let mut vm_count = 0usize;
@@ -152,108 +201,206 @@ impl<'w> Campaign<'w> {
         let mut buckets = Vec::new();
         let mut topo_selections = Vec::new();
         let mut diff_selections = Vec::new();
+        let mut flog = FaultLog::new();
+        let mut report = CompletenessReport::new();
+        let mut checkpoints = Vec::new();
+        // Durable raw snapshots of completed units, label → bucket dump.
+        let mut raw_store: Vec<(String, serde_json::Value)> = Vec::new();
+        let mut completed: Vec<String> = Vec::new();
 
-        // --- Topology-based regions. ---
+        if let Some(ckpt) = resume {
+            let counters = ckpt.get("counters").ok_or("checkpoint missing counters")?;
+            let u = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            vm_count = u("vm_count") as usize;
+            tests_run = u("tests_run");
+            tainted = u("tainted");
+            billing = billing_from_json(ckpt.get("billing").ok_or("checkpoint missing billing")?);
+            flog = FaultLog::from_json(
+                ckpt.get("fault_log")
+                    .ok_or("checkpoint missing fault_log")?,
+            )?;
+            report = CompletenessReport::from_json(
+                ckpt.get("completeness")
+                    .ok_or("checkpoint missing completeness")?,
+            )?;
+            completed = ckpt
+                .get("completed")
+                .and_then(|c| c.as_array())
+                .ok_or("checkpoint missing completed")?
+                .iter()
+                .filter_map(|v| v.as_str().map(String::from))
+                .collect();
+            for entry in ckpt
+                .get("raw")
+                .and_then(|r| r.as_array())
+                .ok_or("checkpoint missing raw")?
+            {
+                let label = entry
+                    .get("unit")
+                    .and_then(|v| v.as_str())
+                    .ok_or("raw entry missing unit")?;
+                raw_store.push((label.to_string(), entry.clone()));
+            }
+        }
+
+        let diff_start = SimTime((self.config.days - self.config.diff_days) * SECONDS_PER_DAY);
+
+        // The campaign as an ordered list of checkpointable work units:
+        // each topology region, then each differential region.
+        enum Unit {
+            Topo { budget: usize },
+            Diff,
+        }
+        let mut units: Vec<(String, &'static str, Unit)> = Vec::new();
         for &(region_name, budget) in &self.config.topo_regions {
-            let region = Region::by_name(region_name).expect("known region");
-            let region_city = region.city_id(&self.world.topo.cities);
-            let sel = topology::select(
-                self.world,
-                &session.paths,
-                region.name,
-                region_city,
-                budget,
-                &self.config.pilot,
-            );
-            let plan = plan::plan_region(region, &sel.servers, &cron);
-            let mut bucket = Bucket::new(region.name);
-            self.run_region_loop(
-                &session,
-                &client,
-                &cron,
-                region,
-                &plan,
-                Tier::Premium,
-                "topo",
-                SimTime::EPOCH,
-                self.config.days,
-                &mut bucket,
-                &mut billing,
-                &mut tests_run,
-                &mut tainted,
-            );
-            vm_count += plan.n_vms;
-            billing.record_vm_hours(
-                MachineType::N1Standard2,
-                plan.n_vms as f64 * self.config.days as f64 * 24.0,
-            );
-            let stats = pipeline::ingest(&bucket, &mut db);
-            raw_objects += stats.objects;
-            billing.record_storage(
-                bucket.stored_bytes(),
-                self.config.days as f64 * 24.0,
-            );
-            if self.config.keep_raw {
-                buckets.push(bucket);
-            }
-            topo_selections.push(sel);
+            units.push((
+                format!("topo:{region_name}"),
+                region_name,
+                Unit::Topo { budget },
+            ));
         }
-
-        // --- Differential regions: one VM pair per region. ---
-        let diff_start =
-            SimTime((self.config.days - self.config.diff_days) * SECONDS_PER_DAY);
         for &region_name in &self.config.diff_regions {
-            let region = Region::by_name(region_name).expect("known region");
-            let region_city = region.city_id(&self.world.topo.cities);
-            let sel = differential::select(
-                self.world,
-                &session.paths,
-                &session.perf,
-                region.name,
-                region_city,
-                &self.config.pretest,
-            );
-            let servers: Vec<String> =
-                sel.picks.iter().map(|p| p.server_id.clone()).collect();
-            let mut bucket = Bucket::new(format!("{}-diff", region.name));
-            for tier in [Tier::Premium, Tier::Standard] {
-                let plan = DeploymentPlan {
-                    region: region.name,
-                    n_vms: 1,
-                    assignments: vec![servers.clone()],
-                };
-                self.run_region_loop(
-                    &session,
-                    &client,
-                    &cron,
-                    region,
-                    &plan,
-                    tier,
-                    "diff",
-                    diff_start,
-                    self.config.diff_days,
-                    &mut bucket,
-                    &mut billing,
-                    &mut tests_run,
-                    &mut tainted,
-                );
-                vm_count += 1;
-                billing.record_vm_hours(
-                    MachineType::N1Standard2,
-                    self.config.diff_days as f64 * 24.0,
-                );
-            }
-            let stats = pipeline::ingest(&bucket, &mut db);
-            raw_objects += stats.objects;
-            billing
-                .record_storage(bucket.stored_bytes(), self.config.diff_days as f64 * 24.0);
-            if self.config.keep_raw {
-                buckets.push(bucket);
-            }
-            diff_selections.push(sel);
+            units.push((format!("diff:{region_name}"), region_name, Unit::Diff));
         }
 
-        CampaignResult {
+        for (label, region_name, unit) in units {
+            let region = Region::by_name(region_name).expect("known region");
+            let region_city = region.city_id(&self.world.topo.cities);
+            let done = completed.iter().any(|c| c == &label);
+
+            match unit {
+                Unit::Topo { budget } => {
+                    // Selection is a pure function of world + config:
+                    // recomputed identically whether resuming or not.
+                    let sel = topology::select(
+                        self.world,
+                        &session.paths,
+                        region.name,
+                        region_city,
+                        budget,
+                        &self.config.pilot,
+                    );
+                    let mut bucket = if done {
+                        bucket_from_snapshot(&raw_store, &label)?
+                    } else {
+                        Bucket::new(region.name)
+                    };
+                    if !done {
+                        let plan = plan::plan_region(region, &sel.servers, &cron);
+                        self.run_region_loop(
+                            &session,
+                            &client,
+                            &cron,
+                            region,
+                            &plan,
+                            Tier::Premium,
+                            "topo",
+                            SimTime::EPOCH,
+                            self.config.days,
+                            &mut bucket,
+                            &mut billing,
+                            &mut tests_run,
+                            &mut tainted,
+                            &fplan,
+                            &mut flog,
+                            &mut report,
+                            region.name,
+                        );
+                        vm_count += plan.n_vms;
+                        billing.record_vm_hours(
+                            MachineType::N1Standard2,
+                            plan.n_vms as f64 * self.config.days as f64 * 24.0,
+                        );
+                        billing
+                            .record_storage(bucket.stored_bytes(), self.config.days as f64 * 24.0);
+                        raw_store.push((label.clone(), bucket_snapshot(&bucket, &label)));
+                        completed.push(label.clone());
+                    }
+                    let stats = pipeline::ingest(&bucket, &mut db);
+                    raw_objects += stats.objects;
+                    if self.config.keep_raw {
+                        buckets.push(bucket);
+                    }
+                    topo_selections.push(sel);
+                }
+                Unit::Diff => {
+                    let sel = differential::select(
+                        self.world,
+                        &session.paths,
+                        &session.perf,
+                        region.name,
+                        region_city,
+                        &self.config.pretest,
+                    );
+                    let mut bucket = if done {
+                        bucket_from_snapshot(&raw_store, &label)?
+                    } else {
+                        Bucket::new(format!("{}-diff", region.name))
+                    };
+                    if !done {
+                        let servers: Vec<String> =
+                            sel.picks.iter().map(|p| p.server_id.clone()).collect();
+                        for tier in [Tier::Premium, Tier::Standard] {
+                            let plan = DeploymentPlan {
+                                region: region.name,
+                                n_vms: 1,
+                                assignments: vec![servers.clone()],
+                            };
+                            let comp_label = format!("{}-diff-{}", region.name, tier.label());
+                            self.run_region_loop(
+                                &session,
+                                &client,
+                                &cron,
+                                region,
+                                &plan,
+                                tier,
+                                "diff",
+                                diff_start,
+                                self.config.diff_days,
+                                &mut bucket,
+                                &mut billing,
+                                &mut tests_run,
+                                &mut tainted,
+                                &fplan,
+                                &mut flog,
+                                &mut report,
+                                &comp_label,
+                            );
+                            vm_count += 1;
+                            billing.record_vm_hours(
+                                MachineType::N1Standard2,
+                                self.config.diff_days as f64 * 24.0,
+                            );
+                        }
+                        billing.record_storage(
+                            bucket.stored_bytes(),
+                            self.config.diff_days as f64 * 24.0,
+                        );
+                        raw_store.push((label.clone(), bucket_snapshot(&bucket, &label)));
+                        completed.push(label.clone());
+                    }
+                    let stats = pipeline::ingest(&bucket, &mut db);
+                    raw_objects += stats.objects;
+                    if self.config.keep_raw {
+                        buckets.push(bucket);
+                    }
+                    diff_selections.push(sel);
+                }
+            }
+
+            // Periodic checkpoint: everything needed to resume after
+            // this unit, with the raw bucket dumps as durable storage.
+            checkpoints.push(make_checkpoint(
+                &completed, &billing, vm_count, tests_run, tainted, &flog, &report, &raw_store,
+            ));
+        }
+
+        // Checkpoints carry the raw expected/collected tallies; the
+        // fault outcomes are folded in exactly once, here, so a resumed
+        // run absorbs each fault a single time.
+        report.absorb_log(&flog);
+
+        Ok(CampaignResult {
             db,
             topo_selections,
             diff_selections,
@@ -263,10 +410,16 @@ impl<'w> Campaign<'w> {
             tainted_tests: tainted,
             raw_objects,
             buckets,
-        }
+            fault_log: flog,
+            completeness: report,
+            checkpoints,
+        })
     }
 
-    /// The hourly cron loop for one region/tier/server-assignment.
+    /// The hourly cron loop for one region/tier/server-assignment, with
+    /// fault injection and resilient recovery. With an empty plan every
+    /// fault query short-circuits and the loop is byte-for-byte the
+    /// pre-fault implementation.
     #[allow(clippy::too_many_arguments)]
     fn run_region_loop(
         &self,
@@ -283,6 +436,10 @@ impl<'w> Campaign<'w> {
         billing: &mut Billing,
         tests_run: &mut u64,
         tainted: &mut u64,
+        fplan: &FaultPlan,
+        flog: &mut FaultLog,
+        report: &mut CompletenessReport,
+        comp_label: &str,
     ) {
         let region_city = region.city_id(&self.world.topo.cities);
         // Each VM has its own crontab: the premium and standard VMs of a
@@ -297,6 +454,9 @@ impl<'w> Campaign<'w> {
             seed: cron.seed ^ tier_salt,
         };
         let cron = &cron;
+        let abort_policy = RetryPolicy::speedtest();
+        let upload_policy = RetryPolicy::upload();
+        let api_policy = RetryPolicy::api();
         // Resolve the path pair for every assigned server once (paths are
         // stable across the campaign; CLASP re-selects only at start).
         let mut pairs: std::collections::HashMap<&str, (PathPair, &speedtest::platform::Server)> =
@@ -319,34 +479,214 @@ impl<'w> Campaign<'w> {
 
         for (vm_idx, assignment) in plan.assignments.iter().enumerate() {
             let vm_name = format!("clasp-{}-{}-{}", region.name, tier.label(), vm_idx);
+            let scope = VmScope {
+                region: region.name,
+                vm: &vm_name,
+            };
+            let jitter_key = faultsim::name_key(&vm_name);
+            // The schedule only covers servers whose paths resolved;
+            // each gets one test per hour per the paper's design.
+            let resolvable = assignment
+                .iter()
+                .filter(|sid| pairs.contains_key(sid.as_str()))
+                .count() as u64;
+            report.add_expected(comp_label, resolvable * days * 24);
+            // An in-progress multi-hour outage: (fault id, end hour).
+            let mut active_outage: Option<(usize, u64)> = None;
             let mut day_results: Vec<TestResult> = Vec::with_capacity(assignment.len() * 24);
             for day in 0..days {
                 for hour in 0..24 {
                     let hour_start = start + day * SECONDS_PER_DAY + hour * HOUR;
-                    // VM outages: the whole hour's cron run is lost.
-                    if self.config.outage_rate > 0.0 {
-                        let h = simnet::routing::load_key(
-                            b"outage",
-                            self.config.seed ^ vm_idx as u64 ^ tier_salt,
+                    let abs_hour = hour_start.hour_index();
+                    // Legacy outages (deprecated `outage_rate`): the hour
+                    // is silently lost, exactly as the old inline draw
+                    // decided — but now logged as ground truth.
+                    if fplan.legacy_vm_outage(
+                        self.config.seed ^ vm_idx as u64 ^ tier_salt,
+                        hour_start.as_secs(),
+                    ) {
+                        let id = flog.record(
                             hour_start.as_secs(),
+                            FaultKind::CronMiss,
+                            comp_label,
+                            &vm_name,
+                            "legacy outage_rate",
                         );
-                        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
-                        if draw < self.config.outage_rate {
+                        flog.mark_lost(id, resolvable);
+                        continue;
+                    }
+                    // An outage window in progress eats the whole hour;
+                    // at its end the VM must be brought back, which the
+                    // quota and the control-plane API can both delay.
+                    if let Some((id, until)) = active_outage {
+                        if abs_hour < until {
+                            flog.mark_lost(id, resolvable);
                             continue;
                         }
+                        if !cloudsim::quota::Quota::default().allows_provisioning(
+                            plan.n_vms,
+                            region.name,
+                            abs_hour,
+                            fplan,
+                        ) {
+                            let qid = flog.record(
+                                hour_start.as_secs(),
+                                FaultKind::QuotaExhausted,
+                                comp_label,
+                                &vm_name,
+                                "restart blocked by quota",
+                            );
+                            flog.mark_lost(qid, resolvable);
+                            active_outage = Some((qid, abs_hour + 1));
+                            continue;
+                        }
+                        if fplan.api_error("restart_vm", hour_start.as_secs(), 0) {
+                            let aid = flog.record(
+                                hour_start.as_secs(),
+                                FaultKind::ApiError,
+                                comp_label,
+                                &vm_name,
+                                "restart_vm",
+                            );
+                            let recovered = (1..api_policy.max_attempts).find(|&attempt| {
+                                !fplan.api_error("restart_vm", hour_start.as_secs(), attempt)
+                            });
+                            match recovered {
+                                Some(attempt) => {
+                                    flog.mark_recovered(
+                                        aid,
+                                        attempt,
+                                        hour_start.as_secs()
+                                            + api_policy.total_delay(attempt + 1, jitter_key),
+                                    );
+                                    active_outage = None;
+                                }
+                                None => {
+                                    flog.mark_lost(aid, resolvable);
+                                    active_outage = Some((aid, abs_hour + 1));
+                                    continue;
+                                }
+                            }
+                        } else {
+                            active_outage = None;
+                        }
+                    }
+                    // New VM outages (preemption / crash loop) starting
+                    // this hour: logged once, then the window is walked
+                    // hour by hour so the lost toll is exact even when
+                    // it crosses the campaign end.
+                    if let Some((kind, dur)) = fplan.vm_fault_starting(scope, abs_hour) {
+                        let id = flog.record(
+                            hour_start.as_secs(),
+                            kind,
+                            comp_label,
+                            &vm_name,
+                            format!("{dur}h outage"),
+                        );
+                        flog.mark_lost(id, resolvable);
+                        active_outage = Some((id, abs_hour + dur));
+                        continue;
+                    }
+                    // Cron faults: a skewed tick runs late; a missed tick
+                    // is re-fired by the watchdog (each re-fire draws
+                    // independently) or, past the retry budget, the hour
+                    // is gracefully skipped.
+                    let mut effect = fplan.cron_effect(scope, abs_hour, 0);
+                    match effect {
+                        CronEffect::Miss => {
+                            const WATCHDOG_RETRIES: u32 = 2;
+                            const WATCHDOG_DELAY_S: u64 = 600;
+                            let id = flog.record(
+                                hour_start.as_secs(),
+                                FaultKind::CronMiss,
+                                comp_label,
+                                &vm_name,
+                                "tick missed",
+                            );
+                            let refired = (1..=WATCHDOG_RETRIES).find(|&attempt| {
+                                !matches!(
+                                    fplan.cron_effect(scope, abs_hour, attempt),
+                                    CronEffect::Miss
+                                )
+                            });
+                            match refired {
+                                Some(attempt) => {
+                                    let delay = attempt as u64 * WATCHDOG_DELAY_S;
+                                    flog.mark_recovered(id, attempt, hour_start.as_secs() + delay);
+                                    effect = CronEffect::Skew(delay);
+                                }
+                                None => {
+                                    flog.mark_lost(id, resolvable);
+                                    continue;
+                                }
+                            }
+                        }
+                        CronEffect::Skew(s) => {
+                            let id = flog.record(
+                                hour_start.as_secs(),
+                                FaultKind::CronSkew,
+                                comp_label,
+                                &vm_name,
+                                format!("late {s}s"),
+                            );
+                            flog.mark_recovered(id, 0, hour_start.as_secs() + s);
+                        }
+                        CronEffect::OnTime => {}
                     }
                     let items: Vec<&str> = assignment.iter().map(String::as_str).collect();
-                    for slot in cron.hour_slots(hour_start, &items) {
+                    let slots = cron
+                        .hour_slots_with_effect(hour_start, &items, effect)
+                        .expect("Miss handled above");
+                    for slot in slots {
                         let Some((pair, server)) = pairs.get(slot.item) else {
                             continue;
                         };
-                        let r = client.run_test(
+                        // Mid-test aborts retry within the slot with
+                        // backed-off restarts; a slot that never
+                        // completes loses one server-hour.
+                        let mut result = client.run_test_faulted(
                             &session.perf,
                             pair,
                             server,
                             slot.start,
                             self.config.seed ^ tier_salt,
+                            fplan,
+                            scope,
+                            0,
                         );
+                        if result.is_none() {
+                            let id = flog.record(
+                                slot.start.as_secs(),
+                                FaultKind::TestAbort,
+                                comp_label,
+                                &vm_name,
+                                slot.item,
+                            );
+                            for attempt in 1..abort_policy.max_attempts {
+                                let t_retry =
+                                    slot.start + abort_policy.total_delay(attempt + 1, jitter_key);
+                                if let Some(r) = client.run_test_faulted(
+                                    &session.perf,
+                                    pair,
+                                    server,
+                                    t_retry,
+                                    self.config.seed ^ tier_salt,
+                                    fplan,
+                                    scope,
+                                    attempt,
+                                ) {
+                                    flog.mark_recovered(id, attempt, t_retry.as_secs());
+                                    result = Some(r);
+                                    break;
+                                }
+                            }
+                            if result.is_none() {
+                                flog.mark_lost(id, 1);
+                            }
+                        }
+                        let Some(r) = result else {
+                            continue;
+                        };
                         // Health check (someta).
                         let meta = nettools::someta::record(
                             &vm_name,
@@ -360,8 +700,7 @@ impl<'w> Campaign<'w> {
                         // Billing: upload data + download ACK overhead is
                         // egress; download data is (free) ingress.
                         let up_bytes =
-                            (r.upload_mbps / 8.0 * server.platform.transfer_seconds() * 1e6)
-                                as u64;
+                            (r.upload_mbps / 8.0 * server.platform.transfer_seconds() * 1e6) as u64;
                         let down_bytes = (r.download_mbps / 8.0
                             * server.platform.transfer_seconds()
                             * 1e6) as u64;
@@ -374,21 +713,155 @@ impl<'w> Campaign<'w> {
                         day_results.push(r);
                     }
                 }
-                // End of day: upload the raw batch.
+                // End of day: upload the raw batch with bounded retries.
+                // Only batches that actually land in the bucket count as
+                // collected — a lost batch loses its server-hours.
                 if !day_results.is_empty() {
-                    pipeline::upload_batch(
+                    let n = day_results.len() as u64;
+                    let uploaded = pipeline::upload_batch_resilient(
                         bucket,
                         region.name,
                         method,
                         &vm_name,
                         &day_results,
                         start + (day + 1) * SECONDS_PER_DAY,
+                        fplan,
+                        &upload_policy,
+                        flog,
+                        comp_label,
                     );
+                    if uploaded.is_some() {
+                        report.add_collected(comp_label, n);
+                    }
                     day_results.clear();
                 }
             }
         }
     }
+}
+
+/// Dumps a bucket's objects to JSON: the durable-storage side of a
+/// campaign checkpoint.
+fn bucket_snapshot(bucket: &Bucket, unit: &str) -> serde_json::Value {
+    use serde_json::{Map, Value};
+    let objects: Vec<Value> = bucket
+        .list("")
+        .into_iter()
+        .map(|key| {
+            let obj = bucket.get(key).expect("listed keys exist");
+            let mut m = Map::new();
+            m.insert("key".into(), key.into());
+            m.insert("data".into(), obj.data.clone().into());
+            m.insert("uploaded".into(), obj.uploaded.as_secs().into());
+            Value::Object(m)
+        })
+        .collect();
+    let mut m = Map::new();
+    m.insert("unit".into(), unit.into());
+    m.insert("bucket".into(), bucket.region.clone().into());
+    m.insert("objects".into(), Value::Array(objects));
+    Value::Object(m)
+}
+
+/// Rebuilds a bucket from the snapshot stored for `unit`. `put` re-runs
+/// the deterministic compression, so the rebuilt bucket is identical to
+/// the one snapshotted.
+fn bucket_from_snapshot(
+    raw_store: &[(String, serde_json::Value)],
+    unit: &str,
+) -> Result<Bucket, String> {
+    let (_, snap) = raw_store
+        .iter()
+        .find(|(label, _)| label == unit)
+        .ok_or_else(|| format!("checkpoint has no raw data for unit {unit:?}"))?;
+    let region = snap
+        .get("bucket")
+        .and_then(|v| v.as_str())
+        .ok_or("snapshot missing bucket region")?;
+    let mut bucket = Bucket::new(region);
+    for obj in snap
+        .get("objects")
+        .and_then(|o| o.as_array())
+        .ok_or("snapshot missing objects")?
+    {
+        let key = obj
+            .get("key")
+            .and_then(|v| v.as_str())
+            .ok_or("object missing key")?;
+        let data = obj
+            .get("data")
+            .and_then(|v| v.as_str())
+            .ok_or("object missing data")?;
+        let uploaded = obj.get("uploaded").and_then(|v| v.as_u64()).unwrap_or(0);
+        bucket.put(key, data.to_string(), SimTime(uploaded));
+    }
+    Ok(bucket)
+}
+
+fn billing_to_json(billing: &Billing) -> serde_json::Value {
+    use serde_json::{Map, Value};
+    let mut m = Map::new();
+    m.insert(
+        "premium_egress_bytes".into(),
+        billing.premium_egress_bytes.into(),
+    );
+    m.insert(
+        "standard_egress_bytes".into(),
+        billing.standard_egress_bytes.into(),
+    );
+    m.insert("ingress_bytes".into(), billing.ingress_bytes.into());
+    m.insert("vm_hours_n1".into(), billing.vm_hours_n1.into());
+    m.insert("vm_hours_n2".into(), billing.vm_hours_n2.into());
+    m.insert(
+        "storage_byte_hours".into(),
+        billing.storage_byte_hours.into(),
+    );
+    Value::Object(m)
+}
+
+fn billing_from_json(v: &serde_json::Value) -> Billing {
+    let u = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let f = |k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+    let mut billing = Billing::new();
+    billing.premium_egress_bytes = u("premium_egress_bytes");
+    billing.standard_egress_bytes = u("standard_egress_bytes");
+    billing.ingress_bytes = u("ingress_bytes");
+    billing.vm_hours_n1 = f("vm_hours_n1");
+    billing.vm_hours_n2 = f("vm_hours_n2");
+    billing.storage_byte_hours = f("storage_byte_hours");
+    billing
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_checkpoint(
+    completed: &[String],
+    billing: &Billing,
+    vm_count: usize,
+    tests_run: u64,
+    tainted: u64,
+    flog: &FaultLog,
+    report: &CompletenessReport,
+    raw_store: &[(String, serde_json::Value)],
+) -> serde_json::Value {
+    use serde_json::{Map, Value};
+    let mut counters = Map::new();
+    counters.insert("vm_count".into(), vm_count.into());
+    counters.insert("tests_run".into(), tests_run.into());
+    counters.insert("tainted".into(), tainted.into());
+    let mut m = Map::new();
+    m.insert(
+        "completed".into(),
+        Value::Array(completed.iter().map(|c| c.clone().into()).collect()),
+    );
+    m.insert("counters".into(), Value::Object(counters));
+    m.insert("billing".into(), billing_to_json(billing));
+    m.insert("fault_log".into(), flog.to_json());
+    m.insert("completeness".into(), report.to_json());
+    m.insert(
+        "raw".into(),
+        Value::Array(raw_store.iter().map(|(_, snap)| snap.clone()).collect()),
+    );
+    Value::Object(m)
 }
 
 #[cfg(test)]
@@ -489,5 +962,100 @@ mod tests {
         let (_, res) = run_small();
         assert!(!res.buckets.is_empty());
         assert!(res.buckets.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn zero_fault_plan_is_invisible() {
+        let world = World::tiny(121);
+        let a = Campaign::new(&world, CampaignConfig::small(121)).run();
+        let mut cfg = CampaignConfig::small(121);
+        cfg.fault_plan = FaultPlan::none();
+        let b = Campaign::new(&world, cfg).run();
+        assert!(a.fault_log.is_empty());
+        assert!(a.completeness.reconciles());
+        assert_eq!(a.completeness.total_missing(), 0);
+        // Byte-identical final state: the canonical checkpoint JSON
+        // captures every raw object, counter and billing figure.
+        assert_eq!(
+            serde_json::to_string(a.checkpoints.last().unwrap()),
+            serde_json::to_string(b.checkpoints.last().unwrap()),
+        );
+    }
+
+    #[test]
+    fn faulted_campaign_completes_and_reconciles() {
+        let world = World::tiny(121);
+        let mut cfg = CampaignConfig::small(121);
+        cfg.fault_plan = FaultPlan::uniform(9, 0.02);
+        let res = Campaign::new(&world, cfg).run();
+        assert!(res.tests_run > 0, "campaign still collects data");
+        assert!(!res.fault_log.is_empty(), "2% rates fire in 192 VM-hours");
+        assert!(
+            res.completeness.reconciles(),
+            "missing hours must match the fault log exactly: {:?}",
+            res.completeness.discrepancies()
+        );
+        assert!(res.completeness.total_missing() > 0, "some data was lost");
+        assert!(res.completeness.overall_completeness() > 0.5);
+        let s = res.fault_log.summary();
+        assert!(s.recovered > 0, "retries recover some faults: {s:?}");
+    }
+
+    #[test]
+    fn legacy_outage_rate_is_faultplan_backed() {
+        let world = World::tiny(121);
+        let mut legacy = CampaignConfig::small(121);
+        legacy.outage_rate = 0.10;
+        let mut planned = CampaignConfig::small(121);
+        planned.fault_plan = FaultPlan::legacy_outage(0.10);
+        let a = Campaign::new(&world, legacy).run();
+        let b = Campaign::new(&world, planned).run();
+        // Same draws, same gaps, same data — the deprecated knob is a
+        // pure alias for the FaultPlan shim.
+        assert_eq!(
+            serde_json::to_string(a.checkpoints.last().unwrap()),
+            serde_json::to_string(b.checkpoints.last().unwrap()),
+        );
+        let pristine = Campaign::new(&world, CampaignConfig::small(121)).run();
+        assert!(a.tests_run < pristine.tests_run, "outages cost tests");
+        assert!(a.completeness.reconciles());
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_final_results() {
+        let world = World::tiny(121);
+        let mut cfg = CampaignConfig::small(121);
+        cfg.fault_plan = FaultPlan::uniform(5, 0.02);
+        let full = Campaign::new(&world, cfg.clone()).run();
+        // One checkpoint per work unit: 1 topo region + 1 diff region.
+        assert_eq!(full.checkpoints.len(), 2);
+        let resumed = Campaign::new(&world, cfg)
+            .resume(&full.checkpoints[0])
+            .unwrap();
+        assert_eq!(full.tests_run, resumed.tests_run);
+        assert_eq!(full.db.points_written, resumed.db.points_written);
+        assert_eq!(full.db.series_count(), resumed.db.series_count());
+        assert_eq!(
+            full.billing.premium_egress_bytes,
+            resumed.billing.premium_egress_bytes
+        );
+        assert_eq!(
+            full.billing.standard_egress_bytes,
+            resumed.billing.standard_egress_bytes
+        );
+        assert_eq!(full.fault_log, resumed.fault_log);
+        assert_eq!(full.completeness, resumed.completeness);
+        assert_eq!(
+            serde_json::to_string(full.checkpoints.last().unwrap()),
+            serde_json::to_string(resumed.checkpoints.last().unwrap()),
+        );
+    }
+
+    #[test]
+    fn resume_rejects_malformed_checkpoints() {
+        let world = World::tiny(121);
+        let campaign = Campaign::new(&world, CampaignConfig::small(121));
+        let bad = serde_json::from_str("{}").unwrap();
+        assert!(campaign.resume(&bad).is_err());
     }
 }

@@ -104,12 +104,7 @@ impl CongestionAnalysis {
     /// Builds the analysis for `field` (usually `"download"` — the
     /// ingress direction the paper's Fig. 2 analyzes) over the series
     /// matching `filters`.
-    pub fn build(
-        db: &mut Db,
-        world: &World,
-        field: &str,
-        filters: &[(String, String)],
-    ) -> Self {
+    pub fn build(db: &mut Db, world: &World, field: &str, filters: &[(String, String)]) -> Self {
         let mut series_infos = Vec::new();
         let mut day_vars = Vec::new();
         let mut samples = Vec::new();
@@ -140,9 +135,12 @@ impl CongestionAnalysis {
             days.sort_unstable();
             for d in days {
                 let entries = &by_day[&d];
-                let t_max = entries.iter().map(|e| e.1).fold(f64::NEG_INFINITY, f64::max);
+                let t_max = entries
+                    .iter()
+                    .map(|e| e.1)
+                    .fold(f64::NEG_INFINITY, f64::max);
                 let t_min = entries.iter().map(|e| e.1).fold(f64::INFINITY, f64::min);
-                if !(t_max > 0.0) {
+                if t_max <= 0.0 {
                     continue;
                 }
                 day_vars.push(DayVariability {
@@ -267,7 +265,9 @@ impl CongestionAnalysis {
         // series → (days with events, days total)
         let mut day_events: HashMap<(u32, i64), bool> = HashMap::new();
         for s in &self.samples {
-            let e = day_events.entry((s.series_idx, s.local_day)).or_insert(false);
+            let e = day_events
+                .entry((s.series_idx, s.local_day))
+                .or_insert(false);
             *e |= s.v_h > h;
         }
         let mut with_events = vec![0u32; self.series.len()];

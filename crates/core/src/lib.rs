@@ -40,9 +40,9 @@ pub mod congestion;
 pub mod congestion_ext;
 pub mod pipeline;
 pub mod plan;
+pub mod reselect;
 pub mod select;
 pub mod tiercmp;
-pub mod reselect;
 pub mod world;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult};

@@ -12,11 +12,7 @@ use speedtest::client::TestResult;
 use tsdb::{Db, Point};
 
 /// Converts one test result into its storable point.
-pub fn result_to_point(
-    r: &TestResult,
-    region: &str,
-    method: &str,
-) -> Point {
+pub fn result_to_point(r: &TestResult, region: &str, method: &str) -> Point {
     Point::new("speedtest", r.time.as_secs())
         .tag("region", region)
         .tag("server", &r.server_id)
@@ -54,6 +50,63 @@ pub fn upload_batch(
     let key = format!("raw/{}/{:04}/{}.lp", region, now.day(), vm);
     bucket.put(key.clone(), body, now);
     key
+}
+
+/// Fault-aware batch upload with bounded sim-time retries.
+///
+/// Encodes the batch once and attempts the upload under the fault plan;
+/// failed attempts back off per `policy` (each attempt re-draws
+/// independently). Every failure is recorded in `log` under
+/// `log_region`: a later success marks the fault recovered, exhausting
+/// the budget marks it lost with one server-hour per batched result.
+/// Returns the object key on success, `None` when the batch was lost.
+/// With an empty plan this is exactly [`upload_batch`].
+#[allow(clippy::too_many_arguments)]
+pub fn upload_batch_resilient(
+    bucket: &mut Bucket,
+    region: &str,
+    method: &str,
+    vm: &str,
+    results: &[TestResult],
+    now: SimTime,
+    plan: &faultsim::FaultPlan,
+    policy: &faultsim::RetryPolicy,
+    log: &mut faultsim::FaultLog,
+    log_region: &str,
+) -> Option<String> {
+    let points: Vec<Point> = results
+        .iter()
+        .map(|r| result_to_point(r, region, method))
+        .collect();
+    let body = tsdb::line::encode_batch(&points);
+    let key = format!("raw/{}/{:04}/{}.lp", region, now.day(), vm);
+    let jitter_key = faultsim::name_key(vm) ^ now.day();
+    let mut fault_id = None;
+    for attempt in 0..policy.max_attempts {
+        match bucket.try_put(key.clone(), body.clone(), now, plan, vm, now.day(), attempt) {
+            Ok(()) => {
+                if let Some(id) = fault_id {
+                    let recovered_at = now.as_secs() + policy.total_delay(attempt + 1, jitter_key);
+                    log.mark_recovered(id, attempt, recovered_at);
+                }
+                return Some(key);
+            }
+            Err(_) if attempt == 0 => {
+                fault_id = Some(log.record(
+                    now.as_secs(),
+                    faultsim::FaultKind::UploadFailure,
+                    log_region,
+                    vm,
+                    format!("day {} batch", now.day()),
+                ));
+            }
+            Err(_) => {}
+        }
+    }
+    if let Some(id) = fault_id {
+        log.mark_lost(id, results.len() as u64);
+    }
+    None
 }
 
 /// Ingests every object under `raw/` into the database, returning how
@@ -139,11 +192,96 @@ mod tests {
     }
 
     #[test]
+    fn resilient_upload_matches_plain_with_empty_plan() {
+        let results = vec![result("s1", 0, 100.0), result("s2", 3600, 200.0)];
+        let mut plain = Bucket::new("us-west1");
+        upload_batch(
+            &mut plain,
+            "us-west1",
+            "topo",
+            "vm0",
+            &results,
+            SimTime(3700),
+        );
+        let mut resilient = Bucket::new("us-west1");
+        let mut log = faultsim::FaultLog::new();
+        let key = upload_batch_resilient(
+            &mut resilient,
+            "us-west1",
+            "topo",
+            "vm0",
+            &results,
+            SimTime(3700),
+            &faultsim::FaultPlan::none(),
+            &faultsim::RetryPolicy::upload(),
+            &mut log,
+            "us-west1",
+        )
+        .unwrap();
+        assert!(log.is_empty());
+        let a = plain.get(&key).unwrap();
+        let b = resilient.get(&key).unwrap();
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.uploaded, b.uploaded);
+    }
+
+    #[test]
+    fn resilient_upload_retries_then_loses() {
+        let results = vec![result("s1", 0, 100.0)];
+        // Certain failure: budget exhausted, batch lost, loss recorded.
+        let mut plan = faultsim::FaultPlan::uniform(1, 0.0);
+        plan.rates.upload_failure = 1.0;
+        let mut bucket = Bucket::new("r");
+        let mut log = faultsim::FaultLog::new();
+        let key = upload_batch_resilient(
+            &mut bucket,
+            "us-east1",
+            "topo",
+            "vm0",
+            &results,
+            SimTime(100_000),
+            &plan,
+            &faultsim::RetryPolicy::upload(),
+            &mut log,
+            "us-east1",
+        );
+        assert!(key.is_none());
+        assert!(bucket.is_empty());
+        assert_eq!(log.summary().lost_s_hours, 1);
+
+        // Moderate rate: over many days, some uploads fail at attempt 0
+        // but recover on retry.
+        let mut plan = faultsim::FaultPlan::uniform(3, 0.0);
+        plan.rates.upload_failure = 0.3;
+        let mut bucket = Bucket::new("r");
+        let mut log = faultsim::FaultLog::new();
+        let mut stored = 0;
+        for day in 0..200u64 {
+            let ok = upload_batch_resilient(
+                &mut bucket,
+                "us-east1",
+                "topo",
+                "vm0",
+                &results,
+                SimTime(day * 86_400),
+                &plan,
+                &faultsim::RetryPolicy::upload(),
+                &mut log,
+                "us-east1",
+            );
+            if ok.is_some() {
+                stored += 1;
+            }
+        }
+        let s = log.summary();
+        assert!(s.recovered > 0, "some uploads should recover: {s:?}");
+        assert_eq!(stored, 200 - s.lost);
+    }
+
+    #[test]
     fn malformed_objects_counted_not_fatal() {
         let mut bucket = Bucket::new("r");
         bucket.put("raw/bad.lp", "this is not line protocol".into(), SimTime(0));
-        let mut good = Bucket::new("r");
-        let _ = good; // silence unused in older toolchains
         upload_batch(
             &mut bucket,
             "us-east1",

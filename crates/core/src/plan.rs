@@ -101,18 +101,14 @@ mod tests {
 
     #[test]
     fn deploy_creates_vms_across_zones() {
-        let topo = simnet::topology::Topology::generate(
-            simnet::topology::TopologyConfig::tiny(1),
-        );
+        let topo = simnet::topology::Topology::generate(simnet::topology::TopologyConfig::tiny(1));
         let mut api = CloudApi::new(&topo);
         let cron = CronSchedule::new(1);
         let plan = plan_region(&REGIONS[0], &servers(40), &cron);
         let vms = deploy(&mut api, &REGIONS[0], &plan, Tier::Premium, SimTime::EPOCH);
         assert_eq!(vms.len(), 3); // ceil(40/17)
-        let zones: std::collections::BTreeSet<&str> = vms
-            .iter()
-            .map(|&i| api.vms[i].zone.as_str())
-            .collect();
+        let zones: std::collections::BTreeSet<&str> =
+            vms.iter().map(|&i| api.vms[i].zone.as_str()).collect();
         assert!(zones.len() >= 2, "VMs spread across zones");
     }
 }

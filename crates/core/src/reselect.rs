@@ -83,10 +83,8 @@ pub fn reselect(
         .map(|s| s.to_string())
         .collect();
 
-    let old_links: std::collections::BTreeSet<_> =
-        current.server_link.values().copied().collect();
-    let new_links: std::collections::BTreeSet<_> =
-        fresh.server_link.values().copied().collect();
+    let old_links: std::collections::BTreeSet<_> = current.server_link.values().copied().collect();
+    let new_links: std::collections::BTreeSet<_> = fresh.server_link.values().copied().collect();
     let update = SelectionUpdate {
         kept,
         added,
@@ -154,14 +152,8 @@ mod tests {
             &PilotConfig::default(),
         );
         // Accounting holds.
-        assert_eq!(
-            update.kept.len() + update.removed.len(),
-            sel.servers.len()
-        );
-        assert_eq!(
-            update.kept.len() + update.added.len(),
-            fresh.servers.len()
-        );
+        assert_eq!(update.kept.len() + update.removed.len(), sel.servers.len());
+        assert_eq!(update.kept.len() + update.added.len(), fresh.servers.len());
         // 25% churn should not destroy the whole selection.
         assert!(
             update.continuity() > 0.3,

@@ -314,7 +314,10 @@ mod tests {
         let (_, a) = run(114);
         let (_, b) = run(114);
         let ids = |s: &DifferentialSelection| {
-            s.picks.iter().map(|p| p.server_id.clone()).collect::<Vec<_>>()
+            s.picks
+                .iter()
+                .map(|p| p.server_id.clone())
+                .collect::<Vec<_>>()
         };
         assert_eq!(ids(&a), ids(&b));
     }

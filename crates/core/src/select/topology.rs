@@ -92,7 +92,15 @@ pub fn select(
     budget: usize,
     pilot: &PilotConfig,
 ) -> TopologySelection {
-    select_with_registry(world, &world.registry, paths, region_name, region_city, budget, pilot)
+    select_with_registry(
+        world,
+        &world.registry,
+        paths,
+        region_name,
+        region_city,
+        budget,
+        pilot,
+    )
 }
 
 /// [`select`] against an explicit registry — used by the automatic

@@ -11,6 +11,9 @@ use crate::select::differential::{DifferentialSelection, LatencyClass};
 use std::collections::HashMap;
 use tsdb::Db;
 
+/// Per-hour `(download, upload, latency, dloss)` sums for one tier.
+type HourStats = HashMap<u64, (f64, f64, f64, f64)>;
+
 /// Relative differences for one server across the campaign.
 #[derive(Debug, Clone, Default)]
 pub struct ServerDeltas {
@@ -42,8 +45,7 @@ impl TierComparison {
     pub fn build(db: &mut Db, selection: &DifferentialSelection) -> Self {
         let mut servers = Vec::new();
         for pick in &selection.picks {
-            let mut per_tier: HashMap<bool, HashMap<u64, (f64, f64, f64, f64)>> =
-                HashMap::new();
+            let mut per_tier: HashMap<bool, HourStats> = HashMap::new();
             for premium in [true, false] {
                 let tier = if premium { "premium" } else { "standard" };
                 let filters = vec![
@@ -67,8 +69,7 @@ impl TierComparison {
                     }
                 }
             }
-            let (Some(prem), Some(std_)) = (per_tier.get(&true), per_tier.get(&false))
-            else {
+            let (Some(prem), Some(std_)) = (per_tier.get(&true), per_tier.get(&false)) else {
                 continue;
             };
             let mut deltas = ServerDeltas::default();

@@ -1,0 +1,51 @@
+//! `faultsim`: deterministic fault injection over sim-time.
+//!
+//! The paper's five-month campaign ran on real cloud infrastructure,
+//! where VM maintenance events, crashed cron jobs, failed uploads and
+//! flaky APIs punched holes in the longitudinal record that the analysis
+//! had to tolerate. Because this reproduction *simulates* the cloud, it
+//! can do something the paper could not: inject those faults with ground
+//! truth, and verify — exactly — that the orchestrator's recovery
+//! machinery accounts for every sample the faults cost.
+//!
+//! The crate provides three pieces:
+//!
+//! * [`FaultPlan`] — a seeded, declarative schedule of typed faults
+//!   ([`FaultKind`]) over sim-time. Every query is a *pure function* of
+//!   `(seed, identifiers, time)` — no shared RNG stream — so adding an
+//!   injection point never perturbs any other draw, and a plan with all
+//!   rates at zero ([`FaultPlan::none`]) is bitwise invisible: the
+//!   orchestrated campaign produces byte-identical output with hooks
+//!   compiled in.
+//! * [`FaultLog`] — the ground-truth record of every fault that actually
+//!   fired, later reconciled against the orchestrator's
+//!   [`CompletenessReport`] (expected vs. collected server-hours).
+//! * [`RetryPolicy`] — sim-time exponential backoff with deterministic
+//!   jitter and bounded attempt budgets, used by the resilient
+//!   orchestrator in `clasp-core`.
+//!
+//! Plans are buildable in code, by name ([`FaultPlan::builtin`]) or from
+//! JSON ([`FaultPlan::from_json_str`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod plan;
+pub mod report;
+pub mod retry;
+
+pub use log::{FaultLog, FaultOutcome, FaultSummary, InjectedFault};
+pub use plan::{CronEffect, FaultKind, FaultPlan, FaultRates, ScheduledFault, VmScope};
+pub use report::{CompletenessReport, RegionCompleteness};
+pub use retry::RetryPolicy;
+
+/// Stable 64-bit key for a string identifier (FNV-1a), used to feed
+/// region/VM/server names into the plan's hash-based draws.
+pub fn name_key(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}

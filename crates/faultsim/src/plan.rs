@@ -1,0 +1,740 @@
+//! Fault plans: seeded, declarative schedules of typed faults.
+//!
+//! A plan combines *rate-based* faults (each an independent Bernoulli
+//! draw per opportunity, hashed from `(plan seed, identifiers, time)`)
+//! with *scheduled* faults pinned to exact sim-times. Both are pure
+//! functions of their inputs: querying a plan never mutates it, and two
+//! identical queries always agree — the property the checkpoint/resume
+//! machinery and the ground-truth reconciliation tests lean on.
+
+use crate::name_key;
+use simnet::routing::load_key;
+
+/// The typed faults the simulator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The VM is preempted (maintenance/live-migration failure) and is
+    /// gone for a configured number of whole hours.
+    VmPreemption,
+    /// The VM's measurement stack crash-loops: up, but every cron run
+    /// dies for a configured number of consecutive hours.
+    CrashLoop,
+    /// A transient cloud-API error on a control-plane call (retryable).
+    ApiError,
+    /// A raw-batch upload to the storage bucket fails (retryable).
+    UploadFailure,
+    /// The hourly cron tick never fires (detected by the watchdog).
+    CronMiss,
+    /// The cron tick fires late by a bounded number of seconds.
+    CronSkew,
+    /// A speed test aborts mid-run (browser crash, socket reset);
+    /// retryable within the slot.
+    TestAbort,
+    /// The regional API quota is exhausted for the rest of the hour.
+    QuotaExhausted,
+}
+
+impl FaultKind {
+    /// Stable snake_case name (used in JSON profiles and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::VmPreemption => "vm_preemption",
+            FaultKind::CrashLoop => "crash_loop",
+            FaultKind::ApiError => "api_error",
+            FaultKind::UploadFailure => "upload_failure",
+            FaultKind::CronMiss => "cron_miss",
+            FaultKind::CronSkew => "cron_skew",
+            FaultKind::TestAbort => "test_abort",
+            FaultKind::QuotaExhausted => "quota_exhausted",
+        }
+    }
+
+    /// Parses a snake_case kind name.
+    pub fn parse(name: &str) -> Option<FaultKind> {
+        Some(match name {
+            "vm_preemption" => FaultKind::VmPreemption,
+            "crash_loop" => FaultKind::CrashLoop,
+            "api_error" => FaultKind::ApiError,
+            "upload_failure" => FaultKind::UploadFailure,
+            "cron_miss" => FaultKind::CronMiss,
+            "cron_skew" => FaultKind::CronSkew,
+            "test_abort" => FaultKind::TestAbort,
+            "quota_exhausted" => FaultKind::QuotaExhausted,
+            _ => return None,
+        })
+    }
+
+    /// All kinds, in report order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::VmPreemption,
+        FaultKind::CrashLoop,
+        FaultKind::ApiError,
+        FaultKind::UploadFailure,
+        FaultKind::CronMiss,
+        FaultKind::CronSkew,
+        FaultKind::TestAbort,
+        FaultKind::QuotaExhausted,
+    ];
+}
+
+/// Per-opportunity probabilities (and durations) for rate-based faults.
+///
+/// "Opportunity" differs by kind: VM outages and cron faults draw once
+/// per VM-hour, quota bursts once per region-hour, API/upload/test
+/// faults once per *attempt* (so retries re-draw independently).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// P(preemption starts) per VM-hour.
+    pub vm_preemption: f64,
+    /// Whole hours a preemption lasts.
+    pub preemption_hours: u64,
+    /// P(crash loop starts) per VM-hour.
+    pub crash_loop: f64,
+    /// Consecutive hours a crash loop eats.
+    pub crash_loop_hours: u64,
+    /// P(transient error) per control-plane API attempt.
+    pub api_error: f64,
+    /// P(failure) per bucket-upload attempt.
+    pub upload_failure: f64,
+    /// P(the cron tick never fires) per VM-hour (per watchdog attempt).
+    pub cron_miss: f64,
+    /// P(the cron tick fires late) per VM-hour.
+    pub cron_skew: f64,
+    /// Maximum lateness in seconds when a skew fires.
+    pub max_skew_s: u64,
+    /// P(mid-test abort) per speed-test attempt.
+    pub test_abort: f64,
+    /// P(quota burst) per region-hour.
+    pub quota_burst: f64,
+}
+
+impl FaultRates {
+    /// All zeros: injects nothing.
+    pub const ZERO: FaultRates = FaultRates {
+        vm_preemption: 0.0,
+        preemption_hours: 2,
+        crash_loop: 0.0,
+        crash_loop_hours: 3,
+        api_error: 0.0,
+        upload_failure: 0.0,
+        cron_miss: 0.0,
+        cron_skew: 0.0,
+        max_skew_s: 300,
+        test_abort: 0.0,
+        quota_burst: 0.0,
+    };
+
+    /// Uniform rates: every per-opportunity probability set to `p`,
+    /// with default durations. The "1% fault profile" in EXPERIMENTS.md
+    /// is `uniform(0.01)`.
+    pub fn uniform(p: f64) -> FaultRates {
+        FaultRates {
+            vm_preemption: p,
+            crash_loop: p,
+            api_error: p,
+            upload_failure: p,
+            cron_miss: p,
+            cron_skew: p,
+            test_abort: p,
+            quota_burst: p,
+            ..FaultRates::ZERO
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.vm_preemption == 0.0
+            && self.crash_loop == 0.0
+            && self.api_error == 0.0
+            && self.upload_failure == 0.0
+            && self.cron_miss == 0.0
+            && self.cron_skew == 0.0
+            && self.test_abort == 0.0
+            && self.quota_burst == 0.0
+    }
+}
+
+/// A fault pinned to an exact sim-time window, optionally scoped to one
+/// region and/or one VM (unset scope fields match everything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledFault {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// First hour index (sim hours since epoch) the fault is active.
+    pub start_hour: u64,
+    /// Whole hours the fault stays active.
+    pub duration_hours: u64,
+    /// Restrict to this region, if set.
+    pub region: Option<String>,
+    /// Restrict to this VM name, if set.
+    pub vm: Option<String>,
+}
+
+impl ScheduledFault {
+    fn active_at(&self, hour: u64) -> bool {
+        hour >= self.start_hour && hour < self.start_hour + self.duration_hours
+    }
+
+    fn matches(&self, region: &str, vm: Option<&str>) -> bool {
+        self.region.as_deref().is_none_or(|r| r == region)
+            && match (&self.vm, vm) {
+                (None, _) => true,
+                (Some(want), Some(got)) => want == got,
+                (Some(_), None) => false,
+            }
+    }
+}
+
+/// What the cron scheduler does in a given hour for a given VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CronEffect {
+    /// Tick fired on time.
+    OnTime,
+    /// Tick never fired (watchdog must re-fire or the hour is lost).
+    Miss,
+    /// Tick fired late by this many seconds.
+    Skew(u64),
+}
+
+/// The scope identifying one VM for fault draws.
+#[derive(Debug, Clone, Copy)]
+pub struct VmScope<'a> {
+    /// Region the VM lives in.
+    pub region: &'a str,
+    /// VM instance name.
+    pub vm: &'a str,
+}
+
+/// A complete fault-injection plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all rate draws key off. Two plans with equal rates but
+    /// different seeds inject faults at different (but equally
+    /// distributed) places.
+    pub seed: u64,
+    /// Rate-based fault probabilities.
+    pub rates: FaultRates,
+    /// Faults pinned to exact times.
+    pub scheduled: Vec<ScheduledFault>,
+    /// Back-compat shim for the retired `CampaignConfig::outage_rate`
+    /// knob: P(whole VM-hour lost), drawn with the exact hash the old
+    /// field used so existing seeds reproduce identical gaps. Unlike
+    /// typed faults this is *not* retried — the hour is silently lost,
+    /// as before (the fault is still logged as ground truth).
+    pub legacy_outage_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, bitwise-invisible to campaigns.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rates: FaultRates::ZERO,
+            scheduled: Vec::new(),
+            legacy_outage_rate: 0.0,
+        }
+    }
+
+    /// A plan with uniform per-opportunity probability `p` for every
+    /// typed fault kind.
+    pub fn uniform(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: FaultRates::uniform(p),
+            scheduled: Vec::new(),
+            legacy_outage_rate: 0.0,
+        }
+    }
+
+    /// Reproduces the retired `outage_rate` behaviour exactly.
+    pub fn legacy_outage(rate: f64) -> FaultPlan {
+        FaultPlan {
+            legacy_outage_rate: rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Named built-in profiles: `none`, `light` (0.1 %), `moderate`
+    /// (1 %), `heavy` (5 %), and `gcp-2020` (asymmetric rates shaped
+    /// like the incidents the paper's campaign period plausibly saw:
+    /// uploads and cron flakier than preemptions).
+    pub fn builtin(name: &str) -> Option<FaultPlan> {
+        Some(match name {
+            "none" => FaultPlan::none(),
+            "light" => FaultPlan::uniform(0xfau64, 0.001),
+            "moderate" => FaultPlan::uniform(0xfau64, 0.01),
+            "heavy" => FaultPlan::uniform(0xfau64, 0.05),
+            "gcp-2020" => FaultPlan {
+                seed: 0x6c9_2020,
+                rates: FaultRates {
+                    vm_preemption: 0.0004,
+                    preemption_hours: 2,
+                    crash_loop: 0.0002,
+                    crash_loop_hours: 4,
+                    api_error: 0.002,
+                    upload_failure: 0.005,
+                    cron_miss: 0.003,
+                    cron_skew: 0.01,
+                    max_skew_s: 300,
+                    test_abort: 0.004,
+                    quota_burst: 0.0002,
+                },
+                scheduled: Vec::new(),
+                legacy_outage_rate: 0.0,
+            },
+            _ => return None,
+        })
+    }
+
+    /// True when the plan can never inject anything — queries short-
+    /// circuit without hashing, keeping the zero-fault path free.
+    pub fn is_none(&self) -> bool {
+        self.rates.is_zero() && self.scheduled.is_empty() && self.legacy_outage_rate == 0.0
+    }
+
+    /// Uniform `[0,1)` draw for `(namespace, key, time)` under this seed.
+    fn unit(&self, ns: &[u8], key: u64, t: u64) -> f64 {
+        let h = load_key(ns, key ^ self.seed, t);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn hits(&self, p: f64, ns: &[u8], key: u64, t: u64) -> bool {
+        p > 0.0 && self.unit(ns, key, t) < p
+    }
+
+    fn scheduled_vm_fault(&self, scope: VmScope<'_>, hour: u64) -> Option<(FaultKind, u64)> {
+        self.scheduled
+            .iter()
+            .filter(|s| {
+                matches!(s.kind, FaultKind::VmPreemption | FaultKind::CrashLoop)
+                    && s.start_hour == hour
+                    && s.matches(scope.region, Some(scope.vm))
+            })
+            .map(|s| (s.kind, s.duration_hours))
+            .next()
+    }
+
+    /// The VM-outage fault (preemption or crash loop) *starting* exactly
+    /// at `hour` for this VM, with its duration in hours. At most one
+    /// starts per hour (preemption wins ties).
+    pub fn vm_fault_starting(&self, scope: VmScope<'_>, hour: u64) -> Option<(FaultKind, u64)> {
+        if self.is_none() {
+            return None;
+        }
+        let key = name_key(scope.vm);
+        if self.hits(self.rates.vm_preemption, b"flt.preempt", key, hour) {
+            return Some((FaultKind::VmPreemption, self.rates.preemption_hours.max(1)));
+        }
+        if self.hits(self.rates.crash_loop, b"flt.crash", key, hour) {
+            return Some((FaultKind::CrashLoop, self.rates.crash_loop_hours.max(1)));
+        }
+        self.scheduled_vm_fault(scope, hour)
+    }
+
+    /// True when some VM-outage window (rate-based or scheduled) covers
+    /// `hour` *without starting at it* — the continuation hours of a
+    /// multi-hour outage. The orchestrator logs the fault once at its
+    /// start and calls this for the tail.
+    pub fn vm_down_continuation(&self, scope: VmScope<'_>, hour: u64) -> bool {
+        if self.is_none() {
+            return false;
+        }
+        let lookback = self
+            .rates
+            .preemption_hours
+            .max(self.rates.crash_loop_hours)
+            .max(
+                self.scheduled
+                    .iter()
+                    .map(|s| s.duration_hours)
+                    .max()
+                    .unwrap_or(0),
+            );
+        for back in 1..lookback {
+            let Some(h) = hour.checked_sub(back) else {
+                break;
+            };
+            if let Some((_, dur)) = self.vm_fault_starting(scope, h) {
+                if dur > back {
+                    return true;
+                }
+            }
+        }
+        self.scheduled.iter().any(|s| {
+            matches!(s.kind, FaultKind::VmPreemption | FaultKind::CrashLoop)
+                && s.active_at(hour)
+                && s.start_hour != hour
+                && s.matches(scope.region, Some(scope.vm))
+        })
+    }
+
+    /// What the cron daemon does for this VM-hour. `attempt` 0 is the
+    /// scheduled tick; the watchdog's re-fires pass 1, 2, … and draw
+    /// independently, so a retry can succeed where the tick failed.
+    pub fn cron_effect(&self, scope: VmScope<'_>, hour: u64, attempt: u32) -> CronEffect {
+        if self.is_none() {
+            return CronEffect::OnTime;
+        }
+        let key = name_key(scope.vm) ^ (attempt as u64) << 48;
+        if self.hits(self.rates.cron_miss, b"flt.cronmiss", key, hour) {
+            return CronEffect::Miss;
+        }
+        if self.scheduled.iter().any(|s| {
+            s.kind == FaultKind::CronMiss
+                && s.active_at(hour)
+                && s.matches(scope.region, Some(scope.vm))
+        }) && attempt == 0
+        {
+            return CronEffect::Miss;
+        }
+        if attempt == 0 && self.hits(self.rates.cron_skew, b"flt.cronskew", key, hour) {
+            let span = self.rates.max_skew_s.max(1);
+            let skew = 1 + load_key(b"flt.skewamt", key ^ self.seed, hour) % span;
+            return CronEffect::Skew(skew);
+        }
+        CronEffect::OnTime
+    }
+
+    /// Whether a control-plane API attempt fails transiently.
+    pub fn api_error(&self, op: &str, t_secs: u64, attempt: u32) -> bool {
+        if self.is_none() {
+            return false;
+        }
+        let key = name_key(op) ^ (attempt as u64) << 48;
+        self.hits(self.rates.api_error, b"flt.api", key, t_secs)
+    }
+
+    /// Whether this VM's day-`day` raw-batch upload attempt fails.
+    pub fn upload_fails(&self, scope: VmScope<'_>, day: u64, attempt: u32) -> bool {
+        if self.is_none() {
+            return false;
+        }
+        let key = name_key(scope.vm) ^ (attempt as u64) << 48;
+        self.hits(self.rates.upload_failure, b"flt.upload", key, day)
+            || self.scheduled.iter().any(|s| {
+                s.kind == FaultKind::UploadFailure
+                    && s.active_at(day * 24)
+                    && s.matches(scope.region, Some(scope.vm))
+                    && attempt == 0
+            })
+    }
+
+    /// Whether a speed-test attempt aborts mid-run.
+    pub fn test_aborts(&self, scope: VmScope<'_>, server: &str, t_secs: u64, attempt: u32) -> bool {
+        if self.is_none() {
+            return false;
+        }
+        let key = name_key(scope.vm) ^ name_key(server).rotate_left(17) ^ (attempt as u64) << 48;
+        self.hits(self.rates.test_abort, b"flt.abort", key, t_secs)
+    }
+
+    /// Whether the regional quota is exhausted for this hour.
+    pub fn quota_exhausted(&self, region: &str, hour: u64) -> bool {
+        if self.is_none() {
+            return false;
+        }
+        self.hits(self.rates.quota_burst, b"flt.quota", name_key(region), hour)
+            || self.scheduled.iter().any(|s| {
+                s.kind == FaultKind::QuotaExhausted && s.active_at(hour) && s.matches(region, None)
+            })
+    }
+
+    /// The retired `outage_rate` draw, bit-for-bit: callers pass the
+    /// exact key material the old inline code hashed.
+    pub fn legacy_vm_outage(&self, legacy_key: u64, t_secs: u64) -> bool {
+        if self.legacy_outage_rate <= 0.0 {
+            return false;
+        }
+        let h = load_key(b"outage", legacy_key, t_secs);
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        draw < self.legacy_outage_rate
+    }
+
+    // ---- JSON profiles ----
+
+    /// Serializes the plan to a JSON value (canonical key order).
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::{Map, Value};
+        let mut rates = Map::new();
+        let r = &self.rates;
+        rates.insert("vm_preemption".into(), r.vm_preemption.into());
+        rates.insert("preemption_hours".into(), r.preemption_hours.into());
+        rates.insert("crash_loop".into(), r.crash_loop.into());
+        rates.insert("crash_loop_hours".into(), r.crash_loop_hours.into());
+        rates.insert("api_error".into(), r.api_error.into());
+        rates.insert("upload_failure".into(), r.upload_failure.into());
+        rates.insert("cron_miss".into(), r.cron_miss.into());
+        rates.insert("cron_skew".into(), r.cron_skew.into());
+        rates.insert("max_skew_s".into(), r.max_skew_s.into());
+        rates.insert("test_abort".into(), r.test_abort.into());
+        rates.insert("quota_burst".into(), r.quota_burst.into());
+        let scheduled: Vec<Value> = self
+            .scheduled
+            .iter()
+            .map(|s| {
+                let mut m = Map::new();
+                m.insert("kind".into(), s.kind.name().into());
+                m.insert("start_hour".into(), s.start_hour.into());
+                m.insert("duration_hours".into(), s.duration_hours.into());
+                if let Some(region) = &s.region {
+                    m.insert("region".into(), region.clone().into());
+                }
+                if let Some(vm) = &s.vm {
+                    m.insert("vm".into(), vm.clone().into());
+                }
+                Value::Object(m)
+            })
+            .collect();
+        let mut top = Map::new();
+        top.insert("seed".into(), self.seed.into());
+        top.insert("rates".into(), Value::Object(rates));
+        top.insert("scheduled".into(), Value::Array(scheduled));
+        if self.legacy_outage_rate > 0.0 {
+            top.insert("legacy_outage_rate".into(), self.legacy_outage_rate.into());
+        }
+        Value::Object(top)
+    }
+
+    /// Loads a plan from a JSON document produced by [`Self::to_json`]
+    /// (or written by hand; missing rate fields default to zero).
+    pub fn from_json(v: &serde_json::Value) -> Result<FaultPlan, String> {
+        let f = |m: &serde_json::Value, k: &str| m.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let u =
+            |m: &serde_json::Value, k: &str, d: u64| m.get(k).and_then(|v| v.as_u64()).unwrap_or(d);
+        let empty = serde_json::Value::Object(serde_json::Map::new());
+        let rates_v = v.get("rates").unwrap_or(&empty);
+        let rates = FaultRates {
+            vm_preemption: f(rates_v, "vm_preemption"),
+            preemption_hours: u(rates_v, "preemption_hours", 2),
+            crash_loop: f(rates_v, "crash_loop"),
+            crash_loop_hours: u(rates_v, "crash_loop_hours", 3),
+            api_error: f(rates_v, "api_error"),
+            upload_failure: f(rates_v, "upload_failure"),
+            cron_miss: f(rates_v, "cron_miss"),
+            cron_skew: f(rates_v, "cron_skew"),
+            max_skew_s: u(rates_v, "max_skew_s", 300),
+            test_abort: f(rates_v, "test_abort"),
+            quota_burst: f(rates_v, "quota_burst"),
+        };
+        let mut scheduled = Vec::new();
+        if let Some(list) = v.get("scheduled").and_then(|s| s.as_array()) {
+            for s in list {
+                let kind_name = s
+                    .get("kind")
+                    .and_then(|k| k.as_str())
+                    .ok_or("scheduled fault missing 'kind'")?;
+                let kind = FaultKind::parse(kind_name)
+                    .ok_or_else(|| format!("unknown fault kind {kind_name:?}"))?;
+                scheduled.push(ScheduledFault {
+                    kind,
+                    start_hour: s
+                        .get("start_hour")
+                        .and_then(|v| v.as_u64())
+                        .ok_or("scheduled fault missing 'start_hour'")?,
+                    duration_hours: u(s, "duration_hours", 1),
+                    region: s.get("region").and_then(|v| v.as_str()).map(String::from),
+                    vm: s.get("vm").and_then(|v| v.as_str()).map(String::from),
+                });
+            }
+        }
+        Ok(FaultPlan {
+            seed: v.get("seed").and_then(|s| s.as_u64()).unwrap_or(0),
+            rates,
+            scheduled,
+            legacy_outage_rate: f(v, "legacy_outage_rate"),
+        })
+    }
+
+    /// Parses a plan from JSON text.
+    pub fn from_json_str(text: &str) -> Result<FaultPlan, String> {
+        let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        FaultPlan::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCOPE: VmScope<'static> = VmScope {
+        region: "us-west1",
+        vm: "clasp-us-west1-premium-0",
+    };
+
+    #[test]
+    fn none_plan_never_fires() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for hour in 0..5_000 {
+            assert!(p.vm_fault_starting(SCOPE, hour).is_none());
+            assert!(!p.vm_down_continuation(SCOPE, hour));
+            assert_eq!(p.cron_effect(SCOPE, hour, 0), CronEffect::OnTime);
+            assert!(!p.quota_exhausted("us-west1", hour));
+            assert!(!p.upload_fails(SCOPE, hour / 24, 0));
+            assert!(!p.test_aborts(SCOPE, "srv", hour * 3600, 0));
+            assert!(!p.api_error("create_vm", hour, 0));
+            assert!(!p.legacy_vm_outage(hour, hour));
+        }
+    }
+
+    #[test]
+    fn queries_are_pure() {
+        let p = FaultPlan::uniform(7, 0.05);
+        for hour in 0..500 {
+            assert_eq!(
+                p.vm_fault_starting(SCOPE, hour),
+                p.vm_fault_starting(SCOPE, hour)
+            );
+            assert_eq!(p.cron_effect(SCOPE, hour, 0), p.cron_effect(SCOPE, hour, 0));
+        }
+    }
+
+    #[test]
+    fn rates_hit_in_the_right_ballpark() {
+        let p = FaultPlan::uniform(3, 0.01);
+        let n = 200_000u64;
+        let hits = (0..n)
+            .filter(|&h| p.vm_fault_starting(SCOPE, h).is_some())
+            .count() as f64;
+        // preemption ∪ crash loop at 1% each ≈ 1.99%.
+        let rate = hits / n as f64;
+        assert!((0.015..0.025).contains(&rate), "observed {rate}");
+    }
+
+    #[test]
+    fn different_vms_fault_independently() {
+        let p = FaultPlan::uniform(3, 0.02);
+        let other = VmScope {
+            region: "us-west1",
+            vm: "clasp-us-west1-premium-1",
+        };
+        let a: Vec<u64> = (0..20_000)
+            .filter(|&h| p.vm_fault_starting(SCOPE, h).is_some())
+            .collect();
+        let b: Vec<u64> = (0..20_000)
+            .filter(|&h| p.vm_fault_starting(other, h).is_some())
+            .collect();
+        assert_ne!(a, b);
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn continuation_follows_start() {
+        let mut p = FaultPlan::uniform(11, 0.01);
+        p.rates.preemption_hours = 3;
+        let start = (0..100_000)
+            .find(|&h| {
+                matches!(
+                    p.vm_fault_starting(SCOPE, h),
+                    Some((FaultKind::VmPreemption, _))
+                )
+            })
+            .expect("a preemption fires somewhere");
+        assert!(p.vm_down_continuation(SCOPE, start + 1));
+        assert!(p.vm_down_continuation(SCOPE, start + 2));
+        // Hour `start` itself is the start, not a continuation.
+        assert!(
+            !p.vm_down_continuation(SCOPE, start)
+                || start > 0 && p.vm_fault_starting(SCOPE, start - 1).is_some()
+        );
+    }
+
+    #[test]
+    fn scheduled_faults_respect_scope_and_window() {
+        let mut p = FaultPlan::none();
+        p.scheduled.push(ScheduledFault {
+            kind: FaultKind::VmPreemption,
+            start_hour: 10,
+            duration_hours: 3,
+            region: Some("us-west1".into()),
+            vm: None,
+        });
+        assert_eq!(
+            p.vm_fault_starting(SCOPE, 10),
+            Some((FaultKind::VmPreemption, 3))
+        );
+        assert!(p.vm_down_continuation(SCOPE, 11));
+        assert!(p.vm_down_continuation(SCOPE, 12));
+        assert!(!p.vm_down_continuation(SCOPE, 13));
+        let elsewhere = VmScope {
+            region: "us-east1",
+            vm: "clasp-us-east1-premium-0",
+        };
+        assert!(p.vm_fault_starting(elsewhere, 10).is_none());
+    }
+
+    #[test]
+    fn quota_burst_is_region_wide() {
+        let mut p = FaultPlan::none();
+        p.scheduled.push(ScheduledFault {
+            kind: FaultKind::QuotaExhausted,
+            start_hour: 5,
+            duration_hours: 1,
+            region: Some("us-east1".into()),
+            vm: None,
+        });
+        assert!(p.quota_exhausted("us-east1", 5));
+        assert!(!p.quota_exhausted("us-east1", 6));
+        assert!(!p.quota_exhausted("us-west1", 5));
+    }
+
+    #[test]
+    fn retry_attempts_draw_independently() {
+        let p = FaultPlan::uniform(5, 0.5);
+        let flips: Vec<bool> = (0..64)
+            .map(|a| p.test_aborts(SCOPE, "s", 3600, a))
+            .collect();
+        assert!(flips.iter().any(|&b| b) && flips.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn legacy_outage_matches_original_formula() {
+        let p = FaultPlan::legacy_outage(0.05);
+        let seed = 121u64;
+        for (vm_idx, tier_salt) in [(0u64, 0x11u64), (1, 0x22)] {
+            for hour in 0..2_000u64 {
+                let t = hour * 3600;
+                let h = load_key(b"outage", seed ^ vm_idx ^ tier_salt, t);
+                let expect = (h >> 11) as f64 / (1u64 << 53) as f64 * 1.0 < 0.05;
+                assert_eq!(p.legacy_vm_outage(seed ^ vm_idx ^ tier_salt, t), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_plan() {
+        let mut p = FaultPlan::builtin("gcp-2020").unwrap();
+        p.scheduled.push(ScheduledFault {
+            kind: FaultKind::UploadFailure,
+            start_hour: 48,
+            duration_hours: 24,
+            region: Some("us-central1".into()),
+            vm: Some("clasp-us-central1-premium-2".into()),
+        });
+        let text = serde_json::to_string_pretty(&p.to_json());
+        let back = FaultPlan::from_json_str(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn builtin_profiles_exist() {
+        for name in ["none", "light", "moderate", "heavy", "gcp-2020"] {
+            assert!(FaultPlan::builtin(name).is_some(), "{name}");
+        }
+        assert!(FaultPlan::builtin("bogus").is_none());
+        assert!(FaultPlan::builtin("none").unwrap().is_none());
+    }
+
+    #[test]
+    fn from_json_rejects_bad_kinds() {
+        assert!(
+            FaultPlan::from_json_str(r#"{"scheduled":[{"kind":"nope","start_hour":1}]}"#).is_err()
+        );
+        assert!(FaultPlan::from_json_str("not json").is_err());
+    }
+}

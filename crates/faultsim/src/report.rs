@@ -1,0 +1,293 @@
+//! Data-completeness reporting: expected vs. collected server-hours.
+//!
+//! The paper's longitudinal analysis had to reason about holes in the
+//! record without knowing why each hole existed. The simulation knows:
+//! the orchestrator computes how many server-hours *should* have been
+//! measured per region, counts how many actually landed in the TSDB,
+//! and the difference must reconcile — exactly — against the lost
+//! hours in the [`crate::FaultLog`].
+
+use crate::log::FaultLog;
+use std::collections::BTreeMap;
+
+/// Completeness accounting for one region (one tier of one region, for
+/// differential campaigns — the region string carries the tier suffix).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionCompleteness {
+    /// Region (and tier) label.
+    pub region: String,
+    /// Server-hours the schedule called for.
+    pub expected_s_hours: u64,
+    /// Server-hours actually collected into the TSDB.
+    pub collected_s_hours: u64,
+    /// Faults recovered by retries in this region (no data lost).
+    pub recovered_faults: u64,
+    /// Server-hours lost, by fault kind name.
+    pub lost_by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl RegionCompleteness {
+    /// Expected minus collected.
+    pub fn missing_s_hours(&self) -> u64 {
+        self.expected_s_hours.saturating_sub(self.collected_s_hours)
+    }
+
+    /// Collected / expected, in [0, 1]; 1.0 when nothing was expected.
+    pub fn completeness(&self) -> f64 {
+        if self.expected_s_hours == 0 {
+            1.0
+        } else {
+            self.collected_s_hours as f64 / self.expected_s_hours as f64
+        }
+    }
+
+    /// Lost server-hours the fault log attributes to this region.
+    pub fn lost_s_hours(&self) -> u64 {
+        self.lost_by_kind.values().sum()
+    }
+}
+
+/// Campaign-wide completeness report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompletenessReport {
+    /// Per-region rows, keyed by region label.
+    pub regions: BTreeMap<String, RegionCompleteness>,
+}
+
+impl CompletenessReport {
+    /// An empty report.
+    pub fn new() -> CompletenessReport {
+        CompletenessReport::default()
+    }
+
+    fn row(&mut self, region: &str) -> &mut RegionCompleteness {
+        self.regions
+            .entry(region.to_string())
+            .or_insert_with(|| RegionCompleteness {
+                region: region.to_string(),
+                ..RegionCompleteness::default()
+            })
+    }
+
+    /// Adds expected server-hours for a region.
+    pub fn add_expected(&mut self, region: &str, s_hours: u64) {
+        self.row(region).expected_s_hours += s_hours;
+    }
+
+    /// Adds collected server-hours for a region.
+    pub fn add_collected(&mut self, region: &str, s_hours: u64) {
+        self.row(region).collected_s_hours += s_hours;
+    }
+
+    /// Folds a fault log's outcomes into the per-region rows.
+    pub fn absorb_log(&mut self, log: &FaultLog) {
+        use crate::log::FaultOutcome;
+        for f in log.faults() {
+            match f.outcome {
+                FaultOutcome::Recovered { .. } => self.row(&f.region).recovered_faults += 1,
+                FaultOutcome::Lost { s_hours } => {
+                    *self
+                        .row(&f.region)
+                        .lost_by_kind
+                        .entry(f.kind.name())
+                        .or_insert(0) += s_hours;
+                }
+                FaultOutcome::Unhandled => {}
+            }
+        }
+    }
+
+    /// Total expected server-hours across regions.
+    pub fn total_expected(&self) -> u64 {
+        self.regions.values().map(|r| r.expected_s_hours).sum()
+    }
+
+    /// Total collected server-hours across regions.
+    pub fn total_collected(&self) -> u64 {
+        self.regions.values().map(|r| r.collected_s_hours).sum()
+    }
+
+    /// Total missing server-hours across regions.
+    pub fn total_missing(&self) -> u64 {
+        self.regions.values().map(|r| r.missing_s_hours()).sum()
+    }
+
+    /// Campaign-wide completeness fraction.
+    pub fn overall_completeness(&self) -> f64 {
+        let exp = self.total_expected();
+        if exp == 0 {
+            1.0
+        } else {
+            self.total_collected() as f64 / exp as f64
+        }
+    }
+
+    /// True when, for every region, `expected − collected` equals the
+    /// lost hours the fault log attributes there. This is the
+    /// ground-truth invariant the property tests assert.
+    pub fn reconciles(&self) -> bool {
+        self.regions
+            .values()
+            .all(|r| r.missing_s_hours() == r.lost_s_hours())
+    }
+
+    /// Regions where the invariant fails, with (missing, lost) pairs —
+    /// for diagnostics when [`Self::reconciles`] is false.
+    pub fn discrepancies(&self) -> Vec<(String, u64, u64)> {
+        self.regions
+            .values()
+            .filter(|r| r.missing_s_hours() != r.lost_s_hours())
+            .map(|r| (r.region.clone(), r.missing_s_hours(), r.lost_s_hours()))
+            .collect()
+    }
+
+    /// Serializes the report to JSON (for campaign checkpoints).
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::{Map, Value};
+        let mut regions = Map::new();
+        for r in self.regions.values() {
+            let mut m = Map::new();
+            m.insert("expected_s_hours".into(), r.expected_s_hours.into());
+            m.insert("collected_s_hours".into(), r.collected_s_hours.into());
+            m.insert("recovered_faults".into(), r.recovered_faults.into());
+            let mut lost = Map::new();
+            for (kind, hours) in &r.lost_by_kind {
+                lost.insert((*kind).into(), (*hours).into());
+            }
+            m.insert("lost_by_kind".into(), Value::Object(lost));
+            regions.insert(r.region.clone(), Value::Object(m));
+        }
+        Value::Object(regions)
+    }
+
+    /// Restores a report serialized by [`Self::to_json`].
+    pub fn from_json(v: &serde_json::Value) -> Result<CompletenessReport, String> {
+        use crate::plan::FaultKind;
+        let obj = v
+            .as_object()
+            .ok_or("completeness report must be an object")?;
+        let mut rep = CompletenessReport::new();
+        for (region, m) in obj {
+            let u = |k: &str| m.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            let row = rep.row(region);
+            row.expected_s_hours = u("expected_s_hours");
+            row.collected_s_hours = u("collected_s_hours");
+            row.recovered_faults = u("recovered_faults");
+            if let Some(lost) = m.get("lost_by_kind").and_then(|l| l.as_object()) {
+                for (kind_name, hours) in lost {
+                    let kind = FaultKind::parse(kind_name)
+                        .ok_or_else(|| format!("unknown fault kind {kind_name:?}"))?;
+                    row.lost_by_kind
+                        .insert(kind.name(), hours.as_u64().unwrap_or(0));
+                }
+            }
+        }
+        Ok(rep)
+    }
+
+    /// Human-readable table, one row per region plus a totals line.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "region                         expected  collected    missing  recovered  complete\n",
+        );
+        for r in self.regions.values() {
+            out.push_str(&format!(
+                "{:<30} {:>9} {:>10} {:>10} {:>10} {:>8.2}%\n",
+                r.region,
+                r.expected_s_hours,
+                r.collected_s_hours,
+                r.missing_s_hours(),
+                r.recovered_faults,
+                r.completeness() * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "{:<30} {:>9} {:>10} {:>10} {:>10} {:>8.2}%\n",
+            "TOTAL",
+            self.total_expected(),
+            self.total_collected(),
+            self.total_missing(),
+            self.regions
+                .values()
+                .map(|r| r.recovered_faults)
+                .sum::<u64>(),
+            self.overall_completeness() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultKind;
+
+    #[test]
+    fn reconciliation_holds_when_log_accounts_for_gap() {
+        let mut log = FaultLog::new();
+        let id = log.record(3600, FaultKind::VmPreemption, "us-west1", "vm-0", "");
+        log.mark_lost(id, 5);
+        let rid = log.record(7200, FaultKind::ApiError, "us-west1", "", "create_vm");
+        log.mark_recovered(rid, 1, 7230);
+
+        let mut rep = CompletenessReport::new();
+        rep.add_expected("us-west1", 100);
+        rep.add_collected("us-west1", 95);
+        rep.absorb_log(&log);
+
+        assert!(rep.reconciles(), "{:?}", rep.discrepancies());
+        let row = &rep.regions["us-west1"];
+        assert_eq!(row.missing_s_hours(), 5);
+        assert_eq!(row.lost_s_hours(), 5);
+        assert_eq!(row.recovered_faults, 1);
+        assert!((row.completeness() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconciliation_fails_on_unexplained_gap() {
+        let mut rep = CompletenessReport::new();
+        rep.add_expected("eu-west1", 50);
+        rep.add_collected("eu-west1", 40);
+        assert!(!rep.reconciles());
+        assert_eq!(rep.discrepancies(), vec![("eu-west1".to_string(), 10, 0)]);
+    }
+
+    #[test]
+    fn totals_and_render() {
+        let mut rep = CompletenessReport::new();
+        rep.add_expected("a", 10);
+        rep.add_collected("a", 10);
+        rep.add_expected("b", 20);
+        rep.add_collected("b", 18);
+        assert_eq!(rep.total_expected(), 30);
+        assert_eq!(rep.total_collected(), 28);
+        assert_eq!(rep.total_missing(), 2);
+        assert!((rep.overall_completeness() - 28.0 / 30.0).abs() < 1e-12);
+        let text = rep.render();
+        assert!(text.contains("TOTAL"));
+        assert!(text.lines().count() == 4);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut log = FaultLog::new();
+        let id = log.record(0, FaultKind::VmPreemption, "us-west1", "vm-0", "");
+        log.mark_lost(id, 7);
+        let rid = log.record(0, FaultKind::ApiError, "us-west1", "", "");
+        log.mark_recovered(rid, 2, 60);
+        let mut rep = CompletenessReport::new();
+        rep.add_expected("us-west1", 100);
+        rep.add_collected("us-west1", 93);
+        rep.absorb_log(&log);
+        let back = CompletenessReport::from_json(&rep.to_json()).unwrap();
+        assert_eq!(rep, back);
+        assert!(back.reconciles());
+    }
+
+    #[test]
+    fn empty_report_is_complete() {
+        let rep = CompletenessReport::new();
+        assert!(rep.reconciles());
+        assert_eq!(rep.overall_completeness(), 1.0);
+    }
+}

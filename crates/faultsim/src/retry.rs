@@ -1,0 +1,145 @@
+//! Sim-time retry policy: exponential backoff with deterministic jitter.
+//!
+//! Real orchestrators jitter their backoff to avoid thundering herds;
+//! a deterministic simulation cannot call a wall-clock RNG without
+//! destroying reproducibility. The jitter here is hashed from the
+//! caller-supplied key and the attempt number, so a resumed campaign
+//! re-derives the exact delays the interrupted run used.
+
+use simnet::routing::load_key;
+
+/// Bounded exponential backoff over sim-time seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts (first try included). 1 = no retries.
+    pub max_attempts: u32,
+    /// Delay before the first retry, in sim-seconds.
+    pub base_delay_s: u64,
+    /// Multiplier applied per retry.
+    pub factor: u64,
+    /// Cap on any single delay, in sim-seconds.
+    pub max_delay_s: u64,
+    /// Fraction of the delay used as the jitter span (0.0 – 1.0).
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_s: 10,
+            factor: 2,
+            max_delay_s: 600,
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy for quick control-plane calls: tight delays, four tries.
+    pub fn api() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    /// Policy for bucket uploads: more patient (uploads are batched at
+    /// day end, so minutes of delay cost nothing).
+    pub fn upload() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_s: 30,
+            factor: 3,
+            max_delay_s: 1800,
+            jitter_frac: 0.25,
+        }
+    }
+
+    /// Policy for in-slot speed-test retries: the hour budget only
+    /// leaves room for a couple of quick re-runs.
+    pub fn speedtest() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_s: 5,
+            factor: 2,
+            max_delay_s: 60,
+            jitter_frac: 0.2,
+        }
+    }
+
+    /// The sim-time delay before retry number `attempt` (1-based: the
+    /// delay between the initial failure and the first retry is
+    /// `backoff_delay(1, ..)`). Deterministically jittered by
+    /// `jitter_key`; different keys de-correlate concurrent retriers.
+    pub fn backoff_delay(&self, attempt: u32, jitter_key: u64) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base_delay_s
+            .saturating_mul(self.factor.saturating_pow(exp))
+            .min(self.max_delay_s);
+        if self.jitter_frac <= 0.0 || raw == 0 {
+            return raw;
+        }
+        let span = ((raw as f64) * self.jitter_frac) as u64;
+        if span == 0 {
+            return raw;
+        }
+        let h = load_key(b"retry.jitter", jitter_key, attempt as u64);
+        raw - span / 2 + h % (span + 1)
+    }
+
+    /// Total sim-seconds spent if every attempt up to `attempts` failed.
+    pub fn total_delay(&self, attempts: u32, jitter_key: u64) -> u64 {
+        (1..attempts)
+            .map(|a| self.backoff_delay(a, jitter_key))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_delay(1, 0), 10);
+        assert_eq!(p.backoff_delay(2, 0), 20);
+        assert_eq!(p.backoff_delay(3, 0), 40);
+        assert_eq!(p.backoff_delay(10, 0), 600); // capped
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..6 {
+            for key in 0..50u64 {
+                let d1 = p.backoff_delay(attempt, key);
+                let d2 = p.backoff_delay(attempt, key);
+                assert_eq!(d1, d2);
+                let raw = (p.base_delay_s * p.factor.pow(attempt - 1)).min(p.max_delay_s);
+                let span = (raw as f64 * p.jitter_frac) as u64;
+                assert!(d1 >= raw - span / 2 && d1 <= raw + span - span / 2 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn different_keys_decorrelate() {
+        let p = RetryPolicy::default();
+        let delays: Vec<u64> = (0..32).map(|k| p.backoff_delay(2, k)).collect();
+        let first = delays[0];
+        assert!(delays.iter().any(|&d| d != first));
+    }
+
+    #[test]
+    fn total_delay_sums_failed_attempts() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.total_delay(1, 0), 0);
+        assert_eq!(p.total_delay(4, 0), 10 + 20 + 40);
+    }
+}

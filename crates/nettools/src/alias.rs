@@ -95,7 +95,7 @@ pub fn ally_test(
             violations += 1;
         }
     }
-    if violations <= (samples.len() / 10).max(1) - 1 {
+    if violations < (samples.len() / 10).max(1) {
         AliasVerdict::Aliases
     } else {
         AliasVerdict::NotAliases
@@ -106,11 +106,7 @@ pub fn ally_test(
 /// it against each neighbor-space border-router address; returns the
 /// neighbor ASN on a positive test. This is the mechanism behind
 /// `bdrmap`'s alias evidence.
-pub fn resolve_far_side(
-    topo: &Topology,
-    far_ip: Ipv4Addr,
-    seed: u64,
-) -> Option<simnet::asn::Asn> {
+pub fn resolve_far_side(topo: &Topology, far_ip: Ipv4Addr, seed: u64) -> Option<simnet::asn::Asn> {
     // Candidate in-AS aliases: the border routers of links sharing this
     // far IP's /30 neighborhood. In practice a prober tests candidates
     // from hostname/IP heuristics; here the candidate set is the known
@@ -157,9 +153,7 @@ mod tests {
         t.links
             .iter()
             .find(|l| {
-                !is_silent(l.far_ip)
-                    && !is_silent(t.border_alias(l.id))
-                    && !is_silent(l.near_ip)
+                !is_silent(l.far_ip) && !is_silent(t.border_alias(l.id)) && !is_silent(l.near_ip)
             })
             .map(|l| l.id)
             .expect("some fully responsive link")
@@ -250,7 +244,11 @@ mod tests {
         let map = BdrMap::infer(&traces, &p2a, simnet::topology::CLOUD_ASN, &resolver);
         assert!(map.link_count() > 10);
         // Some links should carry Ally-backed alias evidence.
-        let with_alias = map.links.values().filter(|l| l.alias_owner.is_some()).count();
+        let with_alias = map
+            .links
+            .values()
+            .filter(|l| l.alias_owner.is_some())
+            .count();
         assert!(with_alias > 0, "no Ally evidence at all");
     }
 }

@@ -296,9 +296,7 @@ mod tests {
         let mut total = 0;
         for (far_ip, link) in &map.links {
             assert!(link.alias_owner.is_none());
-            if let (Some(inferred), Some(actual)) =
-                (link.inferred_neighbor(), truth.get(far_ip))
-            {
+            if let (Some(inferred), Some(actual)) = (link.inferred_neighbor(), truth.get(far_ip)) {
                 total += 1;
                 if inferred == *actual {
                     correct += 1;

@@ -60,8 +60,7 @@ impl Scamper {
             for flow in 0..flows_per_target {
                 // Flow ids are target-salted so two targets in the same AS
                 // don't probe identical five-tuples.
-                let flow_id =
-                    simnet::routing::load_key(b"scamper", i as u64, flow).rotate_left(7);
+                let flow_id = simnet::routing::load_key(b"scamper", i as u64, flow).rotate_left(7);
                 if let Some(trace) = traceroute(
                     paths,
                     region_city,

@@ -66,7 +66,11 @@ impl Traceroute {
         if !self.reached {
             return None;
         }
-        self.hops.iter().rev().find(|h| h.ip.is_some()).map(|h| h.rtt_ms)
+        self.hops
+            .iter()
+            .rev()
+            .find(|h| h.ip.is_some())
+            .map(|h| h.rtt_ms)
     }
 }
 
@@ -133,11 +137,8 @@ pub fn traceroute(
         let idx = ttl.min(path.hops.len() - 1);
         let hop = path.hops[idx];
         let is_dst = hop.ip == dst_ip;
-        let silent_draw = (simnet::routing::load_key(
-            b"silent",
-            u64::from(u32::from(hop.ip)),
-            0,
-        ) >> 11) as f64
+        let silent_draw = (simnet::routing::load_key(b"silent", u64::from(u32::from(hop.ip)), 0)
+            >> 11) as f64
             / (1u64 << 53) as f64;
         let silent = !is_dst && silent_draw < SILENT_HOP_RATE;
         let jitter = rng.random::<f64>() * 1.4;
@@ -173,9 +174,7 @@ mod tests {
     fn target(topo: &Topology) -> (AsId, CityId, Ipv4Addr) {
         let id = topo
             .non_cloud_ases()
-            .find(|id| {
-                matches!(topo.as_node(*id).role, simnet::asn::AsRole::AccessIsp)
-            })
+            .find(|id| matches!(topo.as_node(*id).role, simnet::asn::AsRole::AccessIsp))
             .unwrap();
         let city = topo.as_node(id).home_city;
         (id, city, topo.host_ip(id, city, 0))
@@ -261,7 +260,6 @@ mod tests {
         // check that flow ids spread across them.
         let topo = Topology::generate(TopologyConfig::tiny(33));
         let paths = Paths::new(&topo);
-        let region = topo.cities.by_name("The Dalles").unwrap();
         let neighbor = topo
             .non_cloud_ases()
             .filter(|id| !topo.links_to(*id).is_empty())

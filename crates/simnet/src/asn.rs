@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// An autonomous-system number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Asn(pub u32);
 
 impl std::fmt::Display for Asn {

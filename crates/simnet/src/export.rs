@@ -68,8 +68,7 @@ pub fn prefix2as(p2a: &PrefixToAs) -> String {
 /// Serialises the cloud's interdomain-link inventory:
 /// `link_id near_ip far_ip neighbor_asn pop_city capacity_gbps`.
 pub fn interdomain_links(topo: &Topology) -> String {
-    let mut out =
-        String::from("# link_id near_ip far_ip neighbor_asn pop capacity_gbps\n");
+    let mut out = String::from("# link_id near_ip far_ip neighbor_asn pop capacity_gbps\n");
     for l in &topo.links {
         out.push_str(&format!(
             "{} {} {} {} {} {:.1}\n",
@@ -119,11 +118,7 @@ mod tests {
             .find(|id| !t.as_node(*id).providers.is_empty())
             .unwrap();
         let provider = t.as_node(leaf).providers[0];
-        let expect = format!(
-            "{}|{}|-1",
-            t.as_node(provider).asn.0,
-            t.as_node(leaf).asn.0
-        );
+        let expect = format!("{}|{}|-1", t.as_node(provider).asn.0, t.as_node(leaf).asn.0);
         assert!(dump.contains(&expect), "missing {expect}");
     }
 
@@ -133,7 +128,10 @@ mod tests {
         let dump = as_rel(&t);
         let cloud = t.as_node(t.cloud).asn.0;
         assert!(
-            dump.lines().filter(|l| l.contains(&cloud.to_string())).count() > 10,
+            dump.lines()
+                .filter(|l| l.contains(&cloud.to_string()))
+                .count()
+                > 10,
             "cloud peerings exported"
         );
     }

@@ -94,9 +94,7 @@ impl LoadModel {
                 let peak = if weekend { 0.52 } else { 0.64 };
                 0.55 + peak * daytime * dayf + 0.10 * evening + 0.05 * noise
             }
-            CongestionClass::AllDayCongested => {
-                0.88 + 0.10 * evening * dayf + 0.05 * noise
-            }
+            CongestionClass::AllDayCongested => 0.88 + 0.10 * evening * dayf + 0.05 * noise,
         };
         u.clamp(0.0, 1.25)
     }

@@ -290,11 +290,7 @@ mod tests {
             .expect("tiny topology has a clean US ISP")
     }
 
-    fn path_pair(
-        topo: &Topology,
-        leaf: AsId,
-        tier: Tier,
-    ) -> (RouterPath, RouterPath) {
+    fn path_pair(topo: &Topology, leaf: AsId, tier: Tier) -> (RouterPath, RouterPath) {
         let paths = Paths::new(topo);
         let region = topo.cities.by_name("The Dalles").unwrap();
         let city = topo.as_node(leaf).home_city;

@@ -30,9 +30,7 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 /// GCP network service tier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Tier {
     /// Cold-potato routing over the private WAN.
     Premium,
@@ -152,8 +150,8 @@ impl<'t> Routing<'t> {
         // Phase 2: one peer hop. An AS with a customer route (or the
         // origin) exports it to its peers.
         let mut peer_updates: Vec<(AsId, RouteEntry)> = Vec::new();
-        for u_idx in 0..n {
-            let Some(entry) = table[u_idx] else { continue };
+        for (u_idx, slot) in table.iter().enumerate() {
+            let Some(entry) = *slot else { continue };
             if entry.kind != RouteKind::Customer {
                 continue;
             }
@@ -177,10 +175,9 @@ impl<'t> Routing<'t> {
 
         // Phase 3: provider routes descend customer edges from every
         // routed AS, breadth-first by length so shorter paths win.
-        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
-            (0..n)
-                .filter_map(|i| table[i].map(|e| std::cmp::Reverse((e.len, i as u32))))
-                .collect();
+        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> = (0..n)
+            .filter_map(|i| table[i].map(|e| std::cmp::Reverse((e.len, i as u32))))
+            .collect();
         while let Some(std::cmp::Reverse((len, u_idx))) = queue.pop() {
             let u = AsId(u_idx);
             let Some(entry) = table[u_idx as usize] else {
@@ -462,6 +459,7 @@ impl<'t> Paths<'t> {
     /// Returns `None` when interdomain routing cannot produce a
     /// policy-compliant path (never the case for the generated topologies,
     /// which guarantee provider chains, but the API is honest).
+    #[allow(clippy::too_many_arguments)]
     pub fn vm_host_path(
         &self,
         region_city: CityId,
@@ -1018,10 +1016,26 @@ mod tests {
         let host_ip = t.host_ip(target, host_city, 0);
         let vm_ip = t.vm_ip(region, 0);
         let prem = p
-            .vm_host_path(region, vm_ip, target, host_city, host_ip, Tier::Premium, Direction::ToServer)
+            .vm_host_path(
+                region,
+                vm_ip,
+                target,
+                host_city,
+                host_ip,
+                Tier::Premium,
+                Direction::ToServer,
+            )
             .unwrap();
         let std_ = p
-            .vm_host_path(region, vm_ip, target, host_city, host_ip, Tier::Standard, Direction::ToServer)
+            .vm_host_path(
+                region,
+                vm_ip,
+                target,
+                host_city,
+                host_ip,
+                Tier::Standard,
+                Direction::ToServer,
+            )
             .unwrap();
         let dist = |link: LinkId, city: CityId| {
             t.cities
@@ -1066,8 +1080,6 @@ mod tests {
             )
             .unwrap();
         assert!((path.hops.first().unwrap().oneway_ms - 0.0).abs() < 1e-9);
-        assert!(
-            (path.hops.last().unwrap().oneway_ms - path.oneway_ms).abs() < 1e-9
-        );
+        assert!((path.hops.last().unwrap().oneway_ms - path.oneway_ms).abs() < 1e-9);
     }
 }

@@ -177,15 +177,10 @@ mod tests {
 
     #[test]
     fn hourly_iterator_covers_range() {
-        let hours: Vec<SimTime> =
-            hourly(SimTime(10), SimTime::from_day_hour(0, 3) + 1).collect();
+        let hours: Vec<SimTime> = hourly(SimTime(10), SimTime::from_day_hour(0, 3) + 1).collect();
         assert_eq!(
             hours,
-            vec![
-                SimTime(HOUR),
-                SimTime(2 * HOUR),
-                SimTime(3 * HOUR),
-            ]
+            vec![SimTime(HOUR), SimTime(2 * HOUR), SimTime(3 * HOUR),]
         );
     }
 

@@ -27,21 +27,15 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Index of an AS inside a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AsId(pub u32);
 
 /// Index of a cloud interdomain link inside a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub u32);
 
 /// Index of a non-cloud AS-to-AS edge inside a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 /// How a network's load profile behaves over the day. Assigned per AS (for
@@ -260,8 +254,18 @@ const STORYLINES: &[Storyline] = &[
         role: AsRole::Transit,
         home: "Washington",
         extra_cities: &[
-            "New York", "Chicago", "Dallas", "Los Angeles", "San Jose", "Denver",
-            "Atlanta", "Miami", "Seattle", "Frankfurt", "Paris", "London",
+            "New York",
+            "Chicago",
+            "Dallas",
+            "Los Angeles",
+            "San Jose",
+            "Denver",
+            "Atlanta",
+            "Miami",
+            "Seattle",
+            "Frankfurt",
+            "Paris",
+            "London",
         ],
         congestion: CongestionClass::PeakCongested,
         peers_with_cloud: true,
@@ -272,9 +276,21 @@ const STORYLINES: &[Storyline] = &[
         role: AsRole::AccessIsp,
         home: "Philadelphia",
         extra_cities: &[
-            "Chicago", "Denver", "Seattle", "San Francisco", "Boston", "Atlanta",
-            "Houston", "Miami", "Washington", "Salt Lake City", "Portland",
-            "Sacramento", "Minneapolis", "Pittsburgh", "Nashville",
+            "Chicago",
+            "Denver",
+            "Seattle",
+            "San Francisco",
+            "Boston",
+            "Atlanta",
+            "Houston",
+            "Miami",
+            "Washington",
+            "Salt Lake City",
+            "Portland",
+            "Sacramento",
+            "Minneapolis",
+            "Pittsburgh",
+            "Nashville",
         ],
         congestion: CongestionClass::Mild,
         peers_with_cloud: true,
@@ -285,8 +301,16 @@ const STORYLINES: &[Storyline] = &[
         role: AsRole::AccessIsp,
         home: "Dallas",
         extra_cities: &[
-            "Atlanta", "Chicago", "Los Angeles", "San Francisco", "Miami",
-            "St. Louis", "Detroit", "Houston", "San Antonio", "Nashville",
+            "Atlanta",
+            "Chicago",
+            "Los Angeles",
+            "San Francisco",
+            "Miami",
+            "St. Louis",
+            "Detroit",
+            "Houston",
+            "San Antonio",
+            "Nashville",
         ],
         congestion: CongestionClass::Mild,
         peers_with_cloud: true,
@@ -297,8 +321,13 @@ const STORYLINES: &[Storyline] = &[
         role: AsRole::AccessIsp,
         home: "New York",
         extra_cities: &[
-            "Washington", "Boston", "Philadelphia", "Baltimore", "Richmond",
-            "Tampa", "Dallas",
+            "Washington",
+            "Boston",
+            "Philadelphia",
+            "Baltimore",
+            "Richmond",
+            "Tampa",
+            "Dallas",
         ],
         congestion: CongestionClass::Mild,
         peers_with_cloud: true,
@@ -309,8 +338,13 @@ const STORYLINES: &[Storyline] = &[
         role: AsRole::AccessIsp,
         home: "St. Louis",
         extra_cities: &[
-            "Los Angeles", "Dallas", "Charlotte", "Milwaukee", "Columbus",
-            "Buffalo", "Louisville",
+            "Los Angeles",
+            "Dallas",
+            "Charlotte",
+            "Milwaukee",
+            "Columbus",
+            "Buffalo",
+            "Louisville",
         ],
         congestion: CongestionClass::Mild,
         peers_with_cloud: true,
@@ -321,7 +355,11 @@ const STORYLINES: &[Storyline] = &[
         role: AsRole::Transit,
         home: "Denver",
         extra_cities: &[
-            "Seattle", "Minneapolis", "Phoenix", "Salt Lake City", "Omaha",
+            "Seattle",
+            "Minneapolis",
+            "Phoenix",
+            "Salt Lake City",
+            "Omaha",
         ],
         congestion: CongestionClass::Mild,
         peers_with_cloud: true,
@@ -433,15 +471,13 @@ impl Topology {
         });
         asn_index.insert(CLOUD_ASN, cloud_id);
 
-        let push_as = |ases: &mut Vec<AsNode>,
-                           asn_index: &mut HashMap<Asn, AsId>,
-                           node: AsNode|
-         -> AsId {
-            let id = AsId(ases.len() as u32);
-            asn_index.insert(node.asn, id);
-            ases.push(node);
-            id
-        };
+        let push_as =
+            |ases: &mut Vec<AsNode>, asn_index: &mut HashMap<Asn, AsId>, node: AsNode| -> AsId {
+                let id = AsId(ases.len() as u32);
+                asn_index.insert(node.asn, id);
+                ases.push(node);
+                id
+            };
 
         // Helper: sample `n` cities weighted by population weight.
         let pick_cities = |rng: &mut SmallRng, pool: &[CityId], n: usize| -> Vec<CityId> {
@@ -631,7 +667,11 @@ impl Topology {
                 home_city: home,
                 cities: footprint,
                 prefixes: vec![planner
-                    .alloc(if matches!(role, AsRole::AccessIsp) { 17 } else { 19 })
+                    .alloc(if matches!(role, AsRole::AccessIsp) {
+                        17
+                    } else {
+                        19
+                    })
                     .expect("pool sized")],
                 lookup_type: lookup_for(&mut rng, *role, config.lookup_miss_rate),
                 congestion,
@@ -646,12 +686,12 @@ impl Topology {
         // --- Relationships ---
         let mut edges: Vec<AsEdge> = Vec::new();
         let add_edge = |edges: &mut Vec<AsEdge>,
-                            ases: &mut Vec<AsNode>,
-                            rng: &mut SmallRng,
-                            a: AsId,
-                            b: AsId,
-                            rel: AsRelationship,
-                            capacity: f64| {
+                        ases: &mut Vec<AsNode>,
+                        rng: &mut SmallRng,
+                        a: AsId,
+                        b: AsId,
+                        rel: AsRelationship,
+                        capacity: f64| {
             // Interconnect city: a shared city if any, else the endpoint-b
             // city nearest a's home (US ISPs don't haul to Europe to meet
             // their transit provider).
@@ -893,8 +933,7 @@ impl Topology {
                     AsRole::AccessIsp => config.mean_parallel_interfaces,
                     _ => 2.2,
                 };
-                let n_parallel =
-                    1 + (rng.random::<f64>() * base).floor() as usize;
+                let n_parallel = 1 + (rng.random::<f64>() * base).floor() as usize;
                 for _ in 0..n_parallel {
                     // /30 from the cloud p2p pool: .1 near (cloud), .2 far.
                     let subnet_base = p2p_cursor * 4;
@@ -1111,10 +1150,7 @@ mod tests {
         let t = tiny();
         let cox = t.by_asn(Asn(22773)).unwrap();
         assert_eq!(t.as_node(cox).name, "Cox Communications");
-        assert_eq!(
-            t.as_node(cox).congestion,
-            CongestionClass::DaytimeCongested
-        );
+        assert_eq!(t.as_node(cox).congestion, CongestionClass::DaytimeCongested);
         let cogent = t.by_asn(Asn(174)).unwrap();
         assert_eq!(t.as_node(cogent).role, AsRole::Transit);
         assert!(t.by_asn(Asn(1221)).is_some(), "Telstra");

@@ -276,7 +276,8 @@ impl Harness {
                     let tx = total - prop;
                     let _ = bytes;
                     self.q.schedule_in_ns(tx, Ev::ServiceDone { hop, fwd });
-                    self.q.schedule_in_ns(total, Ev::Deliver { hop, fwd, token });
+                    self.q
+                        .schedule_in_ns(total, Ev::Deliver { hop, fwd, token });
                 }
             }
             Ev::Deliver { hop, fwd, token } => {
@@ -310,8 +311,7 @@ impl Harness {
                     self.record(t, CaptureEvent::Delivered);
                     let (ack, echo) = unpack_ack(t.num);
                     let now = self.now_ms();
-                    let actions =
-                        self.senders[t.conn as usize].on_ack_sack(ack, Some(echo), now);
+                    let actions = self.senders[t.conn as usize].on_ack_sack(ack, Some(echo), now);
                     self.apply_actions(t.conn as usize, actions);
                 }
             }

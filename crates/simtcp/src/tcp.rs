@@ -171,9 +171,7 @@ impl TcpSender {
     /// Fills the window: returns new segments to send at `now_ms`.
     pub fn tick_send(&mut self, now_ms: f64) -> SenderActions {
         let mut actions = SenderActions::default();
-        while self.pipe() < self.cwnd as u64
-            && self.next_seq < self.total_segments
-        {
+        while self.pipe() < self.cwnd as u64 && self.next_seq < self.total_segments {
             let seq = self.next_seq;
             self.next_seq += 1;
             self.inflight.insert(
@@ -204,12 +202,7 @@ impl TcpSender {
     }
 
     /// [`Self::on_ack`] with SACK information.
-    pub fn on_ack_sack(
-        &mut self,
-        ack: u64,
-        echo: Option<u64>,
-        now_ms: f64,
-    ) -> SenderActions {
+    pub fn on_ack_sack(&mut self, ack: u64, echo: Option<u64>, now_ms: f64) -> SenderActions {
         let ack = ack.min(self.next_seq);
         let mut actions = SenderActions::default();
 
@@ -235,11 +228,7 @@ impl TcpSender {
                     self.rtt_sample(now_ms - info.sent_at_ms);
                 }
             }
-            let to_remove: Vec<u64> = self
-                .inflight
-                .range(..ack)
-                .map(|(&s, _)| s)
-                .collect();
+            let to_remove: Vec<u64> = self.inflight.range(..ack).map(|(&s, _)| s).collect();
             for s in to_remove {
                 if let Some(info) = self.inflight.remove(&s) {
                     if info.sacked {

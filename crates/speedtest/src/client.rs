@@ -161,11 +161,7 @@ impl SpeedTestClient {
         // independent of NIC size, wobbling by the hour. This is why "no
         // server could saturate the downlink capacity of the measurement
         // VMs" (§4.1) even from close by.
-        let srv_hash = simnet::routing::load_key(
-            b"srvrate",
-            u64::from(u32::from(server.ip)),
-            0,
-        );
+        let srv_hash = simnet::routing::load_key(b"srvrate", u64::from(u32::from(server.ip)), 0);
         let u_srv = (srv_hash >> 11) as f64 / (1u64 << 53) as f64;
         let bonus = if server.capacity_gbps >= 10.0 {
             1.45
@@ -180,15 +176,13 @@ impl SpeedTestClient {
         // Hourly contention is a property of the server and the hour —
         // two VMs testing the same server in the same hour see the same
         // contention (the paired-tier comparison depends on this).
-        let hour_hash = simnet::routing::load_key(
-            b"srvhour",
-            u64::from(u32::from(server.ip)),
-            t.hour_index(),
-        );
+        let hour_hash =
+            simnet::routing::load_key(b"srvhour", u64::from(u32::from(server.ip)), t.hour_index());
         let hourly = 0.80 + 0.40 * ((hour_hash >> 11) as f64 / (1u64 << 53) as f64);
         let server_cap_mbps = service_base * hourly;
         // Web-reported numbers wobble a few percent.
-        let noise = |salt: u64| 1.0 + self.noise_amp * (2.0 * self.unit(seed, server, t, salt) - 1.0);
+        let noise =
+            |salt: u64| 1.0 + self.noise_amp * (2.0 * self.unit(seed, server, t, salt) - 1.0);
         let download_mbps = (down.throughput_mbps * noise(2))
             .min(server_cap_mbps)
             .min(self.downlink_cap_mbps);
@@ -205,6 +199,29 @@ impl SpeedTestClient {
             upload_loss: up.loss_rate,
             duration_s: 2.0 * server.platform.transfer_seconds() + 5.0,
         }
+    }
+
+    /// Fault-aware variant of [`Self::run_test`]: the browser stack can
+    /// crash mid-test, yielding `None` (no result is reported, the slot
+    /// may retry with a higher `attempt`). Each attempt draws
+    /// independently. With an empty plan this is exactly `run_test` —
+    /// no draw happens and the result is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_test_faulted(
+        &self,
+        perf: &PerfModel<'_>,
+        pair: &PathPair,
+        server: &Server,
+        t: SimTime,
+        seed: u64,
+        plan: &faultsim::FaultPlan,
+        scope: faultsim::VmScope<'_>,
+        attempt: u32,
+    ) -> Option<TestResult> {
+        if plan.test_aborts(scope, &server.id, t.as_secs(), attempt) {
+            return None;
+        }
+        Some(self.run_test(perf, pair, server, t, seed))
     }
 
     /// Uniform `[0,1)` hash of (seed, server, time, salt).
@@ -264,13 +281,59 @@ mod tests {
         let region = topo.cities.by_name("Council Bluffs").unwrap();
         let server = reg.servers.iter().find(|s| s.country == "US").unwrap();
         let pair = client
-            .resolve_paths(&paths, region, topo.vm_ip(region, 0), server, Tier::Standard)
+            .resolve_paths(
+                &paths,
+                region,
+                topo.vm_ip(region, 0),
+                server,
+                Tier::Standard,
+            )
             .unwrap();
         let t = SimTime::from_day_hour(3, 15);
         let a = client.run_test(&perf, &pair, server, t, 7);
         let b = client.run_test(&perf, &pair, server, t, 7);
         assert_eq!(a.download_mbps, b.download_mbps);
         assert_eq!(a.latency_ms, b.latency_ms);
+    }
+
+    #[test]
+    fn faulted_test_matches_plain_and_aborts_on_demand() {
+        let (topo, reg) = setup();
+        let paths = Paths::new(&topo);
+        let perf = PerfModel::new(&topo, LoadModel::new(4));
+        let client = SpeedTestClient::default();
+        let region = topo.cities.by_name("The Dalles").unwrap();
+        let server = reg.servers.iter().find(|s| s.country == "US").unwrap();
+        let pair = client
+            .resolve_paths(&paths, region, topo.vm_ip(region, 0), server, Tier::Premium)
+            .unwrap();
+        let t = SimTime::from_day_hour(0, 9);
+        let scope = faultsim::VmScope {
+            region: "us-west1",
+            vm: "clasp-us-west1-a-0",
+        };
+
+        let plain = client.run_test(&perf, &pair, server, t, 1);
+        let faulted = client
+            .run_test_faulted(
+                &perf,
+                &pair,
+                server,
+                t,
+                1,
+                &faultsim::FaultPlan::none(),
+                scope,
+                0,
+            )
+            .unwrap();
+        assert_eq!(plain.download_mbps, faulted.download_mbps);
+        assert_eq!(plain.latency_ms, faulted.latency_ms);
+
+        let mut plan = faultsim::FaultPlan::uniform(1, 0.0);
+        plan.rates.test_abort = 1.0;
+        assert!(client
+            .run_test_faulted(&perf, &pair, server, t, 1, &plan, scope, 0)
+            .is_none());
     }
 
     #[test]

@@ -80,10 +80,26 @@ mod tests {
         let ip = topo.host_ip(leaf, city, 0);
         let vm = topo.vm_ip(region, 0);
         let down = paths
-            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToCloud)
+            .vm_host_path(
+                region,
+                vm,
+                leaf,
+                city,
+                ip,
+                Tier::Premium,
+                Direction::ToCloud,
+            )
             .unwrap();
         let up = paths
-            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToServer)
+            .vm_host_path(
+                region,
+                vm,
+                leaf,
+                city,
+                ip,
+                Tier::Premium,
+                Direction::ToServer,
+            )
             .unwrap();
         let t = SimTime::from_day_hour(2, 10);
 
@@ -118,10 +134,26 @@ mod tests {
         let ip = topo.host_ip(leaf, city, 0);
         let vm = topo.vm_ip(region, 0);
         let down = paths
-            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToCloud)
+            .vm_host_path(
+                region,
+                vm,
+                leaf,
+                city,
+                ip,
+                Tier::Premium,
+                Direction::ToCloud,
+            )
             .unwrap();
         let up = paths
-            .vm_host_path(region, vm, leaf, city, ip, Tier::Premium, Direction::ToServer)
+            .vm_host_path(
+                region,
+                vm,
+                leaf,
+                city,
+                ip,
+                Tier::Premium,
+                Direction::ToServer,
+            )
             .unwrap();
         let t = SimTime::from_day_hour(2, 9);
         let fluid_rtt = perf.rtt_ms(&down, &up, t);
@@ -151,10 +183,26 @@ mod tests {
         let ip = topo.host_ip(leaf, city, 0);
         let vm = topo.vm_ip(region, 0);
         let down = paths
-            .vm_host_path(region, vm, leaf, city, ip, Tier::Standard, Direction::ToCloud)
+            .vm_host_path(
+                region,
+                vm,
+                leaf,
+                city,
+                ip,
+                Tier::Standard,
+                Direction::ToCloud,
+            )
             .unwrap();
         let up = paths
-            .vm_host_path(region, vm, leaf, city, ip, Tier::Standard, Direction::ToServer)
+            .vm_host_path(
+                region,
+                vm,
+                leaf,
+                city,
+                ip,
+                Tier::Standard,
+                Direction::ToServer,
+            )
             .unwrap();
         let spec = packetize(&perf, &down, &up, SimTime::EPOCH, 64);
         assert_eq!(spec.fwd.len(), down.segments.len());

@@ -101,11 +101,11 @@ impl ServerRegistry {
             std::collections::HashMap::new();
 
         let push = |servers: &mut Vec<Server>,
-                        host_idx_used: &mut std::collections::HashMap<(AsId, CityId), u8>,
-                        platform: Platform,
-                        as_id: AsId,
-                        city: CityId,
-                        rng: &mut SmallRng| {
+                    host_idx_used: &mut std::collections::HashMap<(AsId, CityId), u8>,
+                    platform: Platform,
+                    as_id: AsId,
+                    city: CityId,
+                    rng: &mut SmallRng| {
             let idx = host_idx_used.entry((as_id, city)).or_insert(1);
             if *idx >= 15 {
                 return; // host block exhausted in this city
@@ -170,7 +170,14 @@ impl ServerRegistry {
             };
             for k in 0..n_ookla {
                 let city = node.cities[k % node.cities.len()];
-                push(&mut servers, &mut host_idx_used, Platform::Ookla, id, city, &mut rng);
+                push(
+                    &mut servers,
+                    &mut host_idx_used,
+                    Platform::Ookla,
+                    id,
+                    city,
+                    &mut rng,
+                );
             }
             let _ = is_us;
         }
@@ -178,9 +185,20 @@ impl ServerRegistry {
         // M-Lab: pods in the largest metros, hosted in transit/hosting
         // ASes present there.
         let mlab_cities = [
-            "New York", "Chicago", "Dallas", "Los Angeles", "Seattle", "Atlanta",
-            "Denver", "Miami", "Washington", "San Jose", "London", "Frankfurt",
-            "Sydney", "Mumbai",
+            "New York",
+            "Chicago",
+            "Dallas",
+            "Los Angeles",
+            "Seattle",
+            "Atlanta",
+            "Denver",
+            "Miami",
+            "Washington",
+            "San Jose",
+            "London",
+            "Frankfurt",
+            "Sydney",
+            "Mumbai",
         ];
         for (ci, name) in mlab_cities.iter().enumerate() {
             let Some(city) = topo.cities.by_name(name) else {
@@ -190,8 +208,7 @@ impl ServerRegistry {
                 .non_cloud_ases()
                 .filter(|id| {
                     let n = topo.as_node(*id);
-                    matches!(n.role, AsRole::Transit | AsRole::Hosting)
-                        && n.cities.contains(&city)
+                    matches!(n.role, AsRole::Transit | AsRole::Hosting) && n.cities.contains(&city)
                 })
                 .collect();
             // Rotate across eligible hosts so no single transit carries
@@ -199,7 +216,14 @@ impl ServerRegistry {
             // not).
             if !hosts.is_empty() {
                 let h = hosts[ci % hosts.len()];
-                push(&mut servers, &mut host_idx_used, Platform::MLab, h, city, &mut rng);
+                push(
+                    &mut servers,
+                    &mut host_idx_used,
+                    Platform::MLab,
+                    h,
+                    city,
+                    &mut rng,
+                );
             }
         }
 
@@ -207,7 +231,14 @@ impl ServerRegistry {
         if let Some(comcast) = topo.by_asn(Asn(7922)) {
             let cities: Vec<CityId> = topo.as_node(comcast).cities.clone();
             for city in cities {
-                push(&mut servers, &mut host_idx_used, Platform::Comcast, comcast, city, &mut rng);
+                push(
+                    &mut servers,
+                    &mut host_idx_used,
+                    Platform::Comcast,
+                    comcast,
+                    city,
+                    &mut rng,
+                );
             }
         }
 
@@ -232,11 +263,7 @@ impl ServerRegistry {
         add: usize,
     ) -> ServerRegistry {
         let keep_draw = |s: &Server| {
-            let h = simnet::routing::load_key(
-                b"churn",
-                seed ^ u64::from(u32::from(s.ip)),
-                0,
-            );
+            let h = simnet::routing::load_key(b"churn", seed ^ u64::from(u32::from(s.ip)), 0);
             ((h >> 11) as f64 / (1u64 << 53) as f64) >= remove_fraction
         };
         let mut servers: Vec<Server> = self
@@ -245,11 +272,8 @@ impl ServerRegistry {
             .filter(|s| keep_draw(s))
             .cloned()
             .collect();
-        let used: std::collections::BTreeSet<(u32, u16)> = self
-            .servers
-            .iter()
-            .map(|s| (s.as_id.0, s.city.0))
-            .collect();
+        let used: std::collections::BTreeSet<(u32, u16)> =
+            self.servers.iter().map(|s| (s.as_id.0, s.city.0)).collect();
         let taken_ips: std::collections::BTreeSet<std::net::Ipv4Addr> =
             servers.iter().map(|s| s.ip).collect();
         let mut added = 0usize;
@@ -271,12 +295,8 @@ impl ServerRegistry {
                     continue;
                 }
                 // Deterministic sparse placement of new deployments.
-                let h = simnet::routing::load_key(
-                    b"churn-add",
-                    seed ^ id.0 as u64,
-                    city.0 as u64,
-                );
-                if h % 7 != 0 {
+                let h = simnet::routing::load_key(b"churn-add", seed ^ id.0 as u64, city.0 as u64);
+                if !h.is_multiple_of(7) {
                     continue;
                 }
                 let ip = topo.host_ip(id, city, 14);
@@ -349,10 +369,7 @@ mod tests {
     fn all_platforms_present() {
         let (_, reg) = full();
         for p in [Platform::Ookla, Platform::MLab, Platform::Comcast] {
-            assert!(
-                reg.servers.iter().any(|s| s.platform == p),
-                "{p:?} missing"
-            );
+            assert!(reg.servers.iter().any(|s| s.platform == p), "{p:?} missing");
         }
     }
 
@@ -360,7 +377,11 @@ mod tests {
     fn comcast_servers_live_in_comcast() {
         let (topo, reg) = full();
         let comcast = topo.by_asn(Asn(7922)).unwrap();
-        for s in reg.servers.iter().filter(|s| s.platform == Platform::Comcast) {
+        for s in reg
+            .servers
+            .iter()
+            .filter(|s| s.platform == Platform::Comcast)
+        {
             assert_eq!(s.as_id, comcast);
         }
     }

@@ -81,6 +81,7 @@ impl VantageSet {
     /// Probes latency from every VP to a VM in `region_city` on both
     /// tiers, `probes` times spread hourly from `start`. This mirrors the
     /// paper's requirement of >100 measurements per tuple.
+    #[allow(clippy::too_many_arguments)]
     pub fn probe_tiers(
         &self,
         paths: &Paths<'_>,
@@ -118,11 +119,8 @@ impl VantageSet {
                 };
                 for k in 0..probes {
                     let t = start + (k as u64) * simnet::time::HOUR;
-                    let jitter_h = simnet::routing::load_key(
-                        b"vpjit",
-                        seed ^ vp.id as u64,
-                        k as u64,
-                    );
+                    let jitter_h =
+                        simnet::routing::load_key(b"vpjit", seed ^ vp.id as u64, k as u64);
                     let jitter = (jitter_h >> 11) as f64 / (1u64 << 53) as f64 * 2.2;
                     out.push(TierLatencySample {
                         vp: vp.id,
@@ -149,8 +147,7 @@ mod tests {
         let set = VantageSet::generate(&topo, 1);
         assert!(set.vps.len() > 30, "{} VPs", set.vps.len());
         // Unique (as, city) tuples.
-        let mut tuples: Vec<(AsId, CityId)> =
-            set.vps.iter().map(|v| (v.as_id, v.city)).collect();
+        let mut tuples: Vec<(AsId, CityId)> = set.vps.iter().map(|v| (v.as_id, v.city)).collect();
         let n = tuples.len();
         tuples.sort_unstable();
         tuples.dedup();

@@ -148,9 +148,6 @@ mod tests {
         // A pure linear trend correlates at every lag — no 24h peak.
         let s: Vec<f64> = (0..240).map(|h| h as f64).collect();
         let d = diurnal_signal(&s).unwrap();
-        assert!(
-            !d.is_diurnal,
-            "trend must not read as diurnal: {d:?}"
-        );
+        assert!(!d.is_diurnal, "trend must not read as diurnal: {d:?}");
     }
 }

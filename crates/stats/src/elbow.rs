@@ -49,10 +49,7 @@ pub fn elbow_index(xs: &[f64], ys: &[f64]) -> Option<usize> {
 /// `fraction_at` maps a threshold to the fraction of items labelled
 /// positive at that threshold; the paper's use is
 /// "fraction of s-days with V(s,d) > H".
-pub fn threshold_sweep<F>(
-    thresholds: &[f64],
-    mut fraction_at: F,
-) -> (Vec<(f64, f64)>, Option<f64>)
+pub fn threshold_sweep<F>(thresholds: &[f64], mut fraction_at: F) -> (Vec<(f64, f64)>, Option<f64>)
 where
     F: FnMut(f64) -> f64,
 {
@@ -88,11 +85,7 @@ mod tests {
             .map(|&x| if x < 0.5 { 1.0 - 0.05 * x } else { 0.5 - x })
             .collect();
         let idx = elbow_index(&xs, &ys).unwrap();
-        assert!(
-            (4..=6).contains(&idx),
-            "elbow at {idx} (x = {})",
-            xs[idx]
-        );
+        assert!((4..=6).contains(&idx), "elbow at {idx} (x = {})", xs[idx]);
     }
 
     #[test]

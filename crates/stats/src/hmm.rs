@@ -52,7 +52,7 @@ impl GaussianHmm {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
         let hi = crate::percentile::quantile_sorted(&sorted, 0.75);
         let lo = crate::percentile::quantile_sorted(&sorted, 0.25);
-        if !(hi > lo) {
+        if hi <= lo {
             return None; // degenerate sample
         }
         let spread = ((hi - lo) / 2.0).max(STD_FLOOR);
@@ -75,10 +75,10 @@ impl GaussianHmm {
         ];
         for &x in &data[1..] {
             let mut next = [LOG_EPS; 2];
-            for j in 0..2 {
+            for (j, nj) in next.iter_mut().enumerate() {
                 let from0 = alpha[0] + self.trans[0][j].max(1e-300).ln();
                 let from1 = alpha[1] + self.trans[1][j].max(1e-300).ln();
-                next[j] = ln_sum_exp(from0, from1) + ln_gauss(x, self.mean[j], self.std[j]);
+                *nj = ln_sum_exp(from0, from1) + ln_gauss(x, self.mean[j], self.std[j]);
             }
             alpha = next;
         }
@@ -91,9 +91,8 @@ impl GaussianHmm {
         let n = data.len();
         // Forward (log).
         let mut alpha = vec![[LOG_EPS; 2]; n];
-        for j in 0..2 {
-            alpha[0][j] =
-                self.pi[j].max(1e-300).ln() + ln_gauss(data[0], self.mean[j], self.std[j]);
+        for (j, aj) in alpha[0].iter_mut().enumerate() {
+            *aj = self.pi[j].max(1e-300).ln() + ln_gauss(data[0], self.mean[j], self.std[j]);
         }
         for t in 1..n {
             for j in 0..2 {
@@ -141,8 +140,8 @@ impl GaussianHmm {
                 }
             }
             for i in 0..2 {
-                for j in 0..2 {
-                    xi_sum[i][j] += (xis[i][j] - norm).exp();
+                for (j, xj) in xi_sum[i].iter_mut().enumerate() {
+                    *xj += (xis[i][j] - norm).exp();
                 }
             }
         }
@@ -154,8 +153,8 @@ impl GaussianHmm {
         new.pi = [new.pi[0] / pin, new.pi[1] / pin];
         for i in 0..2 {
             let denom: f64 = (0..n - 1).map(|t| gamma[t][i]).sum::<f64>().max(1e-9);
-            for j in 0..2 {
-                new.trans[i][j] = (xi_sum[i][j] / denom).clamp(1e-4, 1.0);
+            for (j, xj) in xi_sum[i].iter().enumerate() {
+                new.trans[i][j] = (xj / denom).clamp(1e-4, 1.0);
             }
             let row = new.trans[i][0] + new.trans[i][1];
             new.trans[i] = [new.trans[i][0] / row, new.trans[i][1] / row];
@@ -201,9 +200,8 @@ impl GaussianHmm {
         let n = data.len();
         let mut delta = vec![[LOG_EPS; 2]; n];
         let mut psi = vec![[0u8; 2]; n];
-        for j in 0..2 {
-            delta[0][j] =
-                self.pi[j].max(1e-300).ln() + ln_gauss(data[0], self.mean[j], self.std[j]);
+        for (j, dj) in delta[0].iter_mut().enumerate() {
+            *dj = self.pi[j].max(1e-300).ln() + ln_gauss(data[0], self.mean[j], self.std[j]);
         }
         for t in 1..n {
             for j in 0..2 {

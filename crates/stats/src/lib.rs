@@ -26,17 +26,17 @@
 pub mod autocorr;
 pub mod ecdf;
 pub mod elbow;
-pub mod hmm;
 pub mod histogram;
+pub mod hmm;
 pub mod kde;
 pub mod percentile;
 pub mod summary;
 
 pub use autocorr::{acf, autocorrelation, diurnal_signal};
 pub use ecdf::Ecdf;
-pub use hmm::GaussianHmm;
 pub use elbow::elbow_index;
 pub use histogram::Histogram;
+pub use hmm::GaussianHmm;
 pub use kde::GaussianKde;
 pub use percentile::{median, percentile, quantile};
 pub use summary::Summary;

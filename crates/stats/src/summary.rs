@@ -78,7 +78,7 @@ impl Summary {
 
     /// Peak-to-trough range `max − min`; `None` when empty.
     pub fn range(&self) -> Option<f64> {
-        (self.n > 0).then(|| self.max - self.min)
+        (self.n > 0).then_some(self.max - self.min)
     }
 
     /// The paper's normalised peak-to-trough variability
@@ -104,9 +104,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -150,7 +148,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_variance() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
         // Sample variance of that classic set is 32/7.
         assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);

@@ -177,8 +177,7 @@ mod tests {
         db.insert(point("b", 5, 3.0));
         assert_eq!(db.series_count(), 2);
         assert_eq!(db.points_written, 3);
-        let tags: BTreeMap<String, String> =
-            [("server".to_string(), "a".to_string())].into();
+        let tags: BTreeMap<String, String> = [("server".to_string(), "a".to_string())].into();
         let s = db.series_mut("throughput", &tags).unwrap();
         assert_eq!(s.len(), 2);
     }
@@ -189,8 +188,7 @@ mod tests {
         db.insert(point("a", 100, 1.0));
         db.insert(point("a", 50, 2.0));
         db.insert(point("a", 75, 3.0));
-        let tags: BTreeMap<String, String> =
-            [("server".to_string(), "a".to_string())].into();
+        let tags: BTreeMap<String, String> = [("server".to_string(), "a".to_string())].into();
         let s = db.series_mut("throughput", &tags).unwrap();
         let times: Vec<u64> = s.samples().iter().map(|(t, _)| *t).collect();
         assert_eq!(times, vec![50, 75, 100]);

@@ -230,10 +230,7 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(decode("nope"), Err(ParseError::MissingSection));
-        assert!(matches!(
-            decode("m f=x 0"),
-            Err(ParseError::BadNumber(_))
-        ));
+        assert!(matches!(decode("m f=x 0"), Err(ParseError::BadNumber(_))));
         assert!(matches!(
             decode("m f=1 tomorrow"),
             Err(ParseError::BadTimestamp(_))

@@ -28,7 +28,7 @@ pub enum Aggregate {
 }
 
 impl Aggregate {
-    fn apply(&self, values: &mut Vec<f64>) -> Option<f64> {
+    fn apply(&self, values: &mut [f64]) -> Option<f64> {
         if values.is_empty() {
             return None;
         }
@@ -255,11 +255,7 @@ mod tests {
     fn percentile_aggregate() {
         let mut db = Db::new();
         for (i, v) in (0..=100).enumerate() {
-            db.insert(
-                Point::new("m", i as u64)
-                    .tag("s", "x")
-                    .field("f", v as f64),
-            );
+            db.insert(Point::new("m", i as u64).tag("s", "x").field("f", v as f64));
         }
         let res = Query::select("m", "f")
             .aggregate(Aggregate::Percentile(95.0))
@@ -282,9 +278,7 @@ mod tests {
         for (t, v) in [(0u64, 1.0), (1, 2.0), (2, 6.0)] {
             db.insert(Point::new("m", t).tag("s", "x").field("f", v));
         }
-        let mut run = |agg| {
-            Query::select("m", "f").aggregate(agg).run(&mut db)[0].rows[0].value
-        };
+        let mut run = |agg| Query::select("m", "f").aggregate(agg).run(&mut db)[0].rows[0].value;
         assert_eq!(run(Aggregate::Mean), 3.0);
         assert_eq!(run(Aggregate::Sum), 9.0);
         assert_eq!(run(Aggregate::Last), 6.0);

@@ -55,7 +55,10 @@ pub fn rollup(db: &mut Db, measurement: &str, spec: &RollupSpec) -> u64 {
         let mut per_window: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
         for (t, fields) in series.samples() {
             if let Some(v) = fields.get(&spec.field) {
-                per_window.entry(t / spec.window * spec.window).or_default().push(*v);
+                per_window
+                    .entry(t / spec.window * spec.window)
+                    .or_default()
+                    .push(*v);
             }
         }
         let mut windows = std::collections::BTreeMap::new();
@@ -91,7 +94,7 @@ pub fn rollup(db: &mut Db, measurement: &str, spec: &RollupSpec) -> u64 {
     written
 }
 
-fn apply(agg: &Aggregate, values: &mut Vec<f64>) -> Option<f64> {
+fn apply(agg: &Aggregate, values: &mut [f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
@@ -131,7 +134,11 @@ mod tests {
         let mut db = Db::new();
         for server in ["a", "b"] {
             for h in 0..48u64 {
-                let v = if server == "a" && h % 24 == 20 { 50.0 } else { 400.0 + h as f64 };
+                let v = if server == "a" && h % 24 == 20 {
+                    50.0
+                } else {
+                    400.0 + h as f64
+                };
                 db.insert(
                     Point::new("speedtest", h * 3600)
                         .tag("server", server)

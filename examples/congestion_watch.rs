@@ -50,7 +50,15 @@ fn main() {
         let profile: String = probs[i]
             .iter()
             .map(|p| {
-                if *p > 0.5 { '█' } else if *p > 0.2 { '▓' } else if *p > 0.0 { '░' } else { '·' }
+                if *p > 0.5 {
+                    '█'
+                } else if *p > 0.2 {
+                    '▓'
+                } else if *p > 0.0 {
+                    '░'
+                } else {
+                    '·'
+                }
             })
             .collect();
         println!("{:>4} events  {profile}  {label}", events[i]);

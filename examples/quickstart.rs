@@ -90,7 +90,16 @@ fn main() {
         );
         print!("hourly profile: ");
         for p in profile {
-            print!("{}", if *p > 0.2 { '#' } else if *p > 0.0 { '+' } else { '.' });
+            print!(
+                "{}",
+                if *p > 0.2 {
+                    '#'
+                } else if *p > 0.0 {
+                    '+'
+                } else {
+                    '.'
+                }
+            );
         }
         println!("  (midnight→23:00 local)");
     } else {

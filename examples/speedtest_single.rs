@@ -34,7 +34,13 @@ fn main() {
     );
 
     let pair = client
-        .resolve_paths(&session.paths, region, world.topo.vm_ip(region, 0), server, Tier::Premium)
+        .resolve_paths(
+            &session.paths,
+            region,
+            world.topo.vm_ip(region, 0),
+            server,
+            Tier::Premium,
+        )
         .expect("routable");
     let t = SimTime::from_day_hour(3, hour);
 
@@ -42,11 +48,18 @@ fn main() {
     let result = client.run_test(&session.perf, &pair, server, t, seed);
     println!("\nfluid model @ {t}:");
     println!("  latency   {:.1} ms", result.latency_ms);
-    println!("  download  {:.1} Mbps (loss {:.4})", result.download_mbps, result.download_loss);
-    println!("  upload    {:.1} Mbps (loss {:.4})", result.upload_mbps, result.upload_loss);
+    println!(
+        "  download  {:.1} Mbps (loss {:.4})",
+        result.download_mbps, result.download_loss
+    );
+    println!(
+        "  upload    {:.1} Mbps (loss {:.4})",
+        result.upload_mbps, result.upload_loss
+    );
 
     // --- Packet-level replay of the download. ---
-    let spec = speedtest::packetize::packetize(&session.perf, &pair.to_cloud, &pair.to_server, t, 512);
+    let spec =
+        speedtest::packetize::packetize(&session.perf, &pair.to_cloud, &pair.to_server, t, 512);
     let pkt = run_flow(
         &spec,
         &FlowConfig {
@@ -58,10 +71,17 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("\npacket-level replay ({} connections, {:.0} s):", server.platform.connections(), server.platform.transfer_seconds());
+    println!(
+        "\npacket-level replay ({} connections, {:.0} s):",
+        server.platform.connections(),
+        server.platform.transfer_seconds()
+    );
     println!("  goodput      {:.1} Mbps", pkt.throughput_mbps);
     println!("  srtt         {:?} ms", pkt.srtt_ms.map(|v| v.round()));
-    println!("  retransmits  {} (timeouts {})", pkt.retransmits, pkt.timeouts);
+    println!(
+        "  retransmits  {} (timeouts {})",
+        pkt.retransmits, pkt.timeouts
+    );
     println!("  link drops   {:.4}", pkt.observed_loss);
 
     // --- tcpdump-style analysis of the capture (the paper's pipeline). ---
@@ -69,7 +89,10 @@ fn main() {
     println!("\nheader-capture analysis (the paper's RTT/loss estimators):");
     println!("  est. RTT    {:?} ms", stats.rtt_ms.map(|v| v.round()));
     println!("  est. loss   {:.4}", stats.loss_rate);
-    println!("  packets     {} ({} distinct segments)", stats.data_packets, stats.distinct_segments);
+    println!(
+        "  packets     {} ({} distinct segments)",
+        stats.data_packets, stats.distinct_segments
+    );
 
     let ratio = pkt.throughput_mbps / result.download_mbps.max(1.0);
     println!("\npacket/fluid download ratio: {ratio:.2} (the campaign's fluid substitution)");

@@ -32,7 +32,10 @@ fn main() {
         sel.candidate_tuples,
         sel.picks.len()
     );
-    println!("{:<14} {:<15} {:>9} {:>9}", "server", "class", "prem ms", "std ms");
+    println!(
+        "{:<14} {:<15} {:>9} {:>9}",
+        "server", "class", "prem ms", "std ms"
+    );
     for p in &sel.picks {
         println!(
             "{:<14} {:<15} {:>9.1} {:>9.1}",
@@ -76,5 +79,7 @@ fn main() {
             );
         }
     }
-    println!("\n(paper, europe-west1: standard generally higher on throughput, premium more stable)");
+    println!(
+        "\n(paper, europe-west1: standard generally higher on throughput, premium more stable)"
+    );
 }

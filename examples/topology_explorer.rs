@@ -25,13 +25,27 @@ fn main() {
 
     // --- 1. A paris traceroute to a server, annotated two ways. ---
     let server = world.registry.in_country("US")[5];
-    println!("paris-traceroute {} → {} ({})\n", region.name, server.ip, server.sponsor);
+    println!(
+        "paris-traceroute {} → {} ({})\n",
+        region.name, server.ip, server.sponsor
+    );
     let trace = traceroute(
-        &session.paths, region_city, vm, server.as_id, server.city, server.ip,
-        Tier::Premium, TraceMode::Paris, 0xfeed, seed,
+        &session.paths,
+        region_city,
+        vm,
+        server.as_id,
+        server.city,
+        server.ip,
+        Tier::Premium,
+        TraceMode::Paris,
+        0xfeed,
+        seed,
     )
     .expect("routable");
-    println!("{:>4} {:>16} {:>9}  {:<22} {}", "ttl", "ip", "rtt", "prefix2as says", "actually owned by");
+    println!(
+        "{:>4} {:>16} {:>9}  {:<22} actually owned by",
+        "ttl", "ip", "rtt", "prefix2as says"
+    );
     for hop in &trace.hops {
         match hop.ip {
             Some(ip) => {
@@ -40,11 +54,7 @@ fn main() {
                     .lookup(ip)
                     .map(|(_, asn)| asn.to_string())
                     .unwrap_or_else(|| "unrouted".into());
-                let truth = world
-                    .p2a
-                    .lookup(ip)
-                    .map(|(id, _)| id)
-                    .map(|_| ());
+                let truth = world.p2a.lookup(ip).map(|(id, _)| id).map(|_| ());
                 let _ = truth;
                 // Ground truth via the topology (interface registry).
                 let owner = world
@@ -72,13 +82,24 @@ fn main() {
     let mut distinct = std::collections::BTreeSet::new();
     for flow in 0..12 {
         if let Some(t) = traceroute(
-            &session.paths, region_city, vm, server.as_id, server.city, server.ip,
-            Tier::Premium, TraceMode::Paris, flow, seed,
+            &session.paths,
+            region_city,
+            vm,
+            server.as_id,
+            server.city,
+            server.ip,
+            Tier::Premium,
+            TraceMode::Paris,
+            flow,
+            seed,
         ) {
             distinct.insert(t.responsive_ips());
         }
     }
-    println!("12 flow ids produced {} distinct paris paths (ECMP across parallel interfaces)\n", distinct.len());
+    println!(
+        "12 flow ids produced {} distinct paris paths (ECMP across parallel interfaces)\n",
+        distinct.len()
+    );
 
     // --- 3. A bdrmap scan over part of the topology. ---
     let targets: Vec<Target> = world
@@ -87,12 +108,22 @@ fn main() {
         .take(600)
         .map(|id| {
             let city = world.topo.as_node(id).home_city;
-            Target { as_id: id, city, ip: world.topo.host_ip(id, city, 0) }
+            Target {
+                as_id: id,
+                city,
+                ip: world.topo.host_ip(id, city, 0),
+            }
         })
         .collect();
     let traces = Scamper::default().trace_many(
-        &session.paths, region_city, vm, &targets,
-        Tier::Premium, TraceMode::Paris, 8, seed,
+        &session.paths,
+        region_city,
+        vm,
+        &targets,
+        Tier::Premium,
+        TraceMode::Paris,
+        8,
+        seed,
     );
     let aliases = SimAliasResolver::new(&world.topo, 0.85);
     let map = BdrMap::infer(&traces, &world.p2a, simnet::topology::CLOUD_ASN, &aliases);

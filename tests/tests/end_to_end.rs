@@ -20,17 +20,13 @@ fn every_test_lands_in_the_database_via_the_bucket() {
     assert_eq!(res.db.points_written, res.tests_run);
     assert!(res.raw_objects > 0);
     // Raw retention was requested by the small config.
-    let bucket_points: usize = res
-        .buckets
-        .iter()
-        .flat_map(|b| b.list("raw/"))
-        .count();
+    let bucket_points: usize = res.buckets.iter().flat_map(|b| b.list("raw/")).count();
     assert_eq!(bucket_points as u64, res.raw_objects);
 }
 
 #[test]
 fn selection_servers_are_the_measured_servers() {
-    let (_, mut res) = run(302);
+    let (_, res) = run(302);
     let selected: std::collections::BTreeSet<String> = res
         .topo_selections
         .iter()
@@ -157,12 +153,17 @@ fn whole_pipeline_is_deterministic() {
     let (_, b) = run(308);
     assert_eq!(a.tests_run, b.tests_run);
     assert_eq!(a.raw_objects, b.raw_objects);
-    assert_eq!(
-        a.topo_selections[0].servers,
-        b.topo_selections[0].servers
-    );
-    let pa: Vec<String> = a.diff_selections[0].picks.iter().map(|p| p.server_id.clone()).collect();
-    let pb: Vec<String> = b.diff_selections[0].picks.iter().map(|p| p.server_id.clone()).collect();
+    assert_eq!(a.topo_selections[0].servers, b.topo_selections[0].servers);
+    let pa: Vec<String> = a.diff_selections[0]
+        .picks
+        .iter()
+        .map(|p| p.server_id.clone())
+        .collect();
+    let pb: Vec<String> = b.diff_selections[0]
+        .picks
+        .iter()
+        .map(|p| p.server_id.clone())
+        .collect();
     assert_eq!(pa, pb);
 }
 

@@ -18,16 +18,30 @@ fn fluid_and_packet_models_agree_on_order_of_magnitude() {
     let mut compared = 0;
     for server in world.registry.in_country("US").into_iter().take(6) {
         let down = session.paths.vm_host_path(
-            region, vm, server.as_id, server.city, server.ip,
-            Tier::Premium, Direction::ToCloud,
+            region,
+            vm,
+            server.as_id,
+            server.city,
+            server.ip,
+            Tier::Premium,
+            Direction::ToCloud,
         );
         let up = session.paths.vm_host_path(
-            region, vm, server.as_id, server.city, server.ip,
-            Tier::Premium, Direction::ToServer,
+            region,
+            vm,
+            server.as_id,
+            server.city,
+            server.ip,
+            Tier::Premium,
+            Direction::ToServer,
         );
-        let (Some(down), Some(up)) = (down, up) else { continue };
+        let (Some(down), Some(up)) = (down, up) else {
+            continue;
+        };
         let t = SimTime::from_day_hour(1, 10);
-        let fluid = session.perf.tcp_throughput(&down, &up, t, &FlowSpec::download());
+        let fluid = session
+            .perf
+            .tcp_throughput(&down, &up, t, &FlowSpec::download());
         let spec = speedtest::packetize::packetize(&session.perf, &down, &up, t, 512);
         let pkt = run_flow(
             &spec,
@@ -87,13 +101,26 @@ fn traceroute_hops_are_real_path_interfaces() {
     let path = session
         .paths
         .vm_host_path(
-            region, vm, server.as_id, server.city, server.ip,
-            Tier::Premium, Direction::ToServer,
+            region,
+            vm,
+            server.as_id,
+            server.city,
+            server.ip,
+            Tier::Premium,
+            Direction::ToServer,
         )
         .unwrap();
     let trace = nettools::traceroute::traceroute(
-        &session.paths, region, vm, server.as_id, server.city, server.ip,
-        Tier::Premium, nettools::traceroute::TraceMode::Paris, 0, 1,
+        &session.paths,
+        region,
+        vm,
+        server.as_id,
+        server.city,
+        server.ip,
+        Tier::Premium,
+        nettools::traceroute::TraceMode::Paris,
+        0,
+        1,
     )
     .unwrap();
     let path_ips: std::collections::BTreeSet<std::net::Ipv4Addr> =
@@ -136,12 +163,24 @@ fn premium_latency_not_worse_than_standard_for_direct_us_peers() {
             continue;
         }
         let t = SimTime::from_day_hour(0, 9);
-        let mut rtt = |tier| {
+        let rtt = |tier| {
             let fwd = session.paths.vm_host_path(
-                region, vm, server.as_id, server.city, server.ip, tier, Direction::ToServer,
+                region,
+                vm,
+                server.as_id,
+                server.city,
+                server.ip,
+                tier,
+                Direction::ToServer,
             )?;
             let rev = session.paths.vm_host_path(
-                region, vm, server.as_id, server.city, server.ip, tier, Direction::ToCloud,
+                region,
+                vm,
+                server.as_id,
+                server.city,
+                server.ip,
+                tier,
+                Direction::ToCloud,
             )?;
             Some(session.perf.idle_rtt_ms(&fwd, &rev, t))
         };
@@ -176,8 +215,13 @@ fn standard_tier_enters_near_region() {
             continue;
         }
         let Some(path) = session.paths.vm_host_path(
-            region_city, vm, server.as_id, server.city, server.ip,
-            Tier::Standard, Direction::ToCloud,
+            region_city,
+            vm,
+            server.as_id,
+            server.city,
+            server.ip,
+            Tier::Standard,
+            Direction::ToCloud,
         ) else {
             continue;
         };

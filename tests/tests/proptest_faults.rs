@@ -1,0 +1,90 @@
+//! Property tests for the fault-injection subsystem: the two
+//! system-level invariants the faultsim design rests on, checked for
+//! arbitrary seeds and fault rates.
+//!
+//! 1. **Zero-fault invisibility** — a campaign run under any fault plan
+//!    whose rates are all zero is *byte-identical* to the baseline run
+//!    (same tests, same bucket bytes, same billing, same final
+//!    checkpoint JSON), regardless of the plan's seed.
+//! 2. **Exact reconciliation** — under any non-trivial fault rate, the
+//!    per-region completeness report closes exactly against the fault
+//!    log: every missing server-hour is attributed to a logged lost
+//!    fault, region by region, with nothing unaccounted for.
+
+use clasp_core::campaign::{Campaign, CampaignConfig};
+use clasp_core::world::World;
+use faultsim::FaultPlan;
+use proptest::prelude::*;
+
+/// A short campaign; two days keeps each proptest case under a second
+/// while still crossing a day boundary (upload batching, cron reseed).
+fn config(seed: u64) -> CampaignConfig {
+    let mut c = CampaignConfig::small(seed);
+    c.days = 2;
+    c.diff_days = 1;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Campaigns under a zero-rate plan are byte-identical to the
+    /// baseline, whatever the plan seed: the fault hooks never consume
+    /// entropy, so the pristine path cannot drift.
+    #[test]
+    fn zero_rate_plan_is_byte_identical(world_seed in 0u64..500, plan_seed in 1u64..1_000_000) {
+        let world = World::new(world_seed);
+
+        let baseline = Campaign::new(&world, config(world_seed)).run();
+
+        let mut faulty_cfg = config(world_seed);
+        faulty_cfg.fault_plan = FaultPlan::uniform(plan_seed, 0.0);
+        let zero = Campaign::new(&world, faulty_cfg).run();
+
+        prop_assert_eq!(baseline.tests_run, zero.tests_run);
+        prop_assert_eq!(baseline.db.points_written, zero.db.points_written);
+        prop_assert!(zero.fault_log.is_empty());
+        // The final checkpoint captures counters, billing, fault log,
+        // completeness, and every raw bucket byte — canonical JSON, so
+        // string equality is byte equality of the entire final state.
+        prop_assert_eq!(
+            serde_json::to_string(baseline.checkpoints.last().unwrap()),
+            serde_json::to_string(zero.checkpoints.last().unwrap())
+        );
+    }
+
+    /// Under an arbitrary uniform fault rate, the completeness report
+    /// reconciles *exactly* against the injected-fault ground truth:
+    /// per region, expected − collected server-hours == the sum of the
+    /// fault log's lost server-hours; globally, nothing is double- or
+    /// under-counted.
+    #[test]
+    fn completeness_reconciles_for_any_rate(
+        world_seed in 0u64..200,
+        plan_seed in 0u64..1_000_000,
+        rate in 0.002f64..0.08,
+    ) {
+        let world = World::new(world_seed);
+        let mut cfg = config(world_seed);
+        cfg.fault_plan = FaultPlan::uniform(plan_seed, rate);
+        let result = Campaign::new(&world, cfg).run();
+
+        prop_assert!(
+            result.completeness.reconciles(),
+            "discrepancies: {:?}",
+            result.completeness.discrepancies()
+        );
+        // Global closure: expected = collected + lost (from the log).
+        let lost: u64 = result
+            .fault_log
+            .lost_s_hours_by_region()
+            .values()
+            .sum();
+        prop_assert_eq!(
+            result.completeness.total_expected(),
+            result.completeness.total_collected() + lost
+        );
+        // The summary's loss tally agrees with the per-region breakdown.
+        prop_assert_eq!(result.fault_log.summary().lost_s_hours, lost);
+    }
+}

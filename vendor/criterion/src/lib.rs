@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmark-definition surface the workspace uses
+//! (`criterion_group!` / `criterion_main!` / `Criterion` /
+//! `benchmark_group` / `bench_function` / `Bencher::iter`) with a plain
+//! wall-clock measurement loop: a short warm-up, then `sample_size`
+//! timed samples whose min / median / mean are printed per benchmark.
+//!
+//! Command-line behaviour: a positional argument filters benchmarks by
+//! substring, `--test` (what `cargo test --benches` passes) runs each
+//! benchmark body exactly once without timing, and other criterion
+//! flags are accepted and ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing callback target.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Run the body once, no timing (`--test`).
+    Smoke,
+    /// Time it.
+    Measure,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.mode == Mode::Smoke {
+            black_box(body());
+            return;
+        }
+        // Warm-up: run until ~100 ms or 3 iterations, whichever is later,
+        // and estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(100) {
+            black_box(body());
+            warmup_iters += 1;
+            if warmup_iters >= 3 && warmup_start.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters as u32;
+        // Aim for ~10 ms per sample, at least 1 iteration.
+        let iters_per_sample =
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters_per_sample = iters_per_sample.clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    mode: Mode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut mode = Mode::Measure;
+        let mut skip_next = false;
+        for arg in std::env::args().skip(1) {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--test" => mode = Mode::Smoke,
+                "--bench" => {}
+                // Flags with a value we accept and ignore.
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--save-baseline"
+                | "--baseline" | "--load-baseline" | "--output-format" => skip_next = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            filter,
+            mode,
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::Smoke => println!("{id}: ok (smoke)"),
+            Mode::Measure => {
+                if b.samples.is_empty() {
+                    println!("{id}: no samples");
+                    return;
+                }
+                b.samples.sort_unstable();
+                let min = b.samples[0];
+                let median = b.samples[b.samples.len() / 2];
+                let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+                println!(
+                    "{id:<50} min {:>12?}  median {:>12?}  mean {:>12?}",
+                    min, median, mean
+                );
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, each `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            filter: None,
+            mode: Mode::Smoke,
+            default_sample_size: 30,
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            mode: Mode::Smoke,
+            default_sample_size: 30,
+        };
+        let mut runs = 0;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        c.bench_function("does-match-me-yes", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion {
+            filter: Some("grp/inner".into()),
+            mode: Mode::Smoke,
+            default_sample_size: 30,
+        };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            g.bench_function("inner", |b| b.iter(|| runs += 1));
+            g.bench_function("outer", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            mode: Mode::Measure,
+            default_sample_size: 10,
+        };
+        let mut total = 0u64;
+        c.bench_function("fast", |b| b.iter(|| total = total.wrapping_add(1)));
+        assert!(total > 10);
+    }
+}

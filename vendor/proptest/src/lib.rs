@@ -1,0 +1,392 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use — the [`proptest!`] macro, [`Strategy`] over numeric ranges,
+//! `prop::collection::vec`, regex-literal string strategies, and the
+//! `prop_assert*` macros — on top of a deterministic RNG. Differences
+//! from upstream, deliberately accepted:
+//!
+//! * cases are generated from a seed derived from the test name, so runs
+//!   are fully reproducible (no OS entropy, no persistence files);
+//! * no shrinking — the failure report prints the exact inputs instead;
+//! * string strategies support the character-class subset of regex the
+//!   tests use (`[...]` classes with `{m,n}` repetition), not full regex.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A property-test failure raised by `prop_assert!`/`prop_assert_eq!`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(message: String) -> Self {
+        Self(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for case `case` of the property named `name` — stable across
+    /// runs and machines.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String strategies: a `&str` literal is interpreted as the regex subset
+/// `(<class or literal char>{m,n}?)*` where a class is `[...]` with
+/// ranges and literal characters.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.random_range(atom.min..=atom.max);
+            for _ in 0..n {
+                let i = rng.random_range(0..atom.chars.len());
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for c in chars.by_ref() {
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range like a-z; '-' before ']' handled by
+                            // the next iteration pushing it literally.
+                            prev = Some('\u{0}'); // sentinel: range pending
+                        }
+                        c => {
+                            if prev == Some('\u{0}') {
+                                // complete a range: last pushed..=c
+                                let lo = *set.last().expect("range start");
+                                for v in (lo as u32 + 1)..=(c as u32) {
+                                    if let Some(ch) = char::from_u32(v) {
+                                        set.push(ch);
+                                    }
+                                }
+                                prev = None;
+                            } else {
+                                set.push(c);
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                }
+                if prev == Some('\u{0}') {
+                    set.push('-'); // trailing '-' is literal
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("escaped char")],
+            c => vec![c],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("quantifier lower bound"),
+                    hi.parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        atoms.push(PatternAtom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `prop::collection::vec(element, min..max)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy {
+            element,
+            min: size.start,
+            max_exclusive: size.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.min..self.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Raises a property failure unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Raises a property failure unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Raises a property failure unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Declares deterministic property tests.
+///
+/// Accepts the upstream surface used in this workspace: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case as u64);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // Captured up front: the body may consume the inputs.
+                    let mut inputs = ::std::string::String::new();
+                    $(inputs.push_str(&format!("\n  {} = {:?}", stringify!($arg), &$arg));)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}\ninputs:{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(3u64..10), &mut rng);
+            assert!((3..10).contains(&x));
+            let f = Strategy::sample(&(0.0..=1.0f64), &mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::for_case("vecs", 1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0u8..3, 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 3));
+        }
+    }
+
+    #[test]
+    fn string_strategy_matches_class_subset() {
+        let mut rng = TestRng::for_case("strings", 2);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-c][0-9_.-]{2,4}", &mut rng);
+            let chars: Vec<char> = s.chars().collect();
+            assert!((3..=5).contains(&chars.len()), "{s:?}");
+            assert!(('a'..='c').contains(&chars[0]));
+            for &c in &chars[1..] {
+                assert!(
+                    c.is_ascii_digit() || c == '_' || c == '.' || c == '-',
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Strategy::sample(
+            &prop::collection::vec(0.0..1.0f64, 5..6),
+            &mut TestRng::for_case("det", 7),
+        );
+        let b = Strategy::sample(
+            &prop::collection::vec(0.0..1.0f64, 5..6),
+            &mut TestRng::for_case("det", 7),
+        );
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, v in prop::collection::vec(0i32..10, 1..20)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

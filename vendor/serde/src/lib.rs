@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! forward compatibility, but nothing in the dependency-free build
+//! actually serializes through serde's data model (structured output
+//! goes through `tsdb::line` and the hand-rolled JSON in `serde_json`).
+//! This stand-in keeps the derive attributes compiling: the traits are
+//! markers and the derive macros (re-exported from `serde_derive`)
+//! expand to nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

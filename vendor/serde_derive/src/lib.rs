@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` must parse and
+//! expand for the workspace to compile, but no code ever bounds on the
+//! serde traits, so the expansion can be empty. (Emitting nothing — as
+//! opposed to emitting marker-trait impls — sidesteps generics, lifetime
+//! and attribute handling entirely.)
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
