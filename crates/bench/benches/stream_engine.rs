@@ -1,0 +1,121 @@
+//! Streaming-engine benchmarks: the amortized per-point cost of online
+//! detection, and the full-campaign comparison against the workflow it
+//! replaces — rebuilding the batch `CongestionAnalysis` at every hourly
+//! tick.
+//!
+//! * `ingest_4k_prefix`   — a fresh engine over the first 4096 points of
+//!   the stream; divide by 4096 for the early-stream per-point cost.
+//! * `stream_full_pass`   — one engine over the whole bench campaign
+//!   (plus `finalize`); divide by the point count for the steady-state
+//!   per-point cost. O(1) amortized ingest means the two per-point
+//!   figures stay in the same ballpark even though the stream is ~20×
+//!   longer.
+//! * `batch_rebuild_tick` — one batch analysis over the full campaign
+//!   db: the cost of a single end-of-campaign hourly tick under the
+//!   rebuild-everything workflow.
+//! * `hourly_batch_rebuilds_7d` — that tick run once per campaign hour
+//!   (24 × 7). Each tick rebuilds over the *full* db rather than the
+//!   prefix visible at that hour, which overstates the total by at most
+//!   2× — the streaming pass has to beat it by far more than that
+//!   margin (≥10×) for the comparison to count.
+//!
+//! ```text
+//! cargo bench -p clasp-bench --bench stream_engine
+//! ```
+
+use clasp_bench::BENCH_DAYS;
+use clasp_core::congestion::CongestionAnalysis;
+use clasp_stream::{EngineConfig, StreamEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use tsdb::{Db, Point};
+
+/// The bench campaign's speed-test points in arrival order (hour-major:
+/// per-series time-ordered samples, stably merged by timestamp).
+fn points() -> &'static [Point] {
+    static PTS: OnceLock<Vec<Point>> = OnceLock::new();
+    PTS.get_or_init(|| {
+        let mut result = clasp_bench::campaign();
+        let mut pts = Vec::new();
+        for s in result.db.matching_series("speedtest", &[]) {
+            let measurement = s.measurement.clone();
+            let tags = s.tags.clone();
+            for (t, fields) in s.samples() {
+                pts.push(Point {
+                    measurement: measurement.clone(),
+                    tags: tags.clone(),
+                    fields: fields.clone(),
+                    time: *t,
+                });
+            }
+        }
+        pts.sort_by_key(|p| p.time);
+        pts
+    })
+}
+
+fn fresh_engine() -> StreamEngine {
+    StreamEngine::new(
+        EngineConfig::paper(),
+        clasp_bench::world().server_utc_offsets(),
+    )
+}
+
+fn bench_stream_engine(c: &mut Criterion) {
+    let pts = points();
+    let world = clasp_bench::world();
+    // A private db copy for the batch side (build needs `&mut`).
+    let mut db = Db::new();
+    for p in pts {
+        db.insert(p.clone());
+    }
+    let filters = vec![("method".to_string(), "topo".to_string())];
+
+    let mut g = c.benchmark_group("stream_engine");
+    g.sample_size(10);
+    g.bench_function("ingest_4k_prefix", |b| {
+        let prefix = &pts[..4096.min(pts.len())];
+        b.iter(|| {
+            let mut e = fresh_engine();
+            for p in prefix {
+                e.ingest(p);
+            }
+            black_box(e.stats().points_matched)
+        })
+    });
+    g.bench_function("stream_full_pass", |b| {
+        b.iter(|| {
+            let mut e = fresh_engine();
+            for p in pts {
+                e.ingest(p);
+            }
+            e.finalize();
+            black_box(e.labels().len())
+        })
+    });
+    g.bench_function("batch_rebuild_tick", |b| {
+        b.iter(|| {
+            black_box(
+                CongestionAnalysis::build(&mut db, world, "download", &filters)
+                    .samples
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("hourly_batch_rebuilds_7d", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for _tick in 0..BENCH_DAYS * 24 {
+                total += CongestionAnalysis::build(&mut db, world, "download", &filters)
+                    .samples
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream_engine);
+criterion_main!(benches);

@@ -6,12 +6,19 @@
 //! clasp select [--seed N] [--region R] [--budget N]
 //! clasp run    [--seed N] [--region R] [--budget N] [--days N] [--fault-profile P]
 //! clasp analyze [--seed N] [--region R] [--budget N] [--days N] [--threshold H]
+//! clasp stream [--seed N] [--region R] [--budget N] [--days N] [--threshold H]
+//!              [--auto-threshold] [--fault-profile P]
 //! clasp bill   [--seed N] [--days N]           # cost forecast for a deployment
 //! ```
 //!
 //! Everything is deterministic in `--seed`; `run` prints the line-protocol
 //! sample of what lands in the bucket, `analyze` prints the congestion
 //! report.
+//!
+//! `stream` runs the same campaign with the incremental detection engine
+//! attached: congestion labels, threshold recalibration and alerts are
+//! produced online while results land, then cross-checked element-wise
+//! against the batch analysis of the very same database.
 //!
 //! `--fault-profile` takes a built-in profile name (`none`, `light`,
 //! `moderate`, `heavy`, `gcp-2020`) or a path to a JSON plan; the run
@@ -48,9 +55,9 @@ fn arg_str(args: &[String], name: &str, default: &str) -> String {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clasp <crawl|select|run|analyze|bill> \
+        "usage: clasp <crawl|select|run|analyze|stream|bill> \
          [--seed N] [--region R] [--budget N] [--days N] [--threshold H] \
-         [--fault-profile <name|path.json>]"
+         [--auto-threshold] [--fault-profile <name|path.json>]"
     );
     std::process::exit(2);
 }
@@ -204,6 +211,118 @@ fn main() {
                 "{n_congested}/{} servers congested (>10% of days with an event)",
                 congested.len()
             );
+        }
+        "stream" => {
+            let mut config = CampaignConfig::small(seed);
+            config.days = days;
+            config.topo_regions = vec![(region.name, budget)];
+            config.diff_regions.clear();
+            config.keep_raw = true;
+            let fault_spec = arg_str(&args, "--fault-profile", "none");
+            config.fault_plan = load_fault_profile(&fault_spec);
+
+            let mut engine_cfg = clasp_stream::EngineConfig::paper();
+            engine_cfg.threshold = if args.iter().any(|a| a == "--auto-threshold") {
+                clasp_stream::ThresholdMode::Auto {
+                    initial: threshold,
+                    min_days: 30,
+                }
+            } else {
+                clasp_stream::ThresholdMode::Fixed(threshold)
+            };
+
+            let campaign = Campaign::new(&world, config);
+            let mut engine = campaign.stream_engine(engine_cfg);
+            let result = campaign.run_streaming(&mut engine);
+            println!(
+                "campaign: {} tests, {} VMs, ${:.2}",
+                result.tests_run,
+                result.vm_count,
+                result.billing.total_usd()
+            );
+            if !result.fault_log.is_empty() {
+                let s = result.fault_log.summary();
+                println!(
+                    "faults: {} injected, {} recovered ({} retries), {} lost ({} s-hours)",
+                    s.total, s.recovered, s.retries, s.lost, s.lost_s_hours
+                );
+            }
+            let s = engine.stats();
+            println!(
+                "stream: {} events, {} matched, {} days closed, {} labels",
+                s.events_seen, s.points_matched, s.days_closed, s.labels_emitted
+            );
+            println!(
+                "health: {} out-of-order, {} duplicates, {} gap-hours, \
+                 {} late-dropped, {} bus-dropped",
+                s.out_of_order, s.duplicates, s.gap_hours, s.late_dropped, s.bus_overflow
+            );
+            let h = engine.threshold();
+            println!(
+                "congestion @ H={h}: {:.1}% of s-days, {:.2}% of s-hours \
+                 (streaming elbow suggests {:?})",
+                engine.fraction_days_above(h) * 100.0,
+                engine.fraction_hours_above(h) * 100.0,
+                engine.elbow()
+            );
+            let congested = engine.congested_series(0.10);
+            println!(
+                "{}/{} servers congested (>10% of days with an event)",
+                congested.iter().filter(|c| **c).count(),
+                congested.len()
+            );
+            if !engine.alerts().is_empty() {
+                println!("alerts ({}):", engine.alerts().len());
+                for a in engine.alerts().iter().take(8) {
+                    println!(
+                        "  {:<14} {:>7}s..{:>7}s peak V_H {:.2} ({} events{})",
+                        a.server,
+                        a.start,
+                        a.end,
+                        a.peak_v_h,
+                        a.events,
+                        if a.open { ", still open" } else { "" }
+                    );
+                }
+            }
+
+            // Differential check: the batch analysis over the same Db must
+            // agree element-wise with what the engine computed online.
+            let mut db = result.db;
+            let analysis = CongestionAnalysis::build(
+                &mut db,
+                &world,
+                "download",
+                &[("method".to_string(), "topo".to_string())],
+            );
+            let days_ok = analysis.day_vars.len() == engine.day_records().len()
+                && analysis
+                    .day_vars
+                    .iter()
+                    .zip(engine.day_records())
+                    .all(|(b, d)| {
+                        b.local_day == d.local_day
+                            && b.v == d.v
+                            && b.t_max == d.t_max
+                            && b.t_min == d.t_min
+                            && b.n == d.n
+                    });
+            let hours_ok = analysis.samples.len() == engine.labels().len()
+                && analysis.samples.iter().zip(engine.labels()).all(|(b, l)| {
+                    b.series_idx == l.series_idx
+                        && b.time == l.time
+                        && b.local_hour == l.local_hour
+                        && b.value == l.value
+                        && b.v_h == l.v_h
+                });
+            println!(
+                "\ndifferential vs batch: day records {}, hourly samples {}",
+                if days_ok { "identical" } else { "MISMATCH" },
+                if hours_ok { "identical" } else { "MISMATCH" }
+            );
+            if !days_ok || !hours_ok {
+                std::process::exit(1);
+            }
         }
         "bill" => {
             let mut billing = cloudsim::billing::Billing::new();

@@ -175,7 +175,8 @@ impl<'w> Campaign<'w> {
 
     /// Runs the whole campaign from the start.
     pub fn run(&self) -> CampaignResult {
-        self.run_resumable(None).expect("fresh runs cannot fail")
+        self.run_resumable(None, None)
+            .expect("fresh runs cannot fail")
     }
 
     /// Resumes a campaign from a checkpoint taken by a previous run.
@@ -184,15 +185,90 @@ impl<'w> Campaign<'w> {
     /// raw data replayed from the checkpoint's durable bucket snapshot,
     /// producing a final result identical to an uninterrupted run.
     pub fn resume(&self, checkpoint: &serde_json::Value) -> Result<CampaignResult, String> {
-        self.run_resumable(Some(checkpoint))
+        self.run_resumable(Some(checkpoint), None)
     }
 
-    fn run_resumable(&self, resume: Option<&serde_json::Value>) -> Result<CampaignResult, String> {
+    /// Builds a [`StreamEngine`](clasp_stream::StreamEngine) wired to
+    /// this campaign's world (server-local UTC offsets resolved from the
+    /// registry, like the batch analysis does).
+    pub fn stream_engine(&self, cfg: clasp_stream::EngineConfig) -> clasp_stream::StreamEngine {
+        clasp_stream::StreamEngine::new(cfg, self.world.server_utc_offsets())
+    }
+
+    /// Restores a streaming engine from a checkpoint taken by
+    /// [`Self::run_streaming`]. Checkpoints without stream state (from a
+    /// non-streaming run) yield a fresh engine, which
+    /// [`Self::resume_streaming`] then catches up via replay.
+    pub fn restore_stream_engine(
+        &self,
+        cfg: clasp_stream::EngineConfig,
+        checkpoint: &serde_json::Value,
+    ) -> Result<clasp_stream::StreamEngine, String> {
+        match checkpoint.get("stream") {
+            Some(snap) => {
+                clasp_stream::StreamEngine::restore(cfg, self.world.server_utc_offsets(), snap)
+            }
+            None => Ok(self.stream_engine(cfg)),
+        }
+    }
+
+    /// Runs the campaign with live streaming detection: the engine
+    /// subscribes a bounded tail to the database insert stream, consumes
+    /// every ingested point as it lands, and is finalized when the run
+    /// completes. Checkpoints taken along the way embed the engine
+    /// snapshot under `"stream"`, so [`Self::resume_streaming`] can
+    /// continue both the campaign and the detection state.
+    pub fn run_streaming(&self, engine: &mut clasp_stream::StreamEngine) -> CampaignResult {
+        let result = self
+            .run_resumable(None, Some(engine))
+            .expect("fresh runs cannot fail");
+        engine.finalize();
+        result
+    }
+
+    /// Resumes a streaming campaign. `engine` must come from
+    /// [`Self::restore_stream_engine`] on the same checkpoint (its
+    /// replay cursor tells the run how many re-ingested points to skip).
+    pub fn resume_streaming(
+        &self,
+        checkpoint: &serde_json::Value,
+        engine: &mut clasp_stream::StreamEngine,
+    ) -> Result<CampaignResult, String> {
+        let result = self.run_resumable(Some(checkpoint), Some(engine))?;
+        engine.finalize();
+        Ok(result)
+    }
+
+    fn run_resumable(
+        &self,
+        resume: Option<&serde_json::Value>,
+        mut stream: Option<&mut clasp_stream::StreamEngine>,
+    ) -> Result<CampaignResult, String> {
         let session = self.world.session();
         let client = SpeedTestClient::default();
         let cron = CronSchedule::new(self.config.seed ^ 0xc407);
         let fplan = self.config.effective_fault_plan();
         let mut db = Db::new();
+        // Streaming: a bounded tail mirrors every insert to the engine.
+        // On resume the engine's replay cursor (`events_seen`) skips the
+        // points re-ingested from completed units' bucket snapshots, so
+        // the engine sees each point exactly once across interruptions.
+        let tail = stream
+            .as_deref_mut()
+            .map(|engine| db.subscribe(engine.config().bus_capacity));
+        let mut replay_skip = stream.as_deref().map_or(0, |engine| engine.events_seen());
+        let mut drain = |stream: &mut Option<&mut clasp_stream::StreamEngine>| {
+            if let (Some(tail), Some(engine)) = (tail.as_ref(), stream.as_deref_mut()) {
+                tail.drain(|p| {
+                    if replay_skip > 0 {
+                        replay_skip -= 1;
+                    } else {
+                        engine.ingest(&p);
+                    }
+                });
+                engine.record_bus_overflow(tail.overflow());
+            }
+        };
         let mut billing = Billing::new();
         let mut vm_count = 0usize;
         let mut tests_run = 0u64;
@@ -317,6 +393,7 @@ impl<'w> Campaign<'w> {
                         completed.push(label.clone());
                     }
                     let stats = pipeline::ingest(&bucket, &mut db);
+                    drain(&mut stream);
                     raw_objects += stats.objects;
                     if self.config.keep_raw {
                         buckets.push(bucket);
@@ -380,6 +457,7 @@ impl<'w> Campaign<'w> {
                         completed.push(label.clone());
                     }
                     let stats = pipeline::ingest(&bucket, &mut db);
+                    drain(&mut stream);
                     raw_objects += stats.objects;
                     if self.config.keep_raw {
                         buckets.push(bucket);
@@ -390,9 +468,17 @@ impl<'w> Campaign<'w> {
 
             // Periodic checkpoint: everything needed to resume after
             // this unit, with the raw bucket dumps as durable storage.
-            checkpoints.push(make_checkpoint(
+            // Streaming runs additionally embed the engine snapshot, so
+            // detection state survives the interruption too.
+            let mut ckpt = make_checkpoint(
                 &completed, &billing, vm_count, tests_run, tainted, &flog, &report, &raw_store,
-            ));
+            );
+            if let Some(engine) = stream.as_deref() {
+                if let serde_json::Value::Object(m) = &mut ckpt {
+                    m.insert("stream".into(), engine.snapshot());
+                }
+            }
+            checkpoints.push(ckpt);
         }
 
         // Checkpoints carry the raw expected/collected tallies; the

@@ -111,25 +111,32 @@ pub fn upload_batch_resilient(
 
 /// Ingests every object under `raw/` into the database, returning how
 /// many points were indexed. Malformed lines abort the object (counted
-/// in `errors`) without poisoning the rest.
+/// in `errors`, with the offending key and line recorded in
+/// [`IngestStats::error_objects`]) without poisoning the rest.
 pub fn ingest(bucket: &Bucket, db: &mut Db) -> IngestStats {
     let mut stats = IngestStats::default();
     for key in bucket.list("raw/") {
         let obj = bucket.get(key).expect("listed keys exist");
-        match tsdb::line::decode_batch(&obj.data) {
+        match tsdb::line::decode_batch_lines(&obj.data) {
             Ok(points) => {
                 stats.points += points.len() as u64;
                 db.insert_batch(points);
                 stats.objects += 1;
             }
-            Err(_) => stats.errors += 1,
+            Err((line, e)) => {
+                stats.errors += 1;
+                let detail = format!("{key}: line {line}: {e}");
+                #[cfg(debug_assertions)]
+                eprintln!("ingest: skipping malformed object {detail}");
+                stats.error_objects.push(detail);
+            }
         }
     }
     stats
 }
 
 /// Ingestion counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct IngestStats {
     /// Objects parsed.
     pub objects: u64,
@@ -137,6 +144,9 @@ pub struct IngestStats {
     pub points: u64,
     /// Objects that failed to parse.
     pub errors: u64,
+    /// One `"<object key>: line <n>: <error>"` entry per malformed
+    /// object, in bucket listing order (parallel to `errors`).
+    pub error_objects: Vec<String>,
 }
 
 #[cfg(test)]
@@ -295,6 +305,32 @@ mod tests {
         assert_eq!(stats.errors, 1);
         assert_eq!(stats.objects, 1);
         assert_eq!(db.points_written, 1);
+        // The malformed object is named, with the offending line.
+        assert_eq!(stats.error_objects.len(), 1);
+        assert!(
+            stats.error_objects[0].starts_with("raw/bad.lp: line 1:"),
+            "{:?}",
+            stats.error_objects
+        );
+    }
+
+    #[test]
+    fn each_malformed_object_surfaced_separately() {
+        let mut bucket = Bucket::new("r");
+        bucket.put("raw/one.lp", "m f=x 0".into(), SimTime(0));
+        bucket.put("raw/two.lp", "m f=1 0\nnot a line".into(), SimTime(1));
+        let mut db = Db::new();
+        let stats = ingest(&bucket, &mut db);
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.error_objects.len(), 2);
+        assert!(stats
+            .error_objects
+            .iter()
+            .any(|e| e.contains("raw/one.lp: line 1")));
+        assert!(stats
+            .error_objects
+            .iter()
+            .any(|e| e.contains("raw/two.lp: line 2")));
     }
 
     #[test]

@@ -58,6 +58,18 @@ impl World {
         Self::with_config(TopologyConfig::tiny(seed))
     }
 
+    /// Server id → local UTC offset (hours), the map streaming consumers
+    /// need to reckon days and hours in server-local time without holding
+    /// a `World`. Servers absent from the map default to offset 0, which
+    /// is also what the batch analysis does for unknown ids.
+    pub fn server_utc_offsets(&self) -> std::collections::HashMap<String, i32> {
+        self.registry
+            .servers
+            .iter()
+            .map(|s| (s.id.clone(), self.topo.cities.get(s.city).utc_offset_hours))
+            .collect()
+    }
+
     /// Opens a session: routing caches + perf model borrowed from self.
     pub fn session(&self) -> Session<'_> {
         Session {

@@ -60,6 +60,107 @@ where
     (curve, elbow)
 }
 
+/// Incremental threshold sweep: the online counterpart of
+/// [`threshold_sweep`] over the paper's `V(s,d)` values.
+///
+/// Maintains, for every sweep threshold `h_k = k / steps`, the exact
+/// count of observed values with `v > h_k` — a cumulative histogram of
+/// the variability distribution keyed by the sweep grid. Adding an
+/// observation is O(steps) in the worst case (and exits early once the
+/// thresholds exceed the value), which in the streaming engine happens
+/// once per *series-day*, not per point; querying the elbow is
+/// O(steps). The curve it produces is identical to rebuilding
+/// [`threshold_sweep`] over the full value set, because each counter
+/// applies the very same strict `v > h` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingElbow {
+    /// `above[k]` = number of values `v` with `v > k / steps`.
+    above: Vec<u64>,
+    total: u64,
+}
+
+impl StreamingElbow {
+    /// A sweep over `steps + 1` thresholds `0/steps ..= steps/steps`.
+    ///
+    /// # Panics
+    /// Panics when `steps < 2` (an elbow needs at least 3 curve points).
+    pub fn new(steps: usize) -> Self {
+        assert!(steps >= 2, "elbow sweep needs at least 3 thresholds");
+        Self {
+            above: vec![0; steps + 1],
+            total: 0,
+        }
+    }
+
+    /// Number of sweep intervals (`thresholds() - 1`).
+    pub fn steps(&self) -> usize {
+        self.above.len() - 1
+    }
+
+    /// Records one observed value.
+    pub fn add(&mut self, v: f64) {
+        self.total += 1;
+        let steps = self.steps();
+        for (k, slot) in self.above.iter_mut().enumerate() {
+            if v > k as f64 / steps as f64 {
+                *slot += 1;
+            } else {
+                // Thresholds increase with k, so no later one can pass.
+                break;
+            }
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact fraction of observations strictly above threshold index `k`.
+    pub fn fraction_above(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.above[k] as f64 / self.total as f64
+    }
+
+    /// The `(threshold, fraction)` curve, as [`threshold_sweep`] returns.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let steps = self.steps();
+        (0..=steps)
+            .map(|k| (k as f64 / steps as f64, self.fraction_above(k)))
+            .collect()
+    }
+
+    /// The current elbow threshold, when one exists.
+    pub fn elbow(&self) -> Option<f64> {
+        let curve = self.curve();
+        let xs: Vec<f64> = curve.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = curve.iter().map(|p| p.1).collect();
+        elbow_index(&xs, &ys).map(|i| xs[i])
+    }
+
+    /// Raw per-threshold counts (for snapshot/restore).
+    pub fn counts(&self) -> &[u64] {
+        &self.above
+    }
+
+    /// Rebuilds the sweep from snapshot counts.
+    ///
+    /// # Panics
+    /// Panics when fewer than 3 counts are given or they are not
+    /// monotonically non-increasing (no value distribution produces an
+    /// increasing strict-above curve).
+    pub fn from_counts(above: Vec<u64>, total: u64) -> Self {
+        assert!(above.len() >= 3, "need at least 3 thresholds");
+        assert!(
+            above.windows(2).all(|w| w[0] >= w[1]),
+            "above-counts must be non-increasing"
+        );
+        Self { above, total }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +215,75 @@ mod tests {
         assert_eq!(curve.len(), 21);
         let h = elbow.unwrap();
         assert!((0.1..0.6).contains(&h), "elbow h = {h}");
+    }
+
+    /// Values with a heavy low mode and a thin high tail; the streaming
+    /// sweep must agree with the batch sweep on the whole curve and on
+    /// the elbow, point for point.
+    #[test]
+    fn streaming_matches_batch_sweep() {
+        let values: Vec<f64> = (0..400)
+            .map(|i| {
+                let x = i as f64 / 400.0;
+                if i % 7 == 0 {
+                    0.5 + x / 2.0
+                } else {
+                    x * 0.3
+                }
+            })
+            .collect();
+        let steps = 20usize;
+        let mut online = StreamingElbow::new(steps);
+        for &v in &values {
+            online.add(v);
+        }
+        let thresholds: Vec<f64> = (0..=steps).map(|k| k as f64 / steps as f64).collect();
+        let (batch_curve, batch_elbow) = threshold_sweep(&thresholds, |h| {
+            values.iter().filter(|&&v| v > h).count() as f64 / values.len() as f64
+        });
+        assert_eq!(online.curve(), batch_curve);
+        assert_eq!(online.elbow(), batch_elbow);
+    }
+
+    #[test]
+    fn streaming_exact_edge_values() {
+        // Values landing exactly on thresholds exercise the strict `>`.
+        let mut e = StreamingElbow::new(4);
+        for v in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            e.add(v);
+        }
+        // v > 0.0 for four of five; v > 0.25 for three; etc.
+        assert_eq!(e.counts(), &[4, 3, 2, 1, 0]);
+        assert_eq!(e.total(), 5);
+    }
+
+    #[test]
+    fn streaming_snapshot_roundtrip() {
+        let mut e = StreamingElbow::new(10);
+        for i in 0..57 {
+            e.add((i % 13) as f64 / 13.0);
+        }
+        let back = StreamingElbow::from_counts(e.counts().to_vec(), e.total());
+        assert_eq!(back, e);
+        assert_eq!(back.elbow(), e.elbow());
+    }
+
+    #[test]
+    fn empty_streaming_sweep_is_flat() {
+        let e = StreamingElbow::new(10);
+        assert_eq!(e.elbow(), None);
+        assert!(e.curve().iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 thresholds")]
+    fn tiny_streaming_sweep_panics() {
+        StreamingElbow::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn increasing_counts_rejected() {
+        StreamingElbow::from_counts(vec![1, 2, 3], 3);
     }
 }

@@ -13,6 +13,9 @@
 //! * [`histogram`] — fixed-width binning for hour-of-day congestion
 //!   probability profiles (Fig. 6);
 //! * [`summary`] — streaming summary statistics (mean/variance/extrema);
+//! * [`rollwin`] — monotonic-deque sliding-window extrema, the O(1)
+//!   amortized data structure behind the online congestion engine's
+//!   live variability windows;
 //! * [`autocorr`] and [`hmm`] — the paper's §5 future-work extensions:
 //!   autocorrelation-based diurnal detection and a two-state Gaussian
 //!   hidden Markov model for state-based congestion detection.
@@ -30,13 +33,15 @@ pub mod histogram;
 pub mod hmm;
 pub mod kde;
 pub mod percentile;
+pub mod rollwin;
 pub mod summary;
 
 pub use autocorr::{acf, autocorrelation, diurnal_signal};
 pub use ecdf::Ecdf;
-pub use elbow::elbow_index;
+pub use elbow::{elbow_index, StreamingElbow};
 pub use histogram::Histogram;
 pub use hmm::GaussianHmm;
 pub use kde::GaussianKde;
 pub use percentile::{median, percentile, quantile};
+pub use rollwin::SlidingExtrema;
 pub use summary::Summary;

@@ -1,0 +1,194 @@
+//! Sliding-window extrema over a time-ordered stream.
+//!
+//! The streaming congestion engine needs the maximum and minimum
+//! throughput over a trailing time window, updated once per arriving
+//! sample in O(1) amortized. The classic structure is a pair of
+//! *monotonic deques*: the max-deque keeps a decreasing front-to-back
+//! sequence of candidates (anything dominated by a newer, larger sample
+//! can never become the window maximum again), the min-deque the
+//! increasing mirror. Each sample is pushed and popped at most once, so
+//! any run of `n` pushes costs O(n) total regardless of window size.
+
+use std::collections::VecDeque;
+
+/// Monotonic-deque max/min over a trailing `[t − window, t]` time span.
+///
+/// Samples must arrive with non-decreasing timestamps; out-of-order
+/// pushes are rejected (returning `false`) so the caller can count them
+/// instead of silently corrupting the deque invariants.
+#[derive(Debug, Clone, Default)]
+pub struct SlidingExtrema {
+    window: u64,
+    /// Decreasing values: front is the current maximum.
+    maxd: VecDeque<(u64, f64)>,
+    /// Increasing values: front is the current minimum.
+    mind: VecDeque<(u64, f64)>,
+    last_t: Option<u64>,
+}
+
+impl SlidingExtrema {
+    /// Creates a window of `window` seconds (inclusive of the newest
+    /// sample's own instant).
+    pub fn new(window: u64) -> Self {
+        Self {
+            window,
+            maxd: VecDeque::new(),
+            mind: VecDeque::new(),
+            last_t: None,
+        }
+    }
+
+    /// Pushes `(t, v)`; returns `false` (sample ignored) when `t` is
+    /// older than the newest sample already pushed.
+    pub fn push(&mut self, t: u64, v: f64) -> bool {
+        if self.last_t.is_some_and(|last| t < last) {
+            return false;
+        }
+        self.last_t = Some(t);
+        let horizon = t.saturating_sub(self.window);
+        while self.maxd.front().is_some_and(|&(ft, _)| ft < horizon) {
+            self.maxd.pop_front();
+        }
+        while self.mind.front().is_some_and(|&(ft, _)| ft < horizon) {
+            self.mind.pop_front();
+        }
+        while self.maxd.back().is_some_and(|&(_, bv)| bv <= v) {
+            self.maxd.pop_back();
+        }
+        while self.mind.back().is_some_and(|&(_, bv)| bv >= v) {
+            self.mind.pop_back();
+        }
+        self.maxd.push_back((t, v));
+        self.mind.push_back((t, v));
+        true
+    }
+
+    /// Current window maximum.
+    pub fn max(&self) -> Option<f64> {
+        self.maxd.front().map(|&(_, v)| v)
+    }
+
+    /// Current window minimum.
+    pub fn min(&self) -> Option<f64> {
+        self.mind.front().map(|&(_, v)| v)
+    }
+
+    /// Normalized peak-to-trough difference `(max − min) / max` over the
+    /// window — the paper's `V`, computed live. `None` until a sample
+    /// with a positive maximum is in the window.
+    pub fn variability(&self) -> Option<f64> {
+        match (self.max(), self.min()) {
+            (Some(mx), Some(mn)) if mx > 0.0 => Some((mx - mn) / mx),
+            _ => None,
+        }
+    }
+
+    /// Timestamp of the newest accepted sample.
+    pub fn last_time(&self) -> Option<u64> {
+        self.last_t
+    }
+
+    /// True when no sample is inside the window.
+    pub fn is_empty(&self) -> bool {
+        self.maxd.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrema_track_a_growing_window() {
+        let mut w = SlidingExtrema::new(100);
+        for (t, v) in [(0, 5.0), (10, 3.0), (20, 8.0), (30, 1.0)] {
+            assert!(w.push(t, v));
+        }
+        assert_eq!(w.max(), Some(8.0));
+        assert_eq!(w.min(), Some(1.0));
+    }
+
+    #[test]
+    fn old_samples_expire() {
+        let mut w = SlidingExtrema::new(50);
+        w.push(0, 100.0);
+        w.push(10, 2.0);
+        w.push(100, 5.0); // horizon 50: both earlier samples gone
+        assert_eq!(w.max(), Some(5.0));
+        assert_eq!(w.min(), Some(5.0));
+    }
+
+    #[test]
+    fn boundary_sample_still_inside() {
+        let mut w = SlidingExtrema::new(50);
+        w.push(0, 9.0);
+        w.push(50, 1.0); // horizon = 0, the t=0 sample is inclusive
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut w = SlidingExtrema::new(100);
+        assert!(w.push(50, 1.0));
+        assert!(!w.push(40, 99.0));
+        assert_eq!(w.max(), Some(1.0));
+        assert_eq!(w.last_time(), Some(50));
+    }
+
+    #[test]
+    fn equal_timestamps_accepted() {
+        let mut w = SlidingExtrema::new(100);
+        assert!(w.push(10, 1.0));
+        assert!(w.push(10, 7.0));
+        assert_eq!(w.max(), Some(7.0));
+        assert_eq!(w.min(), Some(1.0));
+    }
+
+    #[test]
+    fn variability_matches_direct_computation() {
+        let mut w = SlidingExtrema::new(1_000);
+        let vals = [400.0, 380.0, 150.0, 410.0, 390.0];
+        for (i, &v) in vals.iter().enumerate() {
+            w.push(i as u64 * 10, v);
+        }
+        let mx = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mn = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(w.variability(), Some((mx - mn) / mx));
+    }
+
+    #[test]
+    fn matches_naive_over_random_walk() {
+        // Deterministic pseudo-random walk; compare against a naive
+        // rescan at every step.
+        let mut w = SlidingExtrema::new(37);
+        let mut hist: Vec<(u64, f64)> = Vec::new();
+        let mut x = 7u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) as f64 / 1e6;
+            let t = i * 3;
+            w.push(t, v);
+            hist.push((t, v));
+            let horizon = t.saturating_sub(37);
+            let in_win: Vec<f64> = hist
+                .iter()
+                .filter(|&&(ht, _)| ht >= horizon)
+                .map(|&(_, hv)| hv)
+                .collect();
+            let mx = in_win.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mn = in_win.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert_eq!(w.max(), Some(mx), "step {i}");
+            assert_eq!(w.min(), Some(mn), "step {i}");
+        }
+    }
+
+    #[test]
+    fn empty_window_reports_nothing() {
+        let w = SlidingExtrema::new(10);
+        assert!(w.is_empty());
+        assert_eq!(w.max(), None);
+        assert_eq!(w.variability(), None);
+    }
+}

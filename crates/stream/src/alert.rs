@@ -1,0 +1,203 @@
+//! Congestion alerting with hysteresis.
+//!
+//! Raw hourly labels flap: one bad hour does not make an incident, and
+//! one good hour does not end one. The emitter therefore uses the
+//! classic hysteresis pair — an *enter* threshold to arm and a lower
+//! *exit* threshold to clear — plus minimum-duration debouncing on both
+//! edges: `min_hours` consecutive qualifying labels must be seen before
+//! an alert is raised, and `min_hours` consecutive sub-exit labels
+//! before it is closed.
+
+/// Alerting policy: hysteresis thresholds + debouncing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertPolicy {
+    /// Arm when `V_H` exceeds this (strictly).
+    pub enter: f64,
+    /// Clear when `V_H` falls below this (strictly); must be ≤ `enter`.
+    pub exit: f64,
+    /// Consecutive qualifying labels required on both edges (≥ 1).
+    pub min_hours: u32,
+}
+
+impl Default for AlertPolicy {
+    /// The paper's H = 0.5 as the enter edge, a 0.3 exit edge, and a
+    /// two-hour debounce.
+    fn default() -> Self {
+        Self {
+            enter: 0.5,
+            exit: 0.3,
+            min_hours: 2,
+        }
+    }
+}
+
+/// A debounced congestion incident on one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionAlert {
+    /// Index into the engine's series table.
+    pub series_idx: u32,
+    /// Canonical series key.
+    pub series: String,
+    /// Server id.
+    pub server: String,
+    /// Time of the first label of the arming streak (UTC seconds).
+    pub start: u64,
+    /// Time of the label that cleared the alert — or of the last label
+    /// seen, when the alert was still open at [`finalize`] time.
+    ///
+    /// [`finalize`]: crate::StreamEngine::finalize
+    pub end: u64,
+    /// Largest `V_H` observed while the incident was building or active.
+    pub peak_v_h: f64,
+    /// Labels above the enter threshold during the incident.
+    pub events: u32,
+    /// True when the stream ended before the alert cleared.
+    pub open: bool,
+}
+
+/// A finished (or force-closed) incident, before series metadata is
+/// attached: `(start, end, peak_v_h, events)`.
+pub(crate) type ClosedAlert = (u64, u64, f64, u32);
+
+/// Per-series hysteresis state machine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct AlertState {
+    pub(crate) active: bool,
+    pub(crate) on_streak: u32,
+    pub(crate) off_streak: u32,
+    /// First label time of the current arming streak / active incident.
+    pub(crate) start: u64,
+    pub(crate) peak: f64,
+    pub(crate) events: u32,
+}
+
+impl AlertState {
+    /// Feeds one hourly label; returns the incident if this label
+    /// cleared it.
+    pub(crate) fn step(&mut self, t: u64, v_h: f64, p: &AlertPolicy) -> Option<ClosedAlert> {
+        if !self.active {
+            if v_h > p.enter {
+                if self.on_streak == 0 {
+                    self.start = t;
+                    self.peak = v_h;
+                    self.events = 0;
+                }
+                self.on_streak += 1;
+                self.events += 1;
+                self.peak = self.peak.max(v_h);
+                if self.on_streak >= p.min_hours {
+                    self.active = true;
+                    self.off_streak = 0;
+                }
+            } else {
+                self.on_streak = 0;
+                self.events = 0;
+            }
+            return None;
+        }
+        self.peak = self.peak.max(v_h);
+        if v_h > p.enter {
+            self.events += 1;
+        }
+        if v_h < p.exit {
+            self.off_streak += 1;
+            if self.off_streak >= p.min_hours {
+                let closed = (self.start, t, self.peak, self.events);
+                *self = Self::default();
+                return Some(closed);
+            }
+        } else {
+            self.off_streak = 0;
+        }
+        None
+    }
+
+    /// Force-closes an active incident at end of stream (`end` = last
+    /// label time of the series). Arming streaks that never reached
+    /// `min_hours` are discarded.
+    pub(crate) fn finish(&mut self, end: u64) -> Option<ClosedAlert> {
+        if !self.active {
+            return None;
+        }
+        let closed = (self.start, end, self.peak, self.events);
+        *self = Self::default();
+        Some(closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AlertPolicy {
+        AlertPolicy {
+            enter: 0.5,
+            exit: 0.3,
+            min_hours: 2,
+        }
+    }
+
+    #[test]
+    fn single_spike_is_debounced_away() {
+        let mut s = AlertState::default();
+        let p = policy();
+        assert_eq!(s.step(0, 0.9, &p), None);
+        assert_eq!(s.step(3600, 0.1, &p), None);
+        assert!(!s.active);
+        assert_eq!(s.finish(3600), None);
+    }
+
+    #[test]
+    fn sustained_dip_raises_then_clears() {
+        let mut s = AlertState::default();
+        let p = policy();
+        assert_eq!(s.step(0, 0.6, &p), None);
+        assert_eq!(s.step(3600, 0.8, &p), None);
+        assert!(s.active, "armed after min_hours qualifying labels");
+        assert_eq!(s.step(7200, 0.55, &p), None);
+        // One sub-exit hour is not enough to clear...
+        assert_eq!(s.step(10_800, 0.1, &p), None);
+        assert!(s.active);
+        // ...two are.
+        let closed = s.step(14_400, 0.05, &p).unwrap();
+        assert_eq!(closed, (0, 14_400, 0.8, 3));
+        assert!(!s.active);
+    }
+
+    #[test]
+    fn recovery_above_exit_resets_the_clear_streak() {
+        let mut s = AlertState::default();
+        let p = policy();
+        s.step(0, 0.9, &p);
+        s.step(3600, 0.9, &p);
+        assert!(s.active);
+        s.step(7200, 0.2, &p); // below exit: off_streak = 1
+        s.step(10_800, 0.4, &p); // between exit and enter: streak resets
+        s.step(14_400, 0.2, &p); // off_streak = 1 again
+        assert!(s.active, "hysteresis band holds the alert");
+        assert!(s.step(18_000, 0.2, &p).is_some());
+    }
+
+    #[test]
+    fn open_alert_is_force_closed() {
+        let mut s = AlertState::default();
+        let p = policy();
+        s.step(0, 0.7, &p);
+        s.step(3600, 0.7, &p);
+        assert!(s.active);
+        assert_eq!(s.finish(3600), Some((0, 3600, 0.7, 2)));
+        assert_eq!(s, AlertState::default());
+    }
+
+    #[test]
+    fn min_hours_one_fires_immediately() {
+        let mut s = AlertState::default();
+        let p = AlertPolicy {
+            min_hours: 1,
+            ..policy()
+        };
+        assert_eq!(s.step(0, 0.6, &p), None);
+        assert!(s.active);
+        assert_eq!(s.step(3600, 0.0, &p), Some((0, 3600, 0.6, 1)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Online streaming ingestion + incremental congestion detection.
+//!
+//! The batch pipeline (`clasp-core`) answers "was this server congested?"
+//! by rescanning the whole time-series database after the campaign ends.
+//! This crate answers the same question *while the campaign runs*: it
+//! consumes [`Point`](tsdb::Point)s as they are produced — via a bounded
+//! [`Tail`](tsdb::Tail) subscription on the [`Db`](tsdb::Db) insert
+//! stream — and maintains, per series:
+//!
+//! * sliding daily windows whose running extrema give the paper's
+//!   normalized peak-to-trough difference `V(s,d) = (Tmax − Tmin) / Tmax`
+//!   in O(1) per point;
+//! * hourly congestion labels `V_H(s,t) > H`, emitted the moment a local
+//!   day closes (the per-hour `V_H` needs the day's final `Tmax`);
+//! * an online threshold recalibration that re-runs the elbow sweep over
+//!   a streaming histogram of day variabilities
+//!   ([`StreamingElbow`](clasp_stats::StreamingElbow));
+//! * a live trailing-window variability over monotonic max/min deques
+//!   ([`SlidingExtrema`](clasp_stats::SlidingExtrema)) for "how does the
+//!   last 24 h look right now" dashboards;
+//! * typed [`CongestionAlert`]s with hysteresis (separate enter/exit
+//!   thresholds, minimum-duration debouncing).
+//!
+//! **Exactness.** For any point stream, the engine's closed-day records,
+//! hourly labels, hourly congestion probabilities and congested-server
+//! verdicts are *element-wise identical* to
+//! `clasp_core::congestion::CongestionAnalysis` built over the same
+//! database — including under fault injection, where the stream carries
+//! gaps and small reorderings. The engine applies the very same folds
+//! (`f64::max`/`f64::min` running extrema are order-independent), the
+//! same strict `>` comparisons and the same server-local day/hour
+//! reckoning, so the equality is bitwise, not approximate.
+//!
+//! **Resumability.** [`StreamEngine::snapshot`] serializes the full
+//! engine state to canonical JSON (floats as bit patterns, so restore is
+//! exact); `clasp-core` embeds it in campaign checkpoints so a resumed
+//! streaming campaign continues — and finishes — byte-identical to an
+//! uninterrupted one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod engine;
+mod snapshot;
+
+pub use alert::{AlertPolicy, CongestionAlert};
+pub use engine::{
+    DayRecord, EngineConfig, EngineStats, HourLabel, SeriesMeta, StreamEngine, ThresholdMode,
+};

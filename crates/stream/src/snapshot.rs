@@ -1,0 +1,545 @@
+//! Exact snapshot/restore of the engine state.
+//!
+//! Snapshots are canonical JSON (the vendored `serde_json` keeps object
+//! keys in a `BTreeMap`, so equal states serialize to equal bytes) and
+//! every float is stored as its 16-hex-digit IEEE-754 bit pattern — the
+//! vendored JSON number is an `f64`, which cannot carry a raw `u64` bit
+//! pattern losslessly, and a decimal round-trip would not be provably
+//! bit-exact. Day indices ride as decimal strings because the open/closed
+//! sentinels (`i64::MIN`/`MAX`) overflow the f64-backed JSON number.
+//!
+//! The advisory live trailing window is deliberately *not* serialized: it
+//! influences no label, record or alert, and restoring it empty keeps
+//! snapshots of a resumed run byte-identical to an uninterrupted one.
+//! The campaign driver uses [`StreamEngine::events_seen`] (in the
+//! snapshot's stats) as the replay-skip cursor when resuming.
+
+use crate::alert::AlertState;
+use crate::engine::{DayRecord, EngineConfig, HourLabel, SeriesMeta, StreamEngine};
+use crate::CongestionAlert;
+use clasp_stats::StreamingElbow;
+use serde_json::{Map, Value};
+use std::collections::HashMap;
+
+fn fb(v: f64) -> Value {
+    Value::String(format!("{:016x}", v.to_bits()))
+}
+
+fn iv(d: i64) -> Value {
+    Value::String(d.to_string())
+}
+
+fn get<'v>(v: &'v Value, key: &str, what: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("{what}: missing {key:?}"))
+}
+
+fn read_fb(v: &Value, what: &str) -> Result<f64, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| format!("{what}: not a bit string"))?;
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("{what}: bad bit string {s:?}"))
+}
+
+fn read_iv(v: &Value, what: &str) -> Result<i64, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| format!("{what}: not a day string"))?;
+    s.parse().map_err(|_| format!("{what}: bad day {s:?}"))
+}
+
+fn read_u64(v: &Value, what: &str) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| format!("{what}: not an integer"))
+}
+
+fn read_u32(v: &Value, what: &str) -> Result<u32, String> {
+    Ok(read_u64(v, what)? as u32)
+}
+
+fn read_bool(v: &Value, what: &str) -> Result<bool, String> {
+    v.as_bool().ok_or_else(|| format!("{what}: not a bool"))
+}
+
+fn read_str(v: &Value, what: &str) -> Result<String, String> {
+    Ok(v.as_str()
+        .ok_or_else(|| format!("{what}: not a string"))?
+        .to_string())
+}
+
+fn read_array<'v>(v: &'v Value, what: &str) -> Result<&'v Vec<Value>, String> {
+    v.as_array().ok_or_else(|| format!("{what}: not an array"))
+}
+
+impl StreamEngine {
+    /// Serializes the complete engine state (minus the advisory live
+    /// window) to canonical JSON. `clasp-core` embeds this under the
+    /// `"stream"` key of campaign checkpoints.
+    pub fn snapshot(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("version".into(), 1u64.into());
+        m.insert("measurement".into(), self.cfg.measurement.clone().into());
+        m.insert("field".into(), self.cfg.field.clone().into());
+        m.insert("finalized".into(), self.finalized.into());
+        m.insert("current_h".into(), fb(self.current_h));
+
+        let mut stats = Map::new();
+        stats.insert("events_seen".into(), self.stats.events_seen.into());
+        stats.insert("points_matched".into(), self.stats.points_matched.into());
+        stats.insert("days_closed".into(), self.stats.days_closed.into());
+        stats.insert("labels_emitted".into(), self.stats.labels_emitted.into());
+        stats.insert("out_of_order".into(), self.stats.out_of_order.into());
+        stats.insert("duplicates".into(), self.stats.duplicates.into());
+        stats.insert("gap_hours".into(), self.stats.gap_hours.into());
+        stats.insert("late_dropped".into(), self.stats.late_dropped.into());
+        stats.insert("bus_overflow".into(), self.stats.bus_overflow.into());
+        m.insert("stats".into(), Value::Object(stats));
+
+        let mut recal = Map::new();
+        recal.insert(
+            "above".into(),
+            Value::Array(self.recal.counts().iter().map(|&c| c.into()).collect()),
+        );
+        recal.insert("total".into(), self.recal.total().into());
+        m.insert("recal".into(), Value::Object(recal));
+
+        let series: Vec<Value> = self
+            .series
+            .iter()
+            .zip(&self.states)
+            .map(|(meta, st)| {
+                let mut s = Map::new();
+                s.insert("key".into(), meta.key.clone().into());
+                s.insert("server".into(), meta.server.clone().into());
+                s.insert("region".into(), meta.region.clone().into());
+                s.insert("tier".into(), meta.tier.clone().into());
+                s.insert("offset".into(), Value::Number(meta.utc_offset as f64));
+                s.insert("max_day".into(), iv(st.max_day));
+                s.insert("closed_through".into(), iv(st.closed_through));
+                s.insert(
+                    "last_time".into(),
+                    st.last_time.map_or(Value::Null, |t| t.into()),
+                );
+                s.insert(
+                    "hour_events".into(),
+                    Value::Array(
+                        st.hour_events
+                            .iter()
+                            .map(|&c| u64::from(c).into())
+                            .collect(),
+                    ),
+                );
+                s.insert(
+                    "hour_trials".into(),
+                    Value::Array(
+                        st.hour_trials
+                            .iter()
+                            .map(|&c| u64::from(c).into())
+                            .collect(),
+                    ),
+                );
+                s.insert("days_total".into(), u64::from(st.days_total).into());
+                s.insert(
+                    "days_with_event".into(),
+                    u64::from(st.days_with_event).into(),
+                );
+                s.insert("last_label_time".into(), st.last_label_time.into());
+                let mut a = Map::new();
+                a.insert("active".into(), st.alert.active.into());
+                a.insert("on_streak".into(), u64::from(st.alert.on_streak).into());
+                a.insert("off_streak".into(), u64::from(st.alert.off_streak).into());
+                a.insert("start".into(), st.alert.start.into());
+                a.insert("peak".into(), fb(st.alert.peak));
+                a.insert("events".into(), u64::from(st.alert.events).into());
+                s.insert("alert".into(), Value::Object(a));
+                let open: Vec<Value> = st
+                    .open
+                    .iter()
+                    .map(|(&day, w)| {
+                        let mut o = Map::new();
+                        o.insert("day".into(), iv(day));
+                        // Extrema and the out-of-order flag are folds over
+                        // the entry sequence; restore re-derives them by
+                        // replaying the pushes.
+                        o.insert(
+                            "entries".into(),
+                            Value::Array(
+                                w.entries
+                                    .iter()
+                                    .map(|&(t, v)| Value::Array(vec![t.into(), fb(v)]))
+                                    .collect(),
+                            ),
+                        );
+                        Value::Object(o)
+                    })
+                    .collect();
+                s.insert("open".into(), Value::Array(open));
+                Value::Object(s)
+            })
+            .collect();
+        m.insert("series".into(), Value::Array(series));
+
+        m.insert(
+            "day_records".into(),
+            Value::Array(
+                self.day_records
+                    .iter()
+                    .map(|d| {
+                        Value::Array(vec![
+                            u64::from(d.series_idx).into(),
+                            iv(d.local_day),
+                            fb(d.v),
+                            fb(d.t_max),
+                            fb(d.t_min),
+                            d.n.into(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "labels".into(),
+            Value::Array(
+                self.labels
+                    .iter()
+                    .map(|l| {
+                        Value::Array(vec![
+                            u64::from(l.series_idx).into(),
+                            l.time.into(),
+                            u64::from(l.local_hour).into(),
+                            iv(l.local_day),
+                            fb(l.value),
+                            fb(l.v_h),
+                            l.congested.into(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "alerts".into(),
+            Value::Array(
+                self.alerts
+                    .iter()
+                    .map(|a| {
+                        Value::Array(vec![
+                            u64::from(a.series_idx).into(),
+                            a.start.into(),
+                            a.end.into(),
+                            fb(a.peak_v_h),
+                            u64::from(a.events).into(),
+                            a.open.into(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(m)
+    }
+
+    /// Rebuilds an engine from a [`Self::snapshot`]. `cfg` and `offsets`
+    /// must be the ones the snapshotted engine ran with (the snapshot
+    /// cross-checks measurement and field and the sweep resolution; the
+    /// rest is the caller's contract). The advisory live window restarts
+    /// empty.
+    pub fn restore(
+        cfg: EngineConfig,
+        offsets: HashMap<String, i32>,
+        snap: &Value,
+    ) -> Result<Self, String> {
+        let version = read_u64(get(snap, "version", "snapshot")?, "version")?;
+        if version != 1 {
+            return Err(format!("unsupported stream snapshot version {version}"));
+        }
+        if read_str(get(snap, "measurement", "snapshot")?, "measurement")? != cfg.measurement
+            || read_str(get(snap, "field", "snapshot")?, "field")? != cfg.field
+        {
+            return Err("stream snapshot was taken with a different measurement/field".into());
+        }
+        let mut engine = Self::new(cfg, offsets);
+        engine.finalized = read_bool(get(snap, "finalized", "snapshot")?, "finalized")?;
+        engine.current_h = read_fb(get(snap, "current_h", "snapshot")?, "current_h")?;
+
+        let stats = get(snap, "stats", "snapshot")?;
+        let su = |k: &str| -> Result<u64, String> { read_u64(get(stats, k, "stats")?, k) };
+        engine.stats.events_seen = su("events_seen")?;
+        engine.stats.points_matched = su("points_matched")?;
+        engine.stats.days_closed = su("days_closed")?;
+        engine.stats.labels_emitted = su("labels_emitted")?;
+        engine.stats.out_of_order = su("out_of_order")?;
+        engine.stats.duplicates = su("duplicates")?;
+        engine.stats.gap_hours = su("gap_hours")?;
+        engine.stats.late_dropped = su("late_dropped")?;
+        engine.stats.bus_overflow = su("bus_overflow")?;
+
+        let recal = get(snap, "recal", "snapshot")?;
+        let above: Vec<u64> = read_array(get(recal, "above", "recal")?, "recal.above")?
+            .iter()
+            .map(|v| read_u64(v, "recal.above"))
+            .collect::<Result<_, _>>()?;
+        if above.len() != engine.cfg.sweep_steps + 1 {
+            return Err(format!(
+                "stream snapshot sweep has {} thresholds, config wants {}",
+                above.len(),
+                engine.cfg.sweep_steps + 1
+            ));
+        }
+        if !above.windows(2).all(|w| w[0] >= w[1]) {
+            return Err("stream snapshot sweep counts are not non-increasing".into());
+        }
+        let total = read_u64(get(recal, "total", "recal")?, "recal.total")?;
+        engine.recal = StreamingElbow::from_counts(above, total);
+
+        for s in read_array(get(snap, "series", "snapshot")?, "series")? {
+            let key = read_str(get(s, "key", "series")?, "key")?;
+            let meta = SeriesMeta {
+                key: key.clone(),
+                server: read_str(get(s, "server", "series")?, "server")?,
+                region: read_str(get(s, "region", "series")?, "region")?,
+                tier: read_str(get(s, "tier", "series")?, "tier")?,
+                utc_offset: get(s, "offset", "series")?
+                    .as_f64()
+                    .ok_or("series offset: not a number")? as i32,
+            };
+            let idx = engine.register_series(meta);
+            let st = &mut engine.states[idx];
+            st.max_day = read_iv(get(s, "max_day", "series")?, "max_day")?;
+            st.last_time = match get(s, "last_time", "series")? {
+                Value::Null => None,
+                v => Some(read_u64(v, "last_time")?),
+            };
+            for (slot, v) in st
+                .hour_events
+                .iter_mut()
+                .zip(read_array(get(s, "hour_events", "series")?, "hour_events")?)
+            {
+                *slot = read_u32(v, "hour_events")?;
+            }
+            for (slot, v) in st
+                .hour_trials
+                .iter_mut()
+                .zip(read_array(get(s, "hour_trials", "series")?, "hour_trials")?)
+            {
+                *slot = read_u32(v, "hour_trials")?;
+            }
+            st.days_total = read_u32(get(s, "days_total", "series")?, "days_total")?;
+            st.days_with_event = read_u32(get(s, "days_with_event", "series")?, "days_with_event")?;
+            st.last_label_time = read_u64(get(s, "last_label_time", "series")?, "last_label_time")?;
+            let a = get(s, "alert", "series")?;
+            st.alert = AlertState {
+                active: read_bool(get(a, "active", "alert")?, "active")?,
+                on_streak: read_u32(get(a, "on_streak", "alert")?, "on_streak")?,
+                off_streak: read_u32(get(a, "off_streak", "alert")?, "off_streak")?,
+                start: read_u64(get(a, "start", "alert")?, "start")?,
+                peak: read_fb(get(a, "peak", "alert")?, "peak")?,
+                events: read_u32(get(a, "events", "alert")?, "events")?,
+            };
+            for o in read_array(get(s, "open", "series")?, "open")? {
+                let day = read_iv(get(o, "day", "open window")?, "open day")?;
+                for e in read_array(get(o, "entries", "open window")?, "entries")? {
+                    let pair = read_array(e, "entry")?;
+                    if pair.len() != 2 {
+                        return Err("open-window entry is not a [time, value] pair".into());
+                    }
+                    let t = read_u64(&pair[0], "entry time")?;
+                    let v = read_fb(&pair[1], "entry value")?;
+                    // Replaying the pushes re-derives the running extrema
+                    // and the out-of-order flag bit-exactly.
+                    let st = &mut engine.states[idx];
+                    let w = st.open.entry(day).or_default();
+                    if let Some(&(last, _)) = w.entries.last() {
+                        if t < last {
+                            w.ooo = true;
+                        }
+                    }
+                    w.t_max = w.t_max.max(v);
+                    w.t_min = w.t_min.min(v);
+                    w.entries.push((t, v));
+                }
+            }
+            // Set after window replay so `or_default` inserts stay legal.
+            engine.states[idx].closed_through =
+                read_iv(get(s, "closed_through", "series")?, "closed_through")?;
+        }
+
+        for d in read_array(get(snap, "day_records", "snapshot")?, "day_records")? {
+            let row = read_array(d, "day record")?;
+            if row.len() != 6 {
+                return Err("day record is not a 6-tuple".into());
+            }
+            engine.day_records.push(DayRecord {
+                series_idx: read_u32(&row[0], "day series_idx")?,
+                local_day: read_iv(&row[1], "day local_day")?,
+                v: read_fb(&row[2], "day v")?,
+                t_max: read_fb(&row[3], "day t_max")?,
+                t_min: read_fb(&row[4], "day t_min")?,
+                n: read_u64(&row[5], "day n")? as usize,
+            });
+        }
+        for l in read_array(get(snap, "labels", "snapshot")?, "labels")? {
+            let row = read_array(l, "label")?;
+            if row.len() != 7 {
+                return Err("label is not a 7-tuple".into());
+            }
+            engine.labels.push(HourLabel {
+                series_idx: read_u32(&row[0], "label series_idx")?,
+                time: read_u64(&row[1], "label time")?,
+                local_hour: read_u64(&row[2], "label local_hour")? as u8,
+                local_day: read_iv(&row[3], "label local_day")?,
+                value: read_fb(&row[4], "label value")?,
+                v_h: read_fb(&row[5], "label v_h")?,
+                congested: read_bool(&row[6], "label congested")?,
+            });
+        }
+        for a in read_array(get(snap, "alerts", "snapshot")?, "alerts")? {
+            let row = read_array(a, "alert")?;
+            if row.len() != 6 {
+                return Err("alert is not a 6-tuple".into());
+            }
+            let series_idx = read_u32(&row[0], "alert series_idx")?;
+            let meta = engine
+                .series
+                .get(series_idx as usize)
+                .ok_or("alert references an unknown series")?;
+            engine.alerts.push(CongestionAlert {
+                series_idx,
+                series: meta.key.clone(),
+                server: meta.server.clone(),
+                start: read_u64(&row[1], "alert start")?,
+                end: read_u64(&row[2], "alert end")?,
+                peak_v_h: read_fb(&row[3], "alert peak")?,
+                events: read_u32(&row[4], "alert events")?,
+                open: read_bool(&row[5], "alert open")?,
+            });
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ThresholdMode;
+    use simnet::time::{HOUR, SECONDS_PER_DAY};
+    use tsdb::Point;
+
+    fn point(server: &str, t: u64, down: f64) -> Point {
+        Point::new("speedtest", t)
+            .tag("region", "us-west1")
+            .tag("server", server)
+            .tag("tier", "premium")
+            .tag("method", "topo")
+            .field("download", down)
+    }
+
+    fn stream(seed: u64, n_days: u64) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for day in 0..n_days {
+            for h in 0..24u64 {
+                // Deterministic pseudo-random walk with occasional dips.
+                let x = (seed ^ (day * 31 + h)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+                let base = 60.0 + (x % 1000) as f64 / 20.0;
+                let v = if (x >> 10).is_multiple_of(11) {
+                    base / 6.0
+                } else {
+                    base
+                };
+                for server in ["s1", "s2"] {
+                    pts.push(point(server, day * SECONDS_PER_DAY + h * HOUR, v));
+                }
+            }
+        }
+        pts
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            threshold: ThresholdMode::Auto {
+                initial: 0.5,
+                min_days: 3,
+            },
+            ..EngineConfig::paper()
+        }
+    }
+
+    fn offsets() -> HashMap<String, i32> {
+        [("s1".to_string(), -5), ("s2".to_string(), 9)].into()
+    }
+
+    #[test]
+    fn roundtrip_preserves_snapshot_bytes() {
+        let mut e = StreamEngine::new(cfg(), offsets());
+        for p in stream(7, 5) {
+            e.ingest(&p);
+        }
+        let snap = e.snapshot();
+        let back = StreamEngine::restore(cfg(), offsets(), &snap).unwrap();
+        assert_eq!(
+            serde_json::to_string(&snap),
+            serde_json::to_string(&back.snapshot()),
+        );
+        assert_eq!(back.events_seen(), e.events_seen());
+        assert_eq!(back.labels(), e.labels());
+        assert_eq!(back.day_records(), e.day_records());
+        assert_eq!(back.threshold(), e.threshold());
+    }
+
+    #[test]
+    fn resumed_engine_finishes_identical_to_uninterrupted() {
+        let pts = stream(11, 8);
+        let mut full = StreamEngine::new(cfg(), offsets());
+        for p in &pts {
+            full.ingest(p);
+        }
+
+        // Interrupt mid-stream (mid-day, windows open, alerts pending).
+        let cut = pts.len() / 2 + 7;
+        let mut first = StreamEngine::new(cfg(), offsets());
+        for p in &pts[..cut] {
+            first.ingest(p);
+        }
+        let snap = first.snapshot();
+        let mut resumed = StreamEngine::restore(cfg(), offsets(), &snap).unwrap();
+        assert_eq!(resumed.events_seen(), cut as u64);
+        for p in &pts[cut..] {
+            resumed.ingest(p);
+        }
+
+        full.finalize();
+        resumed.finalize();
+        assert_eq!(full.labels(), resumed.labels());
+        assert_eq!(full.day_records(), resumed.day_records());
+        assert_eq!(full.alerts(), resumed.alerts());
+        assert_eq!(full.stats(), resumed.stats());
+        assert_eq!(
+            serde_json::to_string(&full.snapshot()),
+            serde_json::to_string(&resumed.snapshot()),
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let e = StreamEngine::new(cfg(), offsets());
+        let snap = e.snapshot();
+        let mut other = cfg();
+        other.field = "upload".into();
+        assert!(StreamEngine::restore(other, offsets(), &snap)
+            .unwrap_err()
+            .contains("different measurement/field"));
+        let mut narrow = cfg();
+        narrow.sweep_steps = 10;
+        assert!(StreamEngine::restore(narrow, offsets(), &snap)
+            .unwrap_err()
+            .contains("thresholds"));
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let bad = serde_json::from_str("{}").unwrap();
+        assert!(StreamEngine::restore(cfg(), offsets(), &bad).is_err());
+        let wrong_version = serde_json::from_str(r#"{"version": 9}"#).unwrap();
+        assert!(StreamEngine::restore(cfg(), offsets(), &wrong_version)
+            .unwrap_err()
+            .contains("version"));
+    }
+}

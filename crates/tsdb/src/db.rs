@@ -1,8 +1,11 @@
-//! Storage: series-indexed, time-ordered point store.
+//! Storage: series-indexed, time-ordered point store, with an optional
+//! bounded tail for streaming consumers.
 
 use crate::point::{series_key, Point};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, Weak};
 
 /// A stored sample inside one series: `(time, fields)`.
 pub type Sample = (u64, BTreeMap<String, f64>);
@@ -71,11 +74,74 @@ impl Series {
     }
 }
 
+/// Shared state of one tail subscription: a bounded FIFO of inserted
+/// points plus an overflow tally.
+#[derive(Debug)]
+struct TailShared {
+    buf: VecDeque<Point>,
+    capacity: usize,
+    overflow: u64,
+}
+
+/// A bounded subscription to a [`Db`]'s insert stream.
+///
+/// Every point inserted after [`Db::subscribe`] is appended to the
+/// tail's buffer. The buffer is *bounded*: when the consumer falls more
+/// than `capacity` points behind, further inserts are counted in
+/// [`Tail::overflow`] instead of buffered — the publisher never blocks
+/// and never reorders, so an overflowing consumer sees a gap, knows its
+/// exact size, and can fall back to a batch rescan. Dropping the tail
+/// unsubscribes it.
+#[derive(Debug, Clone)]
+pub struct Tail {
+    shared: Arc<Mutex<TailShared>>,
+}
+
+impl Tail {
+    /// Pops the oldest buffered point, if any.
+    pub fn try_recv(&self) -> Option<Point> {
+        self.shared.lock().expect("tail lock").buf.pop_front()
+    }
+
+    /// Drains every buffered point into `f`, in insert order; returns
+    /// how many were delivered.
+    pub fn drain(&self, mut f: impl FnMut(Point)) -> u64 {
+        let mut n = 0;
+        // Take the whole buffer in one lock so `f` runs unlocked.
+        let batch = {
+            let mut shared = self.shared.lock().expect("tail lock");
+            std::mem::take(&mut shared.buf)
+        };
+        for p in batch {
+            f(p);
+            n += 1;
+        }
+        n
+    }
+
+    /// Points currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("tail lock").buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Points lost to backpressure (inserted while the buffer was full).
+    pub fn overflow(&self) -> u64 {
+        self.shared.lock().expect("tail lock").overflow
+    }
+}
+
 /// The database: an in-memory, single-writer time-series store.
 #[derive(Debug, Default)]
 pub struct Db {
     series: Vec<Series>,
     index: HashMap<String, usize>,
+    /// Live tail subscriptions; dead ones are pruned on insert.
+    tails: Vec<Weak<Mutex<TailShared>>>,
     /// Points accepted in total.
     pub points_written: u64,
 }
@@ -86,8 +152,46 @@ impl Db {
         Self::default()
     }
 
+    /// Subscribes a bounded tail to the insert stream: every subsequent
+    /// [`Db::insert`] is mirrored into the returned [`Tail`] until it
+    /// holds `capacity` undrained points, after which new points are
+    /// counted as overflow rather than buffered.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn subscribe(&mut self, capacity: usize) -> Tail {
+        assert!(capacity > 0, "tail capacity must be positive");
+        let shared = Arc::new(Mutex::new(TailShared {
+            buf: VecDeque::new(),
+            capacity,
+            overflow: 0,
+        }));
+        self.tails.push(Arc::downgrade(&shared));
+        Tail { shared }
+    }
+
+    /// Mirrors an inserted point to the live tails.
+    fn publish(&mut self, p: &Point) {
+        if self.tails.is_empty() {
+            return;
+        }
+        self.tails.retain(|weak| {
+            let Some(shared) = weak.upgrade() else {
+                return false;
+            };
+            let mut shared = shared.lock().expect("tail lock");
+            if shared.buf.len() < shared.capacity {
+                shared.buf.push_back(p.clone());
+            } else {
+                shared.overflow += 1;
+            }
+            true
+        });
+    }
+
     /// Inserts one point, routing it to its series.
     pub fn insert(&mut self, p: Point) {
+        self.publish(&p);
         let key = p.series_key();
         let idx = match self.index.get(&key) {
             Some(&i) => i,
@@ -232,6 +336,59 @@ mod tests {
         }
         assert_eq!(db.tag_values("throughput", "server"), vec!["a", "b", "c"]);
         assert!(db.tag_values("throughput", "nope").is_empty());
+    }
+
+    #[test]
+    fn tail_receives_inserts_in_order() {
+        let mut db = Db::new();
+        db.insert(point("a", 0, 1.0)); // before subscribe: not mirrored
+        let tail = db.subscribe(16);
+        db.insert(point("a", 10, 2.0));
+        db.insert(point("b", 5, 3.0));
+        let mut seen = Vec::new();
+        assert_eq!(
+            tail.drain(|p| seen.push((p.time, p.tags["server"].clone()))),
+            2
+        );
+        assert_eq!(seen, vec![(10, "a".to_string()), (5, "b".to_string())]);
+        assert!(tail.is_empty());
+        assert_eq!(tail.overflow(), 0);
+    }
+
+    #[test]
+    fn tail_bounded_with_overflow_count() {
+        let mut db = Db::new();
+        let tail = db.subscribe(2);
+        for t in 0..5 {
+            db.insert(point("a", t, 1.0));
+        }
+        // The first two buffered, the other three counted as overflow.
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.overflow(), 3);
+        assert_eq!(tail.try_recv().unwrap().time, 0);
+        // Draining frees capacity for later inserts.
+        db.insert(point("a", 9, 1.0));
+        let times: Vec<u64> = std::iter::from_fn(|| tail.try_recv())
+            .map(|p| p.time)
+            .collect();
+        assert_eq!(times, vec![1, 9]);
+    }
+
+    #[test]
+    fn dropped_tail_unsubscribes() {
+        let mut db = Db::new();
+        let tail = db.subscribe(4);
+        drop(tail);
+        db.insert(point("a", 0, 1.0)); // must not panic or leak
+        let live = db.subscribe(4);
+        db.insert(point("a", 1, 2.0));
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_tail_rejected() {
+        Db::new().subscribe(0);
     }
 
     #[test]

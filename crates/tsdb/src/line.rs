@@ -177,10 +177,21 @@ pub fn encode_batch(points: &[Point]) -> String {
 
 /// Decodes a batch, skipping blank lines; fails on the first bad line.
 pub fn decode_batch(text: &str) -> Result<Vec<Point>, ParseError> {
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(decode)
-        .collect()
+    decode_batch_lines(text).map_err(|(_, e)| e)
+}
+
+/// Like [`decode_batch`], but a failure also reports the 1-based line
+/// number of the offending line, so ingestion errors can name exactly
+/// which record of which object was malformed.
+pub fn decode_batch_lines(text: &str) -> Result<Vec<Point>, (usize, ParseError)> {
+    let mut points = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        points.push(decode(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -252,5 +263,16 @@ mod tests {
     #[test]
     fn batch_fails_on_bad_line() {
         assert!(decode_batch("m f=1 0\nbroken\n").is_err());
+    }
+
+    #[test]
+    fn batch_error_carries_line_number() {
+        // Line 3 is the bad one; blank lines still count toward numbering.
+        let text = "m f=1 0\n\nbroken\nm f=2 1\n";
+        match decode_batch_lines(text) {
+            Err((line, ParseError::MissingSection)) => assert_eq!(line, 3),
+            other => panic!("expected line-3 failure, got {other:?}"),
+        }
+        assert_eq!(decode_batch_lines("m f=1 0\n").unwrap().len(), 1);
     }
 }

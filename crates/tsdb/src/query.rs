@@ -24,6 +24,12 @@ pub enum Aggregate {
     /// Last value in time order.
     Last,
     /// Linear-interpolation percentile, `0.0 ..= 100.0`.
+    ///
+    /// The rank is clamped into `[0, 100]` (a NaN rank yields no row).
+    /// Every window edge case is well-defined: an empty window produces
+    /// no row (like every other aggregate), a single-point window
+    /// returns that point for any rank, and non-finite sample values
+    /// are ordered with IEEE total order instead of panicking.
     Percentile(f64),
 }
 
@@ -40,10 +46,27 @@ impl Aggregate {
             Aggregate::Sum => Some(values.iter().sum()),
             Aggregate::Last => values.last().copied(),
             Aggregate::Percentile(p) => {
-                values.sort_by(|a, b| a.partial_cmp(b).expect("finite fields"));
+                if p.is_nan() {
+                    return None;
+                }
+                if values.len() == 1 {
+                    // Any percentile of one sample is that sample; skip
+                    // the interpolation entirely so the edge cannot
+                    // produce `values[0] + 0 * garbage` artifacts.
+                    return Some(values[0]);
+                }
+                // Total order: NaN/±inf fields (possible via decoded
+                // line protocol, which bypasses the builder's finite
+                // check) sort deterministically instead of panicking.
+                values.sort_by(|a, b| a.total_cmp(b));
                 let pos = (p / 100.0).clamp(0.0, 1.0) * (values.len() - 1) as f64;
                 let lo = pos.floor() as usize;
                 let hi = pos.ceil() as usize;
+                if lo == hi {
+                    // Exact rank: no interpolation, so an infinite value
+                    // comes back as itself rather than `inf - inf`.
+                    return Some(values[lo]);
+                }
                 Some(values[lo] + (values[hi] - values[lo]) * (pos - lo as f64))
             }
         }
@@ -261,6 +284,81 @@ mod tests {
             .aggregate(Aggregate::Percentile(95.0))
             .run(&mut db);
         assert_eq!(res[0].rows[0].value, 95.0);
+    }
+
+    #[test]
+    fn percentile_single_point_window_is_that_point() {
+        let mut db = Db::new();
+        db.insert(Point::new("m", 10).tag("s", "x").field("f", 7.5));
+        for p in [0.0, 37.0, 50.0, 100.0] {
+            let res = Query::select("m", "f")
+                .aggregate(Aggregate::Percentile(p))
+                .run(&mut db);
+            assert_eq!(res[0].rows[0].value, 7.5, "p = {p}");
+        }
+        // Grouped path too: each hourly window holds exactly one point.
+        let res = Query::select("m", "f")
+            .group_by_time(3600)
+            .aggregate(Aggregate::Percentile(95.0))
+            .run(&mut db);
+        assert_eq!(
+            res[0].rows,
+            vec![Row {
+                time: 0,
+                value: 7.5
+            }]
+        );
+    }
+
+    #[test]
+    fn percentile_empty_window_yields_no_row() {
+        // A series whose samples lack the queried field: the candidate
+        // value set is empty in both the grouped and ungrouped paths.
+        // The well-defined result is "no row", never a panic.
+        let mut db = Db::new();
+        db.insert(Point::new("m", 0).tag("s", "x").field("other", 1.0));
+        for q in [
+            Query::select("m", "f").aggregate(Aggregate::Percentile(50.0)),
+            Query::select("m", "f")
+                .group_by_time(60)
+                .aggregate(Aggregate::Percentile(50.0)),
+        ] {
+            assert!(q.run(&mut db).is_empty());
+        }
+    }
+
+    #[test]
+    fn percentile_rank_is_clamped_and_nan_rank_yields_no_row() {
+        let mut db = Db::new();
+        for (t, v) in [(0u64, 1.0), (1, 2.0), (2, 3.0)] {
+            db.insert(Point::new("m", t).tag("s", "x").field("f", v));
+        }
+        let run = |p: f64, db: &mut Db| {
+            Query::select("m", "f")
+                .aggregate(Aggregate::Percentile(p))
+                .run(db)
+        };
+        assert_eq!(run(-10.0, &mut db)[0].rows[0].value, 1.0);
+        assert_eq!(run(500.0, &mut db)[0].rows[0].value, 3.0);
+        assert!(run(f64::NAN, &mut db).is_empty());
+    }
+
+    #[test]
+    fn percentile_tolerates_non_finite_values() {
+        // Non-finite fields can enter via decoded line protocol, which
+        // builds Points directly; total_cmp orders them deterministically
+        // (-inf first, NaN last) instead of panicking mid-sort.
+        let mut db = Db::new();
+        let mut p = Point::new("m", 0).tag("s", "x").field("f", 1.0);
+        p.fields.insert("g".into(), f64::INFINITY);
+        db.insert(p);
+        let mut q = Point::new("m", 1).tag("s", "x").field("f", 2.0);
+        q.fields.insert("g".into(), f64::NAN);
+        db.insert(q);
+        let res = Query::select("m", "g")
+            .aggregate(Aggregate::Percentile(0.0))
+            .run(&mut db);
+        assert_eq!(res[0].rows[0].value, f64::INFINITY);
     }
 
     #[test]
