@@ -1,0 +1,139 @@
+//! Parallel campaign scaling bench: wall-clock at `--jobs` 1/2/4/8 on
+//! the bench-scale `paper` config and the `small` config.
+//!
+//! Every combination must produce the bit-identical final checkpoint —
+//! the bench asserts that before it reports a single number, so a
+//! "speedup" that diverges from the serial run fails loudly instead of
+//! landing in the tracking data.
+//!
+//! Unlike the criterion-driven benches this one times whole campaign
+//! runs by hand (the vendored criterion stand-in does not expose its
+//! samples) and writes a JSON summary for `BENCH_*.json` tracking to
+//! `target/BENCH_campaign_parallel.json` (override the path with the
+//! `CLASP_BENCH_JSON` environment variable). The summary records the
+//! machine's available parallelism: on a single-core runner the
+//! speedups are expected to hover around 1.0 and the tracking side
+//! should gate on `available_parallelism` before judging them.
+//!
+//! ```text
+//! cargo bench -p clasp-bench --bench campaign_parallel            # measure
+//! cargo bench -p clasp-bench --bench campaign_parallel -- --test  # smoke
+//! ```
+
+use analysis::harness::PAPER_SEED;
+use clasp_bench::{world, BENCH_DAYS};
+use clasp_core::campaign::{Campaign, CampaignConfig};
+use serde_json::{Map, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn paper_cfg(jobs: usize) -> CampaignConfig {
+    let mut cfg = CampaignConfig::paper(PAPER_SEED);
+    cfg.days = BENCH_DAYS;
+    cfg.diff_days = cfg.diff_days.min(BENCH_DAYS);
+    cfg.jobs = jobs;
+    cfg
+}
+
+fn small_cfg(jobs: usize) -> CampaignConfig {
+    let mut cfg = CampaignConfig::small(PAPER_SEED);
+    cfg.jobs = jobs;
+    cfg
+}
+
+/// Times one (config, jobs) combination: `reps` full campaign runs,
+/// reporting the minimum and the final checkpoint of the last run.
+fn time_combo(cfg: &CampaignConfig, reps: usize) -> (f64, String) {
+    let w = world();
+    let mut best = f64::INFINITY;
+    let mut checkpoint = String::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        let result = black_box(Campaign::new(w, cfg.clone()).run());
+        best = best.min(t.elapsed().as_secs_f64());
+        checkpoint = serde_json::to_string(result.checkpoints.last().expect("checkpoints"));
+    }
+    (best, checkpoint)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => smoke = true,
+            "--bench" => {}
+            a if a.starts_with("--") => {}
+            a => filter = Some(a.to_string()),
+        }
+    }
+    let reps = if smoke { 1 } else { 3 };
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    for (config, build) in [
+        ("paper", paper_cfg as fn(usize) -> CampaignConfig),
+        ("small", small_cfg),
+    ] {
+        let mut serial_secs = None;
+        let mut serial_checkpoint = None;
+        for jobs in JOBS {
+            let id = format!("campaign_parallel/{config}/jobs_{jobs}");
+            if filter.as_deref().is_some_and(|f| !id.contains(f)) {
+                continue;
+            }
+            let (secs, checkpoint) = time_combo(&build(jobs), reps);
+            match &serial_checkpoint {
+                None => {
+                    serial_secs = Some(secs);
+                    serial_checkpoint = Some(checkpoint);
+                }
+                Some(serial) => assert_eq!(
+                    serial, &checkpoint,
+                    "{id}: final checkpoint diverged from the serial run"
+                ),
+            }
+            let speedup = serial_secs.map(|s| s / secs).unwrap_or(1.0);
+            if smoke {
+                println!("{id}: ok (smoke)");
+            } else {
+                println!("{id:<50} min {secs:>9.3}s  speedup {speedup:>5.2}x");
+            }
+            let mut row = Map::new();
+            row.insert("config".into(), config.into());
+            row.insert("jobs".into(), jobs.into());
+            row.insert("secs".into(), secs.into());
+            row.insert("speedup_vs_serial".into(), speedup.into());
+            rows.push(Value::Object(row));
+        }
+    }
+
+    let mut summary = Map::new();
+    summary.insert("bench".into(), "campaign_parallel".into());
+    summary.insert("seed".into(), PAPER_SEED.into());
+    summary.insert("bench_days".into(), BENCH_DAYS.into());
+    summary.insert("available_parallelism".into(), parallelism.into());
+    summary.insert("smoke".into(), smoke.into());
+    summary.insert("results".into(), Value::Array(rows));
+    let summary = Value::Object(summary);
+    // cargo runs benches with the package directory as cwd; resolve the
+    // workspace target dir explicitly so the summary lands in one place.
+    let path = std::env::var("CLASP_BENCH_JSON").unwrap_or_else(|_| {
+        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
+            format!(
+                "{}/../../target",
+                std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into())
+            )
+        });
+        format!("{target}/BENCH_campaign_parallel.json")
+    });
+    if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&summary)) {
+        eprintln!("campaign_parallel: could not write {path}: {e}");
+    } else {
+        println!("campaign_parallel: summary written to {path}");
+    }
+}

@@ -42,12 +42,12 @@ fn points() -> &'static [Point] {
             let measurement = s.measurement.clone();
             let tags = s.tags.clone();
             for (t, fields) in s.samples() {
-                pts.push(Point {
-                    measurement: measurement.clone(),
-                    tags: tags.clone(),
-                    fields: fields.clone(),
-                    time: *t,
-                });
+                pts.push(Point::from_parts(
+                    measurement.clone(),
+                    tags.clone(),
+                    fields.clone(),
+                    *t,
+                ));
             }
         }
         pts.sort_by_key(|p| p.time);

@@ -90,6 +90,15 @@ impl Bucket {
         Ok(())
     }
 
+    /// Moves every object of `other` into this bucket (overwriting on
+    /// key collision, like [`Self::put`] does). Workers upload into
+    /// VM-local buckets; absorbing them recreates the shared bucket —
+    /// `BTreeMap` storage makes the result independent of absorb order
+    /// whenever the key sets are disjoint.
+    pub fn absorb(&mut self, other: Bucket) {
+        self.objects.extend(other.objects);
+    }
+
     /// Fetches an object.
     pub fn get(&self, key: &str) -> Option<&Object> {
         self.objects.get(key)
@@ -182,6 +191,21 @@ mod tests {
         let err = b.try_put("k1", "x".into(), SimTime::EPOCH, &plan, "vm-0", 3, 2);
         assert_eq!(err, Err(UploadError { day: 3, attempt: 2 }));
         assert!(b.get("k1").is_none());
+    }
+
+    #[test]
+    fn absorb_merges_objects() {
+        let mut a = Bucket::new("r");
+        a.put("raw/d0/vm0", "x".into(), SimTime::EPOCH);
+        let mut b = Bucket::new("r");
+        b.put("raw/d0/vm1", "y".into(), SimTime(5));
+        b.put("raw/d1/vm1", "z".into(), SimTime(9));
+        a.absorb(b);
+        assert_eq!(
+            a.list("raw/"),
+            vec!["raw/d0/vm0", "raw/d0/vm1", "raw/d1/vm1"]
+        );
+        assert_eq!(a.get("raw/d1/vm1").unwrap().uploaded, SimTime(9));
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! ```text
 //! clasp crawl  [--seed N]                      # crawl the server registries
 //! clasp select [--seed N] [--region R] [--budget N]
-//! clasp run    [--seed N] [--region R] [--budget N] [--days N] [--fault-profile P]
-//! clasp analyze [--seed N] [--region R] [--budget N] [--days N] [--threshold H]
-//! clasp stream [--seed N] [--region R] [--budget N] [--days N] [--threshold H]
-//!              [--auto-threshold] [--fault-profile P]
+//! clasp run    [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
+//!              [--fault-profile P]
+//! clasp analyze [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
+//!              [--threshold H]
+//! clasp stream [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
+//!              [--threshold H] [--auto-threshold] [--fault-profile P]
 //! clasp bill   [--seed N] [--days N]           # cost forecast for a deployment
 //! ```
 //!
@@ -24,6 +26,10 @@
 //! `moderate`, `heavy`, `gcp-2020`) or a path to a JSON plan; the run
 //! then injects faults, retries its way through them, and reports the
 //! fault summary and per-region data completeness.
+//!
+//! `--jobs N` runs the campaign on N worker threads; `--jobs 0` (the
+//! default) uses the machine's available parallelism, `--jobs 1` forces
+//! the serial path. Results are bit-identical at every setting.
 
 use clasp_core::campaign::{Campaign, CampaignConfig};
 use clasp_core::congestion::CongestionAnalysis;
@@ -56,8 +62,9 @@ fn arg_str(args: &[String], name: &str, default: &str) -> String {
 fn usage() -> ! {
     eprintln!(
         "usage: clasp <crawl|select|run|analyze|stream|bill> \
-         [--seed N] [--region R] [--budget N] [--days N] [--threshold H] \
-         [--auto-threshold] [--fault-profile <name|path.json>]"
+         [--seed N] [--region R] [--budget N] [--days N] [--jobs N] \
+         [--threshold H] [--auto-threshold] \
+         [--fault-profile <name|path.json>]"
     );
     std::process::exit(2);
 }
@@ -92,6 +99,7 @@ fn main() {
     let budget = arg_u64(&args, "--budget", 34) as usize;
     let days = arg_u64(&args, "--days", 7);
     let threshold = arg_f64(&args, "--threshold", 0.5);
+    let jobs = arg_u64(&args, "--jobs", 0) as usize;
 
     let world = World::new(seed);
     let region = cloudsim::region::Region::by_name(&region_name).unwrap_or_else(|| {
@@ -151,6 +159,7 @@ fn main() {
             config.topo_regions = vec![(region.name, budget)];
             config.diff_regions.clear();
             config.keep_raw = true;
+            config.jobs = jobs;
             let fault_spec = arg_str(&args, "--fault-profile", "none");
             config.fault_plan = load_fault_profile(&fault_spec);
             let result = Campaign::new(&world, config).run();
@@ -218,6 +227,7 @@ fn main() {
             config.topo_regions = vec![(region.name, budget)];
             config.diff_regions.clear();
             config.keep_raw = true;
+            config.jobs = jobs;
             let fault_spec = arg_str(&args, "--fault-profile", "none");
             config.fault_plan = load_fault_profile(&fault_spec);
 

@@ -11,6 +11,7 @@
 //! against the differential-selected servers, producing the paired
 //! samples that §4.1 compares.
 
+use crate::exec;
 use crate::pipeline;
 use crate::plan::{self, DeploymentPlan};
 use crate::select::differential::{self, DifferentialSelection, PreTestConfig};
@@ -67,6 +68,12 @@ pub struct CampaignConfig {
     /// default) is bitwise invisible: the campaign output is identical
     /// to a build without any fault hooks.
     pub fault_plan: FaultPlan,
+    /// Worker threads for campaign execution. `1` takes the serial
+    /// path; `0` means "use the machine's available parallelism". Any
+    /// value produces bit-identical results — units run on independent
+    /// seeded RNG streams and their outputs are merged in canonical
+    /// order — so this knob trades wall-clock only, never output.
+    pub jobs: usize,
 }
 
 impl CampaignConfig {
@@ -91,6 +98,7 @@ impl CampaignConfig {
             keep_raw: false,
             outage_rate: 0.0,
             fault_plan: FaultPlan::none(),
+            jobs: 1,
         }
     }
 
@@ -115,6 +123,7 @@ impl CampaignConfig {
             keep_raw: true,
             outage_rate: 0.0,
             fault_plan: FaultPlan::none(),
+            jobs: 1,
         }
     }
 
@@ -126,6 +135,18 @@ impl CampaignConfig {
             plan.legacy_outage_rate = self.outage_rate;
         }
         plan
+    }
+
+    /// The worker count [`Self::jobs`] resolves to: itself, or the
+    /// machine's available parallelism when set to `0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
     }
 }
 
@@ -158,6 +179,145 @@ pub struct CampaignResult {
     /// them to [`Campaign::resume`] re-produces the identical final
     /// result without re-running the completed units.
     pub checkpoints: Vec<serde_json::Value>,
+}
+
+/// One entry in the campaign's ordered, checkpointable work-unit list.
+enum UnitKind {
+    Topo { budget: usize },
+    Diff,
+}
+
+/// Cumulative campaign state, restored from a checkpoint or fresh.
+struct ResumeState {
+    vm_count: usize,
+    tests_run: u64,
+    tainted: u64,
+    billing: Billing,
+    flog: FaultLog,
+    report: CompletenessReport,
+    completed: Vec<String>,
+    raw_store: Vec<(String, serde_json::Value)>,
+}
+
+impl ResumeState {
+    fn load(resume: Option<&serde_json::Value>) -> Result<ResumeState, String> {
+        let mut st = ResumeState {
+            vm_count: 0,
+            tests_run: 0,
+            tainted: 0,
+            billing: Billing::new(),
+            flog: FaultLog::new(),
+            report: CompletenessReport::new(),
+            completed: Vec::new(),
+            raw_store: Vec::new(),
+        };
+        let Some(ckpt) = resume else {
+            return Ok(st);
+        };
+        let counters = ckpt.get("counters").ok_or("checkpoint missing counters")?;
+        let u = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        st.vm_count = u("vm_count") as usize;
+        st.tests_run = u("tests_run");
+        st.tainted = u("tainted");
+        st.billing = billing_from_json(ckpt.get("billing").ok_or("checkpoint missing billing")?);
+        st.flog = FaultLog::from_json(
+            ckpt.get("fault_log")
+                .ok_or("checkpoint missing fault_log")?,
+        )?;
+        st.report = CompletenessReport::from_json(
+            ckpt.get("completeness")
+                .ok_or("checkpoint missing completeness")?,
+        )?;
+        st.completed = ckpt
+            .get("completed")
+            .and_then(|c| c.as_array())
+            .ok_or("checkpoint missing completed")?
+            .iter()
+            .filter_map(|v| v.as_str().map(String::from))
+            .collect();
+        for entry in ckpt
+            .get("raw")
+            .and_then(|r| r.as_array())
+            .ok_or("checkpoint missing raw")?
+        {
+            let label = entry
+                .get("unit")
+                .and_then(|v| v.as_str())
+                .ok_or("raw entry missing unit")?;
+            st.raw_store.push((label.to_string(), entry.clone()));
+        }
+        Ok(st)
+    }
+}
+
+/// The selection a unit-prep task computed.
+enum UnitSel {
+    Topo(TopologySelection),
+    Diff(DifferentialSelection),
+}
+
+/// Phase-1 output of a parallel run: one prepared unit.
+struct UnitPrep<'w> {
+    sel: UnitSel,
+    /// Total VMs the unit's plan deploys (topo only; diff counts per VM
+    /// at merge). Zero for already-completed units.
+    n_vms: usize,
+    /// VM task descriptors, in the serial run's execution order. Empty
+    /// for already-completed units.
+    vms: Vec<VmTask<'w>>,
+}
+
+/// Resolved path pairs, keyed by server id.
+type PairMap<'w> = std::collections::HashMap<String, (PathPair, &'w speedtest::platform::Server)>;
+
+/// Everything a worker needs to run one VM's campaign independently.
+struct VmTask<'w> {
+    unit: usize,
+    vm_idx: usize,
+    /// The unit plan's total VM count (quota checks draw on it).
+    n_vms: usize,
+    tier: Tier,
+    assignment: Vec<String>,
+    /// Path pairs resolved during unit prep, while the worker's route
+    /// cache is warm from the unit's selection scan. Resolution is a
+    /// pure function of (world, region, tier, server), so resolving in
+    /// phase 1 instead of next to the cron loop cannot change results —
+    /// it only keeps the expensive routing tables off the per-VM phase.
+    pairs: PairMap<'w>,
+    comp_label: String,
+    /// Region string of the unit's shared bucket (upload fault draws
+    /// are scoped to it, so VM-local buckets must carry the same one).
+    bucket_region: String,
+    method: &'static str,
+    start: SimTime,
+    days: u64,
+}
+
+/// Everything one VM's campaign produced, buffered for the ordered
+/// merge. All cross-VM shared state in the serial run decomposes into
+/// order-free parts: fault ids rebase on append, completeness and
+/// transfer tallies are unsigned sums, bucket keys are disjoint per VM.
+struct VmOutput {
+    bucket: Bucket,
+    billing: Billing,
+    tests_run: u64,
+    tainted: u64,
+    flog: FaultLog,
+    report: CompletenessReport,
+    decoded: Vec<pipeline::DecodedObject>,
+}
+
+/// Shared per-VM-loop parameters (the invariants of one
+/// region/tier/assignment run).
+struct VmLoopParams<'a> {
+    region: &'static Region,
+    n_vms: usize,
+    tier: Tier,
+    tier_salt: u64,
+    method: &'a str,
+    start: SimTime,
+    days: u64,
+    comp_label: &'a str,
 }
 
 /// The campaign driver.
@@ -242,6 +402,38 @@ impl<'w> Campaign<'w> {
     fn run_resumable(
         &self,
         resume: Option<&serde_json::Value>,
+        stream: Option<&mut clasp_stream::StreamEngine>,
+    ) -> Result<CampaignResult, String> {
+        let jobs = self.config.effective_jobs();
+        if jobs > 1 {
+            self.run_parallel(resume, stream, jobs)
+        } else {
+            self.run_serial(resume, stream)
+        }
+    }
+
+    /// The campaign as an ordered list of checkpointable work units:
+    /// each topology region, then each differential region. This order
+    /// is the canonical one — serial execution follows it, and the
+    /// parallel merge reassembles worker output along it.
+    fn units(&self) -> Vec<(String, &'static str, UnitKind)> {
+        let mut units = Vec::new();
+        for &(region_name, budget) in &self.config.topo_regions {
+            units.push((
+                format!("topo:{region_name}"),
+                region_name,
+                UnitKind::Topo { budget },
+            ));
+        }
+        for &region_name in &self.config.diff_regions {
+            units.push((format!("diff:{region_name}"), region_name, UnitKind::Diff));
+        }
+        units
+    }
+
+    fn run_serial(
+        &self,
+        resume: Option<&serde_json::Value>,
         mut stream: Option<&mut clasp_stream::StreamEngine>,
     ) -> Result<CampaignResult, String> {
         let session = self.world.session();
@@ -269,83 +461,31 @@ impl<'w> Campaign<'w> {
                 engine.record_bus_overflow(tail.overflow());
             }
         };
-        let mut billing = Billing::new();
-        let mut vm_count = 0usize;
-        let mut tests_run = 0u64;
-        let mut tainted = 0u64;
         let mut raw_objects = 0u64;
         let mut buckets = Vec::new();
         let mut topo_selections = Vec::new();
         let mut diff_selections = Vec::new();
-        let mut flog = FaultLog::new();
-        let mut report = CompletenessReport::new();
         let mut checkpoints = Vec::new();
+        let st = ResumeState::load(resume)?;
+        let mut vm_count = st.vm_count;
+        let mut tests_run = st.tests_run;
+        let mut tainted = st.tainted;
+        let mut billing = st.billing;
+        let mut flog = st.flog;
+        let mut report = st.report;
+        let mut completed = st.completed;
         // Durable raw snapshots of completed units, label → bucket dump.
-        let mut raw_store: Vec<(String, serde_json::Value)> = Vec::new();
-        let mut completed: Vec<String> = Vec::new();
-
-        if let Some(ckpt) = resume {
-            let counters = ckpt.get("counters").ok_or("checkpoint missing counters")?;
-            let u = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
-            vm_count = u("vm_count") as usize;
-            tests_run = u("tests_run");
-            tainted = u("tainted");
-            billing = billing_from_json(ckpt.get("billing").ok_or("checkpoint missing billing")?);
-            flog = FaultLog::from_json(
-                ckpt.get("fault_log")
-                    .ok_or("checkpoint missing fault_log")?,
-            )?;
-            report = CompletenessReport::from_json(
-                ckpt.get("completeness")
-                    .ok_or("checkpoint missing completeness")?,
-            )?;
-            completed = ckpt
-                .get("completed")
-                .and_then(|c| c.as_array())
-                .ok_or("checkpoint missing completed")?
-                .iter()
-                .filter_map(|v| v.as_str().map(String::from))
-                .collect();
-            for entry in ckpt
-                .get("raw")
-                .and_then(|r| r.as_array())
-                .ok_or("checkpoint missing raw")?
-            {
-                let label = entry
-                    .get("unit")
-                    .and_then(|v| v.as_str())
-                    .ok_or("raw entry missing unit")?;
-                raw_store.push((label.to_string(), entry.clone()));
-            }
-        }
+        let mut raw_store = st.raw_store;
 
         let diff_start = SimTime((self.config.days - self.config.diff_days) * SECONDS_PER_DAY);
 
-        // The campaign as an ordered list of checkpointable work units:
-        // each topology region, then each differential region.
-        enum Unit {
-            Topo { budget: usize },
-            Diff,
-        }
-        let mut units: Vec<(String, &'static str, Unit)> = Vec::new();
-        for &(region_name, budget) in &self.config.topo_regions {
-            units.push((
-                format!("topo:{region_name}"),
-                region_name,
-                Unit::Topo { budget },
-            ));
-        }
-        for &region_name in &self.config.diff_regions {
-            units.push((format!("diff:{region_name}"), region_name, Unit::Diff));
-        }
-
-        for (label, region_name, unit) in units {
+        for (label, region_name, unit) in self.units() {
             let region = Region::by_name(region_name).expect("known region");
             let region_city = region.city_id(&self.world.topo.cities);
             let done = completed.iter().any(|c| c == &label);
 
             match unit {
-                Unit::Topo { budget } => {
+                UnitKind::Topo { budget } => {
                     // Selection is a pure function of world + config:
                     // recomputed identically whether resuming or not.
                     let sel = topology::select(
@@ -400,7 +540,7 @@ impl<'w> Campaign<'w> {
                     }
                     topo_selections.push(sel);
                 }
-                Unit::Diff => {
+                UnitKind::Diff => {
                     let sel = differential::select(
                         self.world,
                         &session.paths,
@@ -502,10 +642,363 @@ impl<'w> Campaign<'w> {
         })
     }
 
+    /// The parallel path behind `--jobs N`, in three phases: per-unit
+    /// prep (selection + deployment plan) scattered across workers,
+    /// per-VM campaign loops scattered across workers into VM-local
+    /// buffers, then a serial merge in canonical unit order that
+    /// replays exactly the mutation sequence [`Self::run_serial`]
+    /// performs. Every output — points, checkpoints, fault ids,
+    /// billing, completeness rows, stream labels — is therefore
+    /// bit-identical to `--jobs 1`:
+    ///
+    /// * fault ids are log positions, so appending VM-local logs in
+    ///   canonical order with an id rebase reproduces serial ids;
+    /// * completeness tallies and transfer bytes are unsigned sums,
+    ///   which commute;
+    /// * VM-hour and storage meters are `f64` (non-associative), so the
+    ///   merge re-issues those ops in serial order instead of summing
+    ///   worker partials;
+    /// * bucket keys are disjoint per VM and `BTreeMap`-stored, so
+    ///   absorb order cannot change the listing, and sorting the
+    ///   per-VM decoded objects by key reproduces the serial ingest
+    ///   order — which is what the streaming engine consumes.
+    fn run_parallel(
+        &self,
+        resume: Option<&serde_json::Value>,
+        mut stream: Option<&mut clasp_stream::StreamEngine>,
+        jobs: usize,
+    ) -> Result<CampaignResult, String> {
+        let client = SpeedTestClient::default();
+        let base_cron = CronSchedule::new(self.config.seed ^ 0xc407);
+        let fplan = self.config.effective_fault_plan();
+        let mut db = Db::new();
+        // Streaming: the bounded tail and replay cursor work exactly as
+        // in the serial path — the engine only ever sees the merged,
+        // canonically-ordered point stream.
+        let tail = stream
+            .as_deref_mut()
+            .map(|engine| db.subscribe(engine.config().bus_capacity));
+        let mut replay_skip = stream.as_deref().map_or(0, |engine| engine.events_seen());
+        let mut drain = |stream: &mut Option<&mut clasp_stream::StreamEngine>| {
+            if let (Some(tail), Some(engine)) = (tail.as_ref(), stream.as_deref_mut()) {
+                tail.drain(|p| {
+                    if replay_skip > 0 {
+                        replay_skip -= 1;
+                    } else {
+                        engine.ingest(&p);
+                    }
+                });
+                engine.record_bus_overflow(tail.overflow());
+            }
+        };
+        let st = ResumeState::load(resume)?;
+        let mut vm_count = st.vm_count;
+        let mut tests_run = st.tests_run;
+        let mut tainted = st.tainted;
+        let mut billing = st.billing;
+        let mut flog = st.flog;
+        let mut report = st.report;
+        let mut completed = st.completed;
+        let mut raw_store = st.raw_store;
+        let mut raw_objects = 0u64;
+        let mut buckets = Vec::new();
+        let mut topo_selections = Vec::new();
+        let mut diff_selections = Vec::new();
+        let mut checkpoints = Vec::new();
+
+        let units = self.units();
+        let done: Vec<bool> = units
+            .iter()
+            .map(|(label, _, _)| completed.iter().any(|c| c == label))
+            .collect();
+        let diff_start = SimTime((self.config.days - self.config.diff_days) * SECONDS_PER_DAY);
+
+        // Phase 1: per-unit prep — selections (pure functions of world
+        // + config, recomputed identically whether resuming or not) and
+        // the VM task descriptors of pending units. Each worker builds
+        // one session and keeps it warm across its units: the Paths
+        // route cache is memoization only, so cache state can never
+        // change a result — only skip recomputation.
+        // Phase 0: routing-table warm. A pilot scan traceroutes every
+        // non-cloud AS, so the serial run's single session ends up with
+        // one routing table per AS; per-worker sessions would recompute
+        // that whole set once per worker. Each table is an independent
+        // pure function of the topology, so compute the full set here —
+        // fanned out across the same worker pool — and seed every
+        // session below with the shared result.
+        let dsts: Vec<simnet::topology::AsId> = std::iter::once(self.world.topo.cloud)
+            .chain(self.world.topo.non_cloud_ases())
+            .collect();
+        let tables: simnet::routing::RouteTables = exec::scatter(jobs, dsts.len(), |i| {
+            let routing = simnet::routing::Routing::new(&self.world.topo);
+            (dsts[i], routing.routes_to(dsts[i]))
+        })
+        .into_iter()
+        .collect();
+
+        let preps: Vec<UnitPrep> = exec::scatter_with(
+            jobs,
+            units.len(),
+            || self.world.session_with(&tables),
+            |session, i| {
+                let (_, region_name, kind) = &units[i];
+                let region = Region::by_name(region_name).expect("known region");
+                let region_city = region.city_id(&self.world.topo.cities);
+                match kind {
+                    UnitKind::Topo { budget } => {
+                        let sel = topology::select(
+                            self.world,
+                            &session.paths,
+                            region.name,
+                            region_city,
+                            *budget,
+                            &self.config.pilot,
+                        );
+                        let mut vms = Vec::new();
+                        let mut n_vms = 0;
+                        if !done[i] {
+                            let plan = plan::plan_region(region, &sel.servers, &base_cron);
+                            n_vms = plan.n_vms;
+                            for (vm_idx, assignment) in plan.assignments.iter().enumerate() {
+                                vms.push(VmTask {
+                                    unit: i,
+                                    vm_idx,
+                                    n_vms: plan.n_vms,
+                                    tier: Tier::Premium,
+                                    pairs: self.resolve_pairs(
+                                        session,
+                                        &client,
+                                        region,
+                                        Tier::Premium,
+                                        assignment,
+                                    ),
+                                    assignment: assignment.clone(),
+                                    comp_label: region.name.to_string(),
+                                    bucket_region: region.name.to_string(),
+                                    method: "topo",
+                                    start: SimTime::EPOCH,
+                                    days: self.config.days,
+                                });
+                            }
+                        }
+                        UnitPrep {
+                            sel: UnitSel::Topo(sel),
+                            n_vms,
+                            vms,
+                        }
+                    }
+                    UnitKind::Diff => {
+                        let sel = differential::select(
+                            self.world,
+                            &session.paths,
+                            &session.perf,
+                            region.name,
+                            region_city,
+                            &self.config.pretest,
+                        );
+                        let mut vms = Vec::new();
+                        if !done[i] {
+                            let servers: Vec<String> =
+                                sel.picks.iter().map(|p| p.server_id.clone()).collect();
+                            for tier in [Tier::Premium, Tier::Standard] {
+                                vms.push(VmTask {
+                                    unit: i,
+                                    vm_idx: 0,
+                                    n_vms: 1,
+                                    tier,
+                                    pairs: self
+                                        .resolve_pairs(session, &client, region, tier, &servers),
+                                    assignment: servers.clone(),
+                                    comp_label: format!("{}-diff-{}", region.name, tier.label()),
+                                    bucket_region: format!("{}-diff", region.name),
+                                    method: "diff",
+                                    start: diff_start,
+                                    days: self.config.diff_days,
+                                });
+                            }
+                        }
+                        UnitPrep {
+                            sel: UnitSel::Diff(sel),
+                            n_vms: 0,
+                            vms,
+                        }
+                    }
+                }
+            },
+        );
+
+        // Phase 2: every VM of every pending unit is one independent
+        // task. VM-level granularity keeps all workers busy even when a
+        // single region holds half the server budget; unit-level tasks
+        // would cap the speedup at the largest region's share.
+        let tasks: Vec<&VmTask> = preps.iter().flat_map(|p| p.vms.iter()).collect();
+        let outputs: Vec<VmOutput> = exec::scatter_with(
+            jobs,
+            tasks.len(),
+            || self.world.session_with(&tables),
+            |session, t| {
+                let task = tasks[t];
+                let region = Region::by_name(units[task.unit].1).expect("known region");
+                let salt = tier_salt(task.tier);
+                let cron = CronSchedule {
+                    budget: base_cron.budget,
+                    seed: base_cron.seed ^ salt,
+                };
+                let mut out = VmOutput {
+                    bucket: Bucket::new(task.bucket_region.clone()),
+                    billing: Billing::new(),
+                    tests_run: 0,
+                    tainted: 0,
+                    flog: FaultLog::new(),
+                    report: CompletenessReport::new(),
+                    decoded: Vec::new(),
+                };
+                let params = VmLoopParams {
+                    region,
+                    n_vms: task.n_vms,
+                    tier: task.tier,
+                    tier_salt: salt,
+                    method: task.method,
+                    start: task.start,
+                    days: task.days,
+                    comp_label: &task.comp_label,
+                };
+                self.run_vm_loop(
+                    session,
+                    &client,
+                    &cron,
+                    &params,
+                    task.vm_idx,
+                    &task.assignment,
+                    &task.pairs,
+                    &mut out.bucket,
+                    &mut out.billing,
+                    &mut out.tests_run,
+                    &mut out.tainted,
+                    &fplan,
+                    &mut out.flog,
+                    &mut out.report,
+                );
+                // Decode (parse) this VM's own uploads while still on the
+                // worker; the serial merge then only has to index them.
+                out.decoded = pipeline::decode_bucket(&out.bucket);
+                out
+            },
+        );
+        drop(tasks);
+
+        // Phase 3: serial merge in canonical unit order — the exact
+        // mutation sequence run_serial performs, replayed from the
+        // buffered worker outputs.
+        let mut out_iter = outputs.into_iter();
+        for (i, (unit, prep)) in units.iter().zip(preps).enumerate() {
+            let (label, _, kind) = unit;
+            let region = Region::by_name(unit.1).expect("known region");
+            let mut bucket = if done[i] {
+                bucket_from_snapshot(&raw_store, label)?
+            } else {
+                match kind {
+                    UnitKind::Topo { .. } => Bucket::new(region.name),
+                    UnitKind::Diff => Bucket::new(format!("{}-diff", region.name)),
+                }
+            };
+            let mut unit_decoded: Vec<pipeline::DecodedObject> = Vec::new();
+            if !done[i] {
+                for _ in 0..prep.vms.len() {
+                    let vo = out_iter.next().expect("one output per task");
+                    flog.absorb(vo.flog);
+                    report.merge(&vo.report);
+                    // Transfer meters are u64 — safe to sum. The f64
+                    // meters below are re-issued as ops in serial order.
+                    billing.premium_egress_bytes += vo.billing.premium_egress_bytes;
+                    billing.standard_egress_bytes += vo.billing.standard_egress_bytes;
+                    billing.ingress_bytes += vo.billing.ingress_bytes;
+                    tests_run += vo.tests_run;
+                    tainted += vo.tainted;
+                    bucket.absorb(vo.bucket);
+                    unit_decoded.extend(vo.decoded);
+                    if let UnitKind::Diff = kind {
+                        vm_count += 1;
+                        billing.record_vm_hours(
+                            MachineType::N1Standard2,
+                            self.config.diff_days as f64 * 24.0,
+                        );
+                    }
+                }
+                match kind {
+                    UnitKind::Topo { .. } => {
+                        vm_count += prep.n_vms;
+                        billing.record_vm_hours(
+                            MachineType::N1Standard2,
+                            prep.n_vms as f64 * self.config.days as f64 * 24.0,
+                        );
+                        billing
+                            .record_storage(bucket.stored_bytes(), self.config.days as f64 * 24.0);
+                    }
+                    UnitKind::Diff => {
+                        billing.record_storage(
+                            bucket.stored_bytes(),
+                            self.config.diff_days as f64 * 24.0,
+                        );
+                    }
+                }
+                raw_store.push((label.clone(), bucket_snapshot(&bucket, label)));
+                completed.push(label.clone());
+            }
+            let stats = if done[i] {
+                pipeline::ingest(&bucket, &mut db)
+            } else {
+                // Disjoint per-VM key sets merge-sort into exactly the
+                // listing order a serial ingest of the shared bucket
+                // sees (and the order the stream engine consumes).
+                unit_decoded.sort_by(|a, b| a.key.cmp(&b.key));
+                pipeline::ingest_decoded(unit_decoded, &mut db)
+            };
+            drain(&mut stream);
+            raw_objects += stats.objects;
+            if self.config.keep_raw {
+                buckets.push(bucket);
+            }
+            match prep.sel {
+                UnitSel::Topo(sel) => topo_selections.push(sel),
+                UnitSel::Diff(sel) => diff_selections.push(sel),
+            }
+            let mut ckpt = make_checkpoint(
+                &completed, &billing, vm_count, tests_run, tainted, &flog, &report, &raw_store,
+            );
+            if let Some(engine) = stream.as_deref() {
+                if let serde_json::Value::Object(m) = &mut ckpt {
+                    m.insert("stream".into(), engine.snapshot());
+                }
+            }
+            checkpoints.push(ckpt);
+        }
+
+        // Fault outcomes fold in exactly once, after all units merged —
+        // same as the serial path.
+        report.absorb_log(&flog);
+
+        Ok(CampaignResult {
+            db,
+            topo_selections,
+            diff_selections,
+            billing,
+            vm_count,
+            tests_run,
+            tainted_tests: tainted,
+            raw_objects,
+            buckets,
+            fault_log: flog,
+            completeness: report,
+            checkpoints,
+        })
+    }
+
     /// The hourly cron loop for one region/tier/server-assignment, with
     /// fault injection and resilient recovery. With an empty plan every
     /// fault query short-circuits and the loop is byte-for-byte the
-    /// pre-fault implementation.
+    /// pre-fault implementation. Runs each VM of the plan in order —
+    /// the canonical sequence the parallel merge reproduces.
     #[allow(clippy::too_many_arguments)]
     fn run_region_loop(
         &self,
@@ -527,43 +1020,96 @@ impl<'w> Campaign<'w> {
         report: &mut CompletenessReport,
         comp_label: &str,
     ) {
-        let region_city = region.city_id(&self.world.topo.cities);
         // Each VM has its own crontab: the premium and standard VMs of a
         // differential pair test the same server within the same hour but
         // at different minutes, like the real deployment.
-        let tier_salt = match tier {
-            Tier::Premium => 0x11u64,
-            Tier::Standard => 0x22u64,
-        };
+        let tier_salt = tier_salt(tier);
         let cron = CronSchedule {
             budget: cron.budget,
             seed: cron.seed ^ tier_salt,
         };
-        let cron = &cron;
+        let params = VmLoopParams {
+            region,
+            n_vms: plan.n_vms,
+            tier,
+            tier_salt,
+            method,
+            start,
+            days,
+            comp_label,
+        };
+        for (vm_idx, assignment) in plan.assignments.iter().enumerate() {
+            let pairs = self.resolve_pairs(session, client, region, tier, assignment);
+            self.run_vm_loop(
+                session, client, &cron, &params, vm_idx, assignment, &pairs, bucket, billing,
+                tests_run, tainted, fplan, flog, report,
+            );
+        }
+    }
+
+    /// Resolves the path pair for every server in `ids` (paths are
+    /// stable across the campaign; CLASP re-selects only at start).
+    fn resolve_pairs(
+        &self,
+        session: &crate::world::Session<'_>,
+        client: &SpeedTestClient,
+        region: &'static Region,
+        tier: Tier,
+        ids: &[String],
+    ) -> PairMap<'w> {
+        let region_city = region.city_id(&self.world.topo.cities);
+        let vm_ip = self.world.topo.vm_ip(region_city, 0);
+        let mut pairs = std::collections::HashMap::new();
+        for sid in ids {
+            let server = self
+                .world
+                .registry
+                .by_id(sid)
+                .expect("selected servers exist");
+            if let Some(pair) =
+                client.resolve_paths(&session.paths, region_city, vm_ip, server, tier)
+            {
+                pairs.insert(sid.clone(), (pair, server));
+            }
+        }
+        pairs
+    }
+
+    /// One VM's whole campaign: the hourly cron loop over its server
+    /// assignment, writing only into the caller's buffers. Workers call
+    /// it with VM-local buffers; the serial loop passes the shared ones.
+    #[allow(clippy::too_many_arguments)]
+    fn run_vm_loop(
+        &self,
+        session: &crate::world::Session<'_>,
+        client: &SpeedTestClient,
+        cron: &CronSchedule,
+        params: &VmLoopParams<'_>,
+        vm_idx: usize,
+        assignment: &[String],
+        pairs: &PairMap<'w>,
+        bucket: &mut Bucket,
+        billing: &mut Billing,
+        tests_run: &mut u64,
+        tainted: &mut u64,
+        fplan: &FaultPlan,
+        flog: &mut FaultLog,
+        report: &mut CompletenessReport,
+    ) {
+        let &VmLoopParams {
+            region,
+            n_vms,
+            tier,
+            tier_salt,
+            method,
+            start,
+            days,
+            comp_label,
+        } = params;
         let abort_policy = RetryPolicy::speedtest();
         let upload_policy = RetryPolicy::upload();
         let api_policy = RetryPolicy::api();
-        // Resolve the path pair for every assigned server once (paths are
-        // stable across the campaign; CLASP re-selects only at start).
-        let mut pairs: std::collections::HashMap<&str, (PathPair, &speedtest::platform::Server)> =
-            Default::default();
-        for assignment in &plan.assignments {
-            for sid in assignment {
-                let server = self
-                    .world
-                    .registry
-                    .by_id(sid)
-                    .expect("selected servers exist");
-                let vm_ip = self.world.topo.vm_ip(region_city, 0);
-                if let Some(pair) =
-                    client.resolve_paths(&session.paths, region_city, vm_ip, server, tier)
-                {
-                    pairs.insert(sid.as_str(), (pair, server));
-                }
-            }
-        }
-
-        for (vm_idx, assignment) in plan.assignments.iter().enumerate() {
+        {
             let vm_name = format!("clasp-{}-{}-{}", region.name, tier.label(), vm_idx);
             let scope = VmScope {
                 region: region.name,
@@ -610,7 +1156,7 @@ impl<'w> Campaign<'w> {
                             continue;
                         }
                         if !cloudsim::quota::Quota::default().allows_provisioning(
-                            plan.n_vms,
+                            n_vms,
                             region.name,
                             abs_hour,
                             fplan,
@@ -823,6 +1369,15 @@ impl<'w> Campaign<'w> {
                 }
             }
         }
+    }
+}
+
+/// Per-tier crontab/RNG salt: the premium and standard VMs of a
+/// differential pair draw from distinct streams.
+fn tier_salt(tier: Tier) -> u64 {
+    match tier {
+        Tier::Premium => 0x11,
+        Tier::Standard => 0x22,
     }
 }
 
@@ -1131,6 +1686,56 @@ mod tests {
         );
         assert_eq!(full.fault_log, resumed.fault_log);
         assert_eq!(full.completeness, resumed.completeness);
+        assert_eq!(
+            serde_json::to_string(full.checkpoints.last().unwrap()),
+            serde_json::to_string(resumed.checkpoints.last().unwrap()),
+        );
+    }
+
+    #[test]
+    fn parallel_jobs_bit_identical_to_serial() {
+        let world = World::tiny(121);
+        let mut cfg = CampaignConfig::small(121);
+        cfg.fault_plan = FaultPlan::uniform(7, 0.02);
+        let serial = Campaign::new(&world, cfg.clone()).run();
+        assert!(!serial.fault_log.is_empty());
+        for jobs in [2, 4] {
+            let mut pcfg = cfg.clone();
+            pcfg.jobs = jobs;
+            let par = Campaign::new(&world, pcfg).run();
+            assert_eq!(serial.tests_run, par.tests_run, "jobs={jobs}");
+            assert_eq!(serial.db.points_written, par.db.points_written);
+            assert_eq!(serial.db.series_count(), par.db.series_count());
+            assert_eq!(serial.vm_count, par.vm_count);
+            assert_eq!(serial.raw_objects, par.raw_objects);
+            assert_eq!(serial.fault_log, par.fault_log, "fault ids rebase exactly");
+            assert_eq!(serial.completeness, par.completeness);
+            // Every intermediate checkpoint — counters, billing (f64
+            // meters included), raw snapshots — is byte-identical.
+            assert_eq!(serial.checkpoints.len(), par.checkpoints.len());
+            for (a, b) in serial.checkpoints.iter().zip(&par.checkpoints) {
+                assert_eq!(
+                    serde_json::to_string(a),
+                    serde_json::to_string(b),
+                    "jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_resumes_serial_checkpoint() {
+        let world = World::tiny(121);
+        let mut cfg = CampaignConfig::small(121);
+        cfg.fault_plan = FaultPlan::uniform(5, 0.02);
+        let full = Campaign::new(&world, cfg.clone()).run();
+        let mut pcfg = cfg;
+        pcfg.jobs = 4;
+        let resumed = Campaign::new(&world, pcfg)
+            .resume(&full.checkpoints[0])
+            .unwrap();
+        assert_eq!(full.tests_run, resumed.tests_run);
+        assert_eq!(full.fault_log, resumed.fault_log);
         assert_eq!(
             serde_json::to_string(full.checkpoints.last().unwrap()),
             serde_json::to_string(resumed.checkpoints.last().unwrap()),

@@ -1,0 +1,131 @@
+//! The deterministic worker pool behind `--jobs N`.
+//!
+//! Campaign parallelism is *scatter/gather*: tasks are pure functions of
+//! their index (every unit carries its own seeded RNG streams, so no
+//! task observes another's side effects), workers pull indices from a
+//! shared atomic counter, and results land in their task's slot. The
+//! gather side therefore sees results in canonical task order no matter
+//! which worker finished first — scheduling can change *when* a task
+//! runs, never *what* it computes or where its output ends up.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `task(0..n)` across `jobs` worker threads and returns the
+/// results in task-index order.
+///
+/// `jobs <= 1` (or a single task) runs inline on the caller's thread
+/// with no pool at all — the serial path stays the serial path. Worker
+/// threads are scoped, so `task` may borrow from the caller's stack.
+///
+/// # Panics
+/// A panicking task propagates to the caller once the scope joins.
+pub fn scatter<R, F>(jobs: usize, n: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    scatter_with(jobs, n, || (), |(), i| task(i))
+}
+
+/// [`scatter`] with per-worker scratch state: every worker calls `init`
+/// once on its own thread and hands the value to each task it runs.
+///
+/// This exists for memoization caches (the campaign's route-resolution
+/// session) that are expensive to rebuild per task but must never be
+/// shared across threads. Tasks therefore MUST stay pure with respect
+/// to the context — reusing a warm context may only skip recomputation,
+/// never change a result — or determinism is lost to scheduling.
+pub fn scatter_with<C, R, I, F>(jobs: usize, n: usize, init: I, task: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> R + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        let mut ctx = init();
+        return (0..n).map(|i| task(&mut ctx, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| {
+                let mut ctx = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = task(&mut ctx, i);
+                    *slots[i].lock().expect("result slot") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every task index was claimed and ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_task_order_regardless_of_jobs() {
+        let serial = scatter(1, 17, |i| i * i);
+        for jobs in [2, 4, 8, 32] {
+            assert_eq!(scatter(jobs, 17, |i| i * i), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task() {
+        assert_eq!(scatter::<usize, _>(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(scatter(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn more_jobs_than_tasks() {
+        assert_eq!(scatter(64, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let base = [10u64, 20, 30, 40, 50];
+        let doubled = scatter(3, base.len(), |i| base[i] * 2);
+        assert_eq!(doubled, vec![20, 40, 60, 80, 100]);
+    }
+
+    #[test]
+    fn context_initialized_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = scatter_with(
+            3,
+            20,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |ctx, i| {
+                *ctx += 1;
+                i
+            },
+        );
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        scatter(8, 100, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

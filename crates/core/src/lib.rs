@@ -19,6 +19,9 @@
 //! * [`campaign`] — the longitudinal measurement loop: hourly cron with
 //!   randomized order, speed tests, traceroutes, bucket uploads,
 //!   billing;
+//! * [`exec`] — the deterministic worker pool behind `--jobs N`:
+//!   campaign units scatter across scoped threads and gather in
+//!   canonical order, bit-identical to the serial run;
 //! * [`pipeline`] — §3.3's processing: raw bucket objects → time-series
 //!   database;
 //! * [`congestion`] — §3.3's detection method: normalized peak-to-trough
@@ -38,6 +41,7 @@
 pub mod campaign;
 pub mod congestion;
 pub mod congestion_ext;
+pub mod exec;
 pub mod pipeline;
 pub mod plan;
 pub mod reselect;

@@ -109,15 +109,45 @@ pub fn upload_batch_resilient(
     None
 }
 
-/// Ingests every object under `raw/` into the database, returning how
-/// many points were indexed. Malformed lines abort the object (counted
-/// in `errors`, with the offending key and line recorded in
-/// [`IngestStats::error_objects`]) without poisoning the rest.
-pub fn ingest(bucket: &Bucket, db: &mut Db) -> IngestStats {
+/// One decoded (or rejected) raw object: the CPU-bound half of ingest,
+/// separated out so parallel workers can parse their own uploads while
+/// the indexing half stays a serial, canonically-ordered merge.
+#[derive(Debug)]
+pub struct DecodedObject {
+    /// Bucket key of the object.
+    pub key: String,
+    /// Parsed points, or the 1-based line number and parse error that
+    /// aborted the object.
+    pub result: Result<Vec<Point>, (usize, tsdb::line::ParseError)>,
+}
+
+/// Parses every object under `raw/` without touching the database.
+/// Output follows bucket listing order (lexicographic keys).
+pub fn decode_bucket(bucket: &Bucket) -> Vec<DecodedObject> {
+    bucket
+        .list("raw/")
+        .into_iter()
+        .map(|key| {
+            let obj = bucket.get(key).expect("listed keys exist");
+            DecodedObject {
+                key: key.to_string(),
+                result: tsdb::line::decode_batch_lines(&obj.data),
+            }
+        })
+        .collect()
+}
+
+/// Indexes pre-decoded objects into the database, in the order given.
+/// Callers merging per-worker decode output must sort by key first —
+/// upload keys are unique per VM, so that reproduces the listing order
+/// a serial [`ingest`] of the combined bucket would see.
+pub fn ingest_decoded(
+    objects: impl IntoIterator<Item = DecodedObject>,
+    db: &mut Db,
+) -> IngestStats {
     let mut stats = IngestStats::default();
-    for key in bucket.list("raw/") {
-        let obj = bucket.get(key).expect("listed keys exist");
-        match tsdb::line::decode_batch_lines(&obj.data) {
+    for obj in objects {
+        match obj.result {
             Ok(points) => {
                 stats.points += points.len() as u64;
                 db.insert_batch(points);
@@ -125,7 +155,7 @@ pub fn ingest(bucket: &Bucket, db: &mut Db) -> IngestStats {
             }
             Err((line, e)) => {
                 stats.errors += 1;
-                let detail = format!("{key}: line {line}: {e}");
+                let detail = format!("{}: line {line}: {e}", obj.key);
                 #[cfg(debug_assertions)]
                 eprintln!("ingest: skipping malformed object {detail}");
                 stats.error_objects.push(detail);
@@ -133,6 +163,14 @@ pub fn ingest(bucket: &Bucket, db: &mut Db) -> IngestStats {
         }
     }
     stats
+}
+
+/// Ingests every object under `raw/` into the database, returning how
+/// many points were indexed. Malformed lines abort the object (counted
+/// in `errors`, with the offending key and line recorded in
+/// [`IngestStats::error_objects`]) without poisoning the rest.
+pub fn ingest(bucket: &Bucket, db: &mut Db) -> IngestStats {
+    ingest_decoded(decode_bucket(bucket), db)
 }
 
 /// Ingestion counters.
@@ -331,6 +369,50 @@ mod tests {
             .error_objects
             .iter()
             .any(|e| e.contains("raw/two.lp: line 2")));
+    }
+
+    #[test]
+    fn sharded_decode_merge_matches_direct_ingest() {
+        // Two VM-local buckets, decoded separately (as parallel workers
+        // do), merged by key: identical stats and database state to a
+        // serial ingest of the combined bucket.
+        let mut vm0 = Bucket::new("r");
+        upload_batch(
+            &mut vm0,
+            "us-east1",
+            "topo",
+            "vm0",
+            &[result("s1", 0, 1.0), result("s2", 3600, 2.0)],
+            SimTime(90_000),
+        );
+        vm0.put("raw/us-east1/0000/vm0-bad.lp", "nope".into(), SimTime(0));
+        let mut vm1 = Bucket::new("r");
+        upload_batch(
+            &mut vm1,
+            "us-east1",
+            "topo",
+            "vm1",
+            &[result("s3", 7200, 3.0)],
+            SimTime(90_000),
+        );
+
+        let mut decoded: Vec<DecodedObject> = decode_bucket(&vm1);
+        decoded.extend(decode_bucket(&vm0));
+        decoded.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut sharded_db = Db::new();
+        let sharded = ingest_decoded(decoded, &mut sharded_db);
+
+        let mut combined = Bucket::new("r");
+        combined.absorb(vm0);
+        combined.absorb(vm1);
+        let mut serial_db = Db::new();
+        let serial = ingest(&combined, &mut serial_db);
+
+        assert_eq!(sharded, serial);
+        assert_eq!(serial.objects, 2);
+        assert_eq!(serial.errors, 1);
+        assert_eq!(sharded_db.points_written, serial_db.points_written);
+        assert_eq!(sharded_db.series_count(), serial_db.series_count());
     }
 
     #[test]

@@ -77,6 +77,17 @@ impl World {
             perf: PerfModel::new(&self.topo, LoadModel::new(self.load_seed)),
         }
     }
+
+    /// Opens a session whose routing cache starts out seeded with
+    /// pre-computed tables (see [`simnet::routing::Routing::with_tables`]).
+    /// Tables are pure functions of the topology, so a warm session
+    /// behaves identically to a cold one — it only skips recomputation.
+    pub fn session_with(&self, tables: &simnet::routing::RouteTables) -> Session<'_> {
+        Session {
+            paths: Paths::with_tables(&self.topo, tables),
+            perf: PerfModel::new(&self.topo, LoadModel::new(self.load_seed)),
+        }
+    }
 }
 
 /// Borrowed per-run machinery.

@@ -124,6 +124,19 @@ impl FaultLog {
         &self.faults
     }
 
+    /// Appends every fault of `other`, rebasing ids onto this log.
+    ///
+    /// Ids are Vec positions, so absorbing worker-local logs in the
+    /// canonical serial order reproduces the exact ids (and ordering) a
+    /// single-threaded run would have assigned.
+    pub fn absorb(&mut self, other: FaultLog) {
+        let base = self.faults.len();
+        self.faults.extend(other.faults.into_iter().map(|mut f| {
+            f.id += base;
+            f
+        }));
+    }
+
     /// Number of recorded faults.
     pub fn len(&self) -> usize {
         self.faults.len()
@@ -292,6 +305,27 @@ mod tests {
         log.record(30, FaultKind::CronSkew, "r", "vm", "late");
         let back = FaultLog::from_json(&log.to_json()).unwrap();
         assert_eq!(log, back);
+    }
+
+    #[test]
+    fn absorb_rebases_ids() {
+        let mut a = FaultLog::new();
+        let x = a.record(10, FaultKind::ApiError, "r1", "", "one");
+        a.mark_recovered(x, 1, 20);
+        let mut b = FaultLog::new();
+        let y = b.record(30, FaultKind::TestAbort, "r2", "vm", "two");
+        b.mark_lost(y, 2);
+
+        // Serial reference: same records into one log.
+        let mut serial = FaultLog::new();
+        let sx = serial.record(10, FaultKind::ApiError, "r1", "", "one");
+        serial.mark_recovered(sx, 1, 20);
+        let sy = serial.record(30, FaultKind::TestAbort, "r2", "vm", "two");
+        serial.mark_lost(sy, 2);
+
+        a.absorb(b);
+        assert_eq!(a, serial);
+        assert_eq!(a.faults()[1].id, 1);
     }
 
     #[test]

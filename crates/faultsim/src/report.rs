@@ -97,6 +97,21 @@ impl CompletenessReport {
         }
     }
 
+    /// Sums another report's tallies into this one. All row fields are
+    /// unsigned counters, so merging worker-local reports in any order
+    /// yields the same totals a serial run accumulates.
+    pub fn merge(&mut self, other: &CompletenessReport) {
+        for r in other.regions.values() {
+            let row = self.row(&r.region);
+            row.expected_s_hours += r.expected_s_hours;
+            row.collected_s_hours += r.collected_s_hours;
+            row.recovered_faults += r.recovered_faults;
+            for (kind, hours) in &r.lost_by_kind {
+                *row.lost_by_kind.entry(kind).or_insert(0) += hours;
+            }
+        }
+    }
+
     /// Total expected server-hours across regions.
     pub fn total_expected(&self) -> u64 {
         self.regions.values().map(|r| r.expected_s_hours).sum()
@@ -282,6 +297,35 @@ mod tests {
         let back = CompletenessReport::from_json(&rep.to_json()).unwrap();
         assert_eq!(rep, back);
         assert!(back.reconciles());
+    }
+
+    #[test]
+    fn merge_sums_all_counters() {
+        let mut a = CompletenessReport::new();
+        a.add_expected("r1", 10);
+        a.add_collected("r1", 8);
+        let mut log = FaultLog::new();
+        let id = log.record(0, FaultKind::VmPreemption, "r1", "vm", "");
+        log.mark_lost(id, 2);
+        a.absorb_log(&log);
+
+        let mut b = CompletenessReport::new();
+        b.add_expected("r1", 5);
+        b.add_collected("r1", 5);
+        b.add_expected("r2", 7);
+        b.add_collected("r2", 7);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.total_expected(), 22);
+        assert_eq!(merged.total_collected(), 20);
+        assert_eq!(merged.regions["r1"].lost_by_kind["vm_preemption"], 2);
+        assert!(merged.reconciles());
+
+        // Merge commutes (all counters are unsigned sums).
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(merged, flipped);
     }
 
     #[test]

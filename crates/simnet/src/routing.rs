@@ -27,7 +27,7 @@ use crate::topology::{AsId, CongestionClass, EdgeId, LinkId, Topology};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// GCP network service tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -70,14 +70,19 @@ pub struct RouteEntry {
     pub next: AsId,
 }
 
+/// Precomputed per-destination routing tables, shareable across threads
+/// (tables are immutable once built; `Arc` makes a warm set cheap to
+/// hand to every worker of a parallel campaign).
+pub type RouteTables = HashMap<AsId, Arc<Vec<Option<RouteEntry>>>>;
+
 /// Per-destination routing tables with caching.
 ///
 /// `routes_to(d)[v]` answers "what is AS v's best route toward d". Tables
-/// are computed on first use and memoised; the campaign touches a few
-/// hundred destination ASes out of thousands.
+/// are computed on first use and memoised; a bdrmap pilot scan ends up
+/// touching every routed AS, one table each.
 pub struct Routing<'t> {
     topo: &'t Topology,
-    cache: RefCell<HashMap<AsId, Rc<Vec<Option<RouteEntry>>>>>,
+    cache: RefCell<RouteTables>,
 }
 
 impl<'t> Routing<'t> {
@@ -89,18 +94,28 @@ impl<'t> Routing<'t> {
         }
     }
 
+    /// Creates a routing view whose cache starts out seeded with
+    /// `tables`. Tables are pure functions of the topology, so a seeded
+    /// cache can only skip recomputation — never change a route.
+    pub fn with_tables(topo: &'t Topology, tables: &RouteTables) -> Self {
+        Self {
+            topo,
+            cache: RefCell::new(tables.clone()),
+        }
+    }
+
     /// The underlying topology.
     pub fn topology(&self) -> &'t Topology {
         self.topo
     }
 
     /// Returns the (cached) routing table toward `dst`.
-    pub fn routes_to(&self, dst: AsId) -> Rc<Vec<Option<RouteEntry>>> {
+    pub fn routes_to(&self, dst: AsId) -> Arc<Vec<Option<RouteEntry>>> {
         if let Some(t) = self.cache.borrow().get(&dst) {
-            return Rc::clone(t);
+            return Arc::clone(t);
         }
-        let table = Rc::new(self.compute(dst));
-        self.cache.borrow_mut().insert(dst, Rc::clone(&table));
+        let table = Arc::new(self.compute(dst));
+        self.cache.borrow_mut().insert(dst, Arc::clone(&table));
         table
     }
 
@@ -321,6 +336,14 @@ impl<'t> Paths<'t> {
     pub fn new(topo: &'t Topology) -> Self {
         Self {
             routing: Routing::new(topo),
+        }
+    }
+
+    /// Creates a path builder over a pre-warmed routing cache (see
+    /// [`Routing::with_tables`]).
+    pub fn with_tables(topo: &'t Topology, tables: &RouteTables) -> Self {
+        Self {
+            routing: Routing::with_tables(topo, tables),
         }
     }
 
@@ -925,7 +948,7 @@ mod tests {
         let leaf = some_leaf(&t);
         let a = r.routes_to(leaf);
         let b = r.routes_to(leaf);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

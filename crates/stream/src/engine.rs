@@ -405,13 +405,13 @@ impl StreamEngine {
     /// enumeration order as the Db, since both follow first insertion).
     fn series_index(&mut self, p: &Point) -> usize {
         let key = p.series_key();
-        if let Some(&i) = self.index.get(&key) {
+        if let Some(&i) = self.index.get(key) {
             return i as usize;
         }
         let server = p.tags.get("server").cloned().unwrap_or_default();
         let utc_offset = self.offsets.get(&server).copied().unwrap_or(0);
         self.register_series(SeriesMeta {
-            key,
+            key: key.to_string(),
             server,
             region: p.tags.get("region").cloned().unwrap_or_default(),
             tier: p.tags.get("tier").cloned().unwrap_or_default(),

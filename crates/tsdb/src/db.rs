@@ -1,14 +1,21 @@
 //! Storage: series-indexed, time-ordered point store, with an optional
 //! bounded tail for streaming consumers.
 
-use crate::point::{series_key, Point};
+use crate::point::Point;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, Weak};
 
 /// A stored sample inside one series: `(time, fields)`.
 pub type Sample = (u64, BTreeMap<String, f64>);
+
+/// Stable identifier of one series within a [`Db`]: the index of the
+/// series in first-insertion order. Interning series keys down to ids
+/// keeps the hot ingest path free of per-point `String` allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesId(pub u32);
 
 /// One series: the shared tag set plus its time-ordered samples.
 #[derive(Debug, Clone)]
@@ -17,19 +24,28 @@ pub struct Series {
     pub measurement: String,
     /// The series' tag set.
     pub tags: BTreeMap<String, String>,
+    /// Interned canonical series key (built once, at registration).
+    key: String,
     /// Time-ordered samples. Out-of-order inserts are re-sorted lazily.
     samples: Vec<Sample>,
     sorted: bool,
 }
 
 impl Series {
-    fn new(measurement: String, tags: BTreeMap<String, String>) -> Self {
+    fn new(measurement: String, tags: BTreeMap<String, String>, key: String) -> Self {
         Self {
             measurement,
             tags,
+            key,
             samples: Vec::new(),
             sorted: true,
         }
+    }
+
+    /// The canonical series key (`measurement,tag1=v1,...`), interned
+    /// when the series was first seen.
+    pub fn key(&self) -> &str {
+        &self.key
     }
 
     fn push(&mut self, time: u64, fields: BTreeMap<String, f64>) {
@@ -74,6 +90,19 @@ impl Series {
     }
 }
 
+/// Hashes a (measurement, tags) pair without materialising the canonical
+/// key string. `DefaultHasher::new()` is deterministic (fixed keys), so
+/// the same series always lands in the same index bucket.
+fn key_hash(measurement: &str, tags: &BTreeMap<String, String>) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    measurement.hash(&mut h);
+    for (k, v) in tags {
+        k.hash(&mut h);
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Shared state of one tail subscription: a bounded FIFO of inserted
 /// points plus an overflow tally.
 #[derive(Debug)]
@@ -81,6 +110,16 @@ struct TailShared {
     buf: VecDeque<Point>,
     capacity: usize,
     overflow: u64,
+}
+
+impl TailShared {
+    fn offer(&mut self, p: &Point) {
+        if self.buf.len() < self.capacity {
+            self.buf.push_back(p.clone());
+        } else {
+            self.overflow += 1;
+        }
+    }
 }
 
 /// A bounded subscription to a [`Db`]'s insert stream.
@@ -139,7 +178,9 @@ impl Tail {
 #[derive(Debug, Default)]
 pub struct Db {
     series: Vec<Series>,
-    index: HashMap<String, usize>,
+    /// Key-hash → candidate series ids (collisions resolved by exact
+    /// measurement + tag comparison). Lookups never build a key string.
+    index: HashMap<u64, Vec<u32>>,
     /// Live tail subscriptions; dead ones are pruned on insert.
     tails: Vec<Weak<Mutex<TailShared>>>,
     /// Points accepted in total.
@@ -179,38 +220,87 @@ impl Db {
             let Some(shared) = weak.upgrade() else {
                 return false;
             };
+            shared.lock().expect("tail lock").offer(p);
+            true
+        });
+    }
+
+    /// Mirrors a whole batch to the live tails, acquiring each
+    /// subscriber's lock once per batch rather than once per point —
+    /// the per-point order every tail observes is unchanged.
+    fn publish_batch(&mut self, points: &[Point]) {
+        if self.tails.is_empty() || points.is_empty() {
+            return;
+        }
+        self.tails.retain(|weak| {
+            let Some(shared) = weak.upgrade() else {
+                return false;
+            };
             let mut shared = shared.lock().expect("tail lock");
-            if shared.buf.len() < shared.capacity {
-                shared.buf.push_back(p.clone());
-            } else {
-                shared.overflow += 1;
+            for p in points {
+                shared.offer(p);
             }
             true
         });
     }
 
-    /// Inserts one point, routing it to its series.
-    pub fn insert(&mut self, p: Point) {
-        self.publish(&p);
-        let key = p.series_key();
-        let idx = match self.index.get(&key) {
-            Some(&i) => i,
-            None => {
-                let i = self.series.len();
-                self.series
-                    .push(Series::new(p.measurement.clone(), p.tags.clone()));
-                self.index.insert(key, i);
-                i
+    /// Resolves (or registers) the series a point belongs to. The only
+    /// allocation on a hit is none at all; a miss interns the canonical
+    /// key once for the lifetime of the series.
+    fn series_id_or_create(&mut self, p: &Point) -> SeriesId {
+        let h = key_hash(&p.measurement, &p.tags);
+        if let Some(candidates) = self.index.get(&h) {
+            for &i in candidates {
+                let s = &self.series[i as usize];
+                if s.measurement == p.measurement && s.tags == p.tags {
+                    return SeriesId(i);
+                }
             }
-        };
-        self.series[idx].push(p.time, p.fields);
+        }
+        let i = self.series.len() as u32;
+        self.series.push(Series::new(
+            p.measurement.clone(),
+            p.tags.clone(),
+            p.series_key().to_string(),
+        ));
+        self.index.entry(h).or_default().push(i);
+        SeriesId(i)
+    }
+
+    /// Looks up the id of an existing series.
+    pub fn series_id(
+        &self,
+        measurement: &str,
+        tags: &BTreeMap<String, String>,
+    ) -> Option<SeriesId> {
+        let h = key_hash(measurement, tags);
+        self.index.get(&h)?.iter().copied().find_map(|i| {
+            let s = &self.series[i as usize];
+            (s.measurement == measurement && s.tags == *tags).then_some(SeriesId(i))
+        })
+    }
+
+    /// Routes a point to its series without mirroring it to the tails.
+    fn insert_unpublished(&mut self, p: Point) {
+        let id = self.series_id_or_create(&p);
+        self.series[id.0 as usize].push(p.time, p.fields);
         self.points_written += 1;
     }
 
-    /// Inserts many points.
+    /// Inserts one point, routing it to its series.
+    pub fn insert(&mut self, p: Point) {
+        self.publish(&p);
+        self.insert_unpublished(p);
+    }
+
+    /// Inserts many points. Tail subscribers are locked once for the
+    /// whole batch, so batched flushes don't serialize on subscriber
+    /// locks point by point.
     pub fn insert_batch(&mut self, points: impl IntoIterator<Item = Point>) {
+        let points: Vec<Point> = points.into_iter().collect();
+        self.publish_batch(&points);
         for p in points {
-            self.insert(p);
+            self.insert_unpublished(p);
         }
     }
 
@@ -225,9 +315,8 @@ impl Db {
         measurement: &str,
         tags: &BTreeMap<String, String>,
     ) -> Option<&mut Series> {
-        let key = series_key(measurement, tags);
-        let idx = *self.index.get(&key)?;
-        Some(&mut self.series[idx])
+        let id = self.series_id(measurement, tags)?;
+        Some(&mut self.series[id.0 as usize])
     }
 
     /// Iterates over the series of a measurement that match all `filters`
@@ -266,6 +355,7 @@ impl Db {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::point::series_key;
 
     fn point(server: &str, t: u64, mbps: f64) -> Point {
         Point::new("throughput", t)
@@ -284,6 +374,36 @@ mod tests {
         let tags: BTreeMap<String, String> = [("server".to_string(), "a".to_string())].into();
         let s = db.series_mut("throughput", &tags).unwrap();
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn series_ids_follow_first_insertion_order() {
+        let mut db = Db::new();
+        db.insert(point("b", 0, 1.0));
+        db.insert(point("a", 1, 2.0));
+        db.insert(point("b", 2, 3.0));
+        let b_tags: BTreeMap<String, String> = [("server".to_string(), "b".to_string())].into();
+        let a_tags: BTreeMap<String, String> = [("server".to_string(), "a".to_string())].into();
+        assert_eq!(db.series_id("throughput", &b_tags), Some(SeriesId(0)));
+        assert_eq!(db.series_id("throughput", &a_tags), Some(SeriesId(1)));
+        assert_eq!(db.series_id("latency", &b_tags), None);
+    }
+
+    #[test]
+    fn interned_key_matches_canonical_form() {
+        let mut db = Db::new();
+        db.insert(
+            Point::new("throughput", 0)
+                .tag("server", "a")
+                .tag("region", "r1")
+                .field("mbps", 1.0),
+        );
+        let all = db.matching_series("throughput", &[]);
+        assert_eq!(all[0].key(), "throughput,region=r1,server=a");
+        assert_eq!(
+            all[0].key(),
+            series_key(&all[0].measurement, &all[0].tags.clone())
+        );
     }
 
     #[test]
@@ -375,6 +495,21 @@ mod tests {
     }
 
     #[test]
+    fn batch_insert_mirrors_to_tails_in_order() {
+        let mut db = Db::new();
+        let tail = db.subscribe(3);
+        db.insert_batch((0..5).map(|t| point("a", t, 1.0)));
+        // Capacity bounds the batch exactly as per-point publishing.
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail.overflow(), 2);
+        let times: Vec<u64> = std::iter::from_fn(|| tail.try_recv())
+            .map(|p| p.time)
+            .collect();
+        assert_eq!(times, vec![0, 1, 2]);
+        assert_eq!(db.points_written, 5);
+    }
+
+    #[test]
     fn dropped_tail_unsubscribes() {
         let mut db = Db::new();
         let tail = db.subscribe(4);
@@ -383,6 +518,10 @@ mod tests {
         let live = db.subscribe(4);
         db.insert(point("a", 1, 2.0));
         assert_eq!(live.len(), 1);
+        // Batch inserts prune dropped tails too.
+        drop(live);
+        db.insert_batch(vec![point("a", 2, 3.0)]);
+        assert_eq!(db.points_written, 3);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod point;
 pub mod query;
 pub mod rollup;
 
-pub use db::{Db, Tail};
+pub use db::{Db, Series, SeriesId, Tail};
 pub use point::Point;
 pub use query::{Aggregate, Query, Row};

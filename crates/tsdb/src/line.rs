@@ -157,12 +157,7 @@ pub fn decode(line: &str) -> Result<Point, ParseError> {
     let time: u64 = sections[2]
         .parse()
         .map_err(|_| ParseError::BadTimestamp(sections[2].clone()))?;
-    Ok(Point {
-        measurement,
-        tags,
-        fields,
-        time,
-    })
+    Ok(Point::from_parts(measurement, tags, fields, time))
 }
 
 /// Encodes many points, one per line.

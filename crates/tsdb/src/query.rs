@@ -149,7 +149,7 @@ impl Query {
     pub fn run(&self, db: &mut Db) -> Vec<SeriesResult> {
         let mut out = Vec::new();
         for series in db.matching_series(&self.measurement, &self.filters) {
-            let key = crate::point::series_key(&series.measurement, &series.tags);
+            let key = series.key().to_string();
             let samples = series.samples();
             // Binary search the time range bounds.
             let lo = samples.partition_point(|(t, _)| *t < self.start);
