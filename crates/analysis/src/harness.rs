@@ -15,7 +15,10 @@ pub fn paper_world() -> World {
 /// Runs the paper-scale campaign (5 regions × 5 months topology + 3
 /// regions × 2 months differential).
 pub fn paper_campaign(world: &World) -> CampaignResult {
-    Campaign::new(world, CampaignConfig::paper(PAPER_SEED)).run()
+    Campaign::new(world, CampaignConfig::paper(PAPER_SEED))
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail")
 }
 
 /// A reduced campaign for quicker iteration: same regions and budgets,
@@ -24,5 +27,8 @@ pub fn quick_campaign(world: &World, days: u64) -> CampaignResult {
     let mut cfg = CampaignConfig::paper(PAPER_SEED);
     cfg.days = days;
     cfg.diff_days = days.min(cfg.diff_days);
-    Campaign::new(world, cfg).run()
+    Campaign::new(world, cfg)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail")
 }

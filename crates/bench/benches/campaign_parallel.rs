@@ -51,7 +51,12 @@ fn time_combo(cfg: &CampaignConfig, reps: usize) -> (f64, String) {
     let mut checkpoint = String::new();
     for _ in 0..reps {
         let t = Instant::now();
-        let result = black_box(Campaign::new(w, cfg.clone()).run());
+        let result = black_box(
+            Campaign::new(w, cfg.clone())
+                .runner()
+                .run()
+                .expect("fresh runs cannot fail"),
+        );
         best = best.min(t.elapsed().as_secs_f64());
         checkpoint = serde_json::to_string(result.checkpoints.last().expect("checkpoints"));
     }

@@ -38,16 +38,35 @@ fn bench_fault_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("fault_overhead");
     g.sample_size(10);
     g.bench_function("campaign_7d_baseline", |b| {
-        b.iter(|| black_box(Campaign::new(w, bench_config(FaultPlan::none())).run()))
+        b.iter(|| {
+            black_box(
+                Campaign::new(w, bench_config(FaultPlan::none()))
+                    .runner()
+                    .run()
+                    .expect("fresh runs cannot fail"),
+            )
+        })
     });
     g.bench_function("campaign_7d_zero_rate", |b| {
         b.iter(|| {
-            black_box(Campaign::new(w, bench_config(FaultPlan::uniform(PAPER_SEED, 0.0))).run())
+            black_box(
+                Campaign::new(w, bench_config(FaultPlan::uniform(PAPER_SEED, 0.0)))
+                    .runner()
+                    .run()
+                    .expect("fresh runs cannot fail"),
+            )
         })
     });
     g.bench_function("campaign_7d_moderate", |b| {
         let plan = FaultPlan::builtin("moderate").expect("built-in profile");
-        b.iter(|| black_box(Campaign::new(w, bench_config(plan.clone())).run()))
+        b.iter(|| {
+            black_box(
+                Campaign::new(w, bench_config(plan.clone()))
+                    .runner()
+                    .run()
+                    .expect("fresh runs cannot fail"),
+            )
+        })
     });
     g.finish();
 }

@@ -1,7 +1,7 @@
 //! The storage bucket: raw measurement data lands here.
 //!
-//! After every hourly cycle, CLASP "compress[es] the raw data and
-//! upload[s] it to the cloud storage bucket" (§3.2); the analysis VM in
+//! After every hourly cycle, CLASP "compress\[es\] the raw data and
+//! upload\[s\] it to the cloud storage bucket" (§3.2); the analysis VM in
 //! the same region reads it back ("We centralize the data processing to
 //! the same region as the storage bucket to avoid transferring both raw
 //! and processed data across different cloud regions", §3.3).

@@ -5,11 +5,14 @@
 //! clasp crawl  [--seed N]                      # crawl the server registries
 //! clasp select [--seed N] [--region R] [--budget N]
 //! clasp run    [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
-//!              [--fault-profile P]
+//!              [--fault-profile P] [--metrics FILE] [--trace FILE]
 //! clasp analyze [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
-//!              [--threshold H]
+//!              [--threshold H] [--metrics FILE] [--trace FILE]
 //! clasp stream [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
 //!              [--threshold H] [--auto-threshold] [--fault-profile P]
+//!              [--metrics FILE] [--trace FILE]
+//! clasp report [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
+//!              [--fault-profile P] [--paper]    # observed run + full report
 //! clasp bill   [--seed N] [--days N]           # cost forecast for a deployment
 //! ```
 //!
@@ -30,10 +33,17 @@
 //! `--jobs N` runs the campaign on N worker threads; `--jobs 0` (the
 //! default) uses the machine's available parallelism, `--jobs 1` forces
 //! the serial path. Results are bit-identical at every setting.
+//!
+//! `--metrics FILE` / `--trace FILE` attach a deterministic observer to
+//! the run and write its canonical metrics / trace JSON — byte-identical
+//! at every `--jobs` setting and across checkpoint resumes. `report`
+//! runs an observed campaign and renders the telemetry as one report:
+//! per-phase timing, per-VM test budgets, completeness, and billing.
 
 use clasp_core::campaign::{Campaign, CampaignConfig};
 use clasp_core::congestion::CongestionAnalysis;
 use clasp_core::world::World;
+use clasp_core::Observer;
 
 fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
     args.iter()
@@ -59,14 +69,78 @@ fn arg_str(args: &[String], name: &str, default: &str) -> String {
         .unwrap_or_else(|| default.to_string())
 }
 
+fn arg_opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: clasp <crawl|select|run|analyze|stream|bill> \
+        "usage: clasp <crawl|select|run|analyze|stream|report|bill> \
          [--seed N] [--region R] [--budget N] [--days N] [--jobs N] \
-         [--threshold H] [--auto-threshold] \
-         [--fault-profile <name|path.json>]"
+         [--threshold H] [--auto-threshold] [--paper] \
+         [--fault-profile <name|path.json>] \
+         [--metrics FILE] [--trace FILE]"
     );
     std::process::exit(2);
+}
+
+/// Writes the observer's canonical metrics/trace JSON to the paths
+/// given on the command line, if any.
+fn write_telemetry(obs: &Observer, metrics: Option<&str>, trace: Option<&str>) {
+    for (path, body, what) in [
+        (metrics, obs.metrics_string(), "metrics"),
+        (trace, obs.trace_string(), "trace"),
+    ] {
+        let Some(path) = path else { continue };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {what} to {path}");
+    }
+}
+
+/// Renders the per-VM budget table from the observer's
+/// `vm.<unit>/<name>.*` counters.
+fn render_vm_table(metrics: &clasp_obs::MetricsRegistry) -> String {
+    use std::collections::BTreeMap;
+    // vm id → (assigned, expected, executed, collected)
+    let mut rows: BTreeMap<String, [u64; 4]> = BTreeMap::new();
+    for (name, v) in metrics.counters() {
+        let Some(rest) = name.strip_prefix("vm.") else {
+            continue;
+        };
+        let Some((vm, metric)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let slot = match metric {
+            "assigned" => 0,
+            "expected_tests" => 1,
+            "tests_executed" => 2,
+            "tests_collected" => 3,
+            _ => continue,
+        };
+        rows.entry(vm.to_string()).or_default()[slot] += v;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<48} {:>4} {:>9} {:>9} {:>9} {:>6}\n",
+        "vm", "srv", "expected", "executed", "collected", "util%"
+    ));
+    for (vm, [assigned, expected, executed, collected]) in &rows {
+        let util = if *expected > 0 {
+            *executed as f64 / *expected as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {vm:<48} {assigned:>4} {expected:>9} {executed:>9} {collected:>9} {util:>5.1}%\n"
+        ));
+    }
+    out
 }
 
 /// Resolves `--fault-profile`: a built-in name first, else a JSON file.
@@ -162,7 +236,16 @@ fn main() {
             config.jobs = jobs;
             let fault_spec = arg_str(&args, "--fault-profile", "none");
             config.fault_plan = load_fault_profile(&fault_spec);
-            let result = Campaign::new(&world, config).run();
+            let metrics_path = arg_opt(&args, "--metrics");
+            let trace_path = arg_opt(&args, "--trace");
+            let obs = Observer::new();
+            let campaign = Campaign::new(&world, config);
+            let mut runner = campaign.runner();
+            if metrics_path.is_some() || trace_path.is_some() {
+                runner = runner.observer(&obs);
+            }
+            let result = runner.run().expect("fresh runs cannot fail");
+            write_telemetry(&obs, metrics_path.as_deref(), trace_path.as_deref());
             println!(
                 "campaign: {} tests, {} VMs, {} raw objects, ${:.2}",
                 result.tests_run,
@@ -241,9 +324,17 @@ fn main() {
                 clasp_stream::ThresholdMode::Fixed(threshold)
             };
 
+            let metrics_path = arg_opt(&args, "--metrics");
+            let trace_path = arg_opt(&args, "--trace");
+            let obs = Observer::new();
             let campaign = Campaign::new(&world, config);
             let mut engine = campaign.stream_engine(engine_cfg);
-            let result = campaign.run_streaming(&mut engine);
+            let mut runner = campaign.runner().streaming(&mut engine);
+            if metrics_path.is_some() || trace_path.is_some() {
+                runner = runner.observer(&obs);
+            }
+            let result = runner.run().expect("fresh runs cannot fail");
+            write_telemetry(&obs, metrics_path.as_deref(), trace_path.as_deref());
             println!(
                 "campaign: {} tests, {} VMs, ${:.2}",
                 result.tests_run,
@@ -333,6 +424,70 @@ fn main() {
             if !days_ok || !hours_ok {
                 std::process::exit(1);
             }
+        }
+        "report" => {
+            let config = if args.iter().any(|a| a == "--paper") {
+                let mut c = CampaignConfig::paper(seed);
+                c.jobs = jobs;
+                c.fault_plan = load_fault_profile(&arg_str(&args, "--fault-profile", "gcp-2020"));
+                c
+            } else {
+                let mut c = CampaignConfig::small(seed);
+                c.days = days;
+                c.topo_regions = vec![(region.name, budget)];
+                c.jobs = jobs;
+                c.fault_plan = load_fault_profile(&arg_str(&args, "--fault-profile", "none"));
+                c
+            };
+            let obs = Observer::new();
+            let result = Campaign::new(&world, config)
+                .runner()
+                .observer(&obs)
+                .run()
+                .expect("fresh runs cannot fail");
+            write_telemetry(
+                &obs,
+                arg_opt(&args, "--metrics").as_deref(),
+                arg_opt(&args, "--trace").as_deref(),
+            );
+            let m = obs.metrics();
+            println!("phases (wall time is informational; logical time is replayable):");
+            println!("{}", obs.render_span_table());
+            println!("per-VM test budgets:");
+            println!("{}", render_vm_table(&m));
+            println!(
+                "completeness: {:.2}% ({} server-hours missing{})",
+                result.completeness.overall_completeness() * 100.0,
+                result.completeness.total_missing(),
+                if result.completeness.reconciles() {
+                    ", reconciles with fault log"
+                } else {
+                    "; DOES NOT RECONCILE"
+                }
+            );
+            if !result.fault_log.is_empty() {
+                let s = result.fault_log.summary();
+                println!(
+                    "faults: {} injected, {} recovered ({} retries), {} lost ({} s-hours)",
+                    s.total, s.recovered, s.retries, s.lost, s.lost_s_hours
+                );
+            }
+            println!(
+                "ingest: {} objects, {} points, {} malformed",
+                m.counter("ingest.objects"),
+                m.counter("ingest.points"),
+                m.counter("ingest.errors"),
+            );
+            println!(
+                "billing: ${:.2} total (${:.2} VM, ${:.2} egress, ${:.2} storage) \
+                 for {} VMs, {} tests",
+                result.billing.total_usd(),
+                result.billing.vm_usd(),
+                result.billing.egress_usd(),
+                result.billing.storage_usd(),
+                result.vm_count,
+                result.tests_run
+            );
         }
         "bill" => {
             let mut billing = cloudsim::billing::Billing::new();

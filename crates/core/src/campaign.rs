@@ -17,6 +17,7 @@ use crate::plan::{self, DeploymentPlan};
 use crate::select::differential::{self, DifferentialSelection, PreTestConfig};
 use crate::select::topology::{self, PilotConfig, TopologySelection};
 use crate::world::World;
+use clasp_obs::{MetricsRegistry, Observer};
 use cloudsim::billing::Billing;
 use cloudsim::bucket::Bucket;
 use cloudsim::cron::CronSchedule;
@@ -197,6 +198,10 @@ struct ResumeState {
     report: CompletenessReport,
     completed: Vec<String>,
     raw_store: Vec<(String, serde_json::Value)>,
+    /// Phase-2 execution metrics of completed units, restored from the
+    /// checkpoint's `"obs"` section (empty when the checkpoint was
+    /// taken without an observer, or on a fresh run).
+    exec_metrics: MetricsRegistry,
 }
 
 impl ResumeState {
@@ -210,6 +215,7 @@ impl ResumeState {
             report: CompletenessReport::new(),
             completed: Vec::new(),
             raw_store: Vec::new(),
+            exec_metrics: MetricsRegistry::new(),
         };
         let Some(ckpt) = resume else {
             return Ok(st);
@@ -246,6 +252,9 @@ impl ResumeState {
                 .ok_or("raw entry missing unit")?;
             st.raw_store.push((label.to_string(), entry.clone()));
         }
+        if let Some(exec) = ckpt.get("obs").and_then(|o| o.get("exec")) {
+            st.exec_metrics = MetricsRegistry::from_json(exec)?;
+        }
         Ok(st)
     }
 }
@@ -265,6 +274,11 @@ struct UnitPrep<'w> {
     /// VM task descriptors, in the serial run's execution order. Empty
     /// for already-completed units.
     vms: Vec<VmTask<'w>>,
+    /// `(vm name, servers assigned, tests expected)` for every VM the
+    /// unit's plan deploys — computed even for completed units, so
+    /// observer metrics derived from it are identical whether a run is
+    /// fresh or resumed.
+    vm_plan: Vec<(String, u64, u64)>,
 }
 
 /// Resolved path pairs, keyed by server id.
@@ -305,6 +319,10 @@ struct VmOutput {
     flog: FaultLog,
     report: CompletenessReport,
     decoded: Vec<pipeline::DecodedObject>,
+    /// Per-task metric shard (counters + fixed-bound histograms only),
+    /// merged into the cumulative execution metrics in canonical unit
+    /// order. Empty when no observer is attached.
+    metrics: MetricsRegistry,
 }
 
 /// Shared per-VM-loop parameters (the invariants of one
@@ -333,10 +351,24 @@ impl<'w> Campaign<'w> {
         Self { world, config }
     }
 
+    /// The campaign's run builder — the one entrypoint behind every
+    /// mode (fresh, resumed, streaming, parallel, observed).
+    ///
+    /// ```ignore
+    /// let result = Campaign::new(&world, cfg)
+    ///     .runner()
+    ///     .jobs(8)
+    ///     .observer(&obs)
+    ///     .run()?;
+    /// ```
+    pub fn runner(&self) -> crate::runner::Runner<'_, 'w> {
+        crate::runner::Runner::new(self)
+    }
+
     /// Runs the whole campaign from the start.
+    #[deprecated(note = "use `Campaign::runner().run()`")]
     pub fn run(&self) -> CampaignResult {
-        self.run_resumable(None, None)
-            .expect("fresh runs cannot fail")
+        self.runner().run().expect("fresh runs cannot fail")
     }
 
     /// Resumes a campaign from a checkpoint taken by a previous run.
@@ -344,8 +376,9 @@ impl<'w> Campaign<'w> {
     /// re-derived (they are pure functions of world + config) and their
     /// raw data replayed from the checkpoint's durable bucket snapshot,
     /// producing a final result identical to an uninterrupted run.
+    #[deprecated(note = "use `Campaign::runner().resume_from(ckpt).run()`")]
     pub fn resume(&self, checkpoint: &serde_json::Value) -> Result<CampaignResult, String> {
-        self.run_resumable(Some(checkpoint), None)
+        self.runner().resume_from(checkpoint).run()
     }
 
     /// Builds a [`StreamEngine`](clasp_stream::StreamEngine) wired to
@@ -378,35 +411,45 @@ impl<'w> Campaign<'w> {
     /// completes. Checkpoints taken along the way embed the engine
     /// snapshot under `"stream"`, so [`Self::resume_streaming`] can
     /// continue both the campaign and the detection state.
+    #[deprecated(note = "use `Campaign::runner().streaming(engine).run()`")]
     pub fn run_streaming(&self, engine: &mut clasp_stream::StreamEngine) -> CampaignResult {
-        let result = self
-            .run_resumable(None, Some(engine))
-            .expect("fresh runs cannot fail");
-        engine.finalize();
-        result
+        self.runner()
+            .streaming(engine)
+            .run()
+            .expect("fresh runs cannot fail")
     }
 
     /// Resumes a streaming campaign. `engine` must come from
     /// [`Self::restore_stream_engine`] on the same checkpoint (its
     /// replay cursor tells the run how many re-ingested points to skip).
+    #[deprecated(note = "use `Campaign::runner().resume_from(ckpt).streaming(engine).run()`")]
     pub fn resume_streaming(
         &self,
         checkpoint: &serde_json::Value,
         engine: &mut clasp_stream::StreamEngine,
     ) -> Result<CampaignResult, String> {
-        let result = self.run_resumable(Some(checkpoint), Some(engine))?;
-        engine.finalize();
-        Ok(result)
+        self.runner()
+            .resume_from(checkpoint)
+            .streaming(engine)
+            .run()
     }
 
-    fn run_resumable(
+    /// The single execution path behind [`crate::runner::Runner`].
+    ///
+    /// An attached observer forces the phased (parallel-shaped) path
+    /// even at `jobs = 1`: the phases are where logical time advances
+    /// and spans open, so taking the same path at every job count is
+    /// what makes the span tree byte-identical across `--jobs N`. The
+    /// un-observed serial path stays exactly the pre-observer code.
+    pub(crate) fn run_resumable(
         &self,
         resume: Option<&serde_json::Value>,
         stream: Option<&mut clasp_stream::StreamEngine>,
+        observer: Option<&Observer>,
+        jobs: usize,
     ) -> Result<CampaignResult, String> {
-        let jobs = self.config.effective_jobs();
-        if jobs > 1 {
-            self.run_parallel(resume, stream, jobs)
+        if jobs > 1 || observer.is_some() {
+            self.run_parallel(resume, stream, observer, jobs.max(1))
         } else {
             self.run_serial(resume, stream)
         }
@@ -666,6 +709,7 @@ impl<'w> Campaign<'w> {
         &self,
         resume: Option<&serde_json::Value>,
         mut stream: Option<&mut clasp_stream::StreamEngine>,
+        observer: Option<&Observer>,
         jobs: usize,
     ) -> Result<CampaignResult, String> {
         let client = SpeedTestClient::default();
@@ -700,6 +744,7 @@ impl<'w> Campaign<'w> {
         let mut report = st.report;
         let mut completed = st.completed;
         let mut raw_store = st.raw_store;
+        let mut exec_metrics = st.exec_metrics;
         let mut raw_objects = 0u64;
         let mut buckets = Vec::new();
         let mut topo_selections = Vec::new();
@@ -729,18 +774,35 @@ impl<'w> Campaign<'w> {
         let dsts: Vec<simnet::topology::AsId> = std::iter::once(self.world.topo.cloud)
             .chain(self.world.topo.non_cloud_ases())
             .collect();
-        let tables: simnet::routing::RouteTables = exec::scatter(jobs, dsts.len(), |i| {
-            let routing = simnet::routing::Routing::new(&self.world.topo);
-            (dsts[i], routing.routes_to(dsts[i]))
-        })
-        .into_iter()
-        .collect();
+        let span0 = observer.map(|o| o.span("phase0:route_warm"));
+        let (table_pairs, shards) = exec::scatter_metered(
+            jobs,
+            dsts.len(),
+            || (),
+            |(), m, i| {
+                m.inc("exec.route_tables", 1);
+                let routing = simnet::routing::Routing::new(&self.world.topo);
+                (dsts[i], routing.routes_to(dsts[i]))
+            },
+        );
+        let tables: simnet::routing::RouteTables = table_pairs.into_iter().collect();
+        if let Some(obs) = observer {
+            // One quantum of logical time per route table: an
+            // input-derived amount, never a scheduling-derived one.
+            for shard in &shards {
+                obs.merge_shard(shard);
+            }
+            obs.advance(dsts.len() as u64);
+        }
+        drop(span0);
 
-        let preps: Vec<UnitPrep> = exec::scatter_with(
+        let span1 = observer.map(|o| o.span("phase1:unit_prep"));
+        let (preps, shards): (Vec<UnitPrep>, _) = exec::scatter_metered(
             jobs,
             units.len(),
             || self.world.session_with(&tables),
-            |session, i| {
+            |session, shard, i| {
+                shard.inc("prep.units", 1);
                 let (_, region_name, kind) = &units[i];
                 let region = Region::by_name(region_name).expect("known region");
                 let region_city = region.city_id(&self.world.topo.cities);
@@ -754,10 +816,29 @@ impl<'w> Campaign<'w> {
                             *budget,
                             &self.config.pilot,
                         );
+                        // The plan (and the vm_plan metrics derived
+                        // from it) is computed even for completed
+                        // units: it is a pure function of world +
+                        // config, so recomputing keeps observer output
+                        // identical across checkpoint resumes.
+                        let plan = plan::plan_region(region, &sel.servers, &base_cron);
+                        let vm_plan = plan
+                            .assignments
+                            .iter()
+                            .enumerate()
+                            .map(|(vm_idx, a)| {
+                                let name = format!(
+                                    "clasp-{}-{}-{vm_idx}",
+                                    region.name,
+                                    Tier::Premium.label()
+                                );
+                                let assigned = a.len() as u64;
+                                (name, assigned, assigned * self.config.days * 24)
+                            })
+                            .collect();
                         let mut vms = Vec::new();
                         let mut n_vms = 0;
                         if !done[i] {
-                            let plan = plan::plan_region(region, &sel.servers, &base_cron);
                             n_vms = plan.n_vms;
                             for (vm_idx, assignment) in plan.assignments.iter().enumerate() {
                                 vms.push(VmTask {
@@ -785,6 +866,7 @@ impl<'w> Campaign<'w> {
                             sel: UnitSel::Topo(sel),
                             n_vms,
                             vms,
+                            vm_plan,
                         }
                     }
                     UnitKind::Diff => {
@@ -796,10 +878,18 @@ impl<'w> Campaign<'w> {
                             region_city,
                             &self.config.pretest,
                         );
+                        let servers: Vec<String> =
+                            sel.picks.iter().map(|p| p.server_id.clone()).collect();
+                        let vm_plan = [Tier::Premium, Tier::Standard]
+                            .iter()
+                            .map(|tier| {
+                                let name = format!("clasp-{}-{}-0", region.name, tier.label());
+                                let assigned = servers.len() as u64;
+                                (name, assigned, assigned * self.config.diff_days * 24)
+                            })
+                            .collect();
                         let mut vms = Vec::new();
                         if !done[i] {
-                            let servers: Vec<String> =
-                                sel.picks.iter().map(|p| p.server_id.clone()).collect();
                             for tier in [Tier::Premium, Tier::Standard] {
                                 vms.push(VmTask {
                                     unit: i,
@@ -821,16 +911,36 @@ impl<'w> Campaign<'w> {
                             sel: UnitSel::Diff(sel),
                             n_vms: 0,
                             vms,
+                            vm_plan,
                         }
                     }
                 }
             },
         );
+        if let Some(obs) = observer {
+            for shard in &shards {
+                obs.merge_shard(shard);
+            }
+            // Per-VM plan metrics land on the main thread, keyed by
+            // unit label + VM name so topo and diff VMs sharing a
+            // region cannot collide.
+            obs.with_metrics(|m| {
+                for (prep, (label, _, _)) in preps.iter().zip(&units) {
+                    for (vm, assigned, expected) in &prep.vm_plan {
+                        m.inc(&format!("vm.{label}/{vm}.assigned"), *assigned);
+                        m.inc(&format!("vm.{label}/{vm}.expected_tests"), *expected);
+                    }
+                }
+            });
+            obs.advance(units.len() as u64);
+        }
+        drop(span1);
 
         // Phase 2: every VM of every pending unit is one independent
         // task. VM-level granularity keeps all workers busy even when a
         // single region holds half the server budget; unit-level tasks
         // would cap the speedup at the largest region's share.
+        let span2 = observer.map(|o| o.span("phase2:vm_exec"));
         let tasks: Vec<&VmTask> = preps.iter().flat_map(|p| p.vms.iter()).collect();
         let outputs: Vec<VmOutput> = exec::scatter_with(
             jobs,
@@ -852,6 +962,7 @@ impl<'w> Campaign<'w> {
                     flog: FaultLog::new(),
                     report: CompletenessReport::new(),
                     decoded: Vec::new(),
+                    metrics: MetricsRegistry::new(),
                 };
                 let params = VmLoopParams {
                     region,
@@ -863,6 +974,7 @@ impl<'w> Campaign<'w> {
                     days: task.days,
                     comp_label: &task.comp_label,
                 };
+                let mut vm_metrics = observer.map(|_| MetricsRegistry::new());
                 self.run_vm_loop(
                     session,
                     &client,
@@ -878,18 +990,40 @@ impl<'w> Campaign<'w> {
                     &fplan,
                     &mut out.flog,
                     &mut out.report,
+                    vm_metrics.as_mut(),
                 );
+                if let Some(m) = vm_metrics.as_mut() {
+                    let label = &units[task.unit].0;
+                    let vm = format!(
+                        "clasp-{}-{}-{}",
+                        region.name,
+                        task.tier.label(),
+                        task.vm_idx
+                    );
+                    m.inc(&format!("vm.{label}/{vm}.tests_executed"), out.tests_run);
+                    m.inc("exec.tests_executed", out.tests_run);
+                    m.inc("exec.tests_tainted", out.tainted);
+                }
                 // Decode (parse) this VM's own uploads while still on the
                 // worker; the serial merge then only has to index them.
                 out.decoded = pipeline::decode_bucket(&out.bucket);
+                out.metrics = vm_metrics.unwrap_or_default();
                 out
             },
         );
         drop(tasks);
+        if let Some(obs) = observer {
+            // Logical time covers *planned* VMs (vm_plan includes the
+            // completed units' VMs), so resumed runs advance the clock
+            // exactly as far as uninterrupted ones.
+            obs.advance(preps.iter().map(|p| p.vm_plan.len() as u64).sum());
+        }
+        drop(span2);
 
         // Phase 3: serial merge in canonical unit order — the exact
         // mutation sequence run_serial performs, replayed from the
         // buffered worker outputs.
+        let span3 = observer.map(|o| o.span("phase3:merge"));
         let mut out_iter = outputs.into_iter();
         for (i, (unit, prep)) in units.iter().zip(preps).enumerate() {
             let (label, _, kind) = unit;
@@ -906,6 +1040,10 @@ impl<'w> Campaign<'w> {
             if !done[i] {
                 for _ in 0..prep.vms.len() {
                     let vo = out_iter.next().expect("one output per task");
+                    // Shards merge in canonical VM order (u64 sums, so
+                    // order is cosmetic); the cumulative registry is
+                    // what checkpoints persist for completed units.
+                    exec_metrics.merge(&vo.metrics);
                     flog.absorb(vo.flog);
                     report.merge(&vo.report);
                     // Transfer meters are u64 — safe to sum. The f64
@@ -946,16 +1084,40 @@ impl<'w> Campaign<'w> {
                 completed.push(label.clone());
             }
             let stats = if done[i] {
-                pipeline::ingest(&bucket, &mut db)
+                // `ingest` is exactly `ingest_decoded ∘ decode_bucket`;
+                // decoding explicitly lets the observer count collected
+                // tests per VM from the object keys, identically for
+                // replayed and freshly-executed units.
+                let decoded = pipeline::decode_bucket(&bucket);
+                if let Some(obs) = observer {
+                    record_collected(obs, label, &decoded);
+                }
+                pipeline::ingest_decoded(decoded, &mut db)
             } else {
                 // Disjoint per-VM key sets merge-sort into exactly the
                 // listing order a serial ingest of the shared bucket
                 // sees (and the order the stream engine consumes).
                 unit_decoded.sort_by(|a, b| a.key.cmp(&b.key));
+                if let Some(obs) = observer {
+                    record_collected(obs, label, &unit_decoded);
+                }
                 pipeline::ingest_decoded(unit_decoded, &mut db)
             };
             drain(&mut stream);
             raw_objects += stats.objects;
+            if let Some(obs) = observer {
+                obs.with_metrics(|m| {
+                    m.inc("ingest.objects", stats.objects);
+                    m.inc("ingest.points", stats.points);
+                    m.inc("ingest.errors", stats.errors);
+                });
+                obs.advance(stats.points);
+                obs.event(
+                    "unit.merged",
+                    label,
+                    format!("objects={} points={}", stats.objects, stats.points),
+                );
+            }
             if self.config.keep_raw {
                 buckets.push(bucket);
             }
@@ -971,12 +1133,26 @@ impl<'w> Campaign<'w> {
                     m.insert("stream".into(), engine.snapshot());
                 }
             }
+            if observer.is_some() {
+                // Only observed runs carry the telemetry section —
+                // observer-less checkpoints stay byte-identical to the
+                // pre-observability format.
+                if let serde_json::Value::Object(m) = &mut ckpt {
+                    let mut o = serde_json::Map::new();
+                    o.insert("exec".into(), exec_metrics.to_json());
+                    m.insert("obs".into(), serde_json::Value::Object(o));
+                }
+            }
             checkpoints.push(ckpt);
         }
+        drop(span3);
 
         // Fault outcomes fold in exactly once, after all units merged —
         // same as the serial path.
         report.absorb_log(&flog);
+        if let Some(obs) = observer {
+            obs.merge_shard(&exec_metrics);
+        }
 
         Ok(CampaignResult {
             db,
@@ -1042,7 +1218,7 @@ impl<'w> Campaign<'w> {
             let pairs = self.resolve_pairs(session, client, region, tier, assignment);
             self.run_vm_loop(
                 session, client, &cron, &params, vm_idx, assignment, &pairs, bucket, billing,
-                tests_run, tainted, fplan, flog, report,
+                tests_run, tainted, fplan, flog, report, None,
             );
         }
     }
@@ -1095,6 +1271,7 @@ impl<'w> Campaign<'w> {
         fplan: &FaultPlan,
         flog: &mut FaultLog,
         report: &mut CompletenessReport,
+        mut obs: Option<&mut MetricsRegistry>,
     ) {
         let &VmLoopParams {
             region,
@@ -1319,6 +1496,11 @@ impl<'w> Campaign<'w> {
                         let Some(r) = result else {
                             continue;
                         };
+                        if let Some(m) = obs.as_deref_mut() {
+                            m.observe("test.download_mbps", MBPS_BOUNDS, r.download_mbps);
+                            m.observe("test.upload_mbps", MBPS_BOUNDS, r.upload_mbps);
+                            m.observe("test.latency_ms", LATENCY_BOUNDS, r.latency_ms);
+                        }
                         // Health check (someta).
                         let meta = nettools::someta::record(
                             &vm_name,
@@ -1370,6 +1552,34 @@ impl<'w> Campaign<'w> {
             }
         }
     }
+}
+
+/// Fixed histogram bounds for test throughput (Mbps). Fixed bounds are
+/// what keep histograms mergeable and bit-identical: only u64 bucket
+/// counts accumulate, never f64 sums.
+const MBPS_BOUNDS: &[f64] = &[50.0, 100.0, 200.0, 400.0, 600.0, 800.0];
+
+/// Fixed histogram bounds for test latency (ms).
+const LATENCY_BOUNDS: &[f64] = &[2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+
+/// Counts collected tests per VM from decoded object keys
+/// (`raw/<region>/<day>/<vm>.lp`), under the unit's label.
+fn record_collected(obs: &Observer, label: &str, decoded: &[pipeline::DecodedObject]) {
+    obs.with_metrics(|m| {
+        for d in decoded {
+            let Ok(points) = &d.result else { continue };
+            let vm = d
+                .key
+                .rsplit('/')
+                .next()
+                .and_then(|f| f.strip_suffix(".lp"))
+                .unwrap_or("unknown");
+            m.inc(
+                &format!("vm.{label}/{vm}.tests_collected"),
+                points.len() as u64,
+            );
+        }
+    });
 }
 
 /// Per-tier crontab/RNG salt: the premium and standard VMs of a
@@ -1512,7 +1722,10 @@ mod tests {
 
     fn run_small() -> (World, CampaignResult) {
         let world = World::tiny(121);
-        let result = Campaign::new(&world, CampaignConfig::small(121)).run();
+        let result = Campaign::new(&world, CampaignConfig::small(121))
+            .runner()
+            .run()
+            .unwrap();
         (world, result)
     }
 
@@ -1581,8 +1794,14 @@ mod tests {
     #[test]
     fn campaign_is_deterministic() {
         let world = World::tiny(131);
-        let a = Campaign::new(&world, CampaignConfig::small(131)).run();
-        let b = Campaign::new(&world, CampaignConfig::small(131)).run();
+        let a = Campaign::new(&world, CampaignConfig::small(131))
+            .runner()
+            .run()
+            .unwrap();
+        let b = Campaign::new(&world, CampaignConfig::small(131))
+            .runner()
+            .run()
+            .unwrap();
         assert_eq!(a.tests_run, b.tests_run);
         assert_eq!(a.db.points_written, b.db.points_written);
         assert_eq!(
@@ -1608,10 +1827,13 @@ mod tests {
     #[test]
     fn zero_fault_plan_is_invisible() {
         let world = World::tiny(121);
-        let a = Campaign::new(&world, CampaignConfig::small(121)).run();
+        let a = Campaign::new(&world, CampaignConfig::small(121))
+            .runner()
+            .run()
+            .unwrap();
         let mut cfg = CampaignConfig::small(121);
         cfg.fault_plan = FaultPlan::none();
-        let b = Campaign::new(&world, cfg).run();
+        let b = Campaign::new(&world, cfg).runner().run().unwrap();
         assert!(a.fault_log.is_empty());
         assert!(a.completeness.reconciles());
         assert_eq!(a.completeness.total_missing(), 0);
@@ -1628,7 +1850,7 @@ mod tests {
         let world = World::tiny(121);
         let mut cfg = CampaignConfig::small(121);
         cfg.fault_plan = FaultPlan::uniform(9, 0.02);
-        let res = Campaign::new(&world, cfg).run();
+        let res = Campaign::new(&world, cfg).runner().run().unwrap();
         assert!(res.tests_run > 0, "campaign still collects data");
         assert!(!res.fault_log.is_empty(), "2% rates fire in 192 VM-hours");
         assert!(
@@ -1649,15 +1871,18 @@ mod tests {
         legacy.outage_rate = 0.10;
         let mut planned = CampaignConfig::small(121);
         planned.fault_plan = FaultPlan::legacy_outage(0.10);
-        let a = Campaign::new(&world, legacy).run();
-        let b = Campaign::new(&world, planned).run();
+        let a = Campaign::new(&world, legacy).runner().run().unwrap();
+        let b = Campaign::new(&world, planned).runner().run().unwrap();
         // Same draws, same gaps, same data — the deprecated knob is a
         // pure alias for the FaultPlan shim.
         assert_eq!(
             serde_json::to_string(a.checkpoints.last().unwrap()),
             serde_json::to_string(b.checkpoints.last().unwrap()),
         );
-        let pristine = Campaign::new(&world, CampaignConfig::small(121)).run();
+        let pristine = Campaign::new(&world, CampaignConfig::small(121))
+            .runner()
+            .run()
+            .unwrap();
         assert!(a.tests_run < pristine.tests_run, "outages cost tests");
         assert!(a.completeness.reconciles());
     }
@@ -1667,11 +1892,13 @@ mod tests {
         let world = World::tiny(121);
         let mut cfg = CampaignConfig::small(121);
         cfg.fault_plan = FaultPlan::uniform(5, 0.02);
-        let full = Campaign::new(&world, cfg.clone()).run();
+        let full = Campaign::new(&world, cfg.clone()).runner().run().unwrap();
         // One checkpoint per work unit: 1 topo region + 1 diff region.
         assert_eq!(full.checkpoints.len(), 2);
         let resumed = Campaign::new(&world, cfg)
-            .resume(&full.checkpoints[0])
+            .runner()
+            .resume_from(&full.checkpoints[0])
+            .run()
             .unwrap();
         assert_eq!(full.tests_run, resumed.tests_run);
         assert_eq!(full.db.points_written, resumed.db.points_written);
@@ -1697,12 +1924,12 @@ mod tests {
         let world = World::tiny(121);
         let mut cfg = CampaignConfig::small(121);
         cfg.fault_plan = FaultPlan::uniform(7, 0.02);
-        let serial = Campaign::new(&world, cfg.clone()).run();
+        let serial = Campaign::new(&world, cfg.clone()).runner().run().unwrap();
         assert!(!serial.fault_log.is_empty());
         for jobs in [2, 4] {
             let mut pcfg = cfg.clone();
             pcfg.jobs = jobs;
-            let par = Campaign::new(&world, pcfg).run();
+            let par = Campaign::new(&world, pcfg).runner().run().unwrap();
             assert_eq!(serial.tests_run, par.tests_run, "jobs={jobs}");
             assert_eq!(serial.db.points_written, par.db.points_written);
             assert_eq!(serial.db.series_count(), par.db.series_count());
@@ -1728,11 +1955,13 @@ mod tests {
         let world = World::tiny(121);
         let mut cfg = CampaignConfig::small(121);
         cfg.fault_plan = FaultPlan::uniform(5, 0.02);
-        let full = Campaign::new(&world, cfg.clone()).run();
+        let full = Campaign::new(&world, cfg.clone()).runner().run().unwrap();
         let mut pcfg = cfg;
         pcfg.jobs = 4;
         let resumed = Campaign::new(&world, pcfg)
-            .resume(&full.checkpoints[0])
+            .runner()
+            .resume_from(&full.checkpoints[0])
+            .run()
             .unwrap();
         assert_eq!(full.tests_run, resumed.tests_run);
         assert_eq!(full.fault_log, resumed.fault_log);
@@ -1747,6 +1976,122 @@ mod tests {
         let world = World::tiny(121);
         let campaign = Campaign::new(&world, CampaignConfig::small(121));
         let bad = serde_json::from_str("{}").unwrap();
-        assert!(campaign.resume(&bad).is_err());
+        assert!(campaign.runner().resume_from(&bad).run().is_err());
+    }
+
+    /// Strips the observer-only checkpoint section, leaving the format
+    /// an un-observed run produces.
+    fn without_obs(ckpt: &serde_json::Value) -> serde_json::Value {
+        let mut c = ckpt.clone();
+        if let serde_json::Value::Object(m) = &mut c {
+            m.remove("obs");
+        }
+        c
+    }
+
+    #[test]
+    fn observer_leaves_results_bit_identical() {
+        let world = World::tiny(121);
+        let mut cfg = CampaignConfig::small(121);
+        cfg.fault_plan = FaultPlan::uniform(7, 0.02);
+        let plain = Campaign::new(&world, cfg.clone()).runner().run().unwrap();
+        let obs = Observer::new();
+        let observed = Campaign::new(&world, cfg)
+            .runner()
+            .observer(&obs)
+            .run()
+            .unwrap();
+        assert_eq!(plain.tests_run, observed.tests_run);
+        assert_eq!(plain.fault_log, observed.fault_log);
+        assert_eq!(plain.completeness, observed.completeness);
+        // Checkpoints differ only by the observed run's "obs" section.
+        assert_eq!(plain.checkpoints.len(), observed.checkpoints.len());
+        for (a, b) in plain.checkpoints.iter().zip(&observed.checkpoints) {
+            assert!(b.get("obs").is_some(), "observed checkpoints carry obs");
+            assert_eq!(
+                serde_json::to_string(a),
+                serde_json::to_string(&without_obs(b)),
+            );
+        }
+        // The execution counters reconcile against the result.
+        let m = obs.metrics();
+        assert_eq!(m.counter("exec.tests_executed"), observed.tests_run);
+        assert_eq!(m.counter("exec.tests_tainted"), observed.tainted_tests);
+        assert_eq!(m.counter("ingest.objects"), observed.raw_objects);
+        assert_eq!(m.counter("ingest.points"), observed.db.points_written);
+        assert!(m.counter("exec.route_tables") > 0);
+        assert_eq!(m.counter("prep.units"), 2);
+        // Spans: campaign root + four phases, clock strictly advanced.
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans[0].name, "campaign");
+        assert!(obs.now() > 0);
+        assert_eq!(spans[0].end, obs.now());
+    }
+
+    #[test]
+    fn observed_metrics_identical_across_jobs_and_resume() {
+        let world = World::tiny(121);
+        let mut cfg = CampaignConfig::small(121);
+        cfg.fault_plan = FaultPlan::uniform(7, 0.02);
+        let telemetry = |jobs: usize, ckpt: Option<&serde_json::Value>| {
+            let obs = Observer::new();
+            let mut pcfg = cfg.clone();
+            pcfg.jobs = jobs;
+            let campaign = Campaign::new(&world, pcfg);
+            let mut runner = campaign.runner().observer(&obs);
+            if let Some(c) = ckpt {
+                runner = runner.resume_from(c);
+            }
+            let result = runner.run().unwrap();
+            (obs.metrics_string(), obs.trace_string(), result)
+        };
+        let (metrics, trace, full) = telemetry(1, None);
+        for jobs in [2, 8] {
+            let (m, t, _) = telemetry(jobs, None);
+            assert_eq!(m, metrics, "metrics, jobs={jobs}");
+            assert_eq!(t, trace, "trace, jobs={jobs}");
+        }
+        // Resuming an observed checkpoint at a different job count
+        // reproduces the identical telemetry.
+        let (m, t, _) = telemetry(4, Some(&full.checkpoints[0]));
+        assert_eq!(m, metrics, "metrics across resume");
+        assert_eq!(t, trace, "trace across resume");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entrypoints_delegate_to_runner() {
+        let world = World::tiny(121);
+        let cfg = CampaignConfig::small(121);
+        let legacy = Campaign::new(&world, cfg.clone()).run();
+        let modern = Campaign::new(&world, cfg.clone()).runner().run().unwrap();
+        assert_eq!(
+            serde_json::to_string(legacy.checkpoints.last().unwrap()),
+            serde_json::to_string(modern.checkpoints.last().unwrap()),
+        );
+        let resumed = Campaign::new(&world, cfg)
+            .resume(&legacy.checkpoints[0])
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(legacy.checkpoints.last().unwrap()),
+            serde_json::to_string(resumed.checkpoints.last().unwrap()),
+        );
+    }
+
+    #[test]
+    fn runner_jobs_override_matches_config_jobs() {
+        let world = World::tiny(121);
+        let cfg = CampaignConfig::small(121);
+        let via_config = {
+            let mut c = cfg.clone();
+            c.jobs = 4;
+            Campaign::new(&world, c).runner().run().unwrap()
+        };
+        let via_builder = Campaign::new(&world, cfg).runner().jobs(4).run().unwrap();
+        assert_eq!(
+            serde_json::to_string(via_config.checkpoints.last().unwrap()),
+            serde_json::to_string(via_builder.checkpoints.last().unwrap()),
+        );
     }
 }

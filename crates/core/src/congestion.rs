@@ -294,7 +294,10 @@ mod tests {
 
     fn analysis() -> (World, CongestionAnalysis) {
         let world = World::tiny(141);
-        let res = Campaign::new(&world, CampaignConfig::small(141)).run();
+        let res = Campaign::new(&world, CampaignConfig::small(141))
+            .runner()
+            .run()
+            .unwrap();
         let mut db = res.db;
         let a = CongestionAnalysis::build(
             &mut db,

@@ -1,8 +1,8 @@
 //! Extended congestion detection — the paper's §5 future work, built.
 //!
 //! "Finally, we will improve our congestion detection method using time
-//! series analysis approaches, such as autocorrelation [11] and hidden
-//! Markov model [28], to capture changes and patterns in throughput and
+//! series analysis approaches, such as autocorrelation \[11\] and hidden
+//! Markov model \[28\], to capture changes and patterns in throughput and
 //! latency data to detect different types of congestion events."
 //!
 //! Two detectors over the same campaign series the threshold method
@@ -171,7 +171,7 @@ mod tests {
         config.days = 8;
         config.topo_regions = vec![("us-west1", 24)];
         config.diff_regions.clear();
-        let res = Campaign::new(&world, config).run();
+        let res = Campaign::new(&world, config).runner().run().unwrap();
         let mut db = res.db;
         let a = CongestionAnalysis::build(
             &mut db,

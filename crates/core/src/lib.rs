@@ -22,6 +22,8 @@
 //! * [`exec`] — the deterministic worker pool behind `--jobs N`:
 //!   campaign units scatter across scoped threads and gather in
 //!   canonical order, bit-identical to the serial run;
+//! * [`runner`] — the unified execution entrypoint: one builder for
+//!   fresh/resumed, batch/streaming, serial/parallel, observed or not;
 //! * [`pipeline`] — §3.3's processing: raw bucket objects → time-series
 //!   database;
 //! * [`congestion`] — §3.3's detection method: normalized peak-to-trough
@@ -45,10 +47,13 @@ pub mod exec;
 pub mod pipeline;
 pub mod plan;
 pub mod reselect;
+pub mod runner;
 pub mod select;
 pub mod tiercmp;
 pub mod world;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult};
+pub use clasp_obs::Observer;
 pub use congestion::{CongestionAnalysis, CongestionEvent, DayVariability};
+pub use runner::Runner;
 pub use world::World;

@@ -177,7 +177,10 @@ mod tests {
 
     fn comparison() -> TierComparison {
         let world = World::tiny(151);
-        let res = Campaign::new(&world, CampaignConfig::small(151)).run();
+        let res = Campaign::new(&world, CampaignConfig::small(151))
+            .runner()
+            .run()
+            .unwrap();
         let mut db = res.db;
         TierComparison::build(&mut db, &res.diff_selections[0])
     }

@@ -2,7 +2,7 @@
 //!
 //! "Conducting speed tests is bandwidth intensive, which is pessimal in
 //! terms of cloud charges. We will apply in-band measurement approaches
-//! (e.g., [FlowTrace]) to inject measurement probes into throughput
+//! (e.g., \[FlowTrace\]) to inject measurement probes into throughput
 //! measurement flows to identify the bottleneck link on the path and
 //! reduce the test duration."
 //!

@@ -6,8 +6,8 @@
 //! RTT and loss from packet headers, and `someta` for VM metadata. This
 //! crate re-implements each of those against the `simnet` substrate:
 //!
-//! * [`ping`] — ICMP-style RTT probing;
-//! * [`traceroute`] — classic and paris-mode traceroute (flow-id
+//! * [`ping`](mod@ping) — ICMP-style RTT probing;
+//! * [`traceroute`](mod@traceroute) — classic and paris-mode traceroute (flow-id
 //!   stability), with per-hop RTTs and responsive/silent hops;
 //! * [`scamper`] — batch probing engine with probing budgets;
 //! * [`bdrmap`] — interdomain border inference: finds the cloud's border

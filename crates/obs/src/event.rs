@@ -1,0 +1,137 @@
+//! Structured event log: discrete things that happened, with logical
+//! timestamps, including every fault absorbed from a
+//! [`faultsim::FaultLog`].
+
+use faultsim::{FaultLog, FaultOutcome};
+use serde_json::{Map, Value};
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Logical-clock value when the event was recorded.
+    pub time: u64,
+    /// Dotted event kind, e.g. `"unit.merged"` or `"fault.api_error"`.
+    pub kind: String,
+    /// What the event is about (unit label, region/VM, …).
+    pub scope: String,
+    /// Free-form detail, already rendered deterministically.
+    pub detail: String,
+}
+
+/// Append-only list of [`Event`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, time: u64, kind: &str, scope: &str, detail: impl Into<String>) {
+        self.events.push(Event {
+            time,
+            kind: kind.to_string(),
+            scope: scope.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All events, in append order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Converts every fault in `log` into a `fault.<kind>` event at
+    /// logical time `time`.
+    ///
+    /// Fault times are sim-seconds, not logical ticks, so they land in
+    /// the detail string; the events keep the log's canonical order
+    /// (PR 1's absorb rules already make that order replay-invariant).
+    pub fn absorb_fault_log(&mut self, time: u64, log: &FaultLog) {
+        for f in log.faults() {
+            let scope = if f.vm.is_empty() {
+                f.region.clone()
+            } else {
+                format!("{}/{}", f.region, f.vm)
+            };
+            let outcome = match f.outcome {
+                FaultOutcome::Unhandled => "unhandled".to_string(),
+                FaultOutcome::Recovered {
+                    retries,
+                    recovered_at,
+                } => format!("recovered retries={retries} at={recovered_at}"),
+                FaultOutcome::Lost { s_hours } => format!("lost s_hours={s_hours}"),
+            };
+            let detail = if f.detail.is_empty() {
+                format!("t={} {}", f.time, outcome)
+            } else {
+                format!("t={} {} ({})", f.time, outcome, f.detail)
+            };
+            self.push(time, &format!("fault.{}", f.kind.name()), &scope, detail);
+        }
+    }
+
+    /// Canonical JSON array of events.
+    pub fn to_json(&self) -> Value {
+        Value::Array(
+            self.events
+                .iter()
+                .map(|e| {
+                    let mut m = Map::new();
+                    m.insert("time".into(), e.time.into());
+                    m.insert("kind".into(), e.kind.clone().into());
+                    m.insert("scope".into(), e.scope.clone().into());
+                    m.insert("detail".into(), e.detail.clone().into());
+                    Value::Object(m)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::FaultKind;
+
+    #[test]
+    fn absorb_renders_outcomes() {
+        let mut log = FaultLog::new();
+        let a = log.record(3600, FaultKind::UploadFailure, "us-west1", "vm-0", "day 2");
+        log.mark_recovered(a, 2, 3660);
+        let b = log.record(7200, FaultKind::VmPreemption, "us-west1", "vm-1", "");
+        log.mark_lost(b, 4);
+
+        let mut ev = EventLog::new();
+        ev.absorb_fault_log(42, &log);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev.events()[0].kind, "fault.upload_failure");
+        assert_eq!(ev.events()[0].scope, "us-west1/vm-0");
+        assert_eq!(ev.events()[0].time, 42);
+        assert!(ev.events()[0].detail.contains("recovered retries=2"));
+        assert!(ev.events()[1].detail.contains("lost s_hours=4"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut ev = EventLog::new();
+        ev.push(7, "unit.merged", "topo:us-west1", "objects=3 points=9");
+        let json = serde_json::to_string(&ev.to_json());
+        assert!(json.contains("\"kind\":\"unit.merged\""));
+        assert!(json.contains("\"time\":7"));
+    }
+}

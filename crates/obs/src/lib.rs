@@ -1,0 +1,258 @@
+//! # clasp-obs — deterministic observability
+//!
+//! Metrics, span timers, and a structured event log for the CLASP
+//! reproduction, built so that telemetry is part of the *replayable*
+//! output rather than a source of nondeterminism:
+//!
+//! - [`MetricsRegistry`] holds counters, gauges, and fixed-bound
+//!   histograms. Worker shards accumulate only `u64` counts, which
+//!   merge commutatively — totals are bit-identical no matter how the
+//!   scheduler partitioned the tasks across `--jobs N` threads.
+//! - [`Observer`] adds a *logical clock*: an explicitly-advanced
+//!   counter of canonical work quanta. Spans record logical start/end
+//!   (plus wall time for human-facing reports, excluded from JSON), so
+//!   the span tree serializes byte-identically across job counts and
+//!   across checkpoint resumes.
+//! - [`EventLog`] records discrete happenings, including every fault
+//!   absorbed from a [`faultsim::FaultLog`].
+//!
+//! The intended use is one [`Observer`] per campaign run, shared by
+//! reference: the main thread advances the clock and opens/closes
+//! spans at phase barriers; worker threads fill private
+//! [`MetricsRegistry`] shards that the main thread merges in canonical
+//! order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod registry;
+mod report;
+mod span;
+
+pub use event::{Event, EventLog};
+pub use registry::{Histogram, MetricsRegistry};
+pub use report::render_span_table;
+pub use span::{SpanRec, Tracer};
+
+use serde_json::{Map, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Inner {
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+    events: EventLog,
+}
+
+/// Shared observability sink for one campaign run.
+///
+/// `Sync`: the logical clock is atomic and everything else sits behind
+/// one mutex that deterministic code paths only touch from the main
+/// thread (workers use private shards instead, merged via
+/// [`Observer::merge_shard`]).
+pub struct Observer {
+    clock: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Observer {
+    fn default() -> Observer {
+        Observer::new()
+    }
+}
+
+impl Observer {
+    /// A fresh observer with the logical clock at zero.
+    pub fn new() -> Observer {
+        Observer {
+            clock: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                metrics: MetricsRegistry::new(),
+                tracer: Tracer::new(),
+                events: EventLog::new(),
+            }),
+        }
+    }
+
+    /// Advances the logical clock by `quanta` units of canonical work.
+    ///
+    /// Call only at deterministic points (phase barriers, per-unit
+    /// merges) with amounts derived from campaign inputs — never from
+    /// scheduling (thread counts, timing, queue depths).
+    pub fn advance(&self, quanta: u64) {
+        self.clock.fetch_add(quanta, Ordering::Relaxed);
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Opens a span; it closes (at the then-current logical time) when
+    /// the returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let idx = self.lock().tracer.open(name, self.now());
+        SpanGuard { obs: self, idx }
+    }
+
+    /// Runs `f` with mutable access to the registry (main thread only
+    /// for anything that must stay deterministic).
+    pub fn with_metrics<T>(&self, f: impl FnOnce(&mut MetricsRegistry) -> T) -> T {
+        f(&mut self.lock().metrics)
+    }
+
+    /// Merges a worker shard into the registry.
+    ///
+    /// Shards must contain only counters and histograms (u64 counts);
+    /// merging is then independent of how tasks were grouped.
+    pub fn merge_shard(&self, shard: &MetricsRegistry) {
+        self.lock().metrics.merge(shard);
+    }
+
+    /// Records a structured event at the current logical time.
+    pub fn event(&self, kind: &str, scope: &str, detail: impl Into<String>) {
+        let now = self.now();
+        self.lock().events.push(now, kind, scope, detail);
+    }
+
+    /// Absorbs a fault log into the event log at the current logical
+    /// time (see [`EventLog::absorb_fault_log`]).
+    pub fn absorb_fault_log(&self, log: &faultsim::FaultLog) {
+        let now = self.now();
+        self.lock().events.absorb_fault_log(now, log);
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.lock().metrics.clone()
+    }
+
+    /// Snapshot of the recorded spans, in open order.
+    pub fn spans(&self) -> Vec<SpanRec> {
+        self.lock().tracer.spans().to_vec()
+    }
+
+    /// Snapshot of the recorded events, in append order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.events().to_vec()
+    }
+
+    /// Canonical metrics JSON (see [`MetricsRegistry::to_json`]).
+    pub fn metrics_json(&self) -> Value {
+        self.lock().metrics.to_json()
+    }
+
+    /// Canonical metrics JSON as a string — byte-identical across
+    /// `--jobs N` and checkpoint resumes.
+    pub fn metrics_string(&self) -> String {
+        serde_json::to_string(&self.metrics_json())
+    }
+
+    /// Canonical trace JSON: `{"clock": .., "spans": [..],
+    /// "events": [..]}`. Wall time is excluded.
+    pub fn trace_json(&self) -> Value {
+        let inner = self.lock();
+        let mut m = Map::new();
+        m.insert("clock".into(), self.clock.load(Ordering::Relaxed).into());
+        m.insert("spans".into(), inner.tracer.to_json());
+        m.insert("events".into(), inner.events.to_json());
+        Value::Object(m)
+    }
+
+    /// Canonical trace JSON as a string.
+    pub fn trace_string(&self) -> String {
+        serde_json::to_string(&self.trace_json())
+    }
+
+    /// Human-facing per-span table (logical + wall time). Wall columns
+    /// vary run to run; this is for terminals, not for diffing.
+    pub fn render_span_table(&self) -> String {
+        report::render_span_table(&self.spans())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("observer lock poisoned")
+    }
+}
+
+/// RAII guard returned by [`Observer::span`]; closes the span on drop.
+pub struct SpanGuard<'a> {
+    obs: &'a Observer,
+    idx: u32,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let now = self.obs.now();
+        self.obs.lock().tracer.close(self.idx, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_spans_and_metrics_flow() {
+        let obs = Observer::new();
+        {
+            let _root = obs.span("campaign");
+            {
+                let _p0 = obs.span("phase0");
+                obs.advance(3);
+            }
+            obs.with_metrics(|m| m.inc("exec.route_tables", 3));
+            {
+                let _p1 = obs.span("phase1");
+                obs.advance(2);
+            }
+        }
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "campaign");
+        assert_eq!((spans[0].start, spans[0].end), (0, 5));
+        assert_eq!((spans[1].start, spans[1].end), (0, 3));
+        assert_eq!((spans[2].start, spans[2].end), (3, 5));
+        assert_eq!(obs.metrics().counter("exec.route_tables"), 3);
+    }
+
+    #[test]
+    fn shard_merge_order_independent_totals() {
+        let shard = |vals: &[u64]| {
+            let mut r = MetricsRegistry::new();
+            for &v in vals {
+                r.inc("tests", v);
+                r.observe("lat", &[10.0, 100.0], v as f64);
+            }
+            r
+        };
+        let a = Observer::new();
+        a.merge_shard(&shard(&[1, 2]));
+        a.merge_shard(&shard(&[3, 4, 5]));
+        let b = Observer::new();
+        b.merge_shard(&shard(&[1, 2, 3, 4]));
+        b.merge_shard(&shard(&[5]));
+        assert_eq!(a.metrics_string(), b.metrics_string());
+    }
+
+    #[test]
+    fn trace_json_is_deterministic_given_same_logical_work() {
+        let run = || {
+            let obs = Observer::new();
+            {
+                let _s = obs.span("phase");
+                obs.advance(7);
+                obs.event("unit.merged", "topo:r1", "points=7");
+            }
+            obs.trace_string()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observer_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Observer>();
+    }
+}

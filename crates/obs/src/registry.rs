@@ -1,0 +1,379 @@
+//! The metric store: counters, gauges, and fixed-bound histograms.
+//!
+//! Everything here is built for *deterministic merging*. Worker shards
+//! only ever accumulate `u64` counts (counter increments, histogram
+//! bucket hits), which are commutative and associative, so merging
+//! shards in any grouping yields bit-identical totals no matter how the
+//! scheduler partitioned the tasks. Gauges are last-write-wins and must
+//! therefore only be set on the serial (main-thread) side of a run.
+//!
+//! Names are flat dotted strings held in `BTreeMap`s, so iteration and
+//! JSON serialization are in canonical (sorted) order for free.
+
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+/// A histogram with fixed, immutable bucket boundaries.
+///
+/// `counts[i]` counts observations `v <= bounds[i]` (first matching
+/// bucket wins); the final slot is the overflow bucket. There is
+/// deliberately **no** floating-point sum accumulator: f64 addition is
+/// non-associative, and per-worker shard grouping depends on
+/// scheduling, so a sum would break bit-identity across `--jobs N`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` slots; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Adds another histogram's counts into this one.
+    ///
+    /// # Panics
+    /// If the bucket boundaries differ — merging histograms of the same
+    /// name but different shapes is always a bug.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "bounds".into(),
+            Value::Array(self.bounds.iter().map(|&b| b.into()).collect()),
+        );
+        m.insert(
+            "counts".into(),
+            Value::Array(self.counts.iter().map(|&c| c.into()).collect()),
+        );
+        m.insert("total".into(), self.total.into());
+        Value::Object(m)
+    }
+
+    fn from_json(v: &Value) -> Result<Histogram, String> {
+        let arr = |k: &str| -> Result<Vec<Value>, String> {
+            v.get(k)
+                .and_then(|x| x.as_array())
+                .cloned()
+                .ok_or_else(|| format!("histogram missing {k:?} array"))
+        };
+        let bounds: Vec<f64> = arr("bounds")?
+            .iter()
+            .map(|x| x.as_f64().ok_or("histogram bound must be a number"))
+            .collect::<Result<_, _>>()?;
+        let counts: Vec<u64> = arr("counts")?
+            .iter()
+            .map(|x| x.as_u64().ok_or("histogram count must be a u64"))
+            .collect::<Result<_, _>>()?;
+        if counts.len() != bounds.len() + 1 {
+            return Err("histogram counts/bounds length mismatch".into());
+        }
+        let total = v
+            .get("total")
+            .and_then(|x| x.as_u64())
+            .ok_or("histogram missing total")?;
+        if counts.iter().sum::<u64>() != total {
+            return Err("histogram total does not match counts".into());
+        }
+        Ok(Histogram {
+            bounds,
+            counts,
+            total,
+        })
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Cheap to create (three empty maps), so per-worker shards cost
+/// nothing up front. Serialization is canonical: sorted names, and
+/// only replay-invariant `u64`/fixed-bound state in shards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if by == 0 && !self.counters.contains_key(name) {
+            // Still materialize the counter so "seen but zero" is
+            // distinguishable — and identical across runs.
+            self.counters.insert(name.to_string(), 0);
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name`. Last write wins: serial-side only.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` into histogram `name`, creating it with `bounds` on
+    /// first sight.
+    ///
+    /// # Panics
+    /// If the histogram exists with different bounds.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        let h = self
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds));
+        assert_eq!(h.bounds(), bounds, "histogram {name:?} bounds changed");
+        h.observe(v);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if any observation created it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in canonical (sorted) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in canonical (sorted) order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in canonical (sorted) order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds every metric of `other` into this registry.
+    ///
+    /// Counters and histograms add (order-independent); gauges are
+    /// last-write-wins, so shards produced on worker threads must not
+    /// set gauges — only the serial side may.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Canonical JSON: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}` with sorted keys throughout.
+    pub fn to_json(&self) -> Value {
+        let mut counters = Map::new();
+        for (k, &v) in &self.counters {
+            counters.insert(k.clone(), v.into());
+        }
+        let mut gauges = Map::new();
+        for (k, &v) in &self.gauges {
+            gauges.insert(k.clone(), v.into());
+        }
+        let mut histograms = Map::new();
+        for (k, h) in &self.histograms {
+            histograms.insert(k.clone(), h.to_json());
+        }
+        let mut m = Map::new();
+        m.insert("counters".into(), Value::Object(counters));
+        m.insert("gauges".into(), Value::Object(gauges));
+        m.insert("histograms".into(), Value::Object(histograms));
+        Value::Object(m)
+    }
+
+    /// Restores a registry serialized by [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Result<MetricsRegistry, String> {
+        let obj = |k: &str| -> Result<Map, String> {
+            match v.get(k) {
+                None => Ok(Map::new()),
+                Some(Value::Object(m)) => Ok(m.clone()),
+                Some(_) => Err(format!("registry {k:?} must be an object")),
+            }
+        };
+        let mut reg = MetricsRegistry::new();
+        for (k, x) in obj("counters")? {
+            let n = x.as_u64().ok_or_else(|| format!("counter {k:?} not u64"))?;
+            reg.counters.insert(k, n);
+        }
+        for (k, x) in obj("gauges")? {
+            let n = x.as_f64().ok_or_else(|| format!("gauge {k:?} not f64"))?;
+            reg.gauges.insert(k, n);
+        }
+        for (k, x) in obj("histograms")? {
+            reg.histograms.insert(k, Histogram::from_json(&x)?);
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 5.0, 10.0]);
+        for v in [0.5, 1.0, 3.0, 10.0, 99.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merge_is_grouping_independent() {
+        // Simulate three worker shards with arbitrary task grouping.
+        let obs = [0.5, 2.0, 7.0, 0.1, 9.0, 3.0, 100.0];
+        let bounds = [1.0, 5.0, 10.0];
+        let shard = |vals: &[f64]| {
+            let mut r = MetricsRegistry::new();
+            for &v in vals {
+                r.inc("n", 1);
+                r.observe("h", &bounds, v);
+            }
+            r
+        };
+        let mut a = MetricsRegistry::new();
+        a.merge(&shard(&obs[..3]));
+        a.merge(&shard(&obs[3..5]));
+        a.merge(&shard(&obs[5..]));
+
+        let mut b = MetricsRegistry::new();
+        b.merge(&shard(&obs[..6]));
+        b.merge(&shard(&obs[6..]));
+
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a.to_json()),
+            serde_json::to_string(&b.to_json())
+        );
+        assert_eq!(a.counter("n"), 7);
+    }
+
+    #[test]
+    fn zero_inc_materializes_counter() {
+        let mut r = MetricsRegistry::new();
+        r.inc("seen", 0);
+        assert_eq!(r.counter("seen"), 0);
+        assert!(serde_json::to_string(&r.to_json()).contains("seen"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a.b", 3);
+        r.inc("a.c", 0);
+        r.set_gauge("g", 2.5);
+        r.observe("h", &[1.0, 2.0], 1.5);
+        r.observe("h", &[1.0, 2.0], 9.0);
+        let back = MetricsRegistry::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(
+            serde_json::to_string(&r.to_json()),
+            serde_json::to_string(&back.to_json())
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_bad_total() {
+        let mut r = MetricsRegistry::new();
+        r.observe("h", &[1.0], 0.5);
+        let mut v = r.to_json();
+        if let Value::Object(m) = &mut v {
+            if let Some(Value::Object(hs)) = m.get_mut("histograms") {
+                if let Some(Value::Object(h)) = hs.get_mut("h") {
+                    h.insert("total".into(), 99u64.into());
+                }
+            }
+        }
+        assert!(MetricsRegistry::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Terminal rendering of recorded spans.
+
+use crate::span::SpanRec;
+
+fn fmt_wall(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders spans as an indented table: name, wall time, logical ticks.
+///
+/// Wall columns are real elapsed time and vary run to run; logical
+/// columns are replay-invariant.
+pub fn render_span_table(spans: &[SpanRec]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<42} {:>10} {:>12}\n",
+        "span", "wall", "logical"
+    ));
+    for s in spans {
+        let name = format!("{}{}", "  ".repeat(s.depth as usize), s.name);
+        out.push_str(&format!(
+            "{:<42} {:>10} {:>12}\n",
+            name,
+            fmt_wall(s.wall_ns),
+            s.end.saturating_sub(s.start),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_indented_rows() {
+        let spans = vec![
+            SpanRec {
+                name: "campaign".into(),
+                parent: None,
+                depth: 0,
+                start: 0,
+                end: 9,
+                wall_ns: 2_500_000,
+            },
+            SpanRec {
+                name: "phase0".into(),
+                parent: Some(0),
+                depth: 1,
+                start: 0,
+                end: 4,
+                wall_ns: 900,
+            },
+        ];
+        let table = render_span_table(&spans);
+        assert!(table.contains("campaign"));
+        assert!(table.contains("  phase0"));
+        assert!(table.contains("2.5ms"));
+        assert!(table.contains("900ns"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Hierarchical span timers on a logical clock.
+//!
+//! Spans measure two clocks at once. The *logical* clock is an
+//! explicitly-advanced counter of canonical work quanta (route tables
+//! warmed, units prepped, points ingested, …) — it is a pure function
+//! of the campaign's inputs, so span start/end values are bit-identical
+//! across `--jobs N` and across checkpoint resumes. The *wall* clock is
+//! real elapsed nanoseconds, kept for human-facing reports but
+//! **excluded from JSON** so trace files stay byte-comparable.
+//!
+//! Spans must be opened and closed on the deterministic (main) thread:
+//! the tree shape is part of the replayable output.
+
+use serde_json::{Map, Value};
+use std::time::Instant;
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Span name, e.g. `"phase2:vm_exec"`.
+    pub name: String,
+    /// Index of the enclosing span, if any.
+    pub parent: Option<u32>,
+    /// Nesting depth (root spans are 0).
+    pub depth: u32,
+    /// Logical-clock value at open.
+    pub start: u64,
+    /// Logical-clock value at close (== `start` while open).
+    pub end: u64,
+    /// Wall-clock nanoseconds between open and close. Real time: NOT
+    /// serialized, varies run to run.
+    pub wall_ns: u64,
+}
+
+/// Records spans in open order and tracks the current nesting stack.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    spans: Vec<SpanRec>,
+    stack: Vec<u32>,
+    opened: Vec<Instant>,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Opens a span named `name` at logical time `now`; returns its
+    /// index for [`Self::close`].
+    pub fn open(&mut self, name: &str, now: u64) -> u32 {
+        let idx = self.spans.len() as u32;
+        let parent = self.stack.last().copied();
+        self.spans.push(SpanRec {
+            name: name.to_string(),
+            parent,
+            depth: self.stack.len() as u32,
+            start: now,
+            end: now,
+            wall_ns: 0,
+        });
+        self.stack.push(idx);
+        self.opened.push(Instant::now());
+        idx
+    }
+
+    /// Closes span `idx` at logical time `now`.
+    ///
+    /// Spans close LIFO; closing a span that is not innermost also
+    /// closes everything opened inside it (guard drops run outer-last,
+    /// so this only matters on unwind paths).
+    pub fn close(&mut self, idx: u32, now: u64) {
+        while let Some(&top) = self.stack.last() {
+            self.stack.pop();
+            let started = self.opened.pop().expect("opened stack tracks span stack");
+            let span = &mut self.spans[top as usize];
+            span.end = now;
+            span.wall_ns = started.elapsed().as_nanos() as u64;
+            if top == idx {
+                break;
+            }
+        }
+    }
+
+    /// All spans, in open order.
+    pub fn spans(&self) -> &[SpanRec] {
+        &self.spans
+    }
+
+    /// Canonical JSON array of spans. Wall time is intentionally
+    /// omitted: the result is a pure function of the campaign inputs.
+    pub fn to_json(&self) -> Value {
+        Value::Array(
+            self.spans
+                .iter()
+                .map(|s| {
+                    let mut m = Map::new();
+                    m.insert("name".into(), s.name.clone().into());
+                    m.insert(
+                        "parent".into(),
+                        match s.parent {
+                            Some(p) => (p as u64).into(),
+                            None => Value::Null,
+                        },
+                    );
+                    m.insert("depth".into(), (s.depth as u64).into());
+                    m.insert("start".into(), s.start.into());
+                    m.insert("end".into(), s.end.into());
+                    Value::Object(m)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_logical_durations() {
+        let mut t = Tracer::new();
+        let root = t.open("campaign", 0);
+        let a = t.open("phase0", 0);
+        t.close(a, 4);
+        let b = t.open("phase1", 4);
+        t.close(b, 9);
+        t.close(root, 9);
+
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "campaign");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!((spans[0].start, spans[0].end), (0, 9));
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!((spans[1].start, spans[1].end), (0, 4));
+        assert_eq!((spans[2].start, spans[2].end), (4, 9));
+    }
+
+    #[test]
+    fn json_excludes_wall_time() {
+        let mut t = Tracer::new();
+        let s = t.open("x", 1);
+        t.close(s, 2);
+        let json = serde_json::to_string(&t.to_json());
+        assert!(json.contains("\"name\":\"x\""));
+        assert!(!json.contains("wall"));
+    }
+
+    #[test]
+    fn closing_outer_span_closes_inner() {
+        let mut t = Tracer::new();
+        let outer = t.open("outer", 0);
+        let _inner = t.open("inner", 1);
+        t.close(outer, 5);
+        assert!(t.stack.is_empty());
+        assert_eq!(t.spans[1].end, 5);
+        assert_eq!(t.spans[0].end, 5);
+    }
+}

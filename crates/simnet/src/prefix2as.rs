@@ -1,6 +1,6 @@
 //! CAIDA-style prefix-to-AS dataset with longest-prefix-match lookup.
 //!
-//! CLASP "resolve[s] each IP hop in the traceroutes using the
+//! CLASP "resolve\[s\] each IP hop in the traceroutes using the
 //! Prefix-to-AS dataset" (§3.1). This module builds that dataset from the
 //! topology's originated prefixes. Like the real Routeviews-derived
 //! dataset, it reflects *BGP origination*, not interface ownership: the

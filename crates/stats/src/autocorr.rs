@@ -1,7 +1,7 @@
 //! Autocorrelation analysis.
 //!
 //! §5 of the paper: "we will improve our congestion detection method
-//! using time series analysis approaches, such as autocorrelation [11]
+//! using time series analysis approaches, such as autocorrelation \[11\]
 //! ... to capture changes and patterns in throughput and latency data".
 //! This module implements that extension: the sample autocorrelation
 //! function and a diurnal-periodicity detector built on it (a strong

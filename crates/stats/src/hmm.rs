@@ -1,6 +1,6 @@
 //! A two-state Gaussian hidden Markov model.
 //!
-//! The second §5 extension: "hidden Markov model [28] to capture changes
+//! The second §5 extension: "hidden Markov model \[28\] to capture changes
 //! and patterns in throughput and latency data to detect different types
 //! of congestion events" (the paper cites Mouchet et al.'s HMM RTT
 //! characterisation). This is a small, dependency-free implementation of

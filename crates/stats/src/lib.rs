@@ -3,7 +3,7 @@
 //! This crate collects the numerical building blocks that the paper's
 //! analysis pipeline relies on:
 //!
-//! * [`percentile`] — quantile estimation used for the "95th percentile
+//! * [`percentile`](mod@percentile) — quantile estimation used for the "95th percentile
 //!   download throughput / 5th percentile latency" scatter plots (Fig. 4);
 //! * [`ecdf`] — empirical CDFs used for the tier-comparison plots (Fig. 5);
 //! * [`kde`] — Gaussian kernel density estimation used for the marginal

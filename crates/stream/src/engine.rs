@@ -162,6 +162,14 @@ pub struct EngineStats {
     /// Points the bus dropped on overflow (reported by the campaign
     /// driver); non-zero means the stream view is incomplete.
     pub bus_overflow: u64,
+    /// Matched points appended to an open daily window.
+    pub window_updates: u64,
+    /// Day closes where the auto-threshold sweep was consulted (always
+    /// zero under [`ThresholdMode::Fixed`]).
+    pub recalibrations: u64,
+    /// Alert state-machine edges: arm (inactive → active) plus clear or
+    /// force-close (active → inactive).
+    pub alert_transitions: u64,
 }
 
 /// One open daily window: running extrema + the hour entries, kept until
@@ -345,6 +353,7 @@ impl StreamEngine {
         w.t_max = w.t_max.max(value);
         w.t_min = w.t_min.min(value);
         w.entries.push((p.time, value));
+        stats.window_updates += 1;
 
         if day > st.max_day {
             st.max_day = day;
@@ -382,10 +391,12 @@ impl StreamEngine {
             states,
             series,
             alerts,
+            stats,
             ..
         } = self;
         for (idx, st) in states.iter_mut().enumerate() {
             if let Some((start, end, peak_v_h, events)) = st.alert.finish(st.last_label_time) {
+                stats.alert_transitions += 1;
                 let meta = &series[idx];
                 alerts.push(CongestionAlert {
                     series_idx: idx as u32,
@@ -459,6 +470,7 @@ impl StreamEngine {
         recal.add(v);
         if let ThresholdMode::Auto { initial, min_days } = cfg.threshold {
             *current_h = if recal.total() >= min_days {
+                stats.recalibrations += 1;
                 recal.elbow().unwrap_or(initial)
             } else {
                 initial
@@ -488,6 +500,7 @@ impl StreamEngine {
                 any_event = true;
             }
             st.last_label_time = t;
+            let was_active = st.alert.active;
             if let Some((start, end, peak_v_h, events)) = st.alert.step(t, v_h, &cfg.alert) {
                 let meta = &series[idx];
                 alerts.push(CongestionAlert {
@@ -500,6 +513,9 @@ impl StreamEngine {
                     events,
                     open: false,
                 });
+            }
+            if st.alert.active != was_active {
+                stats.alert_transitions += 1;
             }
             labels.push(HourLabel {
                 series_idx: idx as u32,
@@ -841,6 +857,49 @@ mod tests {
         assert_eq!(e.alerts().len(), 1);
         assert!(e.alerts()[0].open);
         assert_eq!(e.alerts()[0].end, 23 * HOUR);
+    }
+
+    #[test]
+    fn window_recal_and_alert_counters() {
+        let mut cfg = cfg_fixed(0.5);
+        cfg.threshold = ThresholdMode::Auto {
+            initial: 0.5,
+            min_days: 2,
+        };
+        cfg.alert = AlertPolicy {
+            enter: 0.5,
+            exit: 0.3,
+            min_hours: 2,
+        };
+        let mut e = StreamEngine::new(cfg, offsets());
+        for day in 0..3u64 {
+            for h in 0..24u64 {
+                // Day 1 hours 10–15 collapse: one arm + one clear edge.
+                let v = if day == 1 && (10..16).contains(&h) {
+                    10.0
+                } else {
+                    100.0
+                };
+                e.ingest(&point("s1", day * SECONDS_PER_DAY + h * HOUR, v));
+            }
+        }
+        e.finalize();
+        assert_eq!(e.stats().window_updates, 72);
+        // Sweep consulted on the 2nd and 3rd day close only (min_days 2).
+        assert_eq!(e.stats().recalibrations, 2);
+        assert_eq!(e.stats().alert_transitions, 2);
+        assert_eq!(e.alerts().len(), 1);
+    }
+
+    #[test]
+    fn fixed_threshold_never_recalibrates() {
+        let mut e = StreamEngine::new(cfg_fixed(0.5), offsets());
+        for day in 0..4u64 {
+            e.ingest(&point("s1", day * SECONDS_PER_DAY, 100.0));
+        }
+        e.finalize();
+        assert_eq!(e.stats().recalibrations, 0);
+        assert_eq!(e.stats().days_closed, 4);
     }
 
     #[test]

@@ -93,6 +93,12 @@ impl StreamEngine {
         stats.insert("gap_hours".into(), self.stats.gap_hours.into());
         stats.insert("late_dropped".into(), self.stats.late_dropped.into());
         stats.insert("bus_overflow".into(), self.stats.bus_overflow.into());
+        stats.insert("window_updates".into(), self.stats.window_updates.into());
+        stats.insert("recalibrations".into(), self.stats.recalibrations.into());
+        stats.insert(
+            "alert_transitions".into(),
+            self.stats.alert_transitions.into(),
+        );
         m.insert("stats".into(), Value::Object(stats));
 
         let mut recal = Map::new();
@@ -271,6 +277,9 @@ impl StreamEngine {
         engine.stats.gap_hours = su("gap_hours")?;
         engine.stats.late_dropped = su("late_dropped")?;
         engine.stats.bus_overflow = su("bus_overflow")?;
+        engine.stats.window_updates = su("window_updates")?;
+        engine.stats.recalibrations = su("recalibrations")?;
+        engine.stats.alert_transitions = su("alert_transitions")?;
 
         let recal = get(snap, "recal", "snapshot")?;
         let above: Vec<u64> = read_array(get(recal, "above", "recal")?, "recal.above")?

@@ -103,6 +103,27 @@ fn key_hash(measurement: &str, tags: &BTreeMap<String, String>) -> u64 {
     h.finish()
 }
 
+/// Ingest-side observability counters for a [`Db`].
+///
+/// Plain data, updated under locks the hot paths already hold, so
+/// scraping them costs nothing. All values are deterministic functions
+/// of the insert/publish call sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Calls to [`Db::insert_batch`].
+    pub insert_batches: u64,
+    /// Points mirrored into tail buffers (excludes overflow).
+    pub points_published: u64,
+    /// Deepest any tail buffer has been at publish time.
+    pub tail_peak_depth: u64,
+    /// Points lost to backpressure across all tails.
+    pub tail_overflow: u64,
+    /// Tails handed out by [`Db::subscribe`].
+    pub tails_opened: u64,
+    /// Tails pruned from the publish list (dropped or closed).
+    pub tails_closed: u64,
+}
+
 /// Shared state of one tail subscription: a bounded FIFO of inserted
 /// points plus an overflow tally.
 #[derive(Debug)]
@@ -110,14 +131,20 @@ struct TailShared {
     buf: VecDeque<Point>,
     capacity: usize,
     overflow: u64,
+    /// Set when the subscriber goes away ([`Tail::close`] or last
+    /// handle dropped); the publisher prunes closed tails eagerly.
+    closed: bool,
 }
 
 impl TailShared {
-    fn offer(&mut self, p: &Point) {
+    /// Buffers `p` if there is room; returns whether it was buffered.
+    fn offer(&mut self, p: &Point) -> bool {
         if self.buf.len() < self.capacity {
             self.buf.push_back(p.clone());
+            true
         } else {
             self.overflow += 1;
+            false
         }
     }
 }
@@ -172,6 +199,24 @@ impl Tail {
     pub fn overflow(&self) -> u64 {
         self.shared.lock().expect("tail lock").overflow
     }
+
+    /// Unsubscribes now: the buffer is cleared and the publisher prunes
+    /// this tail on its next publish instead of feeding a buffer nobody
+    /// will drain. Dropping the last handle does the same implicitly.
+    pub fn close(&self) {
+        let mut shared = self.shared.lock().expect("tail lock");
+        shared.closed = true;
+        shared.buf.clear();
+    }
+}
+
+impl Drop for Tail {
+    fn drop(&mut self) {
+        // Only the last handle closes the subscription; clones share it.
+        if Arc::strong_count(&self.shared) == 1 {
+            self.close();
+        }
+    }
 }
 
 /// The database: an in-memory, single-writer time-series store.
@@ -185,6 +230,8 @@ pub struct Db {
     tails: Vec<Weak<Mutex<TailShared>>>,
     /// Points accepted in total.
     pub points_written: u64,
+    /// Ingest/publish counters (see [`DbStats`]).
+    pub stats: DbStats,
 }
 
 impl Db {
@@ -206,8 +253,10 @@ impl Db {
             buf: VecDeque::new(),
             capacity,
             overflow: 0,
+            closed: false,
         }));
         self.tails.push(Arc::downgrade(&shared));
+        self.stats.tails_opened += 1;
         Tail { shared }
     }
 
@@ -216,11 +265,23 @@ impl Db {
         if self.tails.is_empty() {
             return;
         }
+        let stats = &mut self.stats;
         self.tails.retain(|weak| {
             let Some(shared) = weak.upgrade() else {
+                stats.tails_closed += 1;
                 return false;
             };
-            shared.lock().expect("tail lock").offer(p);
+            let mut shared = shared.lock().expect("tail lock");
+            if shared.closed {
+                stats.tails_closed += 1;
+                return false;
+            }
+            if shared.offer(p) {
+                stats.points_published += 1;
+                stats.tail_peak_depth = stats.tail_peak_depth.max(shared.buf.len() as u64);
+            } else {
+                stats.tail_overflow += 1;
+            }
             true
         });
     }
@@ -228,18 +289,36 @@ impl Db {
     /// Mirrors a whole batch to the live tails, acquiring each
     /// subscriber's lock once per batch rather than once per point —
     /// the per-point order every tail observes is unchanged.
+    ///
+    /// A subscriber whose buffer is already full costs O(1) for the
+    /// whole batch (one bulk overflow add) instead of a per-point
+    /// offer/overflow walk, so a stalled consumer cannot drag
+    /// `publish_batch` down to per-point work.
     fn publish_batch(&mut self, points: &[Point]) {
         if self.tails.is_empty() || points.is_empty() {
             return;
         }
+        let stats = &mut self.stats;
         self.tails.retain(|weak| {
             let Some(shared) = weak.upgrade() else {
+                stats.tails_closed += 1;
                 return false;
             };
             let mut shared = shared.lock().expect("tail lock");
-            for p in points {
-                shared.offer(p);
+            if shared.closed {
+                stats.tails_closed += 1;
+                return false;
             }
+            let free = shared.capacity.saturating_sub(shared.buf.len());
+            let take = free.min(points.len());
+            for p in &points[..take] {
+                shared.buf.push_back(p.clone());
+            }
+            let spill = (points.len() - take) as u64;
+            shared.overflow += spill;
+            stats.tail_overflow += spill;
+            stats.points_published += take as u64;
+            stats.tail_peak_depth = stats.tail_peak_depth.max(shared.buf.len() as u64);
             true
         });
     }
@@ -298,6 +377,7 @@ impl Db {
     /// locks point by point.
     pub fn insert_batch(&mut self, points: impl IntoIterator<Item = Point>) {
         let points: Vec<Point> = points.into_iter().collect();
+        self.stats.insert_batches += 1;
         self.publish_batch(&points);
         for p in points {
             self.insert_unpublished(p);
@@ -528,6 +608,71 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_tail_rejected() {
         Db::new().subscribe(0);
+    }
+
+    #[test]
+    fn closed_tail_is_pruned_while_handle_lives() {
+        let mut db = Db::new();
+        let tail = db.subscribe(2);
+        db.insert(point("a", 0, 1.0));
+        assert_eq!(tail.len(), 1);
+        tail.close();
+        // Close clears the buffer and the next publish prunes the tail,
+        // so a stalled-but-alive subscriber can't absorb publish work.
+        assert_eq!(tail.len(), 0);
+        db.insert(point("a", 1, 2.0));
+        db.insert(point("a", 2, 3.0));
+        assert_eq!(tail.len(), 0);
+        assert_eq!(db.stats.tails_closed, 1);
+        assert_eq!(db.stats.tails_opened, 1);
+    }
+
+    #[test]
+    fn dropping_one_clone_keeps_subscription() {
+        let mut db = Db::new();
+        let tail = db.subscribe(4);
+        let clone = tail.clone();
+        drop(clone);
+        db.insert(point("a", 0, 1.0));
+        assert_eq!(tail.len(), 1);
+        drop(tail);
+        db.insert(point("a", 1, 2.0));
+        assert_eq!(db.stats.tails_closed, 1);
+    }
+
+    #[test]
+    fn full_buffer_batch_is_bulk_overflow() {
+        let mut db = Db::new();
+        let tail = db.subscribe(2);
+        db.insert_batch((0..5).map(|t| point("a", t, 1.0)));
+        assert_eq!((tail.len(), tail.overflow()), (2, 3));
+        // Buffer already full: the whole second batch overflows in one
+        // O(1) bulk add, order and counts identical to per-point offers.
+        db.insert_batch((5..9).map(|t| point("a", t, 1.0)));
+        assert_eq!((tail.len(), tail.overflow()), (2, 7));
+        let times: Vec<u64> = std::iter::from_fn(|| tail.try_recv())
+            .map(|p| p.time)
+            .collect();
+        assert_eq!(times, vec![0, 1]);
+        assert_eq!(db.stats.tail_overflow, 7);
+        assert_eq!(db.stats.points_published, 2);
+    }
+
+    #[test]
+    fn stats_track_batches_and_peak_depth() {
+        let mut db = Db::new();
+        assert_eq!(db.stats, DbStats::default());
+        let tail = db.subscribe(8);
+        db.insert_batch((0..3).map(|t| point("a", t, 1.0)));
+        db.insert_batch((3..5).map(|t| point("a", t, 1.0)));
+        assert_eq!(db.stats.insert_batches, 2);
+        assert_eq!(db.stats.points_published, 5);
+        assert_eq!(db.stats.tail_peak_depth, 5);
+        tail.drain(|_| {});
+        db.insert(point("a", 9, 1.0));
+        // Peak is a high-water mark: draining doesn't lower it.
+        assert_eq!(db.stats.tail_peak_depth, 5);
+        assert_eq!(db.stats.tail_overflow, 0);
     }
 
     #[test]

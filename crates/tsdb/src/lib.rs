@@ -1,6 +1,6 @@
 //! A small embedded time-series database.
 //!
-//! CLASP "index[es] the processed results into InfluxDB and visualize[s]
+//! CLASP "index\[es\] the processed results into InfluxDB and visualize\[s\]
 //! them with Grafana" (§3.3). This crate supplies the same role locally:
 //! tagged, timestamped points, an Influx-style line protocol for durable
 //! export, and a query engine with tag filtering, time ranges, group-by
@@ -8,7 +8,7 @@
 //! whole congestion analysis as queries.
 //!
 //! * [`point`] — the data model ([`Point`], tags, fields);
-//! * [`line`] — line-protocol encode/parse;
+//! * [`line`](mod@line) — line-protocol encode/parse;
 //! * [`db`] — storage and series indexing ([`Db`]);
 //! * [`query`] — the query builder and aggregation engine;
 //! * [`rollup`] — continuous-query-style downsampling and retention.
@@ -22,6 +22,6 @@ pub mod point;
 pub mod query;
 pub mod rollup;
 
-pub use db::{Db, Series, SeriesId, Tail};
+pub use db::{Db, DbStats, Series, SeriesId, Tail};
 pub use point::Point;
 pub use query::{Aggregate, Query, Row};

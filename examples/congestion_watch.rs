@@ -22,7 +22,10 @@ fn main() {
     config.days = days;
     config.topo_regions = vec![("us-west1", budget)];
     config.diff_regions.clear();
-    let result = Campaign::new(&world, config).run();
+    let result = Campaign::new(&world, config)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     let mut db = result.db;
 
     let analysis = CongestionAnalysis::build(

@@ -23,7 +23,10 @@ fn main() {
     // 1. Baseline: no faults. The plan is bitwise invisible.
     let mut config = CampaignConfig::small(seed);
     config.days = days;
-    let pristine = Campaign::new(&world, config.clone()).run();
+    let pristine = Campaign::new(&world, config.clone())
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     println!(
         "pristine : {} tests, {} points, {} faults",
         pristine.tests_run,
@@ -42,7 +45,10 @@ fn main() {
         vm: None,
     });
     config.fault_plan = plan;
-    let faulted = Campaign::new(&world, config.clone()).run();
+    let faulted = Campaign::new(&world, config.clone())
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     let summary = faulted.fault_log.summary();
     println!(
         "faulted  : {} tests, {} points ({} fewer than pristine)",
@@ -72,7 +78,9 @@ fn main() {
     //    after the first region) and resume; the final results match the
     //    uninterrupted run exactly.
     let resumed = Campaign::new(&world, config)
-        .resume(&faulted.checkpoints[0])
+        .runner()
+        .resume_from(&faulted.checkpoints[0])
+        .run()
         .expect("checkpoint resumes");
     assert_eq!(faulted.tests_run, resumed.tests_run);
     assert_eq!(faulted.db.points_written, resumed.db.points_written);

@@ -30,7 +30,10 @@ fn main() {
     let mut config = CampaignConfig::small(seed);
     config.days = days;
     config.topo_regions = vec![("us-west1", 34)];
-    let result = Campaign::new(&world, config).run();
+    let result = Campaign::new(&world, config)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     println!(
         "campaign: {} tests from {} VMs, {} raw objects uploaded, bill ${:.2}",
         result.tests_run,

@@ -34,7 +34,11 @@ fn main() {
     };
     let campaign = Campaign::new(&world, config);
     let mut engine = campaign.stream_engine(engine_cfg.clone());
-    let mut result = campaign.run_streaming(&mut engine);
+    let mut result = campaign
+        .runner()
+        .streaming(&mut engine)
+        .run()
+        .expect("fresh runs cannot fail");
 
     let s = engine.stats();
     println!(
@@ -107,7 +111,10 @@ fn main() {
         .restore_stream_engine(engine_cfg, ckpt)
         .expect("snapshot restores");
     campaign
-        .resume_streaming(ckpt, &mut resumed_engine)
+        .runner()
+        .resume_from(ckpt)
+        .streaming(&mut resumed_engine)
+        .run()
         .expect("checkpoint resumes");
     assert_eq!(
         serde_json::to_string(&engine.snapshot()),

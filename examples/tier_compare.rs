@@ -23,7 +23,10 @@ fn main() {
     config.diff_days = days;
     config.diff_regions = vec!["europe-west1"];
     config.pretest.picks = 17;
-    let mut result = Campaign::new(&world, config).run();
+    let mut result = Campaign::new(&world, config)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
 
     let sel = &result.diff_selections[0];
     println!(

@@ -11,7 +11,10 @@ fn campaign() -> (World, CampaignResult) {
     let mut config = CampaignConfig::small(701);
     config.days = 6;
     config.diff_days = 3;
-    let result = Campaign::new(&world, config).run();
+    let result = Campaign::new(&world, config)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     (world, result)
 }
 

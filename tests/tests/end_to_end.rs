@@ -9,7 +9,10 @@ use tsdb::{Aggregate, Query};
 
 fn run(seed: u64) -> (World, CampaignResult) {
     let world = World::tiny(seed);
-    let result = Campaign::new(&world, CampaignConfig::small(seed)).run();
+    let result = Campaign::new(&world, CampaignConfig::small(seed))
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     (world, result)
 }
 
@@ -64,7 +67,10 @@ fn detection_ground_truth_alignment() {
     let mut config = CampaignConfig::small(304);
     config.days = 10;
     config.topo_regions = vec![("us-west1", 40)];
-    let res = Campaign::new(&world, config).run();
+    let res = Campaign::new(&world, config)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     let mut db = res.db;
     let analysis = CongestionAnalysis::build(
         &mut db,
@@ -101,7 +107,10 @@ fn evening_peak_shows_in_event_hours() {
     let mut config = CampaignConfig::small(305);
     config.days = 10;
     config.topo_regions = vec![("us-west1", 40)];
-    let res = Campaign::new(&world, config).run();
+    let res = Campaign::new(&world, config)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     let mut db = res.db;
     let analysis = CongestionAnalysis::build(
         &mut db,
@@ -130,7 +139,10 @@ fn billing_scales_with_tests() {
     let world = World::tiny(306);
     let mut big_cfg = CampaignConfig::small(306);
     big_cfg.days *= 2;
-    let big = Campaign::new(&world, big_cfg).run();
+    let big = Campaign::new(&world, big_cfg)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     assert!(big.tests_run > small.tests_run);
     assert!(big.billing.egress_usd() > small.billing.egress_usd());
     assert!(big.billing.vm_usd() > small.billing.vm_usd());
@@ -173,10 +185,16 @@ fn outages_leave_gaps_the_analysis_tolerates() {
     let mut with_gaps = CampaignConfig::small(309);
     with_gaps.outage_rate = 0.10;
     with_gaps.diff_regions.clear();
-    let gapped = Campaign::new(&world, with_gaps.clone()).run();
+    let gapped = Campaign::new(&world, with_gaps.clone())
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     let mut pristine_cfg = with_gaps;
     pristine_cfg.outage_rate = 0.0;
-    let pristine = Campaign::new(&world, pristine_cfg).run();
+    let pristine = Campaign::new(&world, pristine_cfg)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     assert!(
         gapped.tests_run < pristine.tests_run,
         "10% outages must lose tests ({} vs {})",

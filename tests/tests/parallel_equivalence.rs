@@ -81,11 +81,17 @@ fn assert_analyses_identical(serial: &mut CampaignResult, par: &mut CampaignResu
 fn batch_parallel_equals_serial_without_faults() {
     let world = World::new(91);
     let cfg = config(91);
-    let mut serial = Campaign::new(&world, cfg.clone()).run();
+    let mut serial = Campaign::new(&world, cfg.clone())
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     for jobs in [2, 4] {
         let mut pcfg = cfg.clone();
         pcfg.jobs = jobs;
-        let mut par = Campaign::new(&world, pcfg).run();
+        let mut par = Campaign::new(&world, pcfg)
+            .runner()
+            .run()
+            .expect("fresh runs cannot fail");
         assert_identical(&serial, &par, &format!("jobs={jobs}"));
         assert_analyses_identical(&mut serial, &mut par, &world);
     }
@@ -96,12 +102,18 @@ fn batch_parallel_equals_serial_under_gcp_2020_faults() {
     let world = World::new(92);
     let mut cfg = config(92);
     cfg.fault_plan = FaultPlan::builtin("gcp-2020").expect("built-in profile");
-    let serial = Campaign::new(&world, cfg.clone()).run();
+    let serial = Campaign::new(&world, cfg.clone())
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     assert!(!serial.fault_log.is_empty(), "profile injected no faults");
     for jobs in [2, 4] {
         let mut pcfg = cfg.clone();
         pcfg.jobs = jobs;
-        let par = Campaign::new(&world, pcfg).run();
+        let par = Campaign::new(&world, pcfg)
+            .runner()
+            .run()
+            .expect("fresh runs cannot fail");
         assert_identical(&serial, &par, &format!("jobs={jobs}"));
     }
 }
@@ -117,14 +129,22 @@ fn streaming_parallel_equals_serial() {
 
     let campaign = Campaign::new(&world, cfg.clone());
     let mut serial_engine: StreamEngine = campaign.stream_engine(engine_cfg());
-    let serial = campaign.run_streaming(&mut serial_engine);
+    let serial = campaign
+        .runner()
+        .streaming(&mut serial_engine)
+        .run()
+        .expect("fresh runs cannot fail");
 
     for jobs in [2, 4] {
         let mut pcfg = cfg.clone();
         pcfg.jobs = jobs;
         let pcampaign = Campaign::new(&world, pcfg);
         let mut par_engine = pcampaign.stream_engine(engine_cfg());
-        let par = pcampaign.run_streaming(&mut par_engine);
+        let par = pcampaign
+            .runner()
+            .streaming(&mut par_engine)
+            .run()
+            .expect("fresh runs cannot fail");
         assert_identical(&serial, &par, &format!("jobs={jobs}"));
         assert_eq!(serial_engine.stats(), par_engine.stats(), "jobs={jobs}");
         assert_eq!(
@@ -143,22 +163,32 @@ fn checkpoints_cross_serial_and_parallel_resume() {
     let world = World::new(94);
     let mut cfg = config(94);
     cfg.fault_plan = FaultPlan::builtin("moderate").expect("built-in profile");
-    let full = Campaign::new(&world, cfg.clone()).run();
+    let full = Campaign::new(&world, cfg.clone())
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     assert!(full.checkpoints.len() >= 2, "need a mid-run checkpoint");
 
     // Serial checkpoint → parallel resume.
     let mut pcfg = cfg.clone();
     pcfg.jobs = 4;
     let par = Campaign::new(&world, pcfg.clone())
-        .resume(&full.checkpoints[0])
+        .runner()
+        .resume_from(&full.checkpoints[0])
+        .run()
         .expect("resume succeeds");
     assert_identical(&full, &par, "serial->parallel");
 
     // Parallel run from scratch, cut at its own checkpoint, resumed
     // serially.
-    let par_full = Campaign::new(&world, pcfg).run();
+    let par_full = Campaign::new(&world, pcfg)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
     let resumed = Campaign::new(&world, cfg)
-        .resume(&par_full.checkpoints[0])
+        .runner()
+        .resume_from(&par_full.checkpoints[0])
+        .run()
         .expect("resume succeeds");
     assert_identical(&par_full, &resumed, "parallel->serial");
 }
@@ -171,7 +201,11 @@ fn streaming_checkpoint_resumes_in_parallel() {
     let cfg = config(95);
     let campaign = Campaign::new(&world, cfg.clone());
     let mut full_engine = campaign.stream_engine(engine_cfg());
-    let full = campaign.run_streaming(&mut full_engine);
+    let full = campaign
+        .runner()
+        .streaming(&mut full_engine)
+        .run()
+        .expect("fresh runs cannot fail");
     let ckpt = &full.checkpoints[0];
     assert!(ckpt.get("stream").is_some());
 
@@ -182,7 +216,10 @@ fn streaming_checkpoint_resumes_in_parallel() {
         .restore_stream_engine(engine_cfg(), ckpt)
         .expect("snapshot restores");
     let resumed = pcampaign
-        .resume_streaming(ckpt, &mut resumed_engine)
+        .runner()
+        .resume_from(ckpt)
+        .streaming(&mut resumed_engine)
+        .run()
         .expect("resume succeeds");
 
     assert_identical(&full, &resumed, "stream serial->parallel");
@@ -213,10 +250,10 @@ proptest! {
         if inject == 1 {
             cfg.fault_plan = FaultPlan::uniform(seed ^ 0xfa, 0.02);
         }
-        let serial = Campaign::new(&world, cfg.clone()).run();
+        let serial = Campaign::new(&world, cfg.clone()).runner().run().expect("fresh runs cannot fail");
         let mut pcfg = cfg;
         pcfg.jobs = jobs;
-        let par = Campaign::new(&world, pcfg).run();
+        let par = Campaign::new(&world, pcfg).runner().run().expect("fresh runs cannot fail");
         prop_assert_eq!(serial.tests_run, par.tests_run);
         prop_assert_eq!(serial.fault_log, par.fault_log);
         prop_assert_eq!(serial.completeness, par.completeness);

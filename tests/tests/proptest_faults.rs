@@ -35,11 +35,11 @@ proptest! {
     fn zero_rate_plan_is_byte_identical(world_seed in 0u64..500, plan_seed in 1u64..1_000_000) {
         let world = World::new(world_seed);
 
-        let baseline = Campaign::new(&world, config(world_seed)).run();
+        let baseline = Campaign::new(&world, config(world_seed)).runner().run().expect("fresh runs cannot fail");
 
         let mut faulty_cfg = config(world_seed);
         faulty_cfg.fault_plan = FaultPlan::uniform(plan_seed, 0.0);
-        let zero = Campaign::new(&world, faulty_cfg).run();
+        let zero = Campaign::new(&world, faulty_cfg).runner().run().expect("fresh runs cannot fail");
 
         prop_assert_eq!(baseline.tests_run, zero.tests_run);
         prop_assert_eq!(baseline.db.points_written, zero.db.points_written);
@@ -67,7 +67,7 @@ proptest! {
         let world = World::new(world_seed);
         let mut cfg = config(world_seed);
         cfg.fault_plan = FaultPlan::uniform(plan_seed, rate);
-        let result = Campaign::new(&world, cfg).run();
+        let result = Campaign::new(&world, cfg).runner().run().expect("fresh runs cannot fail");
 
         prop_assert!(
             result.completeness.reconciles(),

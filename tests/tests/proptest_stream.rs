@@ -34,7 +34,11 @@ fn assert_labels_match(world_seed: u64, plan: FaultPlan) -> Result<(), TestCaseE
     cfg.fault_plan = plan;
     let campaign = Campaign::new(&world, cfg);
     let mut engine = campaign.stream_engine(engine_cfg());
-    let mut result = campaign.run_streaming(&mut engine);
+    let mut result = campaign
+        .runner()
+        .streaming(&mut engine)
+        .run()
+        .expect("fresh runs cannot fail");
     let analysis = CongestionAnalysis::build(
         &mut result.db,
         &world,

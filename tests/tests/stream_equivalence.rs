@@ -82,7 +82,11 @@ fn streaming_equals_batch_without_faults() {
     let world = World::new(77);
     let campaign = Campaign::new(&world, config(77));
     let mut engine = campaign.stream_engine(engine_cfg(0.5));
-    let mut result = campaign.run_streaming(&mut engine);
+    let mut result = campaign
+        .runner()
+        .streaming(&mut engine)
+        .run()
+        .expect("fresh runs cannot fail");
     let analysis = CongestionAnalysis::build(&mut result.db, &world, "download", &batch_filters());
 
     assert_equivalent(&engine, &analysis, 0.5);
@@ -106,7 +110,11 @@ fn streaming_equals_batch_under_gcp_2020_faults() {
     cfg.fault_plan = FaultPlan::builtin("gcp-2020").expect("built-in profile");
     let campaign = Campaign::new(&world, cfg);
     let mut engine = campaign.stream_engine(engine_cfg(0.5));
-    let mut result = campaign.run_streaming(&mut engine);
+    let mut result = campaign
+        .runner()
+        .streaming(&mut engine)
+        .run()
+        .expect("fresh runs cannot fail");
 
     // The profile must actually do something for this to mean anything.
     assert!(!result.fault_log.is_empty(), "gcp-2020 injected no faults");
@@ -123,7 +131,11 @@ fn streaming_elbow_matches_batch_sweep() {
     let world = World::new(79);
     let campaign = Campaign::new(&world, config(79));
     let mut engine = campaign.stream_engine(engine_cfg(0.5));
-    let mut result = campaign.run_streaming(&mut engine);
+    let mut result = campaign
+        .runner()
+        .streaming(&mut engine)
+        .run()
+        .expect("fresh runs cannot fail");
     let analysis = CongestionAnalysis::build(&mut result.db, &world, "download", &batch_filters());
 
     let (batch_curve, batch_elbow) = analysis.elbow_threshold(20);
@@ -147,7 +159,11 @@ fn resumed_streaming_run_is_byte_identical() {
 
     let campaign = Campaign::new(&world, cfg);
     let mut full_engine = campaign.stream_engine(engine_cfg(0.5));
-    let full = campaign.run_streaming(&mut full_engine);
+    let full = campaign
+        .runner()
+        .streaming(&mut full_engine)
+        .run()
+        .expect("fresh runs cannot fail");
     assert!(full.checkpoints.len() >= 2, "need a mid-run checkpoint");
 
     // Cut after the first completed unit.
@@ -160,7 +176,10 @@ fn resumed_streaming_run_is_byte_identical() {
         .restore_stream_engine(engine_cfg(0.5), ckpt)
         .expect("snapshot restores");
     let resumed = campaign
-        .resume_streaming(ckpt, &mut resumed_engine)
+        .runner()
+        .resume_from(ckpt)
+        .streaming(&mut resumed_engine)
+        .run()
         .expect("resume succeeds");
 
     assert_eq!(full.tests_run, resumed.tests_run);
@@ -178,7 +197,7 @@ fn resumed_streaming_run_is_byte_identical() {
 fn plain_checkpoint_resumes_into_streaming() {
     let world = World::new(81);
     let campaign = Campaign::new(&world, config(81));
-    let plain = campaign.run();
+    let plain = campaign.runner().run().expect("fresh runs cannot fail");
     let ckpt = &plain.checkpoints[0];
     assert!(ckpt.get("stream").is_none());
 
@@ -186,7 +205,10 @@ fn plain_checkpoint_resumes_into_streaming() {
         .restore_stream_engine(engine_cfg(0.5), ckpt)
         .expect("fresh engine for plain checkpoints");
     let mut result = campaign
-        .resume_streaming(ckpt, &mut engine)
+        .runner()
+        .resume_from(ckpt)
+        .streaming(&mut engine)
+        .run()
         .expect("resume succeeds");
     let analysis = CongestionAnalysis::build(&mut result.db, &world, "download", &batch_filters());
     assert_equivalent(&engine, &analysis, 0.5);
@@ -199,9 +221,13 @@ fn plain_checkpoint_resumes_into_streaming() {
 fn streaming_leaves_campaign_checkpoints_untouched() {
     let world = World::new(82);
     let campaign = Campaign::new(&world, config(82));
-    let plain = campaign.run();
+    let plain = campaign.runner().run().expect("fresh runs cannot fail");
     let mut engine = campaign.stream_engine(engine_cfg(0.5));
-    let streamed = campaign.run_streaming(&mut engine);
+    let streamed = campaign
+        .runner()
+        .streaming(&mut engine)
+        .run()
+        .expect("fresh runs cannot fail");
 
     assert_eq!(plain.checkpoints.len(), streamed.checkpoints.len());
     for (p, s) in plain.checkpoints.iter().zip(&streamed.checkpoints) {
