@@ -11,7 +11,7 @@ use clasp_core::select::differential::LatencyClass;
 use clasp_core::tiercmp::{Metric, TierComparison};
 use clasp_core::world::World;
 use clasp_stats::percentile;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 // ---------------------------------------------------------------- Table 1
 
@@ -211,7 +211,8 @@ pub fn fig4(result: &mut CampaignResult, method: &str, tier: &str) -> Vec<Fig4Po
     for series in result.db.matching_series("speedtest", &filters) {
         let server = series.tags.get("server").cloned().unwrap_or_default();
         let region = series.tags.get("region").cloned().unwrap_or_default();
-        let mut by_month: HashMap<u64, MonthAccum> = HashMap::new();
+        // Ordered map: emission order feeds `out` before the final sort.
+        let mut by_month: BTreeMap<u64, MonthAccum> = BTreeMap::new();
         for (t, fields) in series.samples() {
             let m = *t / MONTH_S;
             let entry = by_month.entry(m).or_default();

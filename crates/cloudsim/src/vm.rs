@@ -148,7 +148,7 @@ pub struct CloudApi<'t> {
     topo: &'t Topology,
     /// All VMs ever created (terminated ones retained for billing).
     pub vms: Vec<Vm>,
-    per_city_counter: std::collections::HashMap<u16, u16>,
+    per_city_counter: std::collections::BTreeMap<u16, u16>,
 }
 
 impl<'t> CloudApi<'t> {
@@ -157,7 +157,7 @@ impl<'t> CloudApi<'t> {
         Self {
             topo,
             vms: Vec::new(),
-            per_city_counter: std::collections::HashMap::new(),
+            per_city_counter: std::collections::BTreeMap::new(),
         }
     }
 

@@ -119,7 +119,7 @@ impl CongestionAnalysis {
                 .by_id(&server)
                 .map(|srv| world.topo.cities.get(srv.city).utc_offset_hours)
                 .unwrap_or(0);
-            let series_idx = series_infos.len() as u32;
+            let series_idx = u32::try_from(series_infos.len()).expect("series count fits u32");
 
             // Bucket samples into local days.
             let mut by_day: HashMap<i64, Vec<(u64, f64)>> = HashMap::new();
@@ -262,8 +262,11 @@ impl CongestionAnalysis {
     /// their days contain at least one event at threshold `h` (the Fig. 8
     /// criterion, 10 %).
     pub fn congested_series(&self, h: f64, min_day_fraction: f64) -> Vec<bool> {
-        // series → (days with events, days total)
-        let mut day_events: HashMap<(u32, i64), bool> = HashMap::new();
+        // series → (days with events, days total). Ordered map: the
+        // fold below is commutative, but canonical iteration keeps the
+        // path determinism-lintable without a suppression.
+        let mut day_events: std::collections::BTreeMap<(u32, i64), bool> =
+            std::collections::BTreeMap::new();
         for s in &self.samples {
             let e = day_events
                 .entry((s.series_idx, s.local_day))

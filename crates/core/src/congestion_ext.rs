@@ -48,10 +48,11 @@ pub const MIN_SEPARATION: f64 = 0.35;
 pub fn hmm_detect(analysis: &CongestionAnalysis) -> Vec<HmmSeries> {
     let mut out = Vec::new();
     for (idx, info) in analysis.series.iter().enumerate() {
+        let idx = u32::try_from(idx).expect("series count fits u32");
         let mut series: Vec<(u64, f64)> = analysis
             .samples
             .iter()
-            .filter(|s| s.series_idx == idx as u32)
+            .filter(|s| s.series_idx == idx)
             .map(|s| (s.time, s.value))
             .collect();
         series.sort_by_key(|s| s.0);
@@ -92,10 +93,11 @@ pub fn hmm_detect(analysis: &CongestionAnalysis) -> Vec<HmmSeries> {
 pub fn diurnal_detect(analysis: &CongestionAnalysis) -> Vec<(String, DiurnalSignal)> {
     let mut out = Vec::new();
     for (idx, info) in analysis.series.iter().enumerate() {
+        let idx = u32::try_from(idx).expect("series count fits u32");
         let mut series: Vec<(u64, f64)> = analysis
             .samples
             .iter()
-            .filter(|s| s.series_idx == idx as u32)
+            .filter(|s| s.series_idx == idx)
             .map(|s| (s.time, s.value))
             .collect();
         if series.len() < 72 {

@@ -17,7 +17,7 @@ use simnet::routing::{Paths, Tier};
 use simnet::time::SimTime;
 use simnet::topology::AsId;
 use speedtest::vantage::VantageSet;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Latency relation between the tiers for a candidate tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,8 +121,9 @@ pub fn select(
         cfg.seed,
     );
 
-    // Group by <city, AS, tier> (region is fixed here).
-    let mut grouped: HashMap<(AsId, CityId, bool), Vec<f64>> = HashMap::new();
+    // Group by <city, AS, tier> (region is fixed here). Ordered map:
+    // the tuple emission order below is observable downstream.
+    let mut grouped: BTreeMap<(AsId, CityId, bool), Vec<f64>> = BTreeMap::new();
     for s in &samples {
         let vp = &vps.vps[s.vp as usize];
         grouped

@@ -62,7 +62,7 @@ impl World {
     /// need to reckon days and hours in server-local time without holding
     /// a `World`. Servers absent from the map default to offset 0, which
     /// is also what the batch analysis does for unknown ids.
-    pub fn server_utc_offsets(&self) -> std::collections::HashMap<String, i32> {
+    pub fn server_utc_offsets(&self) -> std::collections::BTreeMap<String, i32> {
         self.registry
             .servers
             .iter()

@@ -1,0 +1,1092 @@
+//! clasp-lint — a determinism static-analysis pass for the CLASP
+//! workspace.
+//!
+//! Every result reproduced from the paper rides on a hard invariant:
+//! campaign output is byte-identical across `--jobs N`, checkpoint
+//! resume and batch-vs-stream execution (DESIGN.md §10–11). The runtime
+//! equivalence suites only catch a nondeterminism bug when a seed
+//! happens to trigger it; this pass rejects the *patterns* that produce
+//! such bugs, at source level, before any seed runs:
+//!
+//! * **D001** — iteration over `HashMap`/`HashSet` (hash order is
+//!   seeded per process and per instance). Use `BTreeMap`/`BTreeSet`,
+//!   or sort/re-key in the same statement.
+//! * **D002** — wall-clock reads (`Instant::now`, `SystemTime`,
+//!   `UNIX_EPOCH`). All simulated time flows through `SimTime` and the
+//!   observability logical clock.
+//! * **D003** — ambient randomness (`thread_rng`, `rand::random`,
+//!   `OsRng`, `from_entropy`, `from_os_rng`). All randomness must come
+//!   from a seeded RNG reachable from the campaign seed.
+//! * **D004** — order-sensitive float accumulation (`+=`/`-=` on
+//!   floats, float `fold`/`sum`) inside scatter/merge contexts, where
+//!   worker interleaving could reorder the reduction.
+//! * **D005** — truncating `as` casts on series-id/key material; use
+//!   `try_from` so overflow is an error, not silent key aliasing.
+//! * **D006** — `unsafe` code, and crate roots (`lib.rs`) missing
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! A finding is suppressed only by a scoped allow comment on the same
+//! line or the line directly above the offending code:
+//!
+//! ```text
+//! // clasp-lint: allow(D002) -- reporting-only wall clock, not replayed
+//! let t0 = Instant::now();
+//! ```
+//!
+//! The grammar is exactly `clasp-lint: allow(Dnnn) -- reason`; anything
+//! else mentioning `clasp-lint` is itself an error (L000), so a typoed
+//! suppression cannot silently disable a lint. Every allow is reported
+//! in the run summary with its reason, and unused allows are called out.
+//!
+//! The analysis is a token-level scanner (strings and comments are
+//! masked, brace depth and `fn` scopes are tracked), not a full parse:
+//! the build environment vendors no `syn`, and the lint vocabulary —
+//! identifiers, method calls, casts — is recognizable at token level.
+//! The cost of the approximation is a conservative bias: a few
+//! provably-fine sites need an allow comment, and each one documents
+//! *why* it is fine, which is the review trail we want anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+mod scan;
+
+pub use scan::{mask_source, Line};
+
+/// A lint code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Iteration over a hash-ordered container.
+    D001,
+    /// Wall-clock read.
+    D002,
+    /// Ambient (unseeded) randomness.
+    D003,
+    /// Order-sensitive float accumulation in a scatter/merge context.
+    D004,
+    /// Truncating cast on series-id/key material.
+    D005,
+    /// `unsafe` code or a crate root missing `#![forbid(unsafe_code)]`.
+    D006,
+    /// Malformed `clasp-lint:` control comment.
+    L000,
+}
+
+impl Code {
+    /// All real lint codes (excludes the machinery error L000).
+    pub const ALL: [Code; 6] = [
+        Code::D001,
+        Code::D002,
+        Code::D003,
+        Code::D004,
+        Code::D005,
+        Code::D006,
+    ];
+
+    /// The stable textual form, e.g. `"D001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::D001 => "D001",
+            Code::D002 => "D002",
+            Code::D003 => "D003",
+            Code::D004 => "D004",
+            Code::D005 => "D005",
+            Code::D006 => "D006",
+            Code::L000 => "L000",
+        }
+    }
+
+    /// Parses `"D001"`-style text into a code (L000 is not nameable in
+    /// allow comments).
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File label as given to [`lint_source`].
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Lint code.
+    pub code: Code,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.code, self.message
+        )
+    }
+}
+
+/// One parsed `clasp-lint: allow(...)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// File label.
+    pub file: String,
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Line of code the allow covers (same line for trailing comments,
+    /// the next non-blank code line otherwise).
+    pub target_line: usize,
+    /// Suppressed code.
+    pub code: Code,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+    /// Whether the allow actually suppressed a finding.
+    pub used: bool,
+}
+
+/// Lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path substrings for which D002 (wall clock) is pre-authorized:
+    /// benchmarking code and the observability span internals, which
+    /// measure wall time *about* the run without feeding it back in.
+    pub wall_clock_allowlist: Vec<String>,
+}
+
+impl Config {
+    /// The workspace policy: D002 is pre-authorized for the bench crate
+    /// and the tracer's wall-span internals (whose wall readings are
+    /// excluded from canonical output; see `clasp-obs`).
+    pub fn workspace() -> Config {
+        Config {
+            wall_clock_allowlist: vec!["crates/bench/".into(), "crates/obs/src/span.rs".into()],
+        }
+    }
+}
+
+/// Everything the pass produced for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    /// Findings that survived allow-comment suppression (includes L000
+    /// malformed-comment errors).
+    pub diagnostics: Vec<Diagnostic>,
+    /// All parsed allow comments, with usage flags.
+    pub allows: Vec<Allow>,
+}
+
+/// Iteration-producing method names on hash containers.
+const ITER_METHODS: [&str; 11] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Markers identifying series-id/key material for D005.
+const KEY_MARKERS: [&str; 4] = ["SeriesId", "series_idx", "series_id", "series_key"];
+
+/// Integer targets considered truncating for D005.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Lints one file. `file` is only used as the diagnostic label; the
+/// D006 crate-root check applies when it ends in `lib.rs`.
+pub fn lint_source(file: &str, source: &str, cfg: &Config) -> FileReport {
+    let lines = mask_source(source);
+    let mut allows = parse_allows(file, &lines);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    // Malformed control comments are findings in their own right and
+    // can never be suppressed.
+    let mut report = FileReport::default();
+    for line in &lines {
+        if let Some(c) = &line.comment {
+            if let Some(err) = malformed_control(c) {
+                report.diagnostics.push(Diagnostic {
+                    file: file.to_string(),
+                    line: line.number,
+                    code: Code::L000,
+                    message: err,
+                });
+            }
+        }
+    }
+
+    check_d001(file, &lines, &mut raw);
+    check_d002(file, &lines, cfg, &mut raw);
+    check_d003(file, &lines, &mut raw);
+    check_d004(file, &lines, &mut raw);
+    check_d005(file, &lines, &mut raw);
+    check_d006(file, &lines, &mut raw, &allows);
+
+    // Apply allows: a finding at an allow's target line with a matching
+    // code is suppressed (first unused allow wins, so stacked allows of
+    // the same code each count once).
+    for d in raw {
+        let slot = allows.iter_mut().find(|a| {
+            a.code == d.code && (a.target_line == d.line || (a.code == Code::D006 && d.line == 1))
+        });
+        match slot {
+            Some(a) => a.used = true,
+            None => report.diagnostics.push(d),
+        }
+    }
+    report.diagnostics.sort_by_key(|d| (d.line, d.code));
+    report.allows = allows;
+    report
+}
+
+/// Parses every allow comment; malformed ones are handled separately.
+fn parse_allows(file: &str, lines: &[Line]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(c) = &line.comment else { continue };
+        let Some((code, reason)) = parse_allow(c) else {
+            continue;
+        };
+        // Trailing comment covers its own line; a standalone comment
+        // covers the next line that contains code.
+        let target_line = if !line.code.trim().is_empty() {
+            line.number
+        } else {
+            lines[i + 1..]
+                .iter()
+                .find(|l| !l.code.trim().is_empty())
+                .map_or(line.number, |l| l.number)
+        };
+        allows.push(Allow {
+            file: file.to_string(),
+            line: line.number,
+            target_line,
+            code,
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    allows
+}
+
+/// The control-comment payload, when the comment is one: the trimmed
+/// text (after an optional doc marker `/` or `!`) starts with
+/// `clasp-lint`. Prose that merely *mentions* clasp-lint mid-sentence,
+/// and doc-comment examples of the form `//! // clasp-lint: ...`
+/// (whose payload starts with `//`), are not control comments.
+fn control_payload(comment: &str) -> Option<&str> {
+    let t = comment.trim_start();
+    let t = t
+        .strip_prefix('/')
+        .or_else(|| t.strip_prefix('!'))
+        .unwrap_or(t);
+    let text = t.trim_start();
+    let rest = text.strip_prefix("clasp-lint")?.trim_start();
+    // Directive shapes only: `clasp-lint: ...` or the colon-less typo
+    // `clasp-lint allow(...)`. Prose *about* clasp-lint is not one.
+    (rest.starts_with(':') || rest.starts_with("allow")).then_some(text)
+}
+
+/// Parses a well-formed `clasp-lint: allow(Dnnn) -- reason` comment.
+fn parse_allow(comment: &str) -> Option<(Code, &str)> {
+    let rest = control_payload(comment)?
+        .strip_prefix("clasp-lint:")?
+        .trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let (name, rest) = rest.split_once(')')?;
+    let code = Code::parse(name.trim())?;
+    let reason = rest.trim_start().strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((code, reason))
+}
+
+/// Returns an error message when a comment mentions `clasp-lint` but is
+/// not a well-formed allow. Typos must fail loudly, or they would
+/// silently stop suppressing (or never start).
+fn malformed_control(comment: &str) -> Option<String> {
+    control_payload(comment)?;
+    if parse_allow(comment).is_some() {
+        return None;
+    }
+    Some(format!(
+        "malformed clasp-lint control comment {:?}; the grammar is \
+         `clasp-lint: allow(Dnnn) -- reason` with a non-empty reason",
+        comment.trim()
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Identifier utilities.
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Occurrences of `word` as a whole identifier in `line`, as byte
+/// offsets.
+fn ident_positions(line: &str, word: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let start = from + rel;
+        let end = start + word.len();
+        let ok_left = start == 0 || !is_ident_char(bytes[start - 1] as char);
+        let ok_right = end == bytes.len() || !is_ident_char(bytes[end] as char);
+        if ok_left && ok_right {
+            out.push(start);
+        }
+        from = end;
+    }
+    out
+}
+
+fn contains_ident(line: &str, word: &str) -> bool {
+    !ident_positions(line, word).is_empty()
+}
+
+/// The identifier ending at byte offset `end` (exclusive), if any.
+fn ident_ending_at(line: &str, end: usize) -> Option<&str> {
+    let mut start = end;
+    for (i, c) in line[..end].char_indices().rev() {
+        if is_ident_char(c) {
+            start = i;
+        } else {
+            break;
+        }
+    }
+    if start == end {
+        return None;
+    }
+    let id = &line[start..end];
+    id.chars().next().filter(|c| !c.is_ascii_digit())?;
+    Some(id)
+}
+
+/// Strips trailing whitespace and returns the new end offset.
+fn skip_ws_back(line: &str, mut end: usize) -> usize {
+    while end > 0 && line.as_bytes()[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    end
+}
+
+// ---------------------------------------------------------------------
+// D001 — hash-container iteration.
+
+/// Collects identifiers bound to hash containers plus type aliases of
+/// them, then flags iteration sites whose statement does not restore a
+/// canonical order.
+fn check_d001(file: &str, lines: &[Line], out: &mut Vec<Diagnostic>) {
+    let mut hash_types: BTreeSet<String> = ["HashMap", "HashSet"]
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    // Two passes over alias declarations so aliases of aliases resolve
+    // regardless of declaration order.
+    for _ in 0..2 {
+        for line in lines {
+            let code = &line.code;
+            for tpos in ident_positions(code, "type") {
+                let rest = &code[tpos + 4..];
+                let Some(eqrel) = rest.find('=') else {
+                    continue;
+                };
+                let (lhs, rhs) = rest.split_at(eqrel);
+                let names: Vec<String> = hash_types.iter().cloned().collect();
+                if names.iter().any(|t| contains_ident(rhs, t)) {
+                    let name = lhs
+                        .trim()
+                        .split(|c: char| !is_ident_char(c))
+                        .next()
+                        .unwrap_or("");
+                    if !name.is_empty() {
+                        hash_types.insert(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    // Bindings: `name: [&][mut] Hash...` (let/param/field) and
+    // `name = Hash...::new()` style initializations.
+    let mut bindings: BTreeSet<String> = BTreeSet::new();
+    let types: Vec<String> = hash_types.iter().cloned().collect();
+    for line in lines {
+        for ty in &types {
+            for pos in ident_positions(&line.code, ty) {
+                if let Some(name) = binding_before(&line.code, pos) {
+                    bindings.insert(name.to_string());
+                }
+            }
+        }
+    }
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        for b in &bindings {
+            for pos in ident_positions(code, b) {
+                let after = &code[pos + b.len()..];
+                let iterated = iter_method_follows(after)
+                    || (in_for_expr(code, pos) && !after.trim_start().starts_with('('));
+                if !iterated {
+                    continue;
+                }
+                if statement_restores_order(lines, i, pos) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: line.number,
+                    code: Code::D001,
+                    message: format!(
+                        "iteration over hash-ordered container `{b}` — hash order is \
+                         per-instance-seeded and breaks bit-identity; use \
+                         BTreeMap/BTreeSet or sort in the same statement"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The identifier a hash-type occurrence is bound to, when the
+/// occurrence is the type of a `name: T` declaration or the value of a
+/// `name = T::...` initialization.
+fn binding_before(code: &str, ty_pos: usize) -> Option<&str> {
+    let mut end = skip_ws_back(code, ty_pos);
+    // Strip a leading path (`std::collections::`), references and `mut`.
+    loop {
+        if code[..end].ends_with("::") {
+            end = skip_ws_back(code, end - 2);
+            if let Some(seg) = ident_ending_at(code, end) {
+                end = skip_ws_back(code, end - seg.len());
+                continue;
+            }
+            return None;
+        }
+        if code[..end].ends_with('&') {
+            end = skip_ws_back(code, end - 1);
+            continue;
+        }
+        if let Some(id) = ident_ending_at(code, end) {
+            if id == "mut" {
+                end = skip_ws_back(code, end - 3);
+                continue;
+            }
+        }
+        break;
+    }
+    let sep = code[..end].chars().next_back()?;
+    if sep != ':' && sep != '=' {
+        return None;
+    }
+    if sep == ':' && code[..end].ends_with("::") {
+        return None;
+    }
+    if sep == '=' && (code[..end].ends_with("==") || code[..end].ends_with("=>")) {
+        return None;
+    }
+    let mut end = skip_ws_back(code, end - 1);
+    // `name = Hash...` may really be `let mut name = ...`.
+    let name = ident_ending_at(code, end)?;
+    if name == "mut" {
+        return None;
+    }
+    if sep == '=' {
+        // Reject compound assignment contexts like `+=` (impossible for
+        // a type) and pattern arms; accept plain `name =`.
+        end -= name.len();
+        let prev = skip_ws_back(code, end);
+        if prev > 0 && !code[..prev].ends_with("let") && code.as_bytes()[prev - 1] == b'.' {
+            return None;
+        }
+    }
+    Some(name)
+}
+
+/// True when the text after a binding occurrence is a call to an
+/// iteration-producing method.
+fn iter_method_follows(after: &str) -> bool {
+    let Some(rest) = after.trim_start().strip_prefix('.') else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    ITER_METHODS.iter().any(|m| {
+        rest.strip_prefix(m)
+            .is_some_and(|r| r.trim_start().starts_with('(') || r.trim_start().starts_with("::"))
+    })
+}
+
+/// True when `pos` lies in the expression of a `for ... in` header on
+/// the same line.
+fn in_for_expr(code: &str, pos: usize) -> bool {
+    for fp in ident_positions(code, "for") {
+        if fp >= pos {
+            continue;
+        }
+        if let Some(inrel) = code[fp..pos].rfind(" in ") {
+            // Ensure the `in` belongs to this `for`, not a nested call.
+            if fp + inrel < pos {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Order-insensitive or re-ordering continuations: if the statement
+/// containing the iteration (or the statement right after it — the
+/// common collect-then-sort idiom) sorts, rebuilds a BTree collection,
+/// or reduces order-insensitively, hash order never becomes observable.
+/// A `{` ends the scan: the body of a `for` loop over hash order is
+/// already order-exposed, whatever it does inside.
+fn statement_restores_order(lines: &[Line], line_idx: usize, pos: usize) -> bool {
+    const EXEMPT: [&str; 11] = [
+        ".sort()",
+        ".sort_by",
+        ".sort_unstable",
+        ".sort_by_key",
+        "BTreeMap",
+        "BTreeSet",
+        ".count()",
+        ".len()",
+        ".any(",
+        ".all(",
+        ".contains",
+    ];
+    let mut budget = 4usize; // statements are short; cap the scan
+    let mut first = true;
+    for line in &lines[line_idx..] {
+        let code: &str = if first { &line.code[pos..] } else { &line.code };
+        first = false;
+        if let Some(brace) = code.find('{') {
+            return EXEMPT.iter().any(|p| code[..brace].contains(p));
+        }
+        if EXEMPT.iter().any(|p| code.contains(p)) {
+            return true;
+        }
+        budget -= 1;
+        if budget == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// D002 — wall-clock reads.
+
+fn check_d002(file: &str, lines: &[Line], cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if cfg
+        .wall_clock_allowlist
+        .iter()
+        .any(|p| file.contains(p.as_str()))
+    {
+        return;
+    }
+    for line in lines {
+        let code = &line.code;
+        let hit = (contains_ident(code, "Instant")
+            && code.contains("Instant") // fast path
+            && ident_positions(code, "Instant").iter().any(|&p| {
+                code[p + "Instant".len()..].trim_start().starts_with("::")
+            }))
+            || contains_ident(code, "SystemTime")
+            || contains_ident(code, "UNIX_EPOCH");
+        if hit {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: line.number,
+                code: Code::D002,
+                message: "wall-clock read — replay and resume cannot reproduce real time; \
+                          use SimTime or the obs logical clock"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D003 — ambient randomness.
+
+fn check_d003(file: &str, lines: &[Line], out: &mut Vec<Diagnostic>) {
+    const AMBIENT: [&str; 4] = ["thread_rng", "OsRng", "from_entropy", "from_os_rng"];
+    for line in lines {
+        let code = &line.code;
+        let mut hit = AMBIENT.iter().any(|w| contains_ident(code, w));
+        // `rand::random` free function (a `.random()` method call on a
+        // seeded RNG is fine and must not match).
+        if !hit {
+            hit = ident_positions(code, "random").iter().any(|&p| {
+                let before = skip_ws_back(code, p);
+                code[..before].ends_with("rand::")
+            });
+        }
+        if hit {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: line.number,
+                code: Code::D003,
+                message: "ambient randomness — draws are not reachable from the campaign \
+                          seed; use a seeded RNG (SmallRng::seed_from_u64 or derived)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D004 — float accumulation in scatter/merge contexts.
+
+fn check_d004(file: &str, lines: &[Line], out: &mut Vec<Diagnostic>) {
+    // Float-typed names: declarations/fields/params `name: f64/f32` and
+    // `let name = <float literal>`.
+    let mut floats: BTreeSet<String> = BTreeSet::new();
+    for line in lines {
+        let code = &line.code;
+        for ty in ["f64", "f32"] {
+            for pos in ident_positions(code, ty) {
+                if let Some(name) = binding_before(code, pos) {
+                    floats.insert(name.to_string());
+                }
+            }
+        }
+        if let Some(eq) = code.find('=') {
+            let rhs = code[eq + 1..].trim_start();
+            let is_float_lit = rhs
+                .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '_'))
+                .next()
+                .is_some_and(|t| {
+                    t.contains('.') && t.chars().next().is_some_and(|c| c.is_ascii_digit())
+                });
+            if is_float_lit && !code[..eq].ends_with(['=', '!', '<', '>', '+', '-', '*', '/']) {
+                let end = skip_ws_back(code, eq);
+                if let Some(name) = ident_ending_at(code, end) {
+                    floats.insert(name.to_string());
+                }
+            }
+        }
+    }
+
+    // Function-scope tracking: a stack of (name, depth-at-entry).
+    let mut depth: i32 = 0;
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    for line in lines {
+        let code = &line.code;
+        if let Some(&p) = ident_positions(code, "fn").first() {
+            let after = code[p + 2..].trim_start();
+            let name: String = after.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                pending_fn = Some(name);
+            }
+        }
+        let in_ctx = fn_stack
+            .iter()
+            .any(|(n, _)| n.contains("scatter") || n.contains("merge"));
+        if in_ctx {
+            for op in ["+=", "-="] {
+                let mut from = 0;
+                while let Some(rel) = code[from..].find(op) {
+                    let p = from + rel;
+                    from = p + op.len();
+                    let end = skip_ws_back(code, p);
+                    if let Some(name) = ident_ending_at(code, end) {
+                        if floats.contains(name) {
+                            out.push(Diagnostic {
+                                file: file.to_string(),
+                                line: line.number,
+                                code: Code::D004,
+                                message: format!(
+                                    "float accumulation `{name} {op}` inside a scatter/merge \
+                                     context — float addition is not associative, so any \
+                                     order change alters bits; accumulate per worker and \
+                                     merge in canonical order"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            for pat in [
+                "sum::<f64>",
+                "sum::<f32>",
+                "fold(0.0",
+                "fold(0f64",
+                "fold(0f32",
+            ] {
+                if code.contains(pat) {
+                    out.push(Diagnostic {
+                        file: file.to_string(),
+                        line: line.number,
+                        code: Code::D004,
+                        message: format!(
+                            "float reduction `{pat}` inside a scatter/merge context — \
+                             reduce in canonical task order instead"
+                        ),
+                    });
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(name) = pending_fn.take() {
+                        fn_stack.push((name, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if fn_stack.last().is_some_and(|&(_, d)| d >= depth) {
+                        fn_stack.pop();
+                    }
+                }
+                ';' => {
+                    // `fn f();` in a trait: the pending fn never opens.
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D005 — truncating casts on key material.
+
+fn check_d005(file: &str, lines: &[Line], out: &mut Vec<Diagnostic>) {
+    for line in lines {
+        let code = &line.code;
+        if !KEY_MARKERS.iter().any(|m| contains_ident(code, m)) {
+            continue;
+        }
+        for pos in ident_positions(code, "as") {
+            let after = code[pos + 2..].trim_start();
+            if NARROW_INTS.iter().any(|t| {
+                after
+                    .strip_prefix(t)
+                    .is_some_and(|r| !r.starts_with(|c: char| is_ident_char(c)))
+            }) {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: line.number,
+                    code: Code::D005,
+                    message: "truncating `as` cast on series-id/key material — overflow \
+                              silently aliases keys; use try_from and fail loudly"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D006 — unsafe code / missing forbid attribute.
+
+fn check_d006(file: &str, lines: &[Line], out: &mut Vec<Diagnostic>, allows: &[Allow]) {
+    for line in lines {
+        if contains_ident(&line.code, "unsafe") {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: line.number,
+                code: Code::D006,
+                message: "unsafe code — the workspace forbids it; if genuinely required, \
+                          justify with a scoped allow and audit the invariants"
+                    .to_string(),
+            });
+        }
+    }
+    if file.ends_with("lib.rs") {
+        let has_forbid = lines
+            .iter()
+            .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+        let has_file_allow = allows.iter().any(|a| a.code == Code::D006);
+        if !has_forbid && !has_file_allow {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: 1,
+                code: Code::D006,
+                message: "crate root lacks #![forbid(unsafe_code)] — add it (or a \
+                          clasp-lint allow with the audit rationale if the crate \
+                          must contain unsafe)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workspace driver helpers.
+
+/// Recursively collects `.rs` files under `root`, skipping `target/`,
+/// `vendor/` (API stand-ins for crates.io deps, not our code) and the
+/// lint UI fixtures (which violate on purpose). Results are sorted so
+/// reports are themselves deterministic.
+pub fn collect_rs_files(root: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name == "target" || name == "vendor" || name == ".git" {
+                    continue;
+                }
+                if name == "ui" && dir.file_name().and_then(|n| n.to_str()) == Some("tests") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every collected file and returns per-file reports keyed by the
+/// path label (relative to `root` when possible).
+pub fn lint_workspace(
+    root: &std::path::Path,
+    cfg: &Config,
+) -> std::io::Result<BTreeMap<String, FileReport>> {
+    let mut reports = BTreeMap::new();
+    for path in collect_rs_files(root)? {
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        let source = std::fs::read_to_string(&path)?;
+        let report = lint_source(&label, &source, cfg);
+        if !report.diagnostics.is_empty() || !report.allows.is_empty() {
+            reports.insert(label, report);
+        }
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> FileReport {
+        lint_source("test.rs", src, &Config::default())
+    }
+
+    fn codes(r: &FileReport) -> Vec<Code> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn allow_grammar_round_trips() {
+        assert_eq!(
+            parse_allow(" clasp-lint: allow(D001) -- lookup only"),
+            Some((Code::D001, "lookup only"))
+        );
+        assert_eq!(parse_allow("clasp-lint: allow(D001) --"), None);
+        assert_eq!(parse_allow("clasp-lint: allow(D009) -- x"), None);
+        assert_eq!(parse_allow("clasp-lint: allowed(D001) -- x"), None);
+        assert_eq!(parse_allow("unrelated"), None);
+    }
+
+    #[test]
+    fn hashmap_iteration_fires_and_btreemap_does_not() {
+        let r = lint(
+            "use std::collections::HashMap;\n\
+             fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                 m.keys().copied().collect()\n\
+             }\n",
+        );
+        assert_eq!(codes(&r), vec![Code::D001]);
+        let ok = lint(
+            "use std::collections::BTreeMap;\n\
+             fn f(m: &BTreeMap<u32, u32>) -> Vec<u32> {\n\
+                 m.keys().copied().collect()\n\
+             }\n",
+        );
+        assert!(ok.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_with_sort_in_statement_is_exempt() {
+        let r = lint(
+            "fn f(m: &std::collections::HashMap<u32, u32>) {\n\
+                 let mut v: Vec<u32> = m.keys().copied().collect();\n\
+                 v.sort();\n\
+             }\n",
+        );
+        // The collect-then-sort idiom is exempt (the sort on the next
+        // statement restores canonical order), as is a one-statement
+        // order-insensitive reduction.
+        assert!(r.diagnostics.is_empty());
+        let chained = lint(
+            "fn f(m: &std::collections::HashMap<u32, u32>) -> usize {\n\
+                 m.keys().count()\n\
+             }\n",
+        );
+        assert!(chained.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_binding_fires() {
+        let r = lint(
+            "fn f() {\n\
+                 let mut m = std::collections::HashMap::new();\n\
+                 m.insert(1u32, 2u32);\n\
+                 for (k, v) in &m { println!(\"{k}{v}\"); }\n\
+             }\n",
+        );
+        assert_eq!(codes(&r), vec![Code::D001]);
+    }
+
+    #[test]
+    fn type_alias_of_hashmap_is_tracked() {
+        let r = lint(
+            "type Tables = std::collections::HashMap<u32, u32>;\n\
+             fn f(t: &Tables) { for x in t.values() { let _ = x; } }\n",
+        );
+        assert_eq!(codes(&r), vec![Code::D001]);
+    }
+
+    #[test]
+    fn lookup_only_hashmap_is_clean() {
+        let r = lint(
+            "fn f(m: &std::collections::HashMap<u32, u32>) -> Option<&u32> {\n\
+                 m.get(&1)\n\
+             }\n",
+        );
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_and_allowlist_suppresses() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(codes(&lint(src)), vec![Code::D002]);
+        let cfg = Config {
+            wall_clock_allowlist: vec!["crates/bench/".into()],
+        };
+        let r = lint_source("crates/bench/src/clock.rs", src, &cfg);
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn seeded_rng_method_named_random_is_clean() {
+        let r = lint("fn f(rng: &mut R) -> f64 { rng.random() }\n");
+        assert!(r.diagnostics.is_empty());
+        let bad = lint("fn f() -> f64 { rand::random() }\n");
+        assert_eq!(codes(&bad), vec![Code::D003]);
+    }
+
+    #[test]
+    fn float_accumulation_only_fires_in_scatter_context() {
+        let in_ctx = lint(
+            "fn merge_shards(total: f64, xs: &[f64]) -> f64 {\n\
+                 let mut total = total;\n\
+                 for x in xs { total += x; }\n\
+                 total\n\
+             }\n",
+        );
+        assert_eq!(codes(&in_ctx), vec![Code::D004]);
+        let outside = lint(
+            "fn plain(total: f64, xs: &[f64]) -> f64 {\n\
+                 let mut total = total;\n\
+                 for x in xs { total += x; }\n\
+                 total\n\
+             }\n",
+        );
+        assert!(outside.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_on_series_id_fires() {
+        let r = lint("fn f(n: usize) -> SeriesId { SeriesId(n as u32) }\n");
+        assert_eq!(codes(&r), vec![Code::D005]);
+        let ok = lint("fn f(n: usize) -> u32 { n as u32 }\n");
+        assert!(ok.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unsafe_and_missing_forbid_fire() {
+        let r = lint("fn f() { unsafe { std::hint::unreachable_unchecked() } }\n");
+        assert_eq!(codes(&r), vec![Code::D006]);
+        let lib = lint_source("src/lib.rs", "pub fn f() {}\n", &Config::default());
+        assert_eq!(codes(&lib), vec![Code::D006]);
+        let good = lint_source(
+            "src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &Config::default(),
+        );
+        assert!(good.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_and_is_marked_used() {
+        let r = lint(
+            "fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                 // clasp-lint: allow(D001) -- order erased by histogram fill\n\
+                 m.keys().copied().collect()\n\
+             }\n",
+        );
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.allows.len(), 1);
+        assert!(r.allows[0].used);
+        assert_eq!(r.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let r = lint(
+            "fn f() { let _ = std::time::SystemTime::now(); } \
+             // clasp-lint: allow(D002) -- display only\n",
+        );
+        assert!(r.diagnostics.is_empty());
+        assert!(r.allows[0].used);
+    }
+
+    #[test]
+    fn wrong_code_allow_does_not_suppress() {
+        let r = lint(
+            "// clasp-lint: allow(D003) -- not the right code\n\
+             fn f() { let _ = std::time::SystemTime::now(); }\n",
+        );
+        assert_eq!(codes(&r), vec![Code::D002]);
+        assert!(!r.allows[0].used);
+    }
+
+    #[test]
+    fn malformed_control_comment_is_an_error() {
+        let r = lint("// clasp-lint: allow(D001)\nfn f() {}\n");
+        assert_eq!(codes(&r), vec![Code::L000]);
+        let r = lint("// clasp-lint allow(D001) -- missing colon\nfn f() {}\n");
+        assert_eq!(codes(&r), vec![Code::L000]);
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let r = lint(
+            "fn f() -> &'static str {\n\
+                 // HashMap iteration mentioned in a comment is fine\n\
+                 \"thread_rng Instant::now HashMap\"\n\
+             }\n",
+        );
+        assert!(r.diagnostics.is_empty());
+    }
+}

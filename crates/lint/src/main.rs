@@ -1,0 +1,116 @@
+//! The `clasp-lint` binary: runs the determinism pass over the
+//! workspace (or explicit paths) and prints findings plus the allow
+//! summary table.
+//!
+//! ```text
+//! cargo run -p clasp-lint -- --deny          # CI gate: exit 1 on findings
+//! cargo run -p clasp-lint                    # report only
+//! cargo run -p clasp-lint -- crates/stream   # restrict the scan
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use clasp_lint::{lint_workspace, Code, Config};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: clasp-lint [--deny] [--no-allow-table] [PATH ...]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut allow_table = true;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--no-allow-table" => allow_table = false,
+            "--help" | "-h" => usage(),
+            p if p.starts_with('-') => usage(),
+            p => roots.push(PathBuf::from(p)),
+        }
+    }
+    if roots.is_empty() {
+        // Default: the whole workspace (collect_rs_files already skips
+        // target/, vendor/ and the UI fixtures), resolved from the
+        // workspace root so labels are stable from any cwd.
+        roots.push(workspace_root());
+    }
+
+    let cfg = Config::workspace();
+    let mut files = 0usize;
+    let mut findings = 0usize;
+    let mut errors = 0usize;
+    let mut allows = Vec::new();
+    for root in &roots {
+        let reports = match lint_workspace(root, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("clasp-lint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        files += clasp_lint::collect_rs_files(root).map_or(0, |v| v.len());
+        for report in reports.values() {
+            for d in &report.diagnostics {
+                println!("{d}");
+                if d.code == Code::L000 {
+                    errors += 1;
+                } else {
+                    findings += 1;
+                }
+            }
+            allows.extend(report.allows.iter().cloned());
+        }
+    }
+
+    if allow_table && !allows.is_empty() {
+        println!("\nallow table ({} suppression sites):", allows.len());
+        for a in &allows {
+            println!(
+                "  {}:{}  {}  {}  -- {}",
+                a.file,
+                a.target_line,
+                a.code,
+                if a.used { "used  " } else { "UNUSED" },
+                a.reason
+            );
+        }
+    }
+    let unused = allows.iter().filter(|a| !a.used).count();
+    println!(
+        "\nclasp-lint: {files} files, {findings} finding(s), {errors} malformed \
+         control comment(s), {} allow(s) ({unused} unused)",
+        allows.len()
+    );
+
+    if deny && (findings > 0 || errors > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: walk up from the current directory to the first
+/// ancestor holding a `Cargo.toml` with a `[workspace]` table, falling
+/// back to the manifest dir's parent-of-parent (crates/lint → root).
+fn workspace_root() -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: Option<&Path> = Some(start.as_path());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d.to_path_buf();
+            }
+        }
+        dir = d.parent();
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}

@@ -1,0 +1,275 @@
+//! Source masking: splits a Rust file into per-line *code* (with
+//! string/char literals blanked and comments removed) and *comment*
+//! text, so the lint passes never match inside literals or prose, and
+//! the allow-comment parser only ever sees comments.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw (and byte/raw-byte) strings with `#` fences, char
+//! literals, and the lifetime-vs-char ambiguity (`'a` vs `'a'`).
+
+/// One masked source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code with literals blanked to spaces and comments stripped.
+    pub code: String,
+    /// Concatenated comment text on the line (without `//`/`/*`).
+    pub comment: Option<String>,
+}
+
+/// Masks `source` into lines. Literal contents become spaces (so byte
+/// offsets within a line stay meaningful), comments move to the
+/// comment channel of the line they start on.
+pub fn mask_source(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut number = 1usize;
+
+    let flush = |lines: &mut Vec<Line>, code: &mut String, comment: &mut String, number: usize| {
+        lines.push(Line {
+            number,
+            code: std::mem::take(code),
+            comment: if comment.is_empty() {
+                None
+            } else {
+                Some(std::mem::take(comment))
+            },
+        });
+    };
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                flush(&mut lines, &mut code, &mut comment, number);
+                number += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            flush(&mut lines, &mut code, &mut comment, number);
+                            number += 1;
+                        } else {
+                            comment.push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            code.push(' ');
+                            if i + 1 < chars.len() && chars[i + 1] != '\n' {
+                                code.push(' ');
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            flush(&mut lines, &mut code, &mut comment, number);
+                            number += 1;
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' | 'b' if raw_string_fence(&chars, i).is_some() => {
+                let (open_len, hashes) = raw_string_fence(&chars, i).expect("checked");
+                for _ in 0..open_len {
+                    code.push(' ');
+                }
+                i += open_len;
+                let close: String = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                let close: Vec<char> = close.chars().collect();
+                while i < chars.len() {
+                    if chars[i..].starts_with(&close[..]) {
+                        for _ in 0..close.len() {
+                            code.push(' ');
+                        }
+                        i += close.len();
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        flush(&mut lines, &mut code, &mut comment, number);
+                        number += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1).copied();
+                let is_char = match next {
+                    Some('\\') => true,
+                    Some(_) => chars.get(i + 2) == Some(&'\''), // 'x'
+                    None => false,
+                };
+                if is_char {
+                    code.push(' ');
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        // Multi-char escapes like '\u{1F600}'.
+                        while i < chars.len() && chars[i] != '\'' {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    } else if i < chars.len() {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    if chars.get(i) == Some(&'\'') {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        flush(&mut lines, &mut code, &mut comment, number);
+    }
+    lines
+}
+
+/// Detects `r"`, `r#"`, `br##"` … at `i`; returns (opening length,
+/// hash count).
+fn raw_string_fence(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    // Must not be the tail of a longer identifier.
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_ascii_alphanumeric() || p == '_' {
+            return None;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    Some((j + 1 - i, hashes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        mask_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_remain() {
+        let lines = code_of("let x = \"HashMap\";\n");
+        assert_eq!(lines[0], "let x = \"       \";");
+    }
+
+    #[test]
+    fn escapes_do_not_end_strings() {
+        let lines = code_of(r#"let x = "a\"b"; let y = 1;"#);
+        assert!(lines[0].contains("let y = 1;"));
+        assert!(!lines[0].contains('a'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lines = code_of("let x = r#\"thread_rng \"quoted\"\"#; let y = 2;\n");
+        assert!(lines[0].contains("let y = 2;"));
+        assert!(!lines[0].contains("thread_rng"));
+    }
+
+    #[test]
+    fn line_and_block_comments_move_to_comment_channel() {
+        let lines =
+            mask_source("let a = 1; // tail comment\n/* block\nstill block */ let b = 2;\n");
+        assert_eq!(lines[0].code, "let a = 1; ");
+        assert_eq!(lines[0].comment.as_deref(), Some(" tail comment"));
+        assert!(lines[1].comment.as_deref().unwrap().contains("block"));
+        assert!(lines[2].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = mask_source("/* outer /* inner */ still */ let a = 1;\n");
+        assert!(lines[0].code.contains("let a = 1;"));
+        assert!(!lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let lines = code_of("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(lines[0].contains("'a str"));
+        assert!(!lines[0].contains("'x'"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let lines = mask_source("let x = \"one\ntwo\";\nlet y = 3;\n");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2].number, 3);
+        assert_eq!(lines[2].code, "let y = 3;");
+    }
+
+    #[test]
+    fn char_escape_literal() {
+        let lines = code_of("let c = '\\n'; let d = 1;\n");
+        assert!(lines[0].contains("let d = 1;"));
+    }
+}

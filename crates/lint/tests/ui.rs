@@ -1,0 +1,94 @@
+//! UI tests: every fixture under `tests/ui/*.rs` is linted (with the
+//! default config, i.e. no wall-clock allowlist) and its rendered
+//! output — diagnostics plus the allow table — must match the sibling
+//! `.stderr` file byte-for-byte.
+//!
+//! Regenerate expectations after an intentional change with
+//! `UPDATE_EXPECT=1 cargo test -p clasp-lint --test ui`.
+
+use clasp_lint::{lint_source, Config};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn render(file: &str, source: &str) -> String {
+    let report = lint_source(file, source, &Config::default());
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        writeln!(out, "{d}").unwrap();
+    }
+    for a in &report.allows {
+        writeln!(
+            out,
+            "allow {}:{} {} {} -- {}",
+            a.file,
+            a.target_line,
+            a.code,
+            if a.used { "used" } else { "unused" },
+            a.reason
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/ui");
+    let update = std::env::var_os("UPDATE_EXPECT").is_some();
+    let mut fixtures: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/ui exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "no fixtures found in {dir:?}");
+
+    let mut failures = Vec::new();
+    for fixture in fixtures {
+        let name = fixture.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&fixture).expect("fixture readable");
+        let got = render(&name, &source);
+        let expected_path = fixture.with_extension("stderr");
+        if update {
+            std::fs::write(&expected_path, &got).expect("write expectation");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!("missing {expected_path:?}; run with UPDATE_EXPECT=1 to create")
+        });
+        if got != expected {
+            failures.push(format!(
+                "== {name}\n-- expected --\n{expected}\n-- got --\n{got}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn every_lint_code_has_a_firing_fixture() {
+    // The acceptance bar: each of D001–D005 (and D006) must have at
+    // least one fixture that fires it, proven by its .stderr.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/ui");
+    let mut all = String::new();
+    for entry in std::fs::read_dir(&dir).expect("tests/ui exists") {
+        let p = entry.expect("entry").path();
+        if p.extension().is_some_and(|e| e == "stderr") {
+            all.push_str(&std::fs::read_to_string(&p).expect("readable"));
+        }
+    }
+    for code in ["D001", "D002", "D003", "D004", "D005", "D006", "L000"] {
+        assert!(
+            all.lines()
+                .any(|l| !l.starts_with("allow ") && l.contains(code)),
+            "no firing fixture covers {code}"
+        );
+        assert!(
+            code == "L000"
+                || all
+                    .lines()
+                    .any(|l| l.starts_with("allow ") && l.contains(code)),
+            "no fixture covers an allow of {code}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+// Every lint code suppressed by a well-formed allow comment: no
+// diagnostics, and every allow must show as `used`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn histogram(samples: &HashMap<u64, u64>) -> u64 {
+    // clasp-lint: allow(D001) -- xor-fold is commutative, order never observable
+    samples.values().fold(0, |a, b| a ^ b)
+}
+
+fn bench_clock() -> u64 {
+    // clasp-lint: allow(D002) -- reporting-only wall clock, never fed back into results
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+fn jitter() -> f64 {
+    // clasp-lint: allow(D003) -- operator-facing demo path, excluded from campaigns
+    rand::random::<f64>()
+}
+
+fn merge_gauges(gauges: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for g in gauges {
+        // clasp-lint: allow(D004) -- shards are merged in canonical worker order
+        total += g;
+    }
+    total
+}
+
+fn intern(series_idx: usize) -> u32 {
+    // clasp-lint: allow(D005) -- series_idx bounded by the registration guard below u32::MAX
+    series_idx as u32
+}
+
+fn peek(xs: &[u8]) -> u8 {
+    // clasp-lint: allow(D006) -- bounds proven by caller; audited 2026-08
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,39 @@
+// D001: iteration over hash-ordered containers must fire, in all three
+// recognized shapes: method chain, for-loop, and via a type alias.
+use std::collections::{HashMap, HashSet};
+
+type Tables = HashMap<u32, Vec<u32>>;
+
+fn chain(metrics: &HashMap<String, f64>) -> Vec<String> {
+    metrics.keys().cloned().collect()
+}
+
+fn loop_over(seen: &HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for s in seen.iter() {
+        acc ^= s;
+    }
+    acc
+}
+
+fn alias(tables: &Tables) {
+    for t in tables.values() {
+        drop(t);
+    }
+}
+
+fn lookup_only(index: &HashMap<String, u32>) -> Option<u32> {
+    // Point lookups never observe hash order: no finding.
+    index.get("key").copied()
+}
+
+fn order_insensitive(seen: &HashSet<u64>) -> usize {
+    // A count cannot observe order either: no finding.
+    seen.iter().count()
+}
+
+fn resorted(metrics: &HashMap<String, f64>) -> Vec<String> {
+    let mut keys: Vec<String> = metrics.keys().cloned().collect();
+    keys.sort();
+    keys
+}

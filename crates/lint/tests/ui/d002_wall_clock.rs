@@ -1,0 +1,16 @@
+// D002: wall-clock reads must fire (the workspace allowlist for bench
+// and the obs span internals does not apply under the test config).
+use std::time::{Duration, Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO);
+    t0.elapsed().as_nanos() as u64 + wall.as_secs()
+}
+
+fn logical(now: u64) -> u64 {
+    // Logical clocks are the sanctioned time source: no finding.
+    now + 1
+}

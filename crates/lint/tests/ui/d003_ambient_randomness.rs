@@ -1,0 +1,20 @@
+// D003: ambient randomness must fire; seeded RNG use must not.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn ambient() -> f64 {
+    let mut rng = rand::thread_rng();
+    let a: f64 = rng.gen();
+    a + rand::random::<f64>()
+}
+
+fn reseeded() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+fn seeded(seed: u64) -> f64 {
+    // Derived from the campaign seed: no finding (`.random()` is a
+    // method on the seeded generator, not the ambient free function).
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.random()
+}

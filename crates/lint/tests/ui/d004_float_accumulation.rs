@@ -1,0 +1,38 @@
+// D004: order-sensitive float accumulation inside scatter/merge
+// contexts must fire; the identical code outside such a context is the
+// serial path and is fine.
+
+fn merge_worker_shards(shards: &[Vec<f64>]) -> f64 {
+    let mut total: f64 = 0.0;
+    for shard in shards {
+        for x in shard {
+            total += x;
+        }
+    }
+    total
+}
+
+fn scatter_reduce(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn serial_sum(xs: &[f64]) -> f64 {
+    // Not a scatter/merge context: the task order is fixed, so the
+    // reduction order is too. No finding.
+    let mut total: f64 = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+fn merge_counts(counts: &[u64]) -> u64 {
+    // Integer accumulation is associative: no finding. (The float table
+    // is file-wide, so reusing a name that is float-typed elsewhere in
+    // the file — e.g. `total` above — would be flagged conservatively.)
+    let mut merged: u64 = 0;
+    for c in counts {
+        merged += c;
+    }
+    merged
+}

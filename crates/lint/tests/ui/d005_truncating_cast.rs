@@ -1,0 +1,22 @@
+// D005: truncating `as` casts on series-id/key material must fire;
+// widening casts and casts on non-key values must not.
+
+pub struct SeriesId(pub u32);
+
+fn intern(count: usize) -> SeriesId {
+    SeriesId(count as u32)
+}
+
+fn shard_of(series_idx: usize, shards: usize) -> u16 {
+    (series_idx % shards) as u16
+}
+
+fn checked(count: usize) -> SeriesId {
+    // try_from fails loudly instead of aliasing keys: no finding.
+    SeriesId(u32::try_from(count).expect("series count fits u32"))
+}
+
+fn unrelated(bytes: u64) -> u32 {
+    // No key material in the statement: no finding.
+    (bytes / 1024) as u32
+}

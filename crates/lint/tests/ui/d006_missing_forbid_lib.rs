@@ -1,0 +1,7 @@
+// D006: a crate root (file name ending in lib.rs) without
+// #![forbid(unsafe_code)] must fire at line 1, and an unsafe block must
+// fire where it occurs.
+
+pub fn read_unchecked(xs: &[u8], i: usize) -> u8 {
+    unsafe { *xs.get_unchecked(i) }
+}

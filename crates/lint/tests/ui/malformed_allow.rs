@@ -1,0 +1,20 @@
+// Malformed control comments must be rejected loudly (L000), and a
+// malformed allow must NOT suppress the finding it sits next to.
+
+fn missing_reason() -> std::time::SystemTime {
+    // clasp-lint: allow(D002)
+    std::time::SystemTime::now()
+}
+
+fn unknown_code(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    // clasp-lint: allow(D099) -- no such lint
+    m.keys().copied().collect()
+}
+
+fn wrong_verb() {
+    // clasp-lint: deny(D001) -- only allow() exists
+}
+
+fn missing_colon() {
+    // clasp-lint allow(D003) -- the colon is part of the grammar
+}

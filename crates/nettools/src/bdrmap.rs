@@ -21,7 +21,7 @@
 use crate::traceroute::Traceroute;
 use simnet::asn::Asn;
 use simnet::prefix2as::PrefixToAs;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// An inferred border link, keyed by its far-side interface.
@@ -32,7 +32,7 @@ pub struct BorderLink {
     /// Near-side (cloud) interface, when observed.
     pub near_ip: Option<Ipv4Addr>,
     /// Neighbor AS votes: AS → number of supporting traces.
-    pub votes: HashMap<Asn, u32>,
+    pub votes: BTreeMap<Asn, u32>,
     /// Definitive owner from alias resolution, if resolved.
     pub alias_owner: Option<Asn>,
     /// Traces that traversed this interface.
@@ -74,7 +74,7 @@ impl AliasResolver for NoAliases {
 #[derive(Debug, Default)]
 pub struct BdrMap {
     /// Inferred links by far-side interface.
-    pub links: HashMap<Ipv4Addr, BorderLink>,
+    pub links: BTreeMap<Ipv4Addr, BorderLink>,
 }
 
 impl BdrMap {
@@ -89,7 +89,7 @@ impl BdrMap {
         cloud_asn: Asn,
         aliases: &dyn AliasResolver,
     ) -> Self {
-        let mut links: HashMap<Ipv4Addr, BorderLink> = HashMap::new();
+        let mut links: BTreeMap<Ipv4Addr, BorderLink> = BTreeMap::new();
 
         for trace in traces {
             // Annotate responsive hops with dataset ASNs.
@@ -128,7 +128,7 @@ impl BdrMap {
             let entry = links.entry(far_ip).or_insert_with(|| BorderLink {
                 far_ip,
                 near_ip,
-                votes: HashMap::new(),
+                votes: BTreeMap::new(),
                 alias_owner: None,
                 trace_count: 0,
             });
@@ -155,8 +155,8 @@ impl BdrMap {
     }
 
     /// Links grouped by inferred neighbor ASN.
-    pub fn by_neighbor(&self) -> HashMap<Asn, Vec<Ipv4Addr>> {
-        let mut out: HashMap<Asn, Vec<Ipv4Addr>> = HashMap::new();
+    pub fn by_neighbor(&self) -> BTreeMap<Asn, Vec<Ipv4Addr>> {
+        let mut out: BTreeMap<Asn, Vec<Ipv4Addr>> = BTreeMap::new();
         for link in self.links.values() {
             if let Some(asn) = link.inferred_neighbor() {
                 out.entry(asn).or_default().push(link.far_ip);
@@ -174,7 +174,7 @@ impl BdrMap {
 /// covers everything in practice).
 pub struct SimAliasResolver<'t> {
     topo: &'t simnet::topology::Topology,
-    far_index: HashMap<Ipv4Addr, Asn>,
+    far_index: BTreeMap<Ipv4Addr, Asn>,
     coverage: f64,
 }
 
@@ -264,7 +264,7 @@ mod tests {
     fn inference_is_mostly_correct() {
         let topo = Topology::generate(TopologyConfig::tiny(52));
         let (map, _) = scan(&topo, 0.9);
-        let truth: HashMap<Ipv4Addr, Asn> = topo
+        let truth: BTreeMap<Ipv4Addr, Asn> = topo
             .links
             .iter()
             .map(|l| (l.far_ip, topo.as_node(l.neighbor).asn))
@@ -287,7 +287,7 @@ mod tests {
     fn without_aliases_votes_still_identify_neighbors() {
         let topo = Topology::generate(TopologyConfig::tiny(53));
         let (map, _) = scan(&topo, 0.0);
-        let truth: HashMap<Ipv4Addr, Asn> = topo
+        let truth: BTreeMap<Ipv4Addr, Asn> = topo
             .links
             .iter()
             .map(|l| (l.far_ip, topo.as_node(l.neighbor).asn))
@@ -336,7 +336,7 @@ mod tests {
         let mut link = BorderLink {
             far_ip: Ipv4Addr::new(10, 0, 0, 2),
             near_ip: None,
-            votes: HashMap::new(),
+            votes: BTreeMap::new(),
             alias_owner: None,
             trace_count: 2,
         };

@@ -13,7 +13,7 @@
 //!   once over segments transmitted, per connection, aggregated.
 
 use simtcp::flow::{Capture, CaptureEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Summary statistics extracted from a packet capture.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +32,9 @@ pub struct FlowStats {
 
 /// Analyzes a capture from `simtcp` into flow statistics.
 pub fn analyze(capture: &Capture) -> FlowStats {
-    // Per (conn, seq): first send time and transmission count.
-    let mut sends: HashMap<(u16, u64), (f64, u32)> = HashMap::new();
+    // Per (conn, seq): first send time and transmission count. Ordered
+    // map so the retransmission fold iterates canonically.
+    let mut sends: BTreeMap<(u16, u64), (f64, u32)> = BTreeMap::new();
     let mut rtt_samples: Vec<f64> = Vec::new();
     let mut data_packets: u64 = 0;
 

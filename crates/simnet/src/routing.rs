@@ -25,7 +25,7 @@
 use crate::geo::CityId;
 use crate::topology::{AsId, CongestionClass, EdgeId, LinkId, Topology};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -73,7 +73,7 @@ pub struct RouteEntry {
 /// Precomputed per-destination routing tables, shareable across threads
 /// (tables are immutable once built; `Arc` makes a warm set cheap to
 /// hand to every worker of a parallel campaign).
-pub type RouteTables = HashMap<AsId, Arc<Vec<Option<RouteEntry>>>>;
+pub type RouteTables = BTreeMap<AsId, Arc<Vec<Option<RouteEntry>>>>;
 
 /// Per-destination routing tables with caching.
 ///
@@ -90,7 +90,7 @@ impl<'t> Routing<'t> {
     pub fn new(topo: &'t Topology) -> Self {
         Self {
             topo,
-            cache: RefCell::new(HashMap::new()),
+            cache: RefCell::new(BTreeMap::new()),
         }
     }
 

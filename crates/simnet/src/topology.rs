@@ -23,7 +23,7 @@ use crate::ip::{AddressPlanner, Prefix};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Index of an AS inside a [`Topology`].
@@ -413,8 +413,8 @@ pub struct Topology {
     pub cloud_pops: Vec<CityId>,
     /// Cloud interdomain links.
     pub links: Vec<InterdomainLink>,
-    /// Links grouped by neighbor AS.
-    pub links_by_neighbor: HashMap<AsId, Vec<LinkId>>,
+    /// Links grouped by neighbor AS (ordered for canonical iteration).
+    pub links_by_neighbor: BTreeMap<AsId, Vec<LinkId>>,
     /// The `AsId` of the cloud AS.
     pub cloud: AsId,
     /// Map ASN → AsId.
@@ -895,7 +895,7 @@ impl Topology {
         cloud_pops.sort_unstable();
 
         let mut links: Vec<InterdomainLink> = Vec::new();
-        let mut links_by_neighbor: HashMap<AsId, Vec<LinkId>> = HashMap::new();
+        let mut links_by_neighbor: BTreeMap<AsId, Vec<LinkId>> = BTreeMap::new();
         let mut p2p_cursor: u64 = 0;
         let p2p_pool = cloud_p2p_prefix;
         for id in 1..ases.len() {

@@ -16,7 +16,7 @@
 use crate::alert::{AlertPolicy, AlertState, CongestionAlert};
 use clasp_stats::{SlidingExtrema, StreamingElbow};
 use simnet::time::{SimTime, HOUR, SECONDS_PER_DAY};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use tsdb::Point;
 
 /// How the congestion threshold `H` is chosen.
@@ -240,10 +240,10 @@ impl SeriesState {
 #[derive(Debug)]
 pub struct StreamEngine {
     pub(crate) cfg: EngineConfig,
-    pub(crate) offsets: HashMap<String, i32>,
+    pub(crate) offsets: BTreeMap<String, i32>,
     pub(crate) series: Vec<SeriesMeta>,
     pub(crate) states: Vec<SeriesState>,
-    pub(crate) index: HashMap<String, u32>,
+    pub(crate) index: BTreeMap<String, u32>,
     pub(crate) day_records: Vec<DayRecord>,
     pub(crate) labels: Vec<HourLabel>,
     pub(crate) recal: StreamingElbow,
@@ -262,7 +262,7 @@ impl StreamEngine {
     /// Panics on inconsistent configuration: `sweep_steps < 2`, negative
     /// `grace_days`, `alert.exit > alert.enter`, `alert.min_hours == 0`
     /// or a zero `bus_capacity`.
-    pub fn new(cfg: EngineConfig, offsets: HashMap<String, i32>) -> Self {
+    pub fn new(cfg: EngineConfig, offsets: BTreeMap<String, i32>) -> Self {
         assert!(cfg.sweep_steps >= 2, "sweep needs at least 3 thresholds");
         assert!(cfg.grace_days >= 0, "grace_days must be non-negative");
         assert!(
@@ -281,7 +281,7 @@ impl StreamEngine {
             offsets,
             series: Vec::new(),
             states: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             day_records: Vec::new(),
             labels: Vec::new(),
             recal,
@@ -399,7 +399,7 @@ impl StreamEngine {
                 stats.alert_transitions += 1;
                 let meta = &series[idx];
                 alerts.push(CongestionAlert {
-                    series_idx: idx as u32,
+                    series_idx: u32::try_from(idx).expect("series count fits u32"),
                     series: meta.key.clone(),
                     server: meta.server.clone(),
                     start,
@@ -433,7 +433,10 @@ impl StreamEngine {
     /// Appends a series with fresh state; also used by snapshot restore.
     pub(crate) fn register_series(&mut self, meta: SeriesMeta) -> usize {
         let i = self.series.len();
-        self.index.insert(meta.key.clone(), i as u32);
+        self.index.insert(
+            meta.key.clone(),
+            u32::try_from(i).expect("series count fits u32"),
+        );
         self.states
             .push(SeriesState::new(meta.utc_offset, self.cfg.live_window_secs));
         self.series.push(meta);
@@ -477,8 +480,9 @@ impl StreamEngine {
             };
         }
         let h = *current_h;
+        let series_idx = u32::try_from(idx).expect("series count fits u32");
         day_records.push(DayRecord {
-            series_idx: idx as u32,
+            series_idx,
             local_day: day,
             v,
             t_max: w.t_max,
@@ -504,7 +508,7 @@ impl StreamEngine {
             if let Some((start, end, peak_v_h, events)) = st.alert.step(t, v_h, &cfg.alert) {
                 let meta = &series[idx];
                 alerts.push(CongestionAlert {
-                    series_idx: idx as u32,
+                    series_idx,
                     series: meta.key.clone(),
                     server: meta.server.clone(),
                     start,
@@ -518,7 +522,7 @@ impl StreamEngine {
                 stats.alert_transitions += 1;
             }
             labels.push(HourLabel {
-                series_idx: idx as u32,
+                series_idx,
                 time: t,
                 local_hour,
                 local_day: day,
@@ -669,7 +673,7 @@ mod tests {
             .field("upload", down / 10.0)
     }
 
-    fn offsets() -> HashMap<String, i32> {
+    fn offsets() -> BTreeMap<String, i32> {
         [("s1".to_string(), 0), ("s2".to_string(), -8)].into()
     }
 
@@ -940,7 +944,7 @@ mod tests {
             exit: 0.5,
             min_hours: 1,
         };
-        StreamEngine::new(cfg, HashMap::new());
+        StreamEngine::new(cfg, BTreeMap::new());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Exact snapshot/restore of the engine state.
 //!
-//! Snapshots are canonical JSON (the vendored `serde_json` keeps object
-//! keys in a `BTreeMap`, so equal states serialize to equal bytes) and
-//! every float is stored as its 16-hex-digit IEEE-754 bit pattern — the
+//! Snapshots are canonical JSON: every object is built through [`Canon`],
+//! which sorts keys (and rejects duplicates) before emission, so equal
+//! states serialize to equal bytes regardless of how the vendored
+//! `serde_json` happens to order its maps. Every float is stored as its
+//! 16-hex-digit IEEE-754 bit pattern — the
 //! vendored JSON number is an `f64`, which cannot carry a raw `u64` bit
 //! pattern losslessly, and a decimal round-trip would not be provably
 //! bit-exact. Day indices ride as decimal strings because the open/closed
@@ -19,7 +21,37 @@ use crate::engine::{DayRecord, EngineConfig, HourLabel, SeriesMeta, StreamEngine
 use crate::CongestionAlert;
 use clasp_stats::StreamingElbow;
 use serde_json::{Map, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Canonical JSON-object builder: pairs are collected, sorted by key and
+/// checked for duplicates before emission, so the snapshot's byte layout
+/// is sorted *by construction* — not by courtesy of the vendored `Map`'s
+/// (current) `BTreeMap` backing.
+struct Canon(Vec<(String, Value)>);
+
+impl Canon {
+    fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    fn put(&mut self, key: &str, value: impl Into<Value>) {
+        self.0.push((key.to_string(), value.into()));
+    }
+
+    fn finish(self) -> Value {
+        let mut pairs = self.0;
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate snapshot key"
+        );
+        let mut m = Map::new();
+        for (k, v) in pairs {
+            m.insert(k, v);
+        }
+        Value::Object(m)
+    }
+}
 
 fn fb(v: f64) -> Value {
     Value::String(format!("{:016x}", v.to_bits()))
@@ -76,58 +108,52 @@ impl StreamEngine {
     /// window) to canonical JSON. `clasp-core` embeds this under the
     /// `"stream"` key of campaign checkpoints.
     pub fn snapshot(&self) -> Value {
-        let mut m = Map::new();
-        m.insert("version".into(), 1u64.into());
-        m.insert("measurement".into(), self.cfg.measurement.clone().into());
-        m.insert("field".into(), self.cfg.field.clone().into());
-        m.insert("finalized".into(), self.finalized.into());
-        m.insert("current_h".into(), fb(self.current_h));
+        let mut m = Canon::new();
+        m.put("version", 1u64);
+        m.put("measurement", self.cfg.measurement.clone());
+        m.put("field", self.cfg.field.clone());
+        m.put("finalized", self.finalized);
+        m.put("current_h", fb(self.current_h));
 
-        let mut stats = Map::new();
-        stats.insert("events_seen".into(), self.stats.events_seen.into());
-        stats.insert("points_matched".into(), self.stats.points_matched.into());
-        stats.insert("days_closed".into(), self.stats.days_closed.into());
-        stats.insert("labels_emitted".into(), self.stats.labels_emitted.into());
-        stats.insert("out_of_order".into(), self.stats.out_of_order.into());
-        stats.insert("duplicates".into(), self.stats.duplicates.into());
-        stats.insert("gap_hours".into(), self.stats.gap_hours.into());
-        stats.insert("late_dropped".into(), self.stats.late_dropped.into());
-        stats.insert("bus_overflow".into(), self.stats.bus_overflow.into());
-        stats.insert("window_updates".into(), self.stats.window_updates.into());
-        stats.insert("recalibrations".into(), self.stats.recalibrations.into());
-        stats.insert(
-            "alert_transitions".into(),
-            self.stats.alert_transitions.into(),
-        );
-        m.insert("stats".into(), Value::Object(stats));
+        let mut stats = Canon::new();
+        stats.put("events_seen", self.stats.events_seen);
+        stats.put("points_matched", self.stats.points_matched);
+        stats.put("days_closed", self.stats.days_closed);
+        stats.put("labels_emitted", self.stats.labels_emitted);
+        stats.put("out_of_order", self.stats.out_of_order);
+        stats.put("duplicates", self.stats.duplicates);
+        stats.put("gap_hours", self.stats.gap_hours);
+        stats.put("late_dropped", self.stats.late_dropped);
+        stats.put("bus_overflow", self.stats.bus_overflow);
+        stats.put("window_updates", self.stats.window_updates);
+        stats.put("recalibrations", self.stats.recalibrations);
+        stats.put("alert_transitions", self.stats.alert_transitions);
+        m.put("stats", stats.finish());
 
-        let mut recal = Map::new();
-        recal.insert(
-            "above".into(),
+        let mut recal = Canon::new();
+        recal.put(
+            "above",
             Value::Array(self.recal.counts().iter().map(|&c| c.into()).collect()),
         );
-        recal.insert("total".into(), self.recal.total().into());
-        m.insert("recal".into(), Value::Object(recal));
+        recal.put("total", self.recal.total());
+        m.put("recal", recal.finish());
 
         let series: Vec<Value> = self
             .series
             .iter()
             .zip(&self.states)
             .map(|(meta, st)| {
-                let mut s = Map::new();
-                s.insert("key".into(), meta.key.clone().into());
-                s.insert("server".into(), meta.server.clone().into());
-                s.insert("region".into(), meta.region.clone().into());
-                s.insert("tier".into(), meta.tier.clone().into());
-                s.insert("offset".into(), Value::Number(meta.utc_offset as f64));
-                s.insert("max_day".into(), iv(st.max_day));
-                s.insert("closed_through".into(), iv(st.closed_through));
-                s.insert(
-                    "last_time".into(),
-                    st.last_time.map_or(Value::Null, |t| t.into()),
-                );
-                s.insert(
-                    "hour_events".into(),
+                let mut s = Canon::new();
+                s.put("key", meta.key.clone());
+                s.put("server", meta.server.clone());
+                s.put("region", meta.region.clone());
+                s.put("tier", meta.tier.clone());
+                s.put("offset", Value::Number(meta.utc_offset as f64));
+                s.put("max_day", iv(st.max_day));
+                s.put("closed_through", iv(st.closed_through));
+                s.put("last_time", st.last_time.map_or(Value::Null, |t| t.into()));
+                s.put(
+                    "hour_events",
                     Value::Array(
                         st.hour_events
                             .iter()
@@ -135,8 +161,8 @@ impl StreamEngine {
                             .collect(),
                     ),
                 );
-                s.insert(
-                    "hour_trials".into(),
+                s.put(
+                    "hour_trials",
                     Value::Array(
                         st.hour_trials
                             .iter()
@@ -144,31 +170,28 @@ impl StreamEngine {
                             .collect(),
                     ),
                 );
-                s.insert("days_total".into(), u64::from(st.days_total).into());
-                s.insert(
-                    "days_with_event".into(),
-                    u64::from(st.days_with_event).into(),
-                );
-                s.insert("last_label_time".into(), st.last_label_time.into());
-                let mut a = Map::new();
-                a.insert("active".into(), st.alert.active.into());
-                a.insert("on_streak".into(), u64::from(st.alert.on_streak).into());
-                a.insert("off_streak".into(), u64::from(st.alert.off_streak).into());
-                a.insert("start".into(), st.alert.start.into());
-                a.insert("peak".into(), fb(st.alert.peak));
-                a.insert("events".into(), u64::from(st.alert.events).into());
-                s.insert("alert".into(), Value::Object(a));
+                s.put("days_total", u64::from(st.days_total));
+                s.put("days_with_event", u64::from(st.days_with_event));
+                s.put("last_label_time", st.last_label_time);
+                let mut a = Canon::new();
+                a.put("active", st.alert.active);
+                a.put("on_streak", u64::from(st.alert.on_streak));
+                a.put("off_streak", u64::from(st.alert.off_streak));
+                a.put("start", st.alert.start);
+                a.put("peak", fb(st.alert.peak));
+                a.put("events", u64::from(st.alert.events));
+                s.put("alert", a.finish());
                 let open: Vec<Value> = st
                     .open
                     .iter()
                     .map(|(&day, w)| {
-                        let mut o = Map::new();
-                        o.insert("day".into(), iv(day));
+                        let mut o = Canon::new();
+                        o.put("day", iv(day));
                         // Extrema and the out-of-order flag are folds over
                         // the entry sequence; restore re-derives them by
                         // replaying the pushes.
-                        o.insert(
-                            "entries".into(),
+                        o.put(
+                            "entries",
                             Value::Array(
                                 w.entries
                                     .iter()
@@ -176,17 +199,17 @@ impl StreamEngine {
                                     .collect(),
                             ),
                         );
-                        Value::Object(o)
+                        o.finish()
                     })
                     .collect();
-                s.insert("open".into(), Value::Array(open));
-                Value::Object(s)
+                s.put("open", Value::Array(open));
+                s.finish()
             })
             .collect();
-        m.insert("series".into(), Value::Array(series));
+        m.put("series", Value::Array(series));
 
-        m.insert(
-            "day_records".into(),
+        m.put(
+            "day_records",
             Value::Array(
                 self.day_records
                     .iter()
@@ -203,8 +226,8 @@ impl StreamEngine {
                     .collect(),
             ),
         );
-        m.insert(
-            "labels".into(),
+        m.put(
+            "labels",
             Value::Array(
                 self.labels
                     .iter()
@@ -222,8 +245,8 @@ impl StreamEngine {
                     .collect(),
             ),
         );
-        m.insert(
-            "alerts".into(),
+        m.put(
+            "alerts",
             Value::Array(
                 self.alerts
                     .iter()
@@ -240,7 +263,7 @@ impl StreamEngine {
                     .collect(),
             ),
         );
-        Value::Object(m)
+        m.finish()
     }
 
     /// Rebuilds an engine from a [`Self::snapshot`]. `cfg` and `offsets`
@@ -250,7 +273,7 @@ impl StreamEngine {
     /// empty.
     pub fn restore(
         cfg: EngineConfig,
-        offsets: HashMap<String, i32>,
+        offsets: BTreeMap<String, i32>,
         snap: &Value,
     ) -> Result<Self, String> {
         let version = read_u64(get(snap, "version", "snapshot")?, "version")?;
@@ -471,7 +494,7 @@ mod tests {
         }
     }
 
-    fn offsets() -> HashMap<String, i32> {
+    fn offsets() -> BTreeMap<String, i32> {
         [("s1".to_string(), -5), ("s2".to_string(), 9)].into()
     }
 
@@ -524,6 +547,61 @@ mod tests {
             serde_json::to_string(&full.snapshot()),
             serde_json::to_string(&resumed.snapshot()),
         );
+    }
+
+    /// Asserts that every object in `v` iterates (and therefore
+    /// serializes) its keys in strictly ascending order.
+    fn assert_sorted_objects(v: &Value, path: &str) {
+        match v {
+            Value::Object(m) => {
+                let keys: Vec<&String> = m.keys().collect();
+                assert!(
+                    keys.windows(2).all(|w| w[0] < w[1]),
+                    "unsorted keys at {path}: {keys:?}"
+                );
+                for (k, child) in m.iter() {
+                    assert_sorted_objects(child, &format!("{path}.{k}"));
+                }
+            }
+            Value::Array(items) => {
+                for (i, child) in items.iter().enumerate() {
+                    assert_sorted_objects(child, &format!("{path}[{i}]"));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_are_key_sorted() {
+        let mut e = StreamEngine::new(cfg(), offsets());
+        for p in stream(3, 4) {
+            e.ingest(&p);
+        }
+        let snap = e.snapshot();
+        assert_sorted_objects(&snap, "snapshot");
+
+        // And in the actual bytes: the top-level keys appear in sorted
+        // textual positions (`"alerts"` first, `"version"` last).
+        let text = serde_json::to_string(&snap);
+        let mut last = 0usize;
+        for key in [
+            "\"alerts\":",
+            "\"current_h\":",
+            "\"day_records\":",
+            "\"field\":",
+            "\"finalized\":",
+            "\"labels\":",
+            "\"measurement\":",
+            "\"recal\":",
+            "\"series\":",
+            "\"stats\":",
+            "\"version\":",
+        ] {
+            let at = text.find(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(at > last || last == 0, "{key} out of order");
+            last = at;
+        }
     }
 
     #[test]

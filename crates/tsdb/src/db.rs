@@ -336,7 +336,7 @@ impl Db {
                 }
             }
         }
-        let i = self.series.len() as u32;
+        let i = u32::try_from(self.series.len()).expect("series count fits u32");
         self.series.push(Series::new(
             p.measurement.clone(),
             p.tags.clone(),

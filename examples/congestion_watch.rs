@@ -85,12 +85,12 @@ fn main() {
         "== two-day series for {} (worst local day {worst_day}) ==",
         info.server
     );
+    let worst_idx = u32::try_from(worst).expect("series count fits u32");
     let mut rows: Vec<&clasp_core::congestion::HourSample> = analysis
         .samples
         .iter()
         .filter(|s| {
-            s.series_idx == worst as u32
-                && (s.local_day == worst_day || s.local_day == worst_day + 1)
+            s.series_idx == worst_idx && (s.local_day == worst_day || s.local_day == worst_day + 1)
         })
         .collect();
     rows.sort_by_key(|s| s.time);

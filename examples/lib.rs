@@ -1,5 +1,7 @@
 //! Shared helpers for the example binaries.
 
+#![forbid(unsafe_code)]
+
 /// Parses `--seed N` / `--days N`-style flags from `std::env::args`,
 /// returning the value after `name` when present.
 pub fn arg_u64(name: &str, default: u64) -> u64 {

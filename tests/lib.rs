@@ -1,1 +1,3 @@
 //! Integration-test helper crate.
+
+#![forbid(unsafe_code)]
