@@ -14,6 +14,8 @@
 //! clasp report [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
 //!              [--fault-profile P] [--paper]    # observed run + full report
 //! clasp bill   [--seed N] [--days N]           # cost forecast for a deployment
+//! clasp serve  [--seed N] [--region R] [--budget N] [--days N] [--jobs N]
+//!              [--clients N] [--port P] [--metrics FILE]
 //! ```
 //!
 //! Everything is deterministic in `--seed`; `run` prints the line-protocol
@@ -39,6 +41,13 @@
 //! at every `--jobs` setting and across checkpoint resumes. `report`
 //! runs an observed campaign and renders the telemetry as one report:
 //! per-phase timing, per-VM test budgets, completeness, and billing.
+//!
+//! `serve` runs a campaign and loads its results into a `clasp-serve`
+//! server as `--clients N` concurrent sequenced ingest clients, then
+//! self-checks that served query responses are byte-identical to
+//! in-process evaluation over the same snapshot generation. With
+//! `--port P` it then stays up serving the line-delimited JSON protocol
+//! over TCP (`--port 0` picks a free port and prints it).
 
 use clasp_core::campaign::{Campaign, CampaignConfig};
 use clasp_core::congestion::CongestionAnalysis;
@@ -76,12 +85,24 @@ fn arg_opt(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// FNV-1a over `s`: a stable, dependency-free digest of the campaign
+/// knobs, used as the serve response-cache's `config_hash` identity.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: clasp <crawl|select|run|analyze|stream|report|bill> \
+        "usage: clasp <crawl|select|run|analyze|stream|report|bill|serve> \
          [--seed N] [--region R] [--budget N] [--days N] [--jobs N] \
          [--threshold H] [--auto-threshold] [--paper] \
          [--fault-profile <name|path.json>] \
+         [--clients N] [--port P] \
          [--metrics FILE] [--trace FILE]"
     );
     std::process::exit(2);
@@ -488,6 +509,137 @@ fn main() {
                 result.vm_count,
                 result.tests_run
             );
+        }
+        "serve" => {
+            let clients = arg_u64(&args, "--clients", 4).max(1);
+            let mut config = CampaignConfig::small(seed);
+            config.days = days;
+            config.topo_regions = vec![(region.name, budget)];
+            config.diff_regions.clear();
+            config.jobs = jobs;
+            let campaign = Campaign::new(&world, config);
+            let result = campaign.runner().run().expect("fresh runs cannot fail");
+            let mut db = result.db;
+            let source = db.snapshot();
+            println!(
+                "campaign: {} tests across {} series",
+                result.tests_run,
+                source.series_count()
+            );
+
+            // Identity for the cache key: the campaign seed plus a hash
+            // of the knobs that shape its data.
+            let config_hash = fnv1a(&format!("{}:{budget}:{days}:{seed}", region.name));
+            let server = std::sync::Arc::new(clasp_serve::Server::new(clasp_serve::ServerConfig {
+                seed,
+                config_hash,
+                ..clasp_serve::ServerConfig::default()
+            }));
+
+            // Shard the campaign's points round-robin across N ingest
+            // clients and feed them as sequenced batches — the arrival
+            // interleaving cannot change the published bytes.
+            let mut shards: Vec<Vec<tsdb::Point>> = vec![Vec::new(); clients as usize];
+            let mut idx = 0usize;
+            for series in source.series() {
+                for (t, fields) in series.samples() {
+                    shards[idx % clients as usize].push(tsdb::Point::from_parts(
+                        series.measurement.clone(),
+                        series.tags.clone(),
+                        fields.clone(),
+                        *t,
+                    ));
+                    idx += 1;
+                }
+            }
+            let mut feeders: Vec<clasp_serve::Client<clasp_serve::LocalTransport>> = (0..clients)
+                .map(|k| {
+                    clasp_serve::Client::new(
+                        format!("ingest-{k:03}"),
+                        clasp_serve::LocalTransport::new(std::sync::Arc::clone(&server)),
+                    )
+                })
+                .collect();
+            const BATCH: usize = 512;
+            let mut pending: Vec<Vec<tsdb::Point>> = shards;
+            let mut fed = 0u64;
+            while pending.iter().any(|s| !s.is_empty()) {
+                for (k, shard) in pending.iter_mut().enumerate() {
+                    if shard.is_empty() {
+                        continue;
+                    }
+                    let take = shard.len().min(BATCH);
+                    let batch: Vec<tsdb::Point> = shard.drain(..take).collect();
+                    fed += batch.len() as u64;
+                    feeders[k].ingest(batch).expect("ingest batch");
+                }
+            }
+            let generation = feeders[0].publish().expect("publish");
+            println!(
+                "serve: {fed} points via {clients} sequenced clients, generation {generation}"
+            );
+
+            // Self-check: served bytes vs in-process evaluation over
+            // the server's own snapshot, twice (miss then cache hit).
+            let snap = server.snapshot();
+            let specs = [
+                clasp_serve::QuerySpec::select("speedtest", "download")
+                    .aggregate(tsdb::Aggregate::Percentile(95.0))
+                    .group_by_time(86400),
+                clasp_serve::QuerySpec::select("speedtest", "upload")
+                    .aggregate(tsdb::Aggregate::Mean),
+                clasp_serve::QuerySpec::select("speedtest", "latency")
+                    .aggregate(tsdb::Aggregate::Percentile(5.0)),
+            ];
+            let mut reader = clasp_serve::Client::new(
+                "reader",
+                clasp_serve::LocalTransport::new(std::sync::Arc::clone(&server)),
+            );
+            for spec in &specs {
+                let direct = spec.to_query().run_snapshot(&snap);
+                let body = clasp_serve::proto::results_to_value(snap.generation(), &direct);
+                let serde_json::Value::Object(m) = body else {
+                    unreachable!("results_to_value returns an object")
+                };
+                let expect = clasp_serve::proto::ok_response(m);
+                for pass in ["miss", "hit"] {
+                    let (_, raw) = reader.query(spec).expect("query");
+                    if raw != expect {
+                        eprintln!("serve equivalence MISMATCH ({pass}): {}", spec.canonical());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            let cache = server.cache_stats();
+            println!(
+                "serve equivalence: identical across {} queries ({} cache hits, {} misses)",
+                specs.len() * 2,
+                cache.hits,
+                cache.misses
+            );
+            if let Some(path) = arg_opt(&args, "--metrics") {
+                let obs = Observer::new();
+                server.record_metrics(&obs);
+                write_telemetry(&obs, Some(&path), None);
+            }
+
+            if let Some(port) = arg_opt(&args, "--port") {
+                let port: u16 = port.parse().unwrap_or_else(|_| {
+                    eprintln!("bad port {port}");
+                    std::process::exit(2);
+                });
+                let listener =
+                    std::net::TcpListener::bind(("127.0.0.1", port)).unwrap_or_else(|e| {
+                        eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+                        std::process::exit(1);
+                    });
+                let addr = listener.local_addr().expect("bound socket has an address");
+                println!("serving line-delimited JSON on {addr} (Ctrl-C to stop)");
+                if let Err(e) = clasp_serve::wire::serve_listener(&server, &listener) {
+                    eprintln!("accept loop failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "bill" => {
             let mut billing = cloudsim::billing::Billing::new();

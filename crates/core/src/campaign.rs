@@ -1745,7 +1745,9 @@ mod tests {
     #[test]
     fn topo_series_have_one_test_per_hour() {
         let (_, res) = run_small();
+        // Pure read: freeze one snapshot and query it immutably.
         let mut db = res.db;
+        let snap = db.snapshot();
         let sel = &res.topo_selections[0];
         let first = &sel.servers[0];
         let rows = Query::select("speedtest", "download")
@@ -1753,7 +1755,7 @@ mod tests {
             .r#where("method", "topo")
             .group_by_time(3600)
             .aggregate(Aggregate::Count)
-            .run(&mut db);
+            .run_snapshot(&snap);
         assert_eq!(rows.len(), 1);
         // 4 days × 24 hours, one test per hour.
         assert_eq!(rows[0].rows.len(), 96);
@@ -1763,7 +1765,9 @@ mod tests {
     #[test]
     fn differential_servers_measured_on_both_tiers() {
         let (_, res) = run_small();
+        // Pure read: one snapshot serves both tier queries immutably.
         let mut db = res.db;
+        let snap = db.snapshot();
         let sel = &res.diff_selections[0];
         assert!(!sel.picks.is_empty());
         let sid = &sel.picks[0].server_id;
@@ -1773,7 +1777,7 @@ mod tests {
                 .r#where("tier", tier)
                 .r#where("method", "diff")
                 .aggregate(Aggregate::Count)
-                .run(&mut db);
+                .run_snapshot(&snap);
             assert_eq!(rows.len(), 1, "tier {tier} measured");
             // 2 days × 24 hours.
             assert_eq!(rows[0].rows[0].value, 48.0);

@@ -1,0 +1,39 @@
+// D002 in serve-shaped code: a connection event loop that stamps
+// requests with real time and enforces a wall-clock read deadline.
+// All three reads must fire — the serve crate is deliberately absent
+// from the wall-clock allowlist, because replaying a recorded session
+// must produce byte-identical responses, and any real-time input
+// breaks that. Generation counters (the sanctioned logical clock) are
+// fine, and the operator-log read at the bottom carries an allow.
+
+use std::time::{Duration, Instant, SystemTime};
+
+struct Conn {
+    generation: u64,
+    opened: Instant,
+}
+
+fn handle_connection(conn: &mut Conn, lines: &[&str]) -> Vec<String> {
+    let mut responses = Vec::new();
+    for line in lines {
+        // Stamping the response with arrival time leaks the wall clock
+        // into served bytes: fires.
+        let stamp = SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO);
+        responses.push(format!("{{\"t\":{},\"echo\":{line:?}}}", stamp.as_secs()));
+        // Logical epochs are the sanctioned ordering: no finding.
+        conn.generation += 1;
+    }
+    // A read-deadline check against real time: fires.
+    if Instant::now().duration_since(conn.opened) > Duration::from_secs(30) {
+        responses.push("{\"ok\":false,\"error\":\"deadline\"}".to_string());
+    }
+    responses
+}
+
+fn drain_allowed(conn: &Conn) -> u64 {
+    // clasp-lint: allow(D002) -- operator log line only, never part of a response body
+    let _uptime = Instant::now() - conn.opened;
+    conn.generation
+}

@@ -1,0 +1,158 @@
+//! The response cache: rendered query responses keyed by
+//! `(seed, config_hash, generation, canonical query)`.
+//!
+//! Because snapshot generations are content-addressed per database
+//! (see [`tsdb::Db::snapshot`]) and the key pins the campaign identity
+//! (`seed`, `config_hash`), a cached entry never goes stale: the same
+//! key can only ever map to the same bytes. Eviction is therefore pure
+//! capacity management, not invalidation — FIFO is sufficient and
+//! keeps the eviction order deterministic (insertion order, never
+//! access recency, which would depend on request interleaving).
+//!
+//! The cache stores the *rendered* response string, so a hit returns
+//! exactly the bytes the original miss produced — byte-identity
+//! between hit and miss is structural, not a property to test into
+//! existence.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and were then populated by the caller).
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// A bounded FIFO cache of rendered responses.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    map: BTreeMap<String, String>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` rendered responses. A zero
+    /// capacity disables caching (every lookup misses, nothing is
+    /// stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a rendered response, evicting the oldest entries when
+    /// over capacity. Re-inserting an existing key refreshes the value
+    /// without duplicating its slot in the eviction order.
+    pub fn insert(&mut self, key: String, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.remove(&oldest).is_some() {
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Behaviour counters plus current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_stored_bytes() {
+        let mut c = QueryCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.insert("k".into(), "v".into());
+        assert_eq!(c.get("k"), Some("v".to_string()));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn fifo_eviction_is_insertion_ordered() {
+        let mut c = QueryCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.insert("c".into(), "3".into());
+        // "a" was inserted first, so it goes first.
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.get("b"), Some("2".to_string()));
+        assert_eq!(c.get("c"), Some("3".to_string()));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_double_slot() {
+        let mut c = QueryCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("a".into(), "1b".into());
+        c.insert("b".into(), "2".into());
+        // Still within capacity: the re-insert must not have consumed
+        // a second slot for "a".
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get("a"), Some("1b".to_string()));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = QueryCache::new(0);
+        c.insert("a".into(), "1".into());
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.stats().entries, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The serve client: typed requests over any transport.
+//!
+//! A [`Client`] pairs a [`Transport`] with the protocol encoding in
+//! [`proto`](crate::proto). Two transports ship here:
+//!
+//! * [`TcpTransport`] — line-delimited JSON over a socket, speaking to
+//!   [`wire::serve_listener`](crate::wire::serve_listener);
+//! * [`LocalTransport`] — calls straight into an in-process
+//!   [`Server`]. Because the wire loop dispatches through the same
+//!   [`Server::handle_line`] entry point, the bytes a local client
+//!   sees are identical to the bytes a socket client sees — tests and
+//!   benches exercise the real protocol without a network in the way.
+
+use crate::proto::{QuerySpec, Request};
+use crate::server::Server;
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use tsdb::Point;
+
+/// One request/response exchange over some byte channel.
+pub trait Transport {
+    /// Sends one request line, returns the one response line.
+    fn round_trip(&mut self, line: &str) -> io::Result<String>;
+}
+
+/// Transport over a connected TCP stream.
+pub struct TcpTransport {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Connects to a serve endpoint.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Self::new(TcpStream::connect(addr)?)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&mut self, line: &str) -> io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end_matches(['\r', '\n']).to_string())
+    }
+}
+
+/// Transport into an in-process [`Server`] — no sockets, same bytes.
+pub struct LocalTransport {
+    server: Arc<Server>,
+}
+
+impl LocalTransport {
+    /// Wraps a shared server.
+    pub fn new(server: Arc<Server>) -> Self {
+        Self { server }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn round_trip(&mut self, line: &str) -> io::Result<String> {
+        Ok(self.server.handle_line(line))
+    }
+}
+
+/// A typed serve client over any [`Transport`].
+pub struct Client<T: Transport> {
+    transport: T,
+    /// Client identity stamped on ingest batches.
+    id: String,
+    /// Next sequence number for this client's batches.
+    next_seq: u64,
+}
+
+/// Error from one client call: transport failure or a server-side
+/// `{"ok":false}` response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server answered, but with an error.
+    Server(String),
+    /// The response line was not valid protocol JSON.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl<T: Transport> Client<T> {
+    /// A client named `id` (its stable ingest identity) over
+    /// `transport`.
+    pub fn new(id: impl Into<String>, transport: T) -> Self {
+        Self {
+            transport,
+            id: id.into(),
+            next_seq: 0,
+        }
+    }
+
+    /// This client's ingest identity.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Round-trips one request, returning the parsed `ok` response.
+    pub fn call(&mut self, req: &Request) -> Result<Value, ClientError> {
+        let (v, _raw) = self.call_raw(req)?;
+        Ok(v)
+    }
+
+    /// Like [`Client::call`] but also returns the raw response line —
+    /// the bytes equivalence tests compare.
+    pub fn call_raw(&mut self, req: &Request) -> Result<(Value, String), ClientError> {
+        let raw = self.transport.round_trip(&req.encode())?;
+        let v = serde_json::from_str(&raw).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok((v, raw)),
+            Some(false) => Err(ClientError::Server(
+                v.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol("response missing \"ok\"".into())),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Stages one batch with this client's next sequence number.
+    pub fn ingest(&mut self, points: Vec<Point>) -> Result<(), ClientError> {
+        let req = Request::Ingest {
+            client: self.id.clone(),
+            seq: self.next_seq,
+            points,
+        };
+        self.call(&req)?;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Requests a publish barrier; returns the published generation.
+    pub fn publish(&mut self) -> Result<u64, ClientError> {
+        let v = self.call(&Request::Publish)?;
+        v.get("generation")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("publish response missing generation".into()))
+    }
+
+    /// Runs a query; returns the parsed response and its raw bytes.
+    pub fn query(&mut self, spec: &QuerySpec) -> Result<(Value, String), ClientError> {
+        self.call_raw(&Request::Query(spec.clone()))
+    }
+
+    /// Opens a tail subscription; returns its id.
+    pub fn subscribe(&mut self, capacity: usize) -> Result<u64, ClientError> {
+        let v = self.call(&Request::Subscribe { capacity })?;
+        v.get("tail")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("subscribe response missing tail".into()))
+    }
+
+    /// Drains up to `max` points from subscription `tail`; returns the
+    /// points plus `(overflow, remaining)` accounting.
+    pub fn poll(&mut self, tail: u64, max: usize) -> Result<(Vec<Point>, u64, u64), ClientError> {
+        let v = self.call(&Request::Poll { tail, max })?;
+        let lines = v
+            .get("points")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Protocol("poll response missing points".into()))?;
+        let mut points = Vec::with_capacity(lines.len());
+        for l in lines {
+            let s = l
+                .as_str()
+                .ok_or_else(|| ClientError::Protocol("poll points must be strings".into()))?;
+            points.push(tsdb::line::decode(s).map_err(|e| ClientError::Protocol(e.to_string()))?);
+        }
+        let overflow = v.get("overflow").and_then(Value::as_u64).unwrap_or(0);
+        let remaining = v.get("remaining").and_then(Value::as_u64).unwrap_or(0);
+        Ok((points, overflow, remaining))
+    }
+
+    /// Closes subscription `tail`.
+    pub fn unsubscribe(&mut self, tail: u64) -> Result<(), ClientError> {
+        self.call(&Request::Unsubscribe { tail }).map(|_| ())
+    }
+
+    /// Server stats object.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        let v = self.call(&Request::Stats)?;
+        v.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("stats response missing stats".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use tsdb::Aggregate;
+
+    fn point(t: u64, v: f64) -> Point {
+        Point::new("m", t).tag("s", "a").field("f", v)
+    }
+
+    #[test]
+    fn local_client_full_session() {
+        let server = Arc::new(Server::new(ServerConfig::default()));
+        let mut c = Client::new("c1", LocalTransport::new(Arc::clone(&server)));
+        c.ping().unwrap();
+        let tail = c.subscribe(8).unwrap();
+        c.ingest((0..5).map(|t| point(t, t as f64)).collect())
+            .unwrap();
+        c.ingest(vec![point(5, 5.0)]).unwrap();
+        let generation = c.publish().unwrap();
+        assert_eq!(generation, 2);
+        let (v, _) = c
+            .query(&QuerySpec::select("m", "f").aggregate(Aggregate::Count))
+            .unwrap();
+        let rows = v.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        let (points, overflow, remaining) = c.poll(tail, 100).unwrap();
+        assert_eq!(points.len(), 6);
+        assert_eq!((overflow, remaining), (0, 0));
+        c.unsubscribe(tail).unwrap();
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats
+                .get("requests")
+                .and_then(|r| r.get("ingest_batches"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn sequencing_is_automatic_and_server_enforced() {
+        let server = Arc::new(Server::new(ServerConfig::default()));
+        let mut c = Client::new("c1", LocalTransport::new(Arc::clone(&server)));
+        c.ingest(vec![point(0, 1.0)]).unwrap();
+        c.ingest(vec![point(1, 2.0)]).unwrap();
+        // A second client reusing the same identity and a stale seq is
+        // rejected by the server, not silently double-applied.
+        let mut imposter = Client::new("c1", LocalTransport::new(Arc::clone(&server)));
+        let err = imposter.ingest(vec![point(9, 9.0)]).unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        c.publish().unwrap();
+        assert_eq!(server.snapshot().points(), 2);
+    }
+
+    #[test]
+    fn tcp_and_local_clients_get_identical_bytes() {
+        let server = Arc::new(Server::new(ServerConfig::default()));
+        {
+            let mut seedc = Client::new("w", LocalTransport::new(Arc::clone(&server)));
+            seedc
+                .ingest((0..20).map(|t| point(t, (t * 7 % 5) as f64)).collect())
+                .unwrap();
+            seedc.publish().unwrap();
+        }
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = Arc::clone(&server);
+        let accept = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            crate::wire::serve_stream(&srv, stream).unwrap();
+        });
+        let spec = QuerySpec::select("m", "f")
+            .group_by_time(5)
+            .aggregate(Aggregate::Percentile(95.0));
+        let mut tcp = Client::new("r1", TcpTransport::connect(&addr.to_string()).unwrap());
+        let (_, tcp_bytes) = tcp.query(&spec).unwrap();
+        drop(tcp);
+        accept.join().unwrap();
+        let mut local = Client::new("r2", LocalTransport::new(Arc::clone(&server)));
+        let (_, local_bytes) = local.query(&spec).unwrap();
+        assert_eq!(tcp_bytes, local_bytes);
+    }
+}

@@ -1,0 +1,48 @@
+//! # clasp-serve — a concurrent query/ingest service over tsdb
+//!
+//! CLASP's pipeline "index\[es\] the processed results into InfluxDB"
+//! (§3.3) — a *service* that many probes write into and many dashboards
+//! read out of concurrently. This crate promotes the in-process
+//! [`tsdb`] library to that role while keeping the repo's determinism
+//! contract: the bytes a client reads never depend on how requests
+//! interleaved.
+//!
+//! Three mechanisms make that hold (see DESIGN.md §13):
+//!
+//! 1. **Sequenced ingest** — each client stamps its batches with a
+//!    per-client sequence number. Batches are staged on arrival and
+//!    applied only at [`Server::publish`] barriers, in canonical
+//!    `(client, seq)` order, so the database contents after a publish
+//!    are a pure function of *what* was sent, never of *when*.
+//! 2. **Snapshot epochs** — publish swaps an immutable
+//!    [`Snapshot`](tsdb::Snapshot); readers query the last published
+//!    generation without touching the writer's lock.
+//! 3. **Canonical responses** — responses are rendered through the
+//!    vendored canonical-JSON writer, and the response cache stores the
+//!    rendered bytes, so a cache hit is byte-identical to the miss that
+//!    populated it, and both are byte-identical to an in-process
+//!    [`Query::run_snapshot`](tsdb::Query::run_snapshot) on the same
+//!    generation.
+//!
+//! The wire format is line-delimited JSON ([`proto`]); [`wire`] serves
+//! it over any `BufRead`/`Write` pair (TCP included) and [`client`]
+//! speaks it from the other side, over a socket or straight into an
+//! in-process [`Server`].
+//!
+//! Everything is wall-clock-free: no timeouts, no timestamps, no
+//! `std::time` — ordering comes from sequence numbers and publish
+//! barriers alone, which is what makes serve traffic replayable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, QueryCache};
+pub use client::{Client, LocalTransport, TcpTransport, Transport};
+pub use proto::{QuerySpec, Request};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,533 @@
+//! The serve wire protocol: line-delimited canonical JSON.
+//!
+//! Every request is one JSON object on one line with an `"op"` member;
+//! every response is one JSON object on one line with an `"ok"` member
+//! (`{"ok":false,"error":"..."}` on failure). Points travel as tsdb
+//! line-protocol strings — the durable format the pipeline already
+//! speaks — and queries travel as a canonical object form whose
+//! rendered bytes double as the response-cache key.
+//!
+//! Rendering always goes through the vendored canonical-JSON writer
+//! (sorted object keys, shortest-roundtrip numbers), so any two
+//! encodings of the same logical request or response are the same
+//! bytes. That is the foundation of both the response cache and the
+//! serve-vs-in-process equivalence guarantee.
+
+use serde_json::{Map, Value};
+use tsdb::{Aggregate, Point, Query, SeriesResult};
+
+/// A query in wire form. Mirrors the [`tsdb::Query`] builder; convert
+/// with [`QuerySpec::to_query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Measurement to select from.
+    pub measurement: String,
+    /// Field to aggregate.
+    pub field: String,
+    /// Required `tag == value` filters.
+    pub filters: Vec<(String, String)>,
+    /// Inclusive range start (0 = open).
+    pub start: u64,
+    /// Exclusive range end (`u64::MAX` = open).
+    pub end: u64,
+    /// Group-by window in seconds, if any.
+    pub window: Option<u64>,
+    /// Reduction to apply.
+    pub aggregate: Aggregate,
+}
+
+impl QuerySpec {
+    /// Selects `field` from `measurement` with [`Aggregate::Last`] over
+    /// the full range — the same defaults as [`Query::select`].
+    pub fn select(measurement: impl Into<String>, field: impl Into<String>) -> Self {
+        Self {
+            measurement: measurement.into(),
+            field: field.into(),
+            filters: Vec::new(),
+            start: 0,
+            end: u64::MAX,
+            window: None,
+            aggregate: Aggregate::Last,
+        }
+    }
+
+    /// Requires `tag == value` on matching series.
+    pub fn r#where(mut self, tag: impl Into<String>, value: impl Into<String>) -> Self {
+        self.filters.push((tag.into(), value.into()));
+        self
+    }
+
+    /// Restricts to samples with `start <= time < end`.
+    pub fn time_range(mut self, start: u64, end: u64) -> Self {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Groups samples into fixed windows of `seconds`.
+    pub fn group_by_time(mut self, seconds: u64) -> Self {
+        self.window = Some(seconds);
+        self
+    }
+
+    /// Sets the reduction.
+    pub fn aggregate(mut self, agg: Aggregate) -> Self {
+        self.aggregate = agg;
+        self
+    }
+
+    /// Builds the equivalent executable [`Query`].
+    pub fn to_query(&self) -> Query {
+        let mut q = Query::select(self.measurement.clone(), self.field.clone());
+        for (k, v) in &self.filters {
+            q = q.r#where(k.clone(), v.clone());
+        }
+        q = q.time_range(self.start, self.end);
+        if let Some(w) = self.window {
+            q = q.group_by_time(w);
+        }
+        q.aggregate(self.aggregate)
+    }
+
+    /// The canonical object form. Filters become an object (sorted
+    /// keys), defaults are omitted, and the aggregate uses the compact
+    /// string form — so two specs with the same meaning render to the
+    /// same bytes.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("measurement".into(), self.measurement.as_str().into());
+        m.insert("field".into(), self.field.as_str().into());
+        if !self.filters.is_empty() {
+            let mut w = Map::new();
+            for (k, v) in &self.filters {
+                w.insert(k.clone(), v.as_str().into());
+            }
+            m.insert("where".into(), Value::Object(w));
+        }
+        if self.start != 0 {
+            m.insert("start".into(), self.start.into());
+        }
+        if self.end != u64::MAX {
+            m.insert("end".into(), self.end.into());
+        }
+        if let Some(w) = self.window {
+            m.insert("window".into(), w.into());
+        }
+        m.insert("aggregate".into(), encode_aggregate(self.aggregate).into());
+        Value::Object(m)
+    }
+
+    /// The canonical bytes of [`QuerySpec::to_value`]; used verbatim in
+    /// the response-cache key.
+    pub fn canonical(&self) -> String {
+        serde_json::to_string(&self.to_value())
+    }
+
+    /// Parses the object form produced by [`QuerySpec::to_value`].
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let measurement = str_member(v, "measurement")?;
+        let field = str_member(v, "field")?;
+        let mut filters = Vec::new();
+        if let Some(w) = v.get("where") {
+            let obj = w.as_object().ok_or("\"where\" must be an object")?;
+            for (k, val) in obj {
+                let s = val.as_str().ok_or("\"where\" values must be strings")?;
+                filters.push((k.clone(), s.to_string()));
+            }
+        }
+        let start = opt_u64(v, "start")?.unwrap_or(0);
+        let end = opt_u64(v, "end")?.unwrap_or(u64::MAX);
+        if start > end {
+            return Err("inverted time range".into());
+        }
+        let window = opt_u64(v, "window")?;
+        if window == Some(0) {
+            return Err("zero window".into());
+        }
+        let aggregate = parse_aggregate(&str_member(v, "aggregate")?)?;
+        Ok(Self {
+            measurement,
+            field,
+            filters,
+            start,
+            end,
+            window,
+            aggregate,
+        })
+    }
+}
+
+/// Compact aggregate form: `min`, `max`, `mean`, `count`, `sum`,
+/// `last`, or `p:<rank>` for percentiles.
+pub fn encode_aggregate(agg: Aggregate) -> String {
+    match agg {
+        Aggregate::Min => "min".into(),
+        Aggregate::Max => "max".into(),
+        Aggregate::Mean => "mean".into(),
+        Aggregate::Count => "count".into(),
+        Aggregate::Sum => "sum".into(),
+        Aggregate::Last => "last".into(),
+        Aggregate::Percentile(p) => format!("p:{p}"),
+    }
+}
+
+/// Parses the form produced by [`encode_aggregate`].
+pub fn parse_aggregate(s: &str) -> Result<Aggregate, String> {
+    match s {
+        "min" => Ok(Aggregate::Min),
+        "max" => Ok(Aggregate::Max),
+        "mean" => Ok(Aggregate::Mean),
+        "count" => Ok(Aggregate::Count),
+        "sum" => Ok(Aggregate::Sum),
+        "last" => Ok(Aggregate::Last),
+        _ => match s.strip_prefix("p:") {
+            Some(rank) => {
+                let p: f64 = rank
+                    .parse()
+                    .map_err(|_| format!("bad percentile rank {rank:?}"))?;
+                if p.is_nan() {
+                    return Err("NaN percentile rank".into());
+                }
+                Ok(Aggregate::Percentile(p))
+            }
+            None => Err(format!("unknown aggregate {s:?}")),
+        },
+    }
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Stage a sequenced batch of points for the next publish.
+    Ingest {
+        /// Stable client identity (part of the canonical apply order).
+        client: String,
+        /// Per-client sequence number, starting at 0.
+        seq: u64,
+        /// Points in tsdb line-protocol form.
+        points: Vec<Point>,
+    },
+    /// Apply staged batches in canonical order and publish a snapshot.
+    Publish,
+    /// Run a query against the last published snapshot.
+    Query(QuerySpec),
+    /// Open a bounded tail subscription.
+    Subscribe {
+        /// Buffer capacity in points.
+        capacity: usize,
+    },
+    /// Drain up to `max` buffered points from a subscription.
+    Poll {
+        /// Subscription id from [`Request::Subscribe`]'s response.
+        tail: u64,
+        /// Maximum points to return.
+        max: usize,
+    },
+    /// Close a subscription.
+    Unsubscribe {
+        /// Subscription id.
+        tail: u64,
+    },
+    /// Server counters (ingest, cache, tails, generation).
+    Stats,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let op = str_member(&v, "op")?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "ingest" => {
+                let client = str_member(&v, "client")?;
+                if client.is_empty() {
+                    return Err("empty client id".into());
+                }
+                let seq = opt_u64(&v, "seq")?.ok_or("ingest requires \"seq\"")?;
+                let lines = v
+                    .get("points")
+                    .and_then(|p| p.as_array())
+                    .ok_or("ingest requires a \"points\" array")?;
+                let mut points = Vec::with_capacity(lines.len());
+                for l in lines {
+                    let s = l.as_str().ok_or("points must be line-protocol strings")?;
+                    points.push(tsdb::line::decode(s).map_err(|e| e.to_string())?);
+                }
+                Ok(Request::Ingest {
+                    client,
+                    seq,
+                    points,
+                })
+            }
+            "publish" => Ok(Request::Publish),
+            "query" => {
+                let spec = v.get("query").ok_or("query requires a \"query\" object")?;
+                Ok(Request::Query(QuerySpec::from_value(spec)?))
+            }
+            "subscribe" => {
+                let capacity = opt_u64(&v, "capacity")?.ok_or("subscribe requires \"capacity\"")?;
+                if capacity == 0 {
+                    return Err("capacity must be positive".into());
+                }
+                Ok(Request::Subscribe {
+                    capacity: capacity as usize,
+                })
+            }
+            "poll" => {
+                let tail = opt_u64(&v, "tail")?.ok_or("poll requires \"tail\"")?;
+                let max = opt_u64(&v, "max")?.unwrap_or(u64::MAX);
+                Ok(Request::Poll {
+                    tail,
+                    max: usize::try_from(max).unwrap_or(usize::MAX),
+                })
+            }
+            "unsubscribe" => {
+                let tail = opt_u64(&v, "tail")?.ok_or("unsubscribe requires \"tail\"")?;
+                Ok(Request::Unsubscribe { tail })
+            }
+            "stats" => Ok(Request::Stats),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Renders the request as one canonical wire line (no newline).
+    pub fn encode(&self) -> String {
+        let mut m = Map::new();
+        match self {
+            Request::Ping => {
+                m.insert("op".into(), "ping".into());
+            }
+            Request::Ingest {
+                client,
+                seq,
+                points,
+            } => {
+                m.insert("op".into(), "ingest".into());
+                m.insert("client".into(), client.as_str().into());
+                m.insert("seq".into(), (*seq).into());
+                m.insert(
+                    "points".into(),
+                    Value::Array(
+                        points
+                            .iter()
+                            .map(|p| tsdb::line::encode(p).into())
+                            .collect(),
+                    ),
+                );
+            }
+            Request::Publish => {
+                m.insert("op".into(), "publish".into());
+            }
+            Request::Query(spec) => {
+                m.insert("op".into(), "query".into());
+                m.insert("query".into(), spec.to_value());
+            }
+            Request::Subscribe { capacity } => {
+                m.insert("op".into(), "subscribe".into());
+                m.insert("capacity".into(), (*capacity).into());
+            }
+            Request::Poll { tail, max } => {
+                m.insert("op".into(), "poll".into());
+                m.insert("tail".into(), (*tail).into());
+                if *max != usize::MAX {
+                    m.insert("max".into(), (*max).into());
+                }
+            }
+            Request::Unsubscribe { tail } => {
+                m.insert("op".into(), "unsubscribe".into());
+                m.insert("tail".into(), (*tail).into());
+            }
+            Request::Stats => {
+                m.insert("op".into(), "stats".into());
+            }
+        }
+        serde_json::to_string(&Value::Object(m))
+    }
+}
+
+/// Renders a successful response with the given extra members.
+pub fn ok_response(extra: Map) -> String {
+    let mut m = extra;
+    m.insert("ok".into(), true.into());
+    serde_json::to_string(&Value::Object(m))
+}
+
+/// Renders an error response.
+pub fn err_response(message: &str) -> String {
+    let mut m = Map::new();
+    m.insert("ok".into(), false.into());
+    m.insert("error".into(), message.into());
+    serde_json::to_string(&Value::Object(m))
+}
+
+/// Canonical JSON form of query results at a given snapshot
+/// generation: `{"generation":G,"results":[{"series":key,
+/// "rows":[[t,v],..]},..]}`.
+///
+/// This is the *only* encoder for result sets — serve responses and
+/// in-process comparisons both render through it, so byte-equality
+/// between the two is a matter of feeding it equal inputs.
+pub fn results_to_value(generation: u64, results: &[SeriesResult]) -> Value {
+    let mut m = Map::new();
+    m.insert("generation".into(), generation.into());
+    m.insert(
+        "results".into(),
+        Value::Array(
+            results
+                .iter()
+                .map(|r| {
+                    let mut s = Map::new();
+                    s.insert("series".into(), r.series_key.as_str().into());
+                    s.insert(
+                        "rows".into(),
+                        Value::Array(
+                            r.rows
+                                .iter()
+                                .map(|row| Value::Array(vec![row.time.into(), row.value.into()]))
+                                .collect(),
+                        ),
+                    );
+                    Value::Object(s)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(m)
+}
+
+fn str_member(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string member {key:?}"))
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("member {key:?} must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_all_ops() {
+        let p = Point::new("m", 5).tag("s", "a").field("f", 1.5);
+        let reqs = [
+            Request::Ping,
+            Request::Ingest {
+                client: "c1".into(),
+                seq: 3,
+                points: vec![p],
+            },
+            Request::Publish,
+            Request::Query(
+                QuerySpec::select("m", "f")
+                    .r#where("s", "a")
+                    .time_range(10, 99)
+                    .group_by_time(30)
+                    .aggregate(Aggregate::Percentile(95.0)),
+            ),
+            Request::Subscribe { capacity: 64 },
+            Request::Poll { tail: 2, max: 10 },
+            Request::Unsubscribe { tail: 2 },
+            Request::Stats,
+        ];
+        for r in reqs {
+            let line = r.encode();
+            assert_eq!(Request::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn canonical_spec_bytes_are_order_independent() {
+        // Filter insertion order must not leak into the cache key.
+        let a = QuerySpec::select("m", "f")
+            .r#where("x", "1")
+            .r#where("a", "2");
+        let b = QuerySpec::select("m", "f")
+            .r#where("a", "2")
+            .r#where("x", "1");
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn aggregate_forms_roundtrip() {
+        for agg in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Mean,
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Last,
+            Aggregate::Percentile(95.0),
+            Aggregate::Percentile(0.5),
+        ] {
+            assert_eq!(parse_aggregate(&encode_aggregate(agg)).unwrap(), agg);
+        }
+        assert!(parse_aggregate("p:NaN").is_err());
+        assert!(parse_aggregate("median").is_err());
+    }
+
+    #[test]
+    fn spec_to_query_matches_direct_builder() {
+        let mut db = tsdb::Db::new();
+        for t in 0..10u64 {
+            db.insert(Point::new("m", t).tag("s", "a").field("f", t as f64));
+        }
+        let spec = QuerySpec::select("m", "f")
+            .r#where("s", "a")
+            .time_range(2, 8)
+            .group_by_time(4)
+            .aggregate(Aggregate::Mean);
+        let direct = Query::select("m", "f")
+            .r#where("s", "a")
+            .time_range(2, 8)
+            .group_by_time(4)
+            .aggregate(Aggregate::Mean)
+            .run(&mut db);
+        let via_spec = spec.to_query().run(&mut db);
+        assert_eq!(direct.len(), via_spec.len());
+        for (d, s) in direct.iter().zip(&via_spec) {
+            assert_eq!(d.series_key, s.series_key);
+            assert_eq!(d.rows, s.rows);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "{\"op\":\"nope\"}",
+            "{\"op\":\"ingest\",\"client\":\"\",\"seq\":0,\"points\":[]}",
+            "{\"op\":\"ingest\",\"client\":\"c\",\"points\":[]}",
+            "{\"op\":\"ingest\",\"client\":\"c\",\"seq\":0,\"points\":[\"garbage\"]}",
+            "{\"op\":\"query\"}",
+            "{\"op\":\"query\",\"query\":{\"measurement\":\"m\",\"field\":\"f\",\"aggregate\":\"zzz\"}}",
+            "{\"op\":\"query\",\"query\":{\"measurement\":\"m\",\"field\":\"f\",\"start\":9,\"end\":1,\"aggregate\":\"last\"}}",
+            "{\"op\":\"query\",\"query\":{\"measurement\":\"m\",\"field\":\"f\",\"window\":0,\"aggregate\":\"last\"}}",
+            "{\"op\":\"subscribe\",\"capacity\":0}",
+            "{\"op\":\"poll\"}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_are_canonical_json() {
+        let r = ok_response(Map::new());
+        assert_eq!(r, "{\"ok\":true}");
+        let e = err_response("boom");
+        assert_eq!(e, "{\"error\":\"boom\",\"ok\":false}");
+    }
+}

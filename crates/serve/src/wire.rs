@@ -1,0 +1,139 @@
+//! Transport: line-delimited request/response over any byte stream.
+//!
+//! The event loop is deliberately wall-clock-free — no timeouts, no
+//! deadlines, no `std::time` anywhere in this crate. A connection is a
+//! pure function of the bytes it reads: block on the next line,
+//! dispatch through [`Server::handle_line`] (the same entry point
+//! in-process clients use), write the response, repeat until EOF.
+//! Ordering comes from client sequence numbers and publish barriers,
+//! never from when bytes happened to arrive, so a recorded session
+//! replays to byte-identical responses.
+
+use crate::server::Server;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Serves one connection: reads request lines until EOF, writes one
+/// response line per request. Returns the number of requests served.
+///
+/// Malformed requests produce an error *response*, not a disconnect —
+/// a client bug must not tear down its own session state.
+pub fn serve_connection<R: BufRead, W: Write>(
+    server: &Server,
+    reader: R,
+    mut writer: W,
+) -> io::Result<u64> {
+    let mut served = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = server.handle_line(&line);
+        writer.write_all(resp.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        served += 1;
+    }
+    Ok(served)
+}
+
+/// Accept loop: serves every connection on `listener`, one thread per
+/// connection, until the listener errors (e.g. the socket is closed).
+/// Returns the number of connections accepted.
+pub fn serve_listener(server: &Arc<Server>, listener: &TcpListener) -> io::Result<u64> {
+    let mut accepted = 0u64;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        accepted += 1;
+        let server = Arc::clone(server);
+        std::thread::spawn(move || {
+            let _ = serve_stream(&server, stream);
+        });
+    }
+    Ok(accepted)
+}
+
+/// Serves one TCP stream (reader and writer halves of the same socket).
+pub fn serve_stream(server: &Server, stream: TcpStream) -> io::Result<u64> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_connection(server, reader, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    #[test]
+    fn connection_maps_lines_to_responses() {
+        let server = Server::new(ServerConfig::default());
+        let input = concat!(
+            "{\"op\":\"ping\"}\n",
+            "\n", // blank lines are skipped, not answered
+            "{\"op\":\"ingest\",\"client\":\"c\",\"seq\":0,",
+            "\"points\":[\"m,s=a f=1.5 7\"]}\n",
+            "{\"op\":\"publish\"}\n",
+            "not json\n",
+        );
+        let mut out = Vec::new();
+        let served = serve_connection(&server, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(served, 4);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"pong\":true"));
+        assert!(lines[1].contains("\"staged\":1"));
+        assert!(lines[2].contains("\"generation\":2"));
+        assert!(lines[3].contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn wire_responses_match_in_process_handle() {
+        // The transport adds framing only: the payload bytes are the
+        // same ones Server::handle_line returns in process.
+        let server = Server::new(ServerConfig::default());
+        let line = "{\"op\":\"stats\"}";
+        let direct = server.handle_line(line);
+        let mut out = Vec::new();
+        serve_connection(&server, format!("{line}\n").as_bytes(), &mut out).unwrap();
+        let wired = std::str::from_utf8(&out).unwrap().trim_end();
+        // Stats counters move between calls (queries counter etc. stay
+        // equal here because stats is read-only); compare shape by
+        // byte-equality of the two rendered responses.
+        assert_eq!(direct, wired);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead as _, Write as _};
+        let server = Arc::new(Server::new(ServerConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = Arc::clone(&server);
+        let accept = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            serve_stream(&srv, stream).unwrap()
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |line: &str| {
+            let mut s = &stream;
+            s.write_all(line.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            resp.trim_end().to_string()
+        };
+        assert!(send("{\"op\":\"ping\"}").contains("\"pong\":true"));
+        assert!(send(
+            "{\"op\":\"ingest\",\"client\":\"c\",\"seq\":0,\"points\":[\"m,s=a f=2.0 1\"]}"
+        )
+        .contains("\"staged\":1"));
+        assert!(send("{\"op\":\"publish\"}").contains("\"generation\":2"));
+        drop(stream);
+        drop(reader);
+        assert_eq!(accept.join().unwrap(), 3);
+        assert_eq!(server.snapshot().points(), 1);
+    }
+}

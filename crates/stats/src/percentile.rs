@@ -124,6 +124,48 @@ mod tests {
     }
 
     #[test]
+    fn finite_inputs_yield_finite_quantiles() {
+        // NaN-free guarantee for the serve layer: whatever rank an
+        // arbitrary client asks for, finite samples must produce a
+        // finite estimate (including extreme magnitudes, where naive
+        // `lo + (hi - lo) * frac` could overflow to infinity only if
+        // the spread itself overflows — these stay in range).
+        let data = [-1e300, -2.5, 0.0, 2.5, 1e300];
+        for q in [0.0, 0.001, 0.25, 0.5, 0.75, 0.999, 1.0] {
+            let v = quantile(&data, q).expect("finite input");
+            assert!(v.is_finite(), "q={q} -> {v}");
+        }
+        for p in [0.0, 5.0, 50.0, 95.0, 100.0] {
+            let v = percentile(&data, p).expect("finite input");
+            assert!(v.is_finite(), "p={p} -> {v}");
+        }
+    }
+
+    #[test]
+    fn two_sample_interpolation_spans_the_range() {
+        // The smallest non-degenerate sample: every rank interpolates
+        // linearly between the two order statistics, never outside.
+        let data = [10.0, 20.0];
+        assert_eq!(quantile(&data, 0.0), Some(10.0));
+        assert_eq!(quantile(&data, 0.5), Some(15.0));
+        assert_eq!(quantile(&data, 1.0), Some(20.0));
+        for q in [0.1, 0.3, 0.7, 0.9] {
+            let v = quantile(&data, q).unwrap();
+            assert!((10.0..=20.0).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn equal_samples_are_a_fixed_point() {
+        // Interpolation between equal order statistics must return the
+        // value exactly (no `x + 0 * eps` drift).
+        let data = [7.25; 9];
+        for q in [0.0, 0.33, 0.5, 0.66, 1.0] {
+            assert_eq!(quantile(&data, q), Some(7.25));
+        }
+    }
+
+    #[test]
     fn quantile_sorted_matches_quantile() {
         let mut data = vec![9.0, 2.0, 7.0, 7.0, 1.0, 5.5];
         let q = quantile(&data, 0.9).unwrap();

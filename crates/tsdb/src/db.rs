@@ -2,6 +2,7 @@
 //! bounded tail for streaming consumers.
 
 use crate::point::Point;
+use crate::snapshot::{SeriesSnap, Snapshot};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -29,6 +30,11 @@ pub struct Series {
     /// Time-ordered samples. Out-of-order inserts are re-sorted lazily.
     samples: Vec<Sample>,
     sorted: bool,
+    /// Frozen copy of this series from the last [`Db::snapshot`],
+    /// invalidated by any mutation. Its presence doubles as the
+    /// per-series "unchanged" bit, so an idle series costs nothing at
+    /// the next snapshot (the Arc is reused wholesale).
+    snap: Option<Arc<SeriesSnap>>,
 }
 
 impl Series {
@@ -39,6 +45,7 @@ impl Series {
             key,
             samples: Vec::new(),
             sorted: true,
+            snap: None,
         }
     }
 
@@ -55,6 +62,7 @@ impl Series {
             }
         }
         self.samples.push((time, fields));
+        self.snap = None;
     }
 
     fn ensure_sorted(&mut self) {
@@ -81,6 +89,9 @@ impl Series {
         self.ensure_sorted();
         let cut = self.samples.partition_point(|(t, _)| *t < horizon);
         self.samples.drain(..cut);
+        if cut > 0 {
+            self.snap = None;
+        }
         cut as u64
     }
 
@@ -134,6 +145,13 @@ struct TailShared {
     /// Set when the subscriber goes away ([`Tail::close`] or last
     /// handle dropped); the publisher prunes closed tails eagerly.
     closed: bool,
+    /// Live [`Tail`] handles sharing this subscription. Tracked
+    /// explicitly (not via `Arc::strong_count`) because the publisher
+    /// holds a temporary strong reference while it mirrors a point: a
+    /// strong-count check in `Drop` would race with publish and skip
+    /// the close, leaving a zombie subscription that counts phantom
+    /// overflow forever.
+    handles: usize,
 }
 
 impl TailShared {
@@ -158,9 +176,18 @@ impl TailShared {
 /// and never reorders, so an overflowing consumer sees a gap, knows its
 /// exact size, and can fall back to a batch rescan. Dropping the tail
 /// unsubscribes it.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Tail {
     shared: Arc<Mutex<TailShared>>,
+}
+
+impl Clone for Tail {
+    fn clone(&self) -> Self {
+        self.shared.lock().expect("tail lock").handles += 1;
+        Tail {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl Tail {
@@ -212,9 +239,19 @@ impl Tail {
 
 impl Drop for Tail {
     fn drop(&mut self) {
-        // Only the last handle closes the subscription; clones share it.
-        if Arc::strong_count(&self.shared) == 1 {
-            self.close();
+        // Only the last handle closes the subscription; clones share
+        // it. The handle count lives under the subscription lock, so a
+        // drop racing a publish serializes: either the publisher sees
+        // `closed` and prunes without counting, or it finished its
+        // offer before the subscriber went away — never a phantom
+        // overflow against a dead tail.
+        let Ok(mut shared) = self.shared.lock() else {
+            return;
+        };
+        shared.handles -= 1;
+        if shared.handles == 0 {
+            shared.closed = true;
+            shared.buf.clear();
         }
     }
 }
@@ -232,6 +269,12 @@ pub struct Db {
     pub points_written: u64,
     /// Ingest/publish counters (see [`DbStats`]).
     pub stats: DbStats,
+    /// Publish epoch of the last *changed* snapshot (see
+    /// [`Db::snapshot`]).
+    generation: u64,
+    /// The last snapshot taken, returned again while the database is
+    /// unchanged so repeated publishes of an idle store are free.
+    last_snapshot: Option<Snapshot>,
 }
 
 impl Db {
@@ -254,6 +297,7 @@ impl Db {
             capacity,
             overflow: 0,
             closed: false,
+            handles: 1,
         }));
         self.tails.push(Arc::downgrade(&shared));
         self.stats.tails_opened += 1;
@@ -387,6 +431,48 @@ impl Db {
     /// Number of distinct series.
     pub fn series_count(&self) -> usize {
         self.series.len()
+    }
+
+    /// Freezes the current contents into an immutable, cheaply-clonable
+    /// [`Snapshot`] for lock-free concurrent reads.
+    ///
+    /// Generations are content-addressed per [`Db`]: a changed database
+    /// yields a new snapshot with `generation + 1`; an unchanged one
+    /// returns the previous snapshot (same generation, same storage).
+    /// Series untouched since the last snapshot share their frozen
+    /// storage across generations, so the cost of a snapshot tracks the
+    /// freshly-ingested data, not the store size.
+    ///
+    /// Needs `&mut self` only to finalize lazy sorts and maintain the
+    /// per-series caches; the returned value is pure read-side state.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let unchanged = self
+            .last_snapshot
+            .as_ref()
+            .is_some_and(|s| s.series_count() == self.series.len())
+            && self.series.iter().all(|s| s.snap.is_some());
+        if unchanged {
+            return self.last_snapshot.clone().expect("checked above");
+        }
+        let mut frozen = Vec::with_capacity(self.series.len());
+        let mut points = 0u64;
+        for s in &mut self.series {
+            s.ensure_sorted();
+            points += s.samples.len() as u64;
+            let snap = s.snap.get_or_insert_with(|| {
+                Arc::new(SeriesSnap::new(
+                    s.measurement.clone(),
+                    s.tags.clone(),
+                    s.key.clone(),
+                    s.samples.clone(),
+                ))
+            });
+            frozen.push(Arc::clone(snap));
+        }
+        self.generation += 1;
+        let snap = Snapshot::new(self.generation, points, frozen);
+        self.last_snapshot = Some(snap.clone());
+        snap
     }
 
     /// Looks a series up by measurement and exact tag set.
@@ -673,6 +759,70 @@ mod tests {
         // Peak is a high-water mark: draining doesn't lower it.
         assert_eq!(db.stats.tail_peak_depth, 5);
         assert_eq!(db.stats.tail_overflow, 0);
+    }
+
+    #[test]
+    fn drop_during_publish_never_counts_phantom_overflow() {
+        let mut db = Db::new();
+        let tail = db.subscribe(1);
+        db.insert(point("a", 0, 1.0)); // fills the one-slot buffer
+                                       // Simulate the publisher's mid-publish state: it holds a
+                                       // temporary strong reference (the upgraded Weak) at the moment
+                                       // the subscriber drops its last handle. A strong-count-based
+                                       // close check would see two owners here, skip the close, and
+                                       // leave a zombie subscription counting overflow forever.
+        let publisher_ref = Arc::clone(&tail.shared);
+        drop(tail);
+        drop(publisher_ref);
+        let before = db.stats.tail_overflow;
+        db.insert(point("a", 1, 1.0)); // prunes the closed tail
+        db.insert_batch((2..10).map(|t| point("a", t, 1.0)));
+        assert_eq!(db.stats.tail_overflow, before, "phantom overflow");
+        assert_eq!(db.stats.tails_closed, 1);
+    }
+
+    #[test]
+    fn concurrent_drop_stops_overflow_accrual() {
+        // Stress the same race with a real publisher thread: once the
+        // drop has been observed (the tail is pruned), later inserts
+        // must never add overflow.
+        let db = Arc::new(Mutex::new(Db::new()));
+        let tail = db.lock().unwrap().subscribe(1);
+        let writer = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for t in 0..500u64 {
+                    db.lock().unwrap().insert(point("a", t, 1.0));
+                }
+            })
+        };
+        drop(tail); // races the writer's publishes
+        writer.join().unwrap();
+        let mut db = db.lock().unwrap();
+        // One more publish is guaranteed to observe the drop and prune.
+        db.insert(point("a", 1000, 1.0));
+        assert_eq!(db.stats.tails_closed, 1);
+        let settled = db.stats.tail_overflow;
+        db.insert_batch((500..600).map(|t| point("a", t, 1.0)));
+        assert_eq!(db.stats.tail_overflow, settled, "phantom overflow");
+    }
+
+    #[test]
+    fn clone_handles_are_counted_not_guessed() {
+        let mut db = Db::new();
+        let tail = db.subscribe(2);
+        let clone = tail.clone();
+        // An outstanding foreign Arc (publisher mid-publish) must not
+        // keep the subscription alive once both handles are gone.
+        let foreign = Arc::clone(&tail.shared);
+        drop(tail);
+        db.insert(point("a", 0, 1.0));
+        assert_eq!(clone.len(), 1, "one handle left: still subscribed");
+        drop(clone);
+        drop(foreign);
+        db.insert(point("a", 1, 2.0));
+        assert_eq!(db.stats.tails_closed, 1);
+        assert_eq!(db.stats.points_published, 1);
     }
 
     #[test]

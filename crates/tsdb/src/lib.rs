@@ -10,6 +10,8 @@
 //! * [`point`] — the data model ([`Point`], tags, fields);
 //! * [`line`](mod@line) — line-protocol encode/parse;
 //! * [`db`] — storage and series indexing ([`Db`]);
+//! * [`snapshot`] — immutable generation-stamped views for lock-free
+//!   concurrent reads ([`Snapshot`]);
 //! * [`query`] — the query builder and aggregation engine;
 //! * [`rollup`] — continuous-query-style downsampling and retention.
 
@@ -21,7 +23,9 @@ pub mod line;
 pub mod point;
 pub mod query;
 pub mod rollup;
+pub mod snapshot;
 
-pub use db::{Db, DbStats, Series, SeriesId, Tail};
+pub use db::{Db, DbStats, Sample, Series, SeriesId, Tail};
 pub use point::Point;
-pub use query::{Aggregate, Query, Row};
+pub use query::{Aggregate, Query, Row, SeriesResult};
+pub use snapshot::{SeriesSnap, Snapshot};

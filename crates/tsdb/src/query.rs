@@ -6,7 +6,8 @@
 //! come back per matching series, so `SELECT max(mbps) FROM throughput
 //! WHERE region='us-west1' GROUP BY time(1d)` is one call.
 
-use crate::db::Db;
+use crate::db::{Db, Sample};
+use crate::snapshot::Snapshot;
 
 /// Reduction applied to the samples of one window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,57 +146,88 @@ impl Query {
         self
     }
 
-    /// Runs the query against a database.
-    pub fn run(&self, db: &mut Db) -> Vec<SeriesResult> {
-        let mut out = Vec::new();
-        for series in db.matching_series(&self.measurement, &self.filters) {
-            let key = series.key().to_string();
-            let samples = series.samples();
-            // Binary search the time range bounds.
-            let lo = samples.partition_point(|(t, _)| *t < self.start);
-            let hi = samples.partition_point(|(t, _)| *t < self.end);
-            let in_range = &samples[lo..hi];
+    /// Evaluates the query over one series' time-ordered samples. This
+    /// single code path backs both [`Query::run`] and
+    /// [`Query::run_snapshot`], which is what makes their results
+    /// identical by construction.
+    fn eval_series(&self, key: &str, samples: &[Sample]) -> Option<SeriesResult> {
+        // Binary search the time range bounds.
+        let lo = samples.partition_point(|(t, _)| *t < self.start);
+        let hi = samples.partition_point(|(t, _)| *t < self.end);
+        let in_range = &samples[lo..hi];
 
-            let mut rows = Vec::new();
-            match self.window {
-                None => {
-                    let mut values: Vec<f64> = in_range
-                        .iter()
-                        .filter_map(|(_, f)| f.get(&self.field).copied())
-                        .collect();
+        let mut rows = Vec::new();
+        match self.window {
+            None => {
+                let mut values: Vec<f64> = in_range
+                    .iter()
+                    .filter_map(|(_, f)| f.get(&self.field).copied())
+                    .collect();
+                if let Some(v) = self.aggregate.apply(&mut values) {
+                    rows.push(Row {
+                        time: self.start,
+                        value: v,
+                    });
+                }
+            }
+            Some(w) => {
+                let mut i = 0;
+                while i < in_range.len() {
+                    let window_start = in_range[i].0 / w * w;
+                    let window_end = window_start + w;
+                    let mut values = Vec::new();
+                    while i < in_range.len() && in_range[i].0 < window_end {
+                        if let Some(v) = in_range[i].1.get(&self.field) {
+                            values.push(*v);
+                        }
+                        i += 1;
+                    }
                     if let Some(v) = self.aggregate.apply(&mut values) {
                         rows.push(Row {
-                            time: self.start,
+                            time: window_start,
                             value: v,
                         });
                     }
                 }
-                Some(w) => {
-                    let mut i = 0;
-                    while i < in_range.len() {
-                        let window_start = in_range[i].0 / w * w;
-                        let window_end = window_start + w;
-                        let mut values = Vec::new();
-                        while i < in_range.len() && in_range[i].0 < window_end {
-                            if let Some(v) = in_range[i].1.get(&self.field) {
-                                values.push(*v);
-                            }
-                            i += 1;
-                        }
-                        if let Some(v) = self.aggregate.apply(&mut values) {
-                            rows.push(Row {
-                                time: window_start,
-                                value: v,
-                            });
-                        }
-                    }
-                }
             }
-            if !rows.is_empty() {
-                out.push(SeriesResult {
-                    series_key: key,
-                    rows,
-                });
+        }
+        if rows.is_empty() {
+            return None;
+        }
+        Some(SeriesResult {
+            series_key: key.to_string(),
+            rows,
+        })
+    }
+
+    /// Runs the query against a database.
+    ///
+    /// Needs `&mut` only because reading a [`Db`] may finalize lazy
+    /// sorts; pure read-side callers should take a [`Db::snapshot`]
+    /// once and use [`Query::run_snapshot`], which borrows immutably
+    /// and can serve any number of threads.
+    pub fn run(&self, db: &mut Db) -> Vec<SeriesResult> {
+        let mut out = Vec::new();
+        for series in db.matching_series(&self.measurement, &self.filters) {
+            let key = series.key().to_string();
+            if let Some(res) = self.eval_series(&key, series.samples()) {
+                out.push(res);
+            }
+        }
+        out.sort_by(|a, b| a.series_key.cmp(&b.series_key));
+        out
+    }
+
+    /// Runs the query against an immutable [`Snapshot`].
+    ///
+    /// Results are identical to [`Query::run`] over the database the
+    /// snapshot was taken from — both paths share the same per-series
+    /// evaluation and the same canonical result ordering.
+    pub fn run_snapshot(&self, snap: &Snapshot) -> Vec<SeriesResult> {
+        let mut out = Vec::new();
+        for series in snap.matching_series(&self.measurement, &self.filters) {
+            if let Some(res) = self.eval_series(series.key(), series.samples()) {
+                out.push(res);
             }
         }
         out.sort_by(|a, b| a.series_key.cmp(&b.series_key));
@@ -393,6 +425,120 @@ mod tests {
     #[should_panic(expected = "zero window")]
     fn zero_window_panics() {
         Query::select("m", "f").group_by_time(0);
+    }
+
+    #[test]
+    fn run_snapshot_is_identical_to_run() {
+        let mut db = db_with_day();
+        let queries = [
+            Query::select("throughput", "mbps").aggregate(Aggregate::Max),
+            Query::select("throughput", "mbps")
+                .r#where("server", "a")
+                .group_by_time(6 * 3600)
+                .aggregate(Aggregate::Percentile(95.0)),
+            Query::select("throughput", "mbps")
+                .time_range(3600, 20 * 3600)
+                .aggregate(Aggregate::Mean),
+            Query::select("throughput", "nope").aggregate(Aggregate::Sum),
+        ];
+        let snap = db.snapshot();
+        for q in &queries {
+            let direct = q.run(&mut db);
+            let snapped = q.run_snapshot(&snap);
+            assert_eq!(direct.len(), snapped.len());
+            for (d, s) in direct.iter().zip(&snapped) {
+                assert_eq!(d.series_key, s.series_key);
+                assert_eq!(d.rows, s.rows);
+            }
+        }
+    }
+
+    #[test]
+    fn every_aggregate_on_a_single_point_is_well_defined() {
+        // A serve client can send any aggregate against any series; a
+        // one-sample series must answer all of them without artifacts.
+        let mut db = Db::new();
+        db.insert(Point::new("m", 7).tag("s", "x").field("f", 3.25));
+        for (agg, want) in [
+            (Aggregate::Min, 3.25),
+            (Aggregate::Max, 3.25),
+            (Aggregate::Mean, 3.25),
+            (Aggregate::Count, 1.0),
+            (Aggregate::Sum, 3.25),
+            (Aggregate::Last, 3.25),
+            (Aggregate::Percentile(0.0), 3.25),
+            (Aggregate::Percentile(50.0), 3.25),
+            (Aggregate::Percentile(100.0), 3.25),
+        ] {
+            let res = Query::select("m", "f").aggregate(agg).run(&mut db);
+            assert_eq!(res[0].rows[0].value, want, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn every_aggregate_on_an_empty_value_set_yields_no_row() {
+        // The series exists but lacks the queried field: the candidate
+        // set is empty for every aggregate, grouped or not.
+        let mut db = Db::new();
+        db.insert(Point::new("m", 0).tag("s", "x").field("other", 1.0));
+        for agg in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Mean,
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Last,
+            Aggregate::Percentile(95.0),
+        ] {
+            assert!(
+                Query::select("m", "f")
+                    .aggregate(agg)
+                    .run(&mut db)
+                    .is_empty(),
+                "{agg:?} ungrouped"
+            );
+            assert!(
+                Query::select("m", "f")
+                    .group_by_time(60)
+                    .aggregate(agg)
+                    .run(&mut db)
+                    .is_empty(),
+                "{agg:?} grouped"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_inputs_guarantee_finite_outputs() {
+        // NaN-free guarantee: for finite stored fields, no aggregate at
+        // any rank may produce NaN or infinity — serve responses encode
+        // through JSON, where non-finite values degrade to null.
+        let mut db = Db::new();
+        for (t, v) in [(0u64, -5.0), (1, 0.0), (2, 1e300), (3, -1e300), (4, 2.5)] {
+            db.insert(Point::new("m", t).tag("s", "x").field("f", v));
+        }
+        let ranks = [0.0, 0.1, 33.3, 50.0, 66.7, 99.9, 100.0, -3.0, 250.0];
+        for agg in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Mean,
+            Aggregate::Count,
+            Aggregate::Last,
+        ]
+        .into_iter()
+        .chain(ranks.into_iter().map(Aggregate::Percentile))
+        {
+            for q in [
+                Query::select("m", "f").aggregate(agg),
+                Query::select("m", "f").group_by_time(2).aggregate(agg),
+            ] {
+                for series in q.run(&mut db) {
+                    for row in &series.rows {
+                        assert!(row.value.is_finite(), "{agg:?} -> {}", row.value);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

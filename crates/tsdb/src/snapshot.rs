@@ -1,0 +1,274 @@
+//! Immutable, generation-stamped snapshots of a [`Db`](crate::Db).
+//!
+//! A [`Snapshot`] is the read side of the serve architecture: the writer
+//! calls [`Db::snapshot`](crate::Db::snapshot) at publish barriers, and
+//! any number of readers
+//! query the returned value concurrently without touching the writer's
+//! lock again — everything inside is behind `Arc`s, so cloning a
+//! snapshot is two pointer bumps and queries never block ingest.
+//!
+//! Snapshots are *epoch/generation-based*: every materialisation of a
+//! changed database bumps [`Snapshot::generation`], and an unchanged
+//! database returns the previous snapshot (same generation, same Arcs).
+//! The generation therefore uniquely identifies snapshot *content* for
+//! a given `(seed, config)` pair, which is what makes deterministic
+//! query responses cacheable forever (see `clasp-serve`).
+//!
+//! Construction reuses per-series [`SeriesSnap`] Arcs for series that
+//! have not changed since the last snapshot, so the steady-state cost of
+//! a publish is proportional to the data that actually arrived, not to
+//! the whole database.
+
+use crate::db::Sample;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One series frozen at snapshot time: the shared tag set plus its
+/// time-ordered samples. Immutable by construction — the samples were
+/// sorted before the snapshot was taken.
+#[derive(Debug)]
+pub struct SeriesSnap {
+    /// Measurement name.
+    pub measurement: String,
+    /// The series' tag set.
+    pub tags: BTreeMap<String, String>,
+    /// Interned canonical series key (`measurement,tag1=v1,...`).
+    key: String,
+    /// Time-ordered samples.
+    samples: Vec<Sample>,
+}
+
+impl SeriesSnap {
+    pub(crate) fn new(
+        measurement: String,
+        tags: BTreeMap<String, String>,
+        key: String,
+        samples: Vec<Sample>,
+    ) -> Self {
+        Self {
+            measurement,
+            tags,
+            key,
+            samples,
+        }
+    }
+
+    /// The canonical series key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Time-ordered view of the samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// An immutable view of the whole database at one publish epoch.
+///
+/// Cheap to clone (`Arc` internally); safe to hand to any number of
+/// reader threads. See the [module docs](self) for the generation
+/// contract.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    generation: u64,
+    points: u64,
+    series: Arc<Vec<Arc<SeriesSnap>>>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(generation: u64, points: u64, series: Vec<Arc<SeriesSnap>>) -> Self {
+        Self {
+            generation,
+            points,
+            series: Arc::new(series),
+        }
+    }
+
+    /// The publish epoch this snapshot materialises. Strictly
+    /// monotonically increasing across *changed* snapshots of one
+    /// [`Db`](crate::Db); repeated snapshots of an unchanged database
+    /// share a generation (and the underlying storage).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total points across all series at snapshot time.
+    pub fn points(&self) -> u64 {
+        self.points
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// All series, in first-insertion order (i.e. by
+    /// [`SeriesId`](crate::SeriesId)).
+    pub fn series(&self) -> impl Iterator<Item = &SeriesSnap> {
+        self.series.iter().map(|s| s.as_ref())
+    }
+
+    /// The series of a measurement that match all `filters`
+    /// (tag key → required value), in first-insertion order.
+    pub fn matching_series(
+        &self,
+        measurement: &str,
+        filters: &[(String, String)],
+    ) -> Vec<&SeriesSnap> {
+        self.series
+            .iter()
+            .filter(|s| {
+                s.measurement == measurement
+                    && filters
+                        .iter()
+                        .all(|(k, v)| s.tags.get(k).is_some_and(|tv| tv == v))
+            })
+            .map(|s| s.as_ref())
+            .collect()
+    }
+
+    /// Looks a series up by measurement and exact tag set.
+    pub fn series_by_tags(
+        &self,
+        measurement: &str,
+        tags: &BTreeMap<String, String>,
+    ) -> Option<&SeriesSnap> {
+        self.series
+            .iter()
+            .find(|s| s.measurement == measurement && s.tags == *tags)
+            .map(|s| s.as_ref())
+    }
+
+    /// Distinct values of `tag` across all series of a measurement.
+    pub fn tag_values(&self, measurement: &str, tag: &str) -> Vec<String> {
+        let mut vals: Vec<String> = self
+            .series
+            .iter()
+            .filter(|s| s.measurement == measurement)
+            .filter_map(|s| s.tags.get(tag).cloned())
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::Db;
+    use crate::point::Point;
+
+    fn point(server: &str, t: u64, mbps: f64) -> Point {
+        Point::new("throughput", t)
+            .tag("server", server)
+            .field("mbps", mbps)
+    }
+
+    #[test]
+    fn snapshot_freezes_state() {
+        let mut db = Db::new();
+        db.insert(point("a", 0, 1.0));
+        let snap = db.snapshot();
+        db.insert(point("a", 1, 2.0));
+        db.insert(point("b", 0, 3.0));
+        // The snapshot still sees the world as it was.
+        assert_eq!(snap.series_count(), 1);
+        assert_eq!(snap.points(), 1);
+        let later = db.snapshot();
+        assert_eq!(later.series_count(), 2);
+        assert_eq!(later.points(), 3);
+        assert!(later.generation() > snap.generation());
+    }
+
+    #[test]
+    fn unchanged_db_reuses_generation_and_storage() {
+        let mut db = Db::new();
+        db.insert(point("a", 0, 1.0));
+        let s1 = db.snapshot();
+        let s2 = db.snapshot();
+        assert_eq!(s1.generation(), s2.generation());
+        // Same Arc underneath, not merely equal content.
+        let a1 = s1.matching_series("throughput", &[])[0] as *const _;
+        let a2 = s2.matching_series("throughput", &[])[0] as *const _;
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn untouched_series_are_shared_across_generations() {
+        let mut db = Db::new();
+        db.insert(point("a", 0, 1.0));
+        db.insert(point("b", 0, 2.0));
+        let s1 = db.snapshot();
+        db.insert(point("b", 1, 3.0));
+        let s2 = db.snapshot();
+        assert!(s2.generation() > s1.generation());
+        let tags = |n: &str| [("server".to_string(), n.to_string())];
+        // "a" did not change: the snapshots share its storage.
+        let a1 = s1.matching_series("throughput", &tags("a"))[0] as *const _;
+        let a2 = s2.matching_series("throughput", &tags("a"))[0] as *const _;
+        assert_eq!(a1, a2);
+        // "b" did change: fresh storage, updated contents.
+        let b1 = s1.matching_series("throughput", &tags("b"))[0];
+        let b2 = s2.matching_series("throughput", &tags("b"))[0];
+        assert_ne!(b1 as *const _, b2 as *const _);
+        assert_eq!(b1.len(), 1);
+        assert_eq!(b2.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_samples_are_time_sorted() {
+        let mut db = Db::new();
+        db.insert(point("a", 100, 1.0));
+        db.insert(point("a", 50, 2.0));
+        db.insert(point("a", 75, 3.0));
+        let snap = db.snapshot();
+        let s = snap.matching_series("throughput", &[])[0];
+        let times: Vec<u64> = s.samples().iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn matching_and_tag_values_mirror_db_semantics() {
+        let mut db = Db::new();
+        for s in ["b", "a", "c"] {
+            db.insert(point(s, 0, 1.0));
+        }
+        let snap = db.snapshot();
+        assert_eq!(snap.tag_values("throughput", "server"), vec!["a", "b", "c"]);
+        assert!(snap.tag_values("latency", "server").is_empty());
+        assert_eq!(
+            snap.matching_series("throughput", &[("server".to_string(), "a".to_string())])
+                .len(),
+            1
+        );
+        let tags: std::collections::BTreeMap<String, String> =
+            [("server".to_string(), "b".to_string())].into();
+        assert!(snap.series_by_tags("throughput", &tags).is_some());
+        assert!(snap.series_by_tags("latency", &tags).is_none());
+    }
+
+    #[test]
+    fn retention_invalidates_series_cache() {
+        let mut db = Db::new();
+        for t in 0..10 {
+            db.insert(point("a", t, 1.0));
+        }
+        let s1 = db.snapshot();
+        crate::rollup::enforce_retention(&mut db, "throughput", 5);
+        let s2 = db.snapshot();
+        assert_eq!(s1.matching_series("throughput", &[])[0].len(), 10);
+        assert_eq!(s2.matching_series("throughput", &[])[0].len(), 5);
+        assert!(s2.generation() > s1.generation());
+    }
+}

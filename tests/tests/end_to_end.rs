@@ -46,13 +46,15 @@ fn selection_servers_are_the_measured_servers() {
 fn hourly_granularity_holds_for_every_topo_server() {
     let (_, mut res) = run(303);
     let days = 4; // CampaignConfig::small
+                  // Pure reads: one snapshot serves the whole per-server sweep.
+    let snap = res.db.snapshot();
     for sid in res.topo_selections[0].servers.clone() {
         let counts = Query::select("speedtest", "download")
             .r#where("server", &sid)
             .r#where("method", "topo")
             .group_by_time(3600)
             .aggregate(Aggregate::Count)
-            .run(&mut res.db);
+            .run_snapshot(&snap);
         assert_eq!(counts.len(), 1);
         assert_eq!(counts[0].rows.len(), days * 24, "{sid}");
         assert!(counts[0].rows.iter().all(|r| r.value == 1.0));

@@ -1,0 +1,347 @@
+//! Serve equivalence: the service boundary must be invisible to bytes.
+//!
+//! Responses from `clasp-serve` are required to be *byte-identical* to
+//! encoding an in-process [`Query::run_snapshot`] over the same
+//! published generation — regardless of which transport carried the
+//! request, whether the response came from the cache, and how the
+//! ingest batches interleaved on arrival. These tests pin that
+//! contract at the integration level, with campaign-shaped data the
+//! unit tests in `clasp-serve` do not see.
+
+use clasp_core::campaign::{Campaign, CampaignConfig};
+use clasp_core::world::World;
+use clasp_serve::{Client, LocalTransport, QuerySpec, Server, ServerConfig, TcpTransport};
+use serde_json::Value;
+use std::sync::Arc;
+use tsdb::{Aggregate, Point, Snapshot};
+
+/// Reconstructs the full point stream of a snapshot, in canonical
+/// (series-insertion, then time) order.
+fn snapshot_points(snap: &Snapshot) -> Vec<Point> {
+    let mut points = Vec::new();
+    for series in snap.series() {
+        for (time, fields) in series.samples() {
+            points.push(Point::from_parts(
+                series.measurement.clone(),
+                series.tags.clone(),
+                fields.clone(),
+                *time,
+            ));
+        }
+    }
+    points
+}
+
+/// The bytes the server *must* produce for `spec`: an in-process
+/// evaluation over the currently published snapshot, rendered through
+/// the one shared encoder.
+fn expected_bytes(server: &Server, spec: &QuerySpec) -> String {
+    let snap = server.snapshot();
+    let results = spec.to_query().run_snapshot(&snap);
+    let Value::Object(m) = clasp_serve::proto::results_to_value(snap.generation(), &results) else {
+        unreachable!("results_to_value returns an object")
+    };
+    clasp_serve::proto::ok_response(m)
+}
+
+fn stat(stats: &Value, section: &str, name: &str) -> u64 {
+    stats
+        .get(section)
+        .and_then(|s| s.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats missing {section}.{name}"))
+}
+
+#[test]
+fn campaign_data_served_matches_in_process_bytes() {
+    // A real (small) campaign, not synthetic points: the serve layer
+    // must reproduce exactly what the analysis pipeline would compute.
+    let world = World::tiny(401);
+    let mut cfg = CampaignConfig::small(401);
+    cfg.days = 2;
+    cfg.diff_regions.clear();
+    let mut res = Campaign::new(&world, cfg)
+        .runner()
+        .run()
+        .expect("fresh runs cannot fail");
+    let source = res.db.snapshot();
+    let points = snapshot_points(&source);
+    assert_eq!(points.len() as u64, source.points());
+
+    let server = Arc::new(Server::new(ServerConfig {
+        seed: 401,
+        config_hash: 0x5e7e,
+        ..ServerConfig::default()
+    }));
+    // Shard the stream across three sequenced feeders, round-robin, so
+    // the publish barrier has real multi-client staging to order.
+    let mut feeders: Vec<Client<LocalTransport>> = (0..3)
+        .map(|k| {
+            Client::new(
+                format!("feeder-{k}"),
+                LocalTransport::new(Arc::clone(&server)),
+            )
+        })
+        .collect();
+    let shards: Vec<Vec<Point>> = (0..3)
+        .map(|k| {
+            points
+                .iter()
+                .skip(k)
+                .step_by(3)
+                .cloned()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (feeder, shard) in feeders.iter_mut().zip(shards) {
+        for batch in shard.chunks(256) {
+            feeder.ingest(batch.to_vec()).unwrap();
+        }
+    }
+    let generation = feeders[0].publish().unwrap();
+    assert_eq!(server.snapshot().points(), source.points());
+
+    let specs = [
+        QuerySpec::select("speedtest", "download")
+            .r#where("method", "topo")
+            .group_by_time(3600)
+            .aggregate(Aggregate::Percentile(95.0)),
+        QuerySpec::select("speedtest", "upload").aggregate(Aggregate::Mean),
+        QuerySpec::select("speedtest", "latency").aggregate(Aggregate::Percentile(5.0)),
+        QuerySpec::select("speedtest", "download")
+            .group_by_time(86400)
+            .aggregate(Aggregate::Count),
+    ];
+    let mut reader = Client::new("reader", LocalTransport::new(Arc::clone(&server)));
+    for spec in &specs {
+        let want = expected_bytes(&server, spec);
+        // First read misses the cache, second hits it; both must be the
+        // same bytes as the in-process evaluation.
+        let (_, miss) = reader.query(spec).unwrap();
+        let (_, hit) = reader.query(spec).unwrap();
+        assert_eq!(miss, want, "{}", spec.canonical());
+        assert_eq!(hit, want, "{}", spec.canonical());
+        assert!(miss.contains(&format!("\"generation\":{generation}")));
+    }
+    let stats = reader.stats().unwrap();
+    assert_eq!(stat(&stats, "cache", "hits"), specs.len() as u64);
+    assert_eq!(stat(&stats, "cache", "misses"), specs.len() as u64);
+}
+
+#[test]
+fn arrival_interleaving_does_not_change_served_bytes() {
+    // The same per-client batches delivered in two different arrival
+    // orders must publish identical generations and identical bytes.
+    let batch = |base: u64| -> Vec<Point> {
+        (0..10)
+            .map(|i| {
+                Point::new("speedtest", base + i)
+                    .tag("server", if i % 2 == 0 { "s-a" } else { "s-b" })
+                    .field("download", (base + i * 7) as f64)
+            })
+            .collect()
+    };
+    let build = |order: &[usize]| -> (Arc<Server>, String) {
+        let server = Arc::new(Server::new(ServerConfig::default()));
+        let mut clients: Vec<Client<LocalTransport>> = (0..3)
+            .map(|k| Client::new(format!("c{k}"), LocalTransport::new(Arc::clone(&server))))
+            .collect();
+        // `order[i]` names which client sends its next batch at step i;
+        // each client contributes exactly two batches.
+        let mut sent = [0u64; 3];
+        for &k in order {
+            let base = (k as u64) * 1000 + sent[k] * 100;
+            clients[k].ingest(batch(base)).unwrap();
+            sent[k] += 1;
+        }
+        clients[0].publish().unwrap();
+        let spec = QuerySpec::select("speedtest", "download")
+            .group_by_time(50)
+            .aggregate(Aggregate::Sum);
+        let (_, bytes) = clients[0].query(&spec).unwrap();
+        (server, bytes)
+    };
+    // Two fixed permutations of the six deliveries (no randomness —
+    // determinism tests must themselves be deterministic).
+    let (sa, bytes_a) = build(&[0, 0, 1, 1, 2, 2]);
+    let (sb, bytes_b) = build(&[2, 1, 0, 2, 1, 0]);
+    assert_eq!(bytes_a, bytes_b);
+    assert_eq!(
+        sa.snapshot().generation(),
+        sb.snapshot().generation(),
+        "same logical content must land on the same generation"
+    );
+    assert_eq!(sa.snapshot().points(), sb.snapshot().points());
+}
+
+#[test]
+fn generations_invalidate_the_cache_but_never_the_bytes() {
+    let server = Arc::new(Server::new(ServerConfig::default()));
+    let mut c = Client::new("w", LocalTransport::new(Arc::clone(&server)));
+    c.ingest(
+        (0..50)
+            .map(|t| Point::new("m", t).tag("s", "a").field("f", t as f64))
+            .collect(),
+    )
+    .unwrap();
+    let gen1 = c.publish().unwrap();
+    let spec = QuerySpec::select("m", "f")
+        .group_by_time(10)
+        .aggregate(Aggregate::Mean);
+    let (_, first) = c.query(&spec).unwrap();
+    let (_, again) = c.query(&spec).unwrap();
+    assert_eq!(first, again);
+    assert_eq!(first, expected_bytes(&server, &spec));
+
+    // New data, new generation: the same spec now misses the cache and
+    // returns new bytes that still match an in-process evaluation.
+    c.ingest(
+        (50..80)
+            .map(|t| Point::new("m", t).tag("s", "a").field("f", (t * 3) as f64))
+            .collect(),
+    )
+    .unwrap();
+    let gen2 = c.publish().unwrap();
+    assert!(gen2 > gen1);
+    let (_, after) = c.query(&spec).unwrap();
+    assert_ne!(after, first);
+    assert_eq!(after, expected_bytes(&server, &spec));
+    let stats = c.stats().unwrap();
+    assert_eq!(stat(&stats, "cache", "hits"), 1);
+    assert_eq!(stat(&stats, "cache", "misses"), 2);
+}
+
+#[test]
+fn tcp_and_local_bytes_agree_across_generations() {
+    let server = Arc::new(Server::new(ServerConfig::default()));
+    let mut writer = Client::new("w", LocalTransport::new(Arc::clone(&server)));
+    writer
+        .ingest(
+            (0..40)
+                .map(|t| Point::new("m", t).tag("s", "a").field("f", (t % 7) as f64))
+                .collect(),
+        )
+        .unwrap();
+    writer.publish().unwrap();
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = Arc::clone(&server);
+    let accept = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        clasp_serve::wire::serve_stream(&srv, stream).unwrap();
+    });
+    let mut tcp = Client::new("r-tcp", TcpTransport::connect(&addr.to_string()).unwrap());
+    let mut local = Client::new("r-local", LocalTransport::new(Arc::clone(&server)));
+    let spec = QuerySpec::select("m", "f")
+        .group_by_time(8)
+        .aggregate(Aggregate::Max);
+
+    let (_, t1) = tcp.query(&spec).unwrap();
+    let (_, l1) = local.query(&spec).unwrap();
+    assert_eq!(t1, l1);
+
+    // Publish a new generation mid-connection; both transports follow.
+    writer
+        .ingest(vec![Point::new("m", 100).tag("s", "a").field("f", 9.0)])
+        .unwrap();
+    writer.publish().unwrap();
+    let (_, t2) = tcp.query(&spec).unwrap();
+    let (_, l2) = local.query(&spec).unwrap();
+    assert_eq!(t2, l2);
+    assert_ne!(t2, t1);
+    drop(tcp);
+    accept.join().unwrap();
+}
+
+#[test]
+fn tail_accounting_balances_across_the_service_boundary() {
+    let server = Arc::new(Server::new(ServerConfig::default()));
+    let mut c = Client::new("w", LocalTransport::new(Arc::clone(&server)));
+    // Subscribe *before* any ingest with a buffer smaller than the
+    // stream: backpressure must be visible and exact, never silent.
+    let tail = c.subscribe(8).unwrap();
+    let mut applied = 0u64;
+    let mut drained = 0u64;
+    let mut overflow = 0u64;
+    for round in 0..3u64 {
+        c.ingest(
+            (0..10)
+                .map(|i| {
+                    let t = round * 10 + i;
+                    Point::new("m", t).tag("s", "a").field("f", t as f64)
+                })
+                .collect(),
+        )
+        .unwrap();
+        c.publish().unwrap();
+        applied += 10;
+        let (points, of, remaining) = c.poll(tail, 1024).unwrap();
+        drained += points.len() as u64;
+        overflow = of; // cumulative per tail
+        assert_eq!(remaining, 0, "poll with a large max drains fully");
+    }
+    assert_eq!(
+        drained + overflow,
+        applied,
+        "every applied point is either delivered or counted as overflow"
+    );
+    assert!(
+        overflow > 0,
+        "a capacity-8 tail must overflow on 10-point rounds"
+    );
+
+    // After unsubscribe the tail is gone and accrual stops.
+    c.unsubscribe(tail).unwrap();
+    assert!(c.poll(tail, 1).is_err());
+    c.ingest(vec![Point::new("m", 99).tag("s", "a").field("f", 1.0)])
+        .unwrap();
+    c.publish().unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stat(&stats, "db", "tail_overflow"), overflow);
+    assert_eq!(
+        stats.get("open_tails").and_then(Value::as_u64),
+        Some(0),
+        "registry must be empty after unsubscribe"
+    );
+}
+
+#[test]
+fn concurrent_clients_cannot_corrupt_sequencing() {
+    // Many threads, each its own client identity, racing ingest and
+    // publish: the result must equal the points fed, exactly.
+    let server = Arc::new(Server::new(ServerConfig::default()));
+    let threads: Vec<_> = (0..8)
+        .map(|k: u64| {
+            let srv = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut c = Client::new(format!("t{k:02}"), LocalTransport::new(srv));
+                for b in 0..5u64 {
+                    c.ingest(
+                        (0..20)
+                            .map(|i| {
+                                let t = k * 10_000 + b * 100 + i;
+                                Point::new("m", t)
+                                    .tag("thread", format!("t{k:02}"))
+                                    .field("f", i as f64)
+                            })
+                            .collect(),
+                    )
+                    .unwrap();
+                    if b % 2 == 0 {
+                        c.publish().unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut c = Client::new("check", LocalTransport::new(Arc::clone(&server)));
+    c.publish().unwrap();
+    assert_eq!(server.snapshot().points(), 8 * 5 * 20);
+    let spec = QuerySpec::select("m", "f").aggregate(Aggregate::Count);
+    let (_, bytes) = c.query(&spec).unwrap();
+    assert_eq!(bytes, expected_bytes(&server, &spec));
+}
