@@ -122,6 +122,13 @@ fn main() {
     summary.insert("seed".into(), PAPER_SEED.into());
     summary.insert("bench_days".into(), BENCH_DAYS.into());
     summary.insert("available_parallelism".into(), parallelism.into());
+    summary.insert(
+        "environment".into(),
+        Value::Object(clasp_bench::environment(
+            PAPER_SEED,
+            *JOBS.last().expect("JOBS is non-empty") as u64,
+        )),
+    );
     summary.insert("smoke".into(), smoke.into());
     summary.insert("results".into(), Value::Array(rows));
     let summary = Value::Object(summary);

@@ -258,6 +258,10 @@ fn main() {
     summary.insert("days".into(), days.into());
     summary.insert("smoke".into(), smoke.into());
     summary.insert("available_parallelism".into(), parallelism.into());
+    summary.insert(
+        "environment".into(),
+        Value::Object(clasp_bench::environment(PAPER_SEED, READERS as u64)),
+    );
     summary.insert("readers".into(), READERS.into());
     summary.insert("tails".into(), TAILS.into());
     summary.insert("points".into(), total.into());

@@ -26,3 +26,36 @@ pub fn world() -> &'static clasp_core::world::World {
 pub fn campaign() -> clasp_core::campaign::CampaignResult {
     analysis::harness::quick_campaign(world(), BENCH_DAYS)
 }
+
+/// Environment metadata stamped into every `BENCH_*.json` summary, so
+/// recorded numbers can be compared apples-to-apples across machines
+/// and toolchains: the rustc that built the bench, the machine's
+/// available parallelism, and the seed / worker count the bench ran
+/// with.
+pub fn environment(seed: u64, jobs: u64) -> serde_json::Map {
+    let mut m = serde_json::Map::new();
+    m.insert("rustc".into(), rustc_version().into());
+    m.insert(
+        "available_parallelism".into(),
+        (std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1))
+        .into(),
+    );
+    m.insert("seed".into(), seed.into());
+    m.insert("jobs".into(), jobs.into());
+    m
+}
+
+/// `rustc --version` of the toolchain (honouring `$RUSTC`), or
+/// `"unknown"` when the compiler cannot be invoked.
+fn rustc_version() -> String {
+    std::process::Command::new(std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into()))
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}

@@ -98,10 +98,11 @@ fn fnv1a(s: &str) -> u64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clasp <crawl|select|run|analyze|stream|report|bill|serve> \
+        "usage: clasp <crawl|select|run|analyze|stream|report|diag|bill|serve> \
          [--seed N] [--region R] [--budget N] [--days N] [--jobs N] \
          [--threshold H] [--auto-threshold] [--paper] \
          [--fault-profile <name|path.json>] \
+         [--scenarios N] [--min-top1 F] [--min-agreement F] [--json] \
          [--clients N] [--port P] \
          [--metrics FILE] [--trace FILE]"
     );
@@ -639,6 +640,43 @@ fn main() {
                     eprintln!("accept loop failed: {e}");
                     std::process::exit(1);
                 }
+            }
+        }
+        "diag" => {
+            let mut cfg = clasp_core::diag::DiagConfig::new(seed);
+            cfg.scenarios = arg_u64(&args, "--scenarios", cfg.scenarios);
+            cfg.days = arg_u64(&args, "--days", cfg.days);
+            cfg.budget = arg_u64(&args, "--budget", cfg.budget as u64) as usize;
+            cfg.jobs = jobs.max(1);
+            cfg.threshold = threshold;
+            let metrics_path = arg_opt(&args, "--metrics");
+            let trace_path = arg_opt(&args, "--trace");
+            let observed = metrics_path.is_some() || trace_path.is_some();
+            let obs = Observer::new();
+            let report = clasp_core::diag::run_suite(&cfg, observed.then_some(&obs));
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", serde_json::to_string(&report.to_json()));
+            } else {
+                print!("{}", report.render());
+            }
+            write_telemetry(&obs, metrics_path.as_deref(), trace_path.as_deref());
+            // CI regression gates: fail the run when the diagnosis
+            // quality drops below the recorded floors.
+            let min_top1 = arg_f64(&args, "--min-top1", 0.0);
+            let min_agreement = arg_f64(&args, "--min-agreement", 0.0);
+            if report.top1_rate() < min_top1 {
+                eprintln!(
+                    "diag: top-1 localization rate {:.2} below floor {min_top1:.2}",
+                    report.top1_rate()
+                );
+                std::process::exit(1);
+            }
+            if report.mitigation_agreement() < min_agreement {
+                eprintln!(
+                    "diag: mitigation agreement {:.2} below floor {min_agreement:.2}",
+                    report.mitigation_agreement()
+                );
+                std::process::exit(1);
             }
         }
         "bill" => {

@@ -479,10 +479,15 @@ impl<'w> Campaign<'w> {
         resume: Option<&serde_json::Value>,
         mut stream: Option<&mut clasp_stream::StreamEngine>,
     ) -> Result<CampaignResult, String> {
-        let session = self.world.session();
         let client = SpeedTestClient::default();
         let cron = CronSchedule::new(self.config.seed ^ 0xc407);
         let fplan = self.config.effective_fault_plan();
+        // Link faults degrade the fluid model for every path evaluated
+        // by this session. An empty degradation set is bitwise
+        // invisible, so zero-link-fault plans reproduce old campaigns.
+        let mut session = self.world.session();
+        session.perf.set_degradations(fplan.link_degradations());
+        let session = session;
         let mut db = Db::new();
         // Streaming: a bounded tail mirrors every insert to the engine.
         // On resume the engine's replay cursor (`events_seen`) skips the
@@ -519,6 +524,7 @@ impl<'w> Campaign<'w> {
         let mut completed = st.completed;
         // Durable raw snapshots of completed units, label → bucket dump.
         let mut raw_store = st.raw_store;
+        record_link_faults(&fplan, resume.is_none(), &mut flog);
 
         let diff_start = SimTime((self.config.days - self.config.diff_days) * SECONDS_PER_DAY);
 
@@ -745,6 +751,7 @@ impl<'w> Campaign<'w> {
         let mut completed = st.completed;
         let mut raw_store = st.raw_store;
         let mut exec_metrics = st.exec_metrics;
+        record_link_faults(&fplan, resume.is_none(), &mut flog);
         let mut raw_objects = 0u64;
         let mut buckets = Vec::new();
         let mut topo_selections = Vec::new();
@@ -797,10 +804,15 @@ impl<'w> Campaign<'w> {
         drop(span0);
 
         let span1 = observer.map(|o| o.span("phase1:unit_prep"));
+        let degradations = fplan.link_degradations();
         let (preps, shards): (Vec<UnitPrep>, _) = exec::scatter_metered(
             jobs,
             units.len(),
-            || self.world.session_with(&tables),
+            || {
+                let mut session = self.world.session_with(&tables);
+                session.perf.set_degradations(degradations.clone());
+                session
+            },
             |session, shard, i| {
                 shard.inc("prep.units", 1);
                 let (_, region_name, kind) = &units[i];
@@ -945,7 +957,11 @@ impl<'w> Campaign<'w> {
         let outputs: Vec<VmOutput> = exec::scatter_with(
             jobs,
             tasks.len(),
-            || self.world.session_with(&tables),
+            || {
+                let mut session = self.world.session_with(&tables);
+                session.perf.set_degradations(degradations.clone());
+                session
+            },
             |session, t| {
                 let task = tasks[t];
                 let region = Region::by_name(units[task.unit].1).expect("known region");
@@ -1580,6 +1596,29 @@ fn record_collected(obs: &Observer, label: &str, decoded: &[pipeline::DecodedObj
             );
         }
     });
+}
+
+/// Records the plan's link faults into the ground-truth log, once per
+/// campaign: fresh runs append them before any unit executes (so ids
+/// precede all VM-loop faults in both the serial and the merged
+/// parallel order); resumed runs restore them from the checkpointed
+/// log instead. Link faults degrade paths rather than eating VM-hours,
+/// so they are marked recovered at window end and contribute no lost
+/// server-hours to completeness reconciliation.
+fn record_link_faults(fplan: &FaultPlan, fresh: bool, flog: &mut FaultLog) {
+    if !fresh {
+        return;
+    }
+    for lf in &fplan.link_faults {
+        let id = flog.record(
+            lf.start_hour * 3600,
+            lf.kind,
+            "interconnect",
+            &format!("link-{}", lf.link),
+            format!("{}h, magnitude {}", lf.duration_hours, lf.magnitude),
+        );
+        flog.mark_recovered(id, 0, (lf.start_hour + lf.duration_hours) * 3600);
+    }
 }
 
 /// Per-tier crontab/RNG salt: the premium and standard VMs of a

@@ -1,0 +1,678 @@
+//! Campaign-to-diagnosis glue: the `clasp diag` scenario suite.
+//!
+//! `clasp-diag` is a pure library — it ranks links from evidence and
+//! scores the ranking against ground truth, but it does not know how to
+//! *produce* the evidence. This module does: it injects link faults
+//! into small campaigns, runs them through the normal [`crate::Runner`] path,
+//! and converts the campaign's outputs (congestion labels, bdrmap link
+//! groupings, per-hop traceroute RTT, differential tier deltas) into
+//! the localizer's [`ServerObs`] inputs, then evaluates candidate
+//! mitigations with the fluid model against a full speed-test replay.
+//!
+//! Each scenario is a pure function of `(suite seed, scenario index)`:
+//! a fresh tiny world, an injected fault on a link the selection
+//! actually measures through, a short campaign, and a diagnosis. The
+//! resulting [`DiagReport`] is byte-identical across `--jobs` counts
+//! and checkpoint resumes because every input it consumes already is.
+
+use crate::campaign::{Campaign, CampaignConfig, CampaignResult};
+use crate::congestion::CongestionAnalysis;
+use crate::select::topology::{prefix_flow, TopologySelection};
+use crate::world::World;
+use clasp_diag::{
+    localize, rank_actions, score_rankings, true_congested_links, ActionEval, DiagReport, HopRtt,
+    MitigationAction, PathSummary, ScenarioReport, ServerObs, TruthConfig, Window,
+};
+use clasp_obs::Observer;
+use cloudsim::region::Region;
+use faultsim::{FaultKind, LinkFault};
+use simnet::perf::{FlowSpec, LinkDegradation};
+use simnet::routing::{load_key, Direction, SegmentKind, Tier};
+use simnet::time::SimTime;
+use speedtest::client::{PathPair, SpeedTestClient};
+use speedtest::platform::Server;
+
+/// Suite parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DiagConfig {
+    /// Suite master seed; scenario seeds derive from it.
+    pub seed: u64,
+    /// Number of injected-fault scenarios.
+    pub scenarios: u64,
+    /// Campaign length per scenario, days (≥ 4: quiet day, two fault
+    /// days, quiet day).
+    pub days: u64,
+    /// Per-region topology server budget per scenario.
+    pub budget: usize,
+    /// Worker threads for each scenario's campaign (as in
+    /// [`CampaignConfig::jobs`]).
+    pub jobs: usize,
+    /// `V_H` event threshold `H` (the paper's 0.5).
+    pub threshold: f64,
+    /// Ground-truth extraction thresholds.
+    pub truth: TruthConfig,
+}
+
+impl DiagConfig {
+    /// The default suite for a seed: 5 scenarios on 4-day campaigns.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            scenarios: 5,
+            days: 4,
+            budget: 12,
+            jobs: 1,
+            threshold: 0.5,
+            truth: TruthConfig::default(),
+        }
+    }
+}
+
+/// The region every scenario measures from. Scenario diversity comes
+/// from the world seed (a new topology per scenario), not the region.
+const DIAG_REGION: &str = "us-west1";
+/// Local start hour of each day's fault window.
+const FAULT_START: u64 = 8;
+/// Fault window length, hours. Part of a day, not all of it: the
+/// detector keys on *within-day* variability, as real diurnal
+/// congestion does.
+const FAULT_HOURS: u64 = 12;
+/// Border-hop RTT sampling stride, hours.
+const RTT_STRIDE: u64 = 2;
+
+/// Runs the whole scenario suite.
+pub fn run_suite(cfg: &DiagConfig, obs: Option<&Observer>) -> DiagReport {
+    let root = obs.map(|o| o.span("diag"));
+    let scenarios: Vec<ScenarioReport> = (0..cfg.scenarios)
+        .map(|i| run_scenario(cfg, i, obs))
+        .collect();
+    let report = DiagReport {
+        seed: cfg.seed,
+        scenarios,
+    };
+    if let Some(o) = obs {
+        o.with_metrics(|m| {
+            m.set_gauge("diag.scenarios", report.scenarios.len() as f64);
+            m.set_gauge("diag.top1_rate", report.top1_rate());
+            m.set_gauge("diag.mitigation_agreement", report.mitigation_agreement());
+        });
+    }
+    drop(root);
+    report
+}
+
+/// Runs one scenario: world, fault, campaign, diagnosis.
+pub fn run_scenario(cfg: &DiagConfig, index: u64, obs: Option<&Observer>) -> ScenarioReport {
+    let span = obs.map(|o| o.span("diag:scenario"));
+    let seed = scenario_seed(cfg.seed, index);
+    let world = World::tiny(seed);
+    let faults = plan_faults(cfg, &world, seed, index);
+    let config = scenario_campaign_config(cfg, seed, faults.clone());
+    let campaign = Campaign::new(&world, config);
+    let mut runner = campaign.runner();
+    if let Some(o) = obs {
+        runner = runner.observer(o);
+    }
+    let mut result = runner.run().expect("fresh diag campaigns cannot fail");
+    let report = diagnose(cfg, index, seed, &world, &mut result, &faults, obs);
+    if let Some(o) = obs {
+        o.with_metrics(|m| {
+            m.inc("diag.scenarios_run", 1);
+            m.inc("diag.windows_evaluated", report.localization.evaluated);
+            m.inc("diag.top1_hits", report.localization.top1_hits);
+        });
+    }
+    drop(span);
+    report
+}
+
+/// The campaign configuration one scenario runs.
+pub fn scenario_campaign_config(
+    cfg: &DiagConfig,
+    seed: u64,
+    faults: Vec<LinkFault>,
+) -> CampaignConfig {
+    let mut c = CampaignConfig::small(seed);
+    c.days = cfg.days.max(4);
+    c.diff_days = 0;
+    c.diff_regions = Vec::new();
+    c.topo_regions = vec![(DIAG_REGION, cfg.budget)];
+    c.jobs = cfg.jobs;
+    c.fault_plan.link_faults = faults;
+    c
+}
+
+/// Derives the scenario's world/campaign seed.
+pub fn scenario_seed(suite_seed: u64, index: u64) -> u64 {
+    load_key(b"diag.scn", suite_seed, index)
+}
+
+/// Plans the scenario's injected faults: a pre-pass topology selection
+/// (identical to the one the campaign will run) finds the links the
+/// measurement actually traverses, and the scenario index picks one,
+/// alternating capacity cuts and loss floors. Two recurring partial-day
+/// windows (days 1 and 2) give the fault the diurnal signature the
+/// detector is built for.
+pub fn plan_faults(cfg: &DiagConfig, world: &World, seed: u64, index: u64) -> Vec<LinkFault> {
+    let sel = selection_prepass(cfg, world, seed);
+    let links = measured_links(world, &sel);
+    assert!(
+        !links.is_empty(),
+        "scenario selection measured through no known interdomain link"
+    );
+    let link = links[(load_key(b"diag.link", seed, index) % links.len() as u64) as usize];
+    let (kind, magnitude) = if index.is_multiple_of(2) {
+        (FaultKind::LinkCapacityCut, 0.9)
+    } else {
+        (FaultKind::LinkLossFloor, 0.08)
+    };
+    (1..=2)
+        .map(|day| LinkFault {
+            kind,
+            link,
+            start_hour: day * 24 + FAULT_START,
+            duration_hours: FAULT_HOURS,
+            magnitude,
+        })
+        .collect()
+}
+
+/// Runs the same topology selection the campaign will run internally
+/// (selection is built from static traceroutes, so it is unaffected by
+/// the degradations the campaign installs afterwards).
+fn selection_prepass(cfg: &DiagConfig, world: &World, seed: u64) -> TopologySelection {
+    let session = world.session();
+    let region = Region::by_name(DIAG_REGION).expect("known region");
+    let region_city = region.city_id(&world.topo.cities);
+    let config = scenario_campaign_config(cfg, seed, Vec::new());
+    crate::select::topology::select(
+        world,
+        &session.paths,
+        DIAG_REGION,
+        region_city,
+        cfg.budget,
+        &config.pilot,
+    )
+}
+
+/// The distinct interdomain links the selection's servers sit behind,
+/// sorted by link id.
+fn measured_links(world: &World, sel: &TopologySelection) -> Vec<u32> {
+    let mut links: Vec<u32> = sel
+        .servers
+        .iter()
+        .filter_map(|sid| sel.server_link.get(sid))
+        .filter_map(|far| link_by_far_ip(world, *far))
+        .collect();
+    links.sort_unstable();
+    links.dedup();
+    links
+}
+
+fn link_by_far_ip(world: &World, far: std::net::Ipv4Addr) -> Option<u32> {
+    world
+        .topo
+        .links
+        .iter()
+        .find(|l| l.far_ip == far)
+        .map(|l| l.id.0)
+}
+
+/// Diagnoses a finished campaign: builds the localizer's evidence from
+/// the campaign outputs, scores it against ground truth, and evaluates
+/// mitigations. Pure function of its arguments — the determinism suite
+/// feeds it results from different `--jobs` counts and checkpoint
+/// resumes and asserts byte-identical reports.
+pub fn diagnose(
+    cfg: &DiagConfig,
+    index: u64,
+    seed: u64,
+    world: &World,
+    result: &mut CampaignResult,
+    faults: &[LinkFault],
+    obs: Option<&Observer>,
+) -> ScenarioReport {
+    let region = Region::by_name(DIAG_REGION).expect("known region");
+    let region_city = region.city_id(&world.topo.cities);
+    let vm_ip = world.topo.vm_ip(region_city, 0);
+    let degradations = sorted_degradations(faults);
+    let mut session = world.session();
+    session.perf.set_degradations(degradations.clone());
+    let session = session;
+
+    // --- Evidence: the campaign's own congestion labels. ---
+    let analyze_span = obs.map(|o| o.span("diag:analyze"));
+    let analysis = CongestionAnalysis::build(
+        &mut result.db,
+        world,
+        "download",
+        &[
+            ("method".to_string(), "topo".to_string()),
+            ("region".to_string(), DIAG_REGION.to_string()),
+        ],
+    );
+    let events = analysis.events(cfg.threshold);
+    let congested = analysis.congested_series(cfg.threshold, 0.1);
+    drop(analyze_span);
+
+    // --- Evidence: per-server observations. ---
+    let sel = &result.topo_selections[0];
+    let mut server_ids: Vec<String> = sel.servers.clone();
+    server_ids.sort_unstable();
+    let windows = scenario_windows(cfg);
+    let fault_mid = SimTime((faults[0].start_hour + FAULT_HOURS / 2) * 3600);
+    let mut observations: Vec<ServerObs> = Vec::new();
+    for sid in &server_ids {
+        let Some(&far) = sel.server_link.get(sid) else {
+            continue;
+        };
+        let Some(link) = link_by_far_ip(world, far) else {
+            continue;
+        };
+        let Some(server) = world.registry.by_id(sid) else {
+            continue;
+        };
+        let event_hours: Vec<u64> = events
+            .iter()
+            .filter(|e| &e.server == sid)
+            .map(|e| e.time / 3600)
+            .collect();
+        let is_congested = analysis
+            .series
+            .iter()
+            .zip(&congested)
+            .any(|(s, &c)| &s.server == sid && c);
+        let border_rtt = border_rtt_series(&session, region_city, vm_ip, server, far, cfg);
+        let tier_delta = tier_delta(&session, region_city, vm_ip, server, fault_mid);
+        observations.push(ServerObs {
+            server: sid.clone(),
+            link,
+            event_hours,
+            congested: is_congested,
+            border_rtt,
+            tier_delta,
+        });
+    }
+
+    // --- Localize and score against ground truth. ---
+    let localize_span = obs.map(|o| o.span("diag:localize"));
+    let rankings = localize(&observations, &windows);
+    let truth = true_congested_links(
+        &world.topo,
+        session.perf.load_model(),
+        &degradations,
+        &windows,
+        &cfg.truth,
+    );
+    let localization = score_rankings(&rankings, &truth);
+    drop(localize_span);
+
+    // The scenario's verdict is read at the first fault window.
+    let primary = primary_window_index(cfg);
+    let top_link = rankings[primary].ranked.first().map(|s| s.link);
+    let top1_hit = top_link.is_some_and(|l| truth[primary].binary_search(&l).is_ok());
+
+    // --- Mitigation. ---
+    let mitigate_span = obs.map(|o| o.span("diag:mitigate"));
+    let (mitigation, packet_check_mbps) = evaluate_mitigations(
+        seed,
+        world,
+        &session,
+        &observations,
+        faults,
+        windows[primary],
+    );
+    drop(mitigate_span);
+
+    ScenarioReport {
+        scenario: index,
+        seed,
+        injected_link: faults[0].link,
+        fault_kind: faults[0].kind.name().to_string(),
+        magnitude: faults[0].magnitude,
+        top_link,
+        top1_hit,
+        localization,
+        mitigation,
+        packet_check_mbps,
+    }
+}
+
+/// One scoring window per campaign day, each covering the daily fault
+/// window's hours (so fault days and quiet days are directly
+/// comparable).
+fn scenario_windows(cfg: &DiagConfig) -> Vec<Window> {
+    (0..cfg.days.max(4))
+        .map(|d| Window {
+            start_hour: d * 24 + FAULT_START,
+            end_hour: d * 24 + FAULT_START + FAULT_HOURS,
+        })
+        .collect()
+}
+
+/// Index of the first fault-day window within [`scenario_windows`].
+fn primary_window_index(_cfg: &DiagConfig) -> usize {
+    1
+}
+
+fn sorted_degradations(faults: &[LinkFault]) -> Vec<LinkDegradation> {
+    let mut d: Vec<LinkDegradation> = faults.iter().map(LinkFault::degradation).collect();
+    d.sort_by_key(|x| (x.link.0, x.start_s, x.end_s));
+    d
+}
+
+/// Border-hop RTT series for one server: the static traceroute RTT to
+/// the far-side border interface plus the time-varying queueing of the
+/// path up to and including the interconnect segment. This is what a
+/// per-hop traceroute at that hour would report for the border hop —
+/// downstream (server-access) queueing is excluded by construction,
+/// which is exactly why the signal separates interconnect congestion
+/// from server-edge congestion.
+fn border_rtt_series(
+    session: &crate::world::Session<'_>,
+    region_city: simnet::geo::CityId,
+    vm_ip: std::net::Ipv4Addr,
+    server: &Server,
+    far: std::net::Ipv4Addr,
+    cfg: &DiagConfig,
+) -> Vec<HopRtt> {
+    let flow = prefix_flow(server.asn.0, server.city.0, region_city.0);
+    let Some(path) = session.paths.vm_host_path_flow(
+        region_city,
+        vm_ip,
+        server.as_id,
+        server.city,
+        server.ip,
+        Tier::Premium,
+        Direction::ToServer,
+        flow,
+    ) else {
+        return Vec::new();
+    };
+    let Some(border_hop) = path.hops.iter().find(|h| h.ip == far) else {
+        return Vec::new();
+    };
+    let Some(edge_idx) = path
+        .segments
+        .iter()
+        .position(|s| matches!(s.kind, SegmentKind::CloudEdge(_)))
+    else {
+        return Vec::new();
+    };
+    let mut prefix = path.clone();
+    prefix.segments.truncate(edge_idx + 1);
+    let static_ms = border_hop.oneway_ms * 2.0;
+    (0..cfg.days.max(4) * 24)
+        .step_by(RTT_STRIDE as usize)
+        .map(|hour| HopRtt {
+            hour,
+            rtt_ms: static_ms + session.perf.path_queue_ms(&prefix, SimTime(hour * 3600)),
+        })
+        .collect()
+}
+
+/// Relative premium-vs-standard download delta for one server at `t`:
+/// `(premium − standard) / standard`. Both tiers are evaluated through
+/// the degraded perf model, so a tier-specific bottleneck (the premium
+/// interconnect) shows up as a large negative delta.
+fn tier_delta(
+    session: &crate::world::Session<'_>,
+    region_city: simnet::geo::CityId,
+    vm_ip: std::net::Ipv4Addr,
+    server: &Server,
+    t: SimTime,
+) -> f64 {
+    let client = SpeedTestClient::default();
+    let mbps = |tier| {
+        client
+            .resolve_paths(&session.paths, region_city, vm_ip, server, tier)
+            .map(|pair| fluid_download_mbps(session, &pair, t))
+    };
+    match (mbps(Tier::Premium), mbps(Tier::Standard)) {
+        (Some(p), Some(s)) if s > 0.0 => (p - s) / s,
+        _ => 0.0,
+    }
+}
+
+/// Steady-state fluid download throughput over a resolved path pair.
+fn fluid_download_mbps(session: &crate::world::Session<'_>, pair: &PathPair, t: SimTime) -> f64 {
+    session
+        .perf
+        .tcp_throughput(&pair.to_cloud, &pair.to_server, t, &FlowSpec::download())
+        .throughput_mbps
+}
+
+/// Enumerates and evaluates candidate mitigations for the scenario's
+/// worst-affected server, returning the verified ranking and a
+/// packet-level cross-check of the winning action.
+fn evaluate_mitigations(
+    seed: u64,
+    world: &World,
+    session: &crate::world::Session<'_>,
+    observations: &[ServerObs],
+    faults: &[LinkFault],
+    window: Window,
+) -> (clasp_diag::MitigationRanking, f64) {
+    let injected = faults[0].link;
+    let region = Region::by_name(DIAG_REGION).expect("known region");
+    let region_city = region.city_id(&world.topo.cities);
+    let vm_ip = world.topo.vm_ip(region_city, 0);
+    let client = SpeedTestClient::default();
+
+    // Target: the most-evented server behind the injected link (the
+    // server the operator would be paged about). Observations are in
+    // sorted-server order, so ties resolve canonically.
+    let target = observations
+        .iter()
+        .filter(|o| o.link == injected)
+        .max_by_key(|o| {
+            (
+                o.event_hours
+                    .iter()
+                    .filter(|&&h| window.contains(h))
+                    .count(),
+                std::cmp::Reverse(o.server.clone()),
+            )
+        })
+        .or_else(|| observations.first());
+    let Some(target) = target else {
+        return (rank_actions(Vec::new()), 0.0);
+    };
+    let Some(server) = world.registry.by_id(&target.server) else {
+        return (rank_actions(Vec::new()), 0.0);
+    };
+
+    let mut candidates: Vec<(MitigationAction, PathPair, &Server)> = Vec::new();
+    if let Some(pair) =
+        client.resolve_paths(&session.paths, region_city, vm_ip, server, Tier::Premium)
+    {
+        candidates.push((MitigationAction::Stay, pair, server));
+    }
+    if let Some(pair) =
+        client.resolve_paths(&session.paths, region_city, vm_ip, server, Tier::Standard)
+    {
+        candidates.push((
+            MitigationAction::SwitchTier {
+                tier: "standard".to_string(),
+            },
+            pair,
+            server,
+        ));
+    }
+    // Reselection: the quietest selected server behind a different link.
+    let alternative = observations
+        .iter()
+        .filter(|o| o.link != injected)
+        .min_by_key(|o| {
+            (
+                o.event_hours
+                    .iter()
+                    .filter(|&&h| window.contains(h))
+                    .count(),
+                o.server.clone(),
+            )
+        });
+    if let Some(alt) = alternative {
+        if let Some(alt_server) = world.registry.by_id(&alt.server) {
+            if let Some(pair) = client.resolve_paths(
+                &session.paths,
+                region_city,
+                vm_ip,
+                alt_server,
+                Tier::Premium,
+            ) {
+                candidates.push((
+                    MitigationAction::ReselectServer {
+                        server: alt.server.clone(),
+                    },
+                    pair,
+                    alt_server,
+                ));
+            }
+        }
+    }
+    // Reroute: steer the five-tuple onto a different egress interface.
+    if let Some((alt_link, pair)) = reroute_pair(session, region_city, vm_ip, server, injected) {
+        candidates.push((MitigationAction::Reroute { link: alt_link }, pair, server));
+    }
+
+    // Predict with three fluid samples; replay every hour through the
+    // full speed-test client (an independent, noisier estimator).
+    let quarter = (window.end_hour - window.start_hour) / 4;
+    let sample_hours = [
+        window.start_hour + quarter,
+        window.start_hour + 2 * quarter,
+        window.start_hour + 3 * quarter,
+    ];
+    let evals: Vec<ActionEval> = candidates
+        .iter()
+        .map(|(action, pair, srv)| {
+            let predicted_mbps = sample_hours
+                .iter()
+                .map(|&h| fluid_download_mbps(session, pair, SimTime(h * 3600)))
+                .sum::<f64>()
+                / sample_hours.len() as f64;
+            let replayed: Vec<f64> = (window.start_hour..window.end_hour)
+                .map(|h| {
+                    let test_seed = load_key(b"diag.replay", seed, h);
+                    client
+                        .run_test(&session.perf, pair, srv, SimTime(h * 3600), test_seed)
+                        .download_mbps
+                })
+                .collect();
+            ActionEval {
+                action: action.clone(),
+                predicted_mbps,
+                replayed_mbps: replayed.iter().sum::<f64>() / replayed.len().max(1) as f64,
+            }
+        })
+        .collect();
+    let ranking = rank_actions(evals);
+
+    // Packet-level cross-check of the winner at the window midpoint.
+    let packet = ranking
+        .best()
+        .and_then(|best| {
+            candidates
+                .iter()
+                .find(|(a, _, _)| *a == best.action)
+                .map(|(_, pair, _)| {
+                    let t = SimTime(
+                        (window.start_hour + (window.end_hour - window.start_hour) / 2) * 3600,
+                    );
+                    let summary = PathSummary {
+                        bottleneck_mbps: session.perf.bottleneck_mbps(&pair.to_cloud, t),
+                        rtt_ms: session.perf.rtt_ms(&pair.to_cloud, &pair.to_server, t),
+                        loss_rate: session.perf.path_loss(&pair.to_cloud, t),
+                    };
+                    clasp_diag::mitigate::packet_level_mbps(summary, 8, seed)
+                })
+        })
+        .unwrap_or(0.0);
+    (ranking, packet)
+}
+
+/// Finds a flow id whose download path crosses a different egress
+/// interface than the congested one, modelling flow-label engineering
+/// over the interconnect's ECMP parallels.
+fn reroute_pair(
+    session: &crate::world::Session<'_>,
+    region_city: simnet::geo::CityId,
+    vm_ip: std::net::Ipv4Addr,
+    server: &Server,
+    injected: u32,
+) -> Option<(u32, PathPair)> {
+    let base_flow = prefix_flow(server.asn.0, server.city.0, region_city.0);
+    for salt in 1..=32u64 {
+        let flow = base_flow ^ salt;
+        let resolve = |dir| {
+            session.paths.vm_host_path_flow(
+                region_city,
+                vm_ip,
+                server.as_id,
+                server.city,
+                server.ip,
+                Tier::Premium,
+                dir,
+                flow,
+            )
+        };
+        let Some(to_cloud) = resolve(Direction::ToCloud) else {
+            continue;
+        };
+        match to_cloud.egress_link {
+            Some(l) if l.0 != injected => {
+                let to_server = resolve(Direction::ToServer)?;
+                return Some((
+                    l.0,
+                    PathPair {
+                        to_cloud,
+                        to_server,
+                    },
+                ));
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_seeds_are_distinct_and_stable() {
+        let a = scenario_seed(42, 0);
+        let b = scenario_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, scenario_seed(42, 0));
+    }
+
+    #[test]
+    fn planned_faults_recur_on_partial_days() {
+        let cfg = DiagConfig::new(42);
+        let seed = scenario_seed(cfg.seed, 0);
+        let world = World::tiny(seed);
+        let faults = plan_faults(&cfg, &world, seed, 0);
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].kind, FaultKind::LinkCapacityCut);
+        assert_eq!(faults[0].link, faults[1].link);
+        assert_eq!(faults[0].start_hour, 24 + FAULT_START);
+        assert_eq!(faults[1].start_hour, 48 + FAULT_START);
+        assert_eq!(faults[0].duration_hours, FAULT_HOURS);
+        // Odd scenarios inject loss floors instead.
+        let faults = plan_faults(&cfg, &world, seed, 1);
+        assert_eq!(faults[0].kind, FaultKind::LinkLossFloor);
+    }
+
+    #[test]
+    fn windows_cover_each_day_at_the_fault_hours() {
+        let cfg = DiagConfig::new(7);
+        let windows = scenario_windows(&cfg);
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[1].start_hour, 32);
+        assert_eq!(windows[1].end_hour, 44);
+        assert_eq!(primary_window_index(&cfg), 1);
+    }
+}

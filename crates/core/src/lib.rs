@@ -35,7 +35,11 @@
 //!   the threshold method;
 //! * [`reselect`] — the §5 future-work automatic re-selection: re-run
 //!   the pilot scan against a churned server registry and compute the
-//!   update plan.
+//!   update plan;
+//! * [`diag`] — congestion localization and mitigation ranking, scored
+//!   against the simulator's per-link ground truth: fault-injection
+//!   scenarios, ranked border links per window (precision@1 / MRR), and
+//!   predicted-vs-replayed mitigation actions (see DESIGN.md §14).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@
 pub mod campaign;
 pub mod congestion;
 pub mod congestion_ext;
+pub mod diag;
 pub mod exec;
 pub mod pipeline;
 pub mod plan;

@@ -1,0 +1,45 @@
+//! Congestion localization and mitigation ranking (`clasp-diag`).
+//!
+//! The paper's detector (§4.2) can say *that* a VM–server pair suffers
+//! diurnal congestion, but never *which link* is congested or *what to
+//! do about it* — the real measurement had no ground truth. The
+//! simulation does: every interdomain link's diurnal load is a pure
+//! function of seeds. This crate closes that loop in two halves:
+//!
+//! * **Localization** ([`mod@localize`]): combine a campaign's congestion
+//!   labels, bdrmap link groupings, differential premium/standard
+//!   deltas, and per-hop traceroute RTT elevation into a ranked list of
+//!   suspect interdomain links per time window — then score the
+//!   inferred links against simnet's per-link utilization ground truth
+//!   ([`truth`], [`score`]), an evaluation the real paper could not run.
+//! * **Mitigation** ([`mitigate`]): given candidate actions (network
+//!   tier switch, server reselection, reroute via an alternate egress
+//!   link), rank them by predicted throughput impact and verify the
+//!   predicted order against replayed ground-truth outcomes, with a
+//!   packet-level `simtcp` cross-check for the winning action.
+//!
+//! Everything in this crate is a pure function of its inputs: no
+//! clocks, no ambient randomness, no hash-ordered iteration. The same
+//! inputs produce byte-identical [`report::DiagReport`] JSON across
+//! `--jobs` counts and checkpoint resumes (the campaign layer already
+//! guarantees its outputs are; this crate preserves the property).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod localize;
+pub mod mitigate;
+pub mod report;
+pub mod score;
+pub mod truth;
+
+pub use localize::{localize, HopRtt, LinkScore, ServerObs, Window, WindowRanking};
+pub use mitigate::{
+    packet_level_mbps, rank_actions, ActionEval, MitigationAction, MitigationRanking, PathSummary,
+};
+pub use report::{DiagReport, ScenarioReport};
+pub use score::{score_rankings, LocalizationScore};
+pub use truth::{
+    edge_segment, true_congested_links, window_peak_loss_floor, window_peak_utilization,
+    TruthConfig,
+};

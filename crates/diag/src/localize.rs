@@ -1,0 +1,284 @@
+//! The localizer: from per-server evidence to ranked suspect links.
+//!
+//! Three independent signals vote on each interdomain link, following
+//! the separation logic of Mathis 2026 (mid-path vs edge congestion):
+//!
+//! * **congestion events** — the paper's own `V_H > H` hourly labels,
+//!   aggregated over the servers bdrmap groups behind each link. If a
+//!   link is congested, *every* server reached through it should show
+//!   events in the same windows; an edge-congested server shows events
+//!   alone.
+//! * **border-hop RTT elevation** — per-hop traceroute RTT at the
+//!   far-side interface, relative to that server's own quiet baseline.
+//!   Queueing at the interconnect elevates the border hop for all
+//!   downstream servers; server-access queueing does not.
+//! * **differential deltas** — the premium/standard relative download
+//!   delta. A large tier asymmetry means the bottleneck sits on a
+//!   tier-specific segment (the interconnect), not the shared server
+//!   edge.
+//!
+//! The combination is a weighted vote, not a learned model: weights are
+//! fixed constants so the ranking is a pure function of the evidence.
+
+use std::collections::BTreeMap;
+
+/// One border-hop RTT sample for a server, at an absolute sim-hour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopRtt {
+    /// Absolute hour index (sim hours since epoch).
+    pub hour: u64,
+    /// RTT to the far-side border interface, ms.
+    pub rtt_ms: f64,
+}
+
+/// Everything the localizer knows about one measured server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerObs {
+    /// Server id.
+    pub server: String,
+    /// The interdomain link this server is reached through (bdrmap
+    /// grouping; `simnet` `LinkId` value).
+    pub link: u32,
+    /// Absolute sim-hours carrying a `V_H > H` congestion event.
+    pub event_hours: Vec<u64>,
+    /// The paper's server-level label (>10 % of days with events).
+    pub congested: bool,
+    /// Border-hop RTT series from per-hop traceroutes.
+    pub border_rtt: Vec<HopRtt>,
+    /// Relative premium-vs-standard download delta, `(p − s) / s`
+    /// (0.0 when no differential data exists for this server).
+    pub tier_delta: f64,
+}
+
+/// A half-open window of absolute sim-hours `[start_hour, end_hour)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Window {
+    /// First hour in the window.
+    pub start_hour: u64,
+    /// One past the last hour.
+    pub end_hour: u64,
+}
+
+impl Window {
+    /// Whether absolute hour `h` falls inside the window.
+    pub fn contains(&self, h: u64) -> bool {
+        self.start_hour <= h && h < self.end_hour
+    }
+}
+
+/// One link's evidence-weighted score within a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkScore {
+    /// The link (`simnet` `LinkId` value).
+    pub link: u32,
+    /// Combined score in `[0, 1]`; higher = more suspect.
+    pub score: f64,
+    /// Servers grouped behind this link.
+    pub servers: u32,
+    /// Of those, servers with at least one event in the window.
+    pub with_events: u32,
+}
+
+/// The ranked suspects for one window, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRanking {
+    /// The window scored.
+    pub window: Window,
+    /// Links ordered by descending score (ties broken by link id).
+    pub ranked: Vec<LinkScore>,
+}
+
+/// Signal weights. Events dominate — they are the paper's own labels —
+/// with hop RTT and the differential as tie-breakers between links
+/// whose server groups overlap in congestion behaviour.
+const W_EVENTS: f64 = 0.60;
+const W_HOP_RTT: f64 = 0.25;
+const W_DIFF: f64 = 0.15;
+
+/// Soft half-saturation point for border-hop RTT elevation, ms: an
+/// elevation of this size contributes half the maximum RTT vote.
+const RTT_HALF_MS: f64 = 5.0;
+
+/// Ranks suspect links for every window.
+///
+/// Pure function: the output depends only on `obs` (in slice order —
+/// callers pass a canonically ordered slice) and `windows`. Links with
+/// no observed servers never appear.
+pub fn localize(obs: &[ServerObs], windows: &[Window]) -> Vec<WindowRanking> {
+    // Group server indices by link, in slice order under a BTreeMap so
+    // both grouping and iteration are canonical.
+    let mut by_link: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, o) in obs.iter().enumerate() {
+        by_link.entry(o.link).or_default().push(i);
+    }
+    // Per-server quiet baseline: the minimum border-hop RTT over the
+    // whole campaign (computed once; windows reuse it).
+    let baselines: Vec<f64> = obs
+        .iter()
+        .map(|o| {
+            o.border_rtt
+                .iter()
+                .map(|s| s.rtt_ms)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    windows
+        .iter()
+        .map(|&window| {
+            let mut ranked: Vec<LinkScore> = by_link
+                .iter()
+                .map(|(&link, members)| {
+                    let servers = members.len() as u32;
+                    let mut with_events = 0u32;
+                    let mut rtt_votes = 0.0;
+                    let mut rtt_voters = 0u32;
+                    let mut diff_signal = 0.0;
+                    for &i in members {
+                        let o = &obs[i];
+                        if o.event_hours.iter().any(|&h| window.contains(h)) {
+                            with_events += 1;
+                        }
+                        let in_window: Vec<f64> = o
+                            .border_rtt
+                            .iter()
+                            .filter(|s| window.contains(s.hour))
+                            .map(|s| s.rtt_ms)
+                            .collect();
+                        if !in_window.is_empty() && baselines[i].is_finite() {
+                            let mean = in_window.iter().sum::<f64>() / in_window.len() as f64;
+                            let elev = (mean - baselines[i]).max(0.0);
+                            rtt_votes += elev / (elev + RTT_HALF_MS);
+                            rtt_voters += 1;
+                        }
+                        diff_signal += o.tier_delta.abs().min(1.0);
+                    }
+                    let frac_events = f64::from(with_events) / f64::from(servers);
+                    let rtt_score = if rtt_voters == 0 {
+                        0.0
+                    } else {
+                        rtt_votes / f64::from(rtt_voters)
+                    };
+                    let diff_score = diff_signal / f64::from(servers);
+                    LinkScore {
+                        link,
+                        score: W_EVENTS * frac_events + W_HOP_RTT * rtt_score + W_DIFF * diff_score,
+                        servers,
+                        with_events,
+                    }
+                })
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.score
+                    .total_cmp(&a.score)
+                    .then_with(|| a.link.cmp(&b.link))
+            });
+            WindowRanking { window, ranked }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(name: &str, link: u32, events: &[u64], rtt: &[(u64, f64)], delta: f64) -> ServerObs {
+        ServerObs {
+            server: name.to_string(),
+            link,
+            event_hours: events.to_vec(),
+            congested: !events.is_empty(),
+            border_rtt: rtt
+                .iter()
+                .map(|&(hour, rtt_ms)| HopRtt { hour, rtt_ms })
+                .collect(),
+            tier_delta: delta,
+        }
+    }
+
+    #[test]
+    fn congested_link_outranks_clean_one() {
+        // Two servers behind link 5 both see events + elevated border
+        // RTT in the window; the lone server behind link 9 is quiet.
+        let obs = vec![
+            server("a", 5, &[10, 11], &[(2, 20.0), (10, 32.0)], 0.4),
+            server("b", 5, &[11], &[(2, 25.0), (11, 34.0)], 0.3),
+            server("c", 9, &[], &[(2, 18.0), (10, 18.2)], 0.01),
+        ];
+        let windows = [Window {
+            start_hour: 8,
+            end_hour: 16,
+        }];
+        let out = localize(&obs, &windows);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ranked[0].link, 5);
+        assert_eq!(out[0].ranked[0].with_events, 2);
+        assert!(out[0].ranked[0].score > out[0].ranked[1].score);
+        assert_eq!(out[0].ranked[1].link, 9);
+        assert_eq!(out[0].ranked[1].with_events, 0);
+    }
+
+    #[test]
+    fn edge_congestion_does_not_implicate_the_link() {
+        // Only one of three servers behind the link shows events — the
+        // classic server-edge signature — so the fully-evented link 2
+        // with a single server still wins.
+        let obs = vec![
+            server("a", 1, &[12], &[], 0.0),
+            server("b", 1, &[], &[], 0.0),
+            server("c", 1, &[], &[], 0.0),
+            server("d", 2, &[12], &[], 0.0),
+        ];
+        let windows = [Window {
+            start_hour: 0,
+            end_hour: 24,
+        }];
+        let out = localize(&obs, &windows);
+        assert_eq!(out[0].ranked[0].link, 2);
+    }
+
+    #[test]
+    fn events_outside_window_do_not_count() {
+        let obs = vec![server("a", 3, &[50], &[], 0.0)];
+        let windows = [
+            Window {
+                start_hour: 0,
+                end_hour: 24,
+            },
+            Window {
+                start_hour: 48,
+                end_hour: 72,
+            },
+        ];
+        let out = localize(&obs, &windows);
+        assert_eq!(out[0].ranked[0].with_events, 0);
+        assert_eq!(out[1].ranked[0].with_events, 1);
+    }
+
+    #[test]
+    fn deterministic_and_tie_broken_by_link_id() {
+        let obs = vec![server("a", 7, &[], &[], 0.0), server("b", 4, &[], &[], 0.0)];
+        let windows = [Window {
+            start_hour: 0,
+            end_hour: 24,
+        }];
+        let x = localize(&obs, &windows);
+        let y = localize(&obs, &windows);
+        assert_eq!(x, y);
+        // Equal (zero) scores: lower link id first.
+        assert_eq!(x[0].ranked[0].link, 4);
+        assert_eq!(x[0].ranked[1].link, 7);
+    }
+
+    #[test]
+    fn missing_rtt_and_diff_data_are_tolerated() {
+        let obs = vec![server("a", 1, &[5], &[], 0.0)];
+        let windows = [Window {
+            start_hour: 0,
+            end_hour: 24,
+        }];
+        let out = localize(&obs, &windows);
+        assert_eq!(out[0].ranked.len(), 1);
+        assert!((out[0].ranked[0].score - W_EVENTS).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Mitigation ranking: candidate actions ordered by predicted impact,
+//! verified against replayed ground truth.
+//!
+//! Following Namyar et al., a mitigation engine does not need to be
+//! right about absolute throughput — it needs to *order* candidate
+//! actions correctly. The engine therefore ranks by the fluid model's
+//! coarse prediction and verifies the order against the replayed
+//! outcome (the full hour-by-hour measurement of each mitigated
+//! configuration): every concordant pair is a correct pairwise
+//! decision, and full agreement means the predicted ranking matches
+//! the ground-truth ranking exactly.
+
+use simtcp::flow::{run_flow, FlowConfig, PathSpec};
+use simtcp::link::LinkSpec;
+
+/// A candidate remediation for a congested server path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MitigationAction {
+    /// Keep everything, accept the congestion (the baseline).
+    Stay,
+    /// Switch the VM to the other network tier.
+    SwitchTier {
+        /// Target tier label (`"premium"` or `"standard"`).
+        tier: String,
+    },
+    /// Move measurement to a different selected server.
+    ReselectServer {
+        /// Target server id.
+        server: String,
+    },
+    /// Re-route via an alternate egress link at the same PoP
+    /// (flow-label engineering over ECMP parallels).
+    Reroute {
+        /// Alternate link (`simnet` `LinkId` value).
+        link: u32,
+    },
+}
+
+impl MitigationAction {
+    /// Compact display label.
+    pub fn label(&self) -> String {
+        match self {
+            MitigationAction::Stay => "stay".to_string(),
+            MitigationAction::SwitchTier { tier } => format!("switch-tier:{tier}"),
+            MitigationAction::ReselectServer { server } => format!("reselect:{server}"),
+            MitigationAction::Reroute { link } => format!("reroute:link-{link}"),
+        }
+    }
+}
+
+/// One evaluated action: the coarse prediction that ranks it, and the
+/// replayed ground-truth outcome that judges the ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionEval {
+    /// The action.
+    pub action: MitigationAction,
+    /// Predicted mean throughput under the action, Mbps (fluid model,
+    /// sampled at a few representative hours).
+    pub predicted_mbps: f64,
+    /// Replayed mean throughput, Mbps (every hour of the window through
+    /// the campaign's measurement stack).
+    pub replayed_mbps: f64,
+}
+
+/// Actions ranked by predicted throughput, with pairwise agreement
+/// against the replayed order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationRanking {
+    /// Evaluations sorted by descending prediction (ties: action order).
+    pub evals: Vec<ActionEval>,
+    /// Pairs `(i, j)` with `i < j` whose replayed order agrees with the
+    /// predicted order.
+    pub concordant_pairs: u64,
+    /// All compared pairs.
+    pub total_pairs: u64,
+}
+
+impl MitigationRanking {
+    /// Fraction of concordant pairs in `[0, 1]` (1.0 when no pairs).
+    pub fn agreement(&self) -> f64 {
+        if self.total_pairs == 0 {
+            1.0
+        } else {
+            self.concordant_pairs as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Whether the predicted order matches the replayed order exactly.
+    pub fn order_matches_replay(&self) -> bool {
+        self.concordant_pairs == self.total_pairs
+    }
+
+    /// The best action by prediction, if any were evaluated.
+    pub fn best(&self) -> Option<&ActionEval> {
+        self.evals.first()
+    }
+}
+
+/// Relative slack below which two replayed outcomes count as tied —
+/// ordering within measurement noise is not a ranking error.
+const REPLAY_TIE_SLACK: f64 = 0.02;
+
+/// Ranks evaluated actions by prediction and scores the ranking
+/// against the replayed outcomes. Pure function of the input list
+/// (order-insensitive: evaluations are sorted internally).
+pub fn rank_actions(mut evals: Vec<ActionEval>) -> MitigationRanking {
+    evals.sort_by(|a, b| {
+        b.predicted_mbps
+            .total_cmp(&a.predicted_mbps)
+            .then_with(|| a.action.cmp(&b.action))
+    });
+    let mut concordant = 0u64;
+    let mut total = 0u64;
+    for i in 0..evals.len() {
+        for j in (i + 1)..evals.len() {
+            total += 1;
+            let hi = evals[i].replayed_mbps;
+            let lo = evals[j].replayed_mbps;
+            // Predicted order says evals[i] >= evals[j]; concordant when
+            // the replay agrees, within relative slack.
+            if hi >= lo * (1.0 - REPLAY_TIE_SLACK) {
+                concordant += 1;
+            }
+        }
+    }
+    MitigationRanking {
+        evals,
+        concordant_pairs: concordant,
+        total_pairs: total,
+    }
+}
+
+/// Summary of a path as the fluid model sees it, for the packet-level
+/// cross-check.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSummary {
+    /// Bottleneck available bandwidth, Mbps.
+    pub bottleneck_mbps: f64,
+    /// Round-trip time including queueing, ms.
+    pub rtt_ms: f64,
+    /// End-to-end data-direction loss rate.
+    pub loss_rate: f64,
+}
+
+/// Packet-level `simtcp` throughput over a path equivalent to the
+/// fluid summary: one bottleneck link carrying the path's loss and
+/// half its RTT each way. Used to cross-check the winning action's
+/// prediction with an independent, packet-granularity model.
+pub fn packet_level_mbps(summary: PathSummary, n_connections: usize, seed: u64) -> f64 {
+    let one_way_ms = (summary.rtt_ms / 2.0).max(0.05);
+    let rate = summary.bottleneck_mbps.max(1.0);
+    // Drop-tail buffer of ~2×BDP: an under-provisioned queue
+    // synchronises losses across parallel connections and collapses
+    // throughput far below the link rate.
+    let bdp_pkts = rate * 1.0e6 * (summary.rtt_ms / 1000.0) / 8.0 / 1448.0;
+    let queue = (2.0 * bdp_pkts).clamp(512.0, 4096.0) as usize;
+    let path = PathSpec::symmetric(vec![
+        LinkSpec::new(1000.0, 0.1, 512, 0.0),
+        LinkSpec::new(rate, one_way_ms, queue, summary.loss_rate.clamp(0.0, 0.5)),
+        LinkSpec::new(1000.0, 0.1, 512, 0.0),
+    ]);
+    let result = run_flow(
+        &path,
+        &FlowConfig {
+            n_connections,
+            duration_s: 4.0,
+            seed,
+            ..FlowConfig::default()
+        },
+    );
+    result.throughput_mbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(label: &str, predicted: f64, replayed: f64) -> ActionEval {
+        ActionEval {
+            action: MitigationAction::ReselectServer {
+                server: label.to_string(),
+            },
+            predicted_mbps: predicted,
+            replayed_mbps: replayed,
+        }
+    }
+
+    #[test]
+    fn correct_prediction_order_is_fully_concordant() {
+        let r = rank_actions(vec![
+            eval("a", 100.0, 90.0),
+            eval("b", 300.0, 280.0),
+            eval("c", 200.0, 150.0),
+        ]);
+        assert_eq!(
+            r.evals.iter().map(|e| e.predicted_mbps).collect::<Vec<_>>(),
+            vec![300.0, 200.0, 100.0]
+        );
+        assert_eq!(r.total_pairs, 3);
+        assert_eq!(r.concordant_pairs, 3);
+        assert!(r.order_matches_replay());
+        assert_eq!(r.agreement(), 1.0);
+        assert_eq!(r.best().unwrap().predicted_mbps, 300.0);
+    }
+
+    #[test]
+    fn inverted_replay_is_discordant() {
+        let r = rank_actions(vec![eval("a", 300.0, 50.0), eval("b", 100.0, 400.0)]);
+        assert_eq!(r.total_pairs, 1);
+        assert_eq!(r.concordant_pairs, 0);
+        assert!(!r.order_matches_replay());
+        assert_eq!(r.agreement(), 0.0);
+    }
+
+    #[test]
+    fn near_ties_in_replay_are_not_errors() {
+        // Replay within 2% of each other: both orders acceptable.
+        let r = rank_actions(vec![eval("a", 300.0, 99.0), eval("b", 200.0, 100.0)]);
+        assert_eq!(r.concordant_pairs, 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_rankings_are_trivially_consistent() {
+        assert_eq!(rank_actions(Vec::new()).agreement(), 1.0);
+        let r = rank_actions(vec![eval("a", 1.0, 1.0)]);
+        assert_eq!(r.total_pairs, 0);
+        assert!(r.order_matches_replay());
+    }
+
+    #[test]
+    fn ranking_is_input_order_insensitive() {
+        let a = rank_actions(vec![eval("a", 1.0, 1.0), eval("b", 2.0, 2.0)]);
+        let b = rank_actions(vec![eval("b", 2.0, 2.0), eval("a", 1.0, 1.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn action_labels_are_stable() {
+        assert_eq!(MitigationAction::Stay.label(), "stay");
+        assert_eq!(
+            MitigationAction::SwitchTier {
+                tier: "standard".into()
+            }
+            .label(),
+            "switch-tier:standard"
+        );
+        assert_eq!(
+            MitigationAction::Reroute { link: 9 }.label(),
+            "reroute:link-9"
+        );
+    }
+
+    #[test]
+    fn packet_level_check_tracks_bottleneck() {
+        let fast = packet_level_mbps(
+            PathSummary {
+                bottleneck_mbps: 500.0,
+                rtt_ms: 20.0,
+                loss_rate: 1e-5,
+            },
+            8,
+            42,
+        );
+        let slow = packet_level_mbps(
+            PathSummary {
+                bottleneck_mbps: 20.0,
+                rtt_ms: 20.0,
+                loss_rate: 1e-5,
+            },
+            8,
+            42,
+        );
+        assert!(fast > slow * 2.0, "fast {fast} vs slow {slow}");
+        assert!(slow <= 20.0 * 1.05);
+        // Deterministic under a fixed seed.
+        let again = packet_level_mbps(
+            PathSummary {
+                bottleneck_mbps: 20.0,
+                rtt_ms: 20.0,
+                loss_rate: 1e-5,
+            },
+            8,
+            42,
+        );
+        assert_eq!(slow.to_bits(), again.to_bits());
+    }
+}

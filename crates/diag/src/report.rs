@@ -1,0 +1,294 @@
+//! Canonical diagnosis reports.
+//!
+//! One [`ScenarioReport`] per injected fault scenario, aggregated into
+//! a [`DiagReport`]. JSON output is canonical — object keys inserted in
+//! a fixed order, floats rendered by the vendored `serde_json` writer —
+//! so byte-identical reports mean byte-identical diagnoses, which is
+//! what the determinism suite asserts across `--jobs` and resume.
+
+use serde_json::{Map, Value};
+
+use crate::mitigate::MitigationRanking;
+use crate::score::LocalizationScore;
+
+/// Outcome of diagnosing one injected-fault scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario index within the suite.
+    pub scenario: u64,
+    /// Scenario-derived seed (world + campaign seed).
+    pub seed: u64,
+    /// The link the fault was injected on (ground truth).
+    pub injected_link: u32,
+    /// Injected fault kind name (`link_capacity_cut`, ...).
+    pub fault_kind: String,
+    /// Injected fault magnitude.
+    pub magnitude: f64,
+    /// The localizer's top-ranked link over the fault window, if any
+    /// link was scored.
+    pub top_link: Option<u32>,
+    /// Whether the top-ranked link is truly congested.
+    pub top1_hit: bool,
+    /// Localization metrics over the scenario's windows.
+    pub localization: LocalizationScore,
+    /// Mitigation ranking with replay agreement.
+    pub mitigation: MitigationRanking,
+    /// Packet-level `simtcp` throughput for the winning action's path,
+    /// Mbps (independent cross-check of the fluid prediction).
+    pub packet_check_mbps: f64,
+}
+
+/// The full diagnosis suite result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagReport {
+    /// Suite master seed.
+    pub seed: u64,
+    /// Per-scenario outcomes, in scenario order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl DiagReport {
+    /// Fraction of scenarios whose top-ranked link was truly congested.
+    pub fn top1_rate(&self) -> f64 {
+        if self.scenarios.is_empty() {
+            return 0.0;
+        }
+        let hits = self.scenarios.iter().filter(|s| s.top1_hit).count();
+        hits as f64 / self.scenarios.len() as f64
+    }
+
+    /// Mean mitigation ranking agreement across scenarios (1.0 when
+    /// there are no scenarios — nothing was mis-ranked).
+    pub fn mitigation_agreement(&self) -> f64 {
+        if self.scenarios.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self
+            .scenarios
+            .iter()
+            .map(|s| s.mitigation.agreement())
+            .sum();
+        sum / self.scenarios.len() as f64
+    }
+
+    /// Canonical JSON value: fixed key insertion order, scenario order
+    /// preserved.
+    pub fn to_json(&self) -> Value {
+        let mut root = Map::new();
+        root.insert("seed".into(), self.seed.into());
+        root.insert(
+            "scenarios".into(),
+            Value::Array(self.scenarios.iter().map(scenario_json).collect()),
+        );
+        let mut summary = Map::new();
+        summary.insert(
+            "scenario_count".into(),
+            (self.scenarios.len() as u64).into(),
+        );
+        summary.insert("top1_rate".into(), json_f64(self.top1_rate()));
+        summary.insert(
+            "mitigation_agreement".into(),
+            json_f64(self.mitigation_agreement()),
+        );
+        root.insert("summary".into(), Value::Object(summary));
+        Value::Object(root)
+    }
+
+    /// Human-readable rendering of the suite outcome.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "diag suite: seed {} ({} scenarios)\n",
+            self.seed,
+            self.scenarios.len()
+        ));
+        for s in &self.scenarios {
+            let top = s
+                .top_link
+                .map(|l| format!("link-{l}"))
+                .unwrap_or_else(|| "-".to_string());
+            let best = s
+                .mitigation
+                .best()
+                .map(|e| e.action.label())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "  #{} {} on link-{} (mag {:.2}): top={} {} | p@1 {:.2} mrr {:.2} | mitigation {} agree {:.2} | pkt {:.1} Mbps\n",
+                s.scenario,
+                s.fault_kind,
+                s.injected_link,
+                s.magnitude,
+                top,
+                if s.top1_hit { "HIT" } else { "miss" },
+                s.localization.precision_at_1,
+                s.localization.mrr,
+                best,
+                s.mitigation.agreement(),
+                s.packet_check_mbps,
+            ));
+        }
+        out.push_str(&format!(
+            "  overall: top-1 rate {:.2}, mitigation agreement {:.2}\n",
+            self.top1_rate(),
+            self.mitigation_agreement()
+        ));
+        out
+    }
+}
+
+fn scenario_json(s: &ScenarioReport) -> Value {
+    let mut m = Map::new();
+    m.insert("scenario".into(), s.scenario.into());
+    m.insert("seed".into(), s.seed.into());
+    m.insert("injected_link".into(), u64::from(s.injected_link).into());
+    m.insert("fault_kind".into(), s.fault_kind.clone().into());
+    m.insert("magnitude".into(), json_f64(s.magnitude));
+    m.insert(
+        "top_link".into(),
+        match s.top_link {
+            Some(l) => u64::from(l).into(),
+            None => Value::Null,
+        },
+    );
+    m.insert("top1_hit".into(), s.top1_hit.into());
+    let mut loc = Map::new();
+    loc.insert("windows".into(), s.localization.windows.into());
+    loc.insert("evaluated".into(), s.localization.evaluated.into());
+    loc.insert("top1_hits".into(), s.localization.top1_hits.into());
+    loc.insert(
+        "precision_at_1".into(),
+        json_f64(s.localization.precision_at_1),
+    );
+    loc.insert("recall_at_3".into(), json_f64(s.localization.recall_at_3));
+    loc.insert("mrr".into(), json_f64(s.localization.mrr));
+    m.insert("localization".into(), Value::Object(loc));
+    let mut mit = Map::new();
+    mit.insert(
+        "ranked".into(),
+        Value::Array(
+            s.mitigation
+                .evals
+                .iter()
+                .map(|e| {
+                    let mut em = Map::new();
+                    em.insert("action".into(), e.action.label().into());
+                    em.insert("predicted_mbps".into(), json_f64(e.predicted_mbps));
+                    em.insert("replayed_mbps".into(), json_f64(e.replayed_mbps));
+                    Value::Object(em)
+                })
+                .collect(),
+        ),
+    );
+    mit.insert(
+        "concordant_pairs".into(),
+        s.mitigation.concordant_pairs.into(),
+    );
+    mit.insert("total_pairs".into(), s.mitigation.total_pairs.into());
+    mit.insert("agreement".into(), json_f64(s.mitigation.agreement()));
+    m.insert("mitigation".into(), Value::Object(mit));
+    m.insert("packet_check_mbps".into(), json_f64(s.packet_check_mbps));
+    Value::Object(m)
+}
+
+/// Finite floats only — a NaN in a report is a bug worth failing loudly
+/// on rather than serializing as null.
+fn json_f64(v: f64) -> Value {
+    assert!(v.is_finite(), "non-finite value in diag report: {v}");
+    Value::Number(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mitigate::{rank_actions, ActionEval, MitigationAction};
+    use crate::score::LocalizationScore;
+
+    fn scenario(idx: u64, hit: bool) -> ScenarioReport {
+        ScenarioReport {
+            scenario: idx,
+            seed: 1000 + idx,
+            injected_link: 4,
+            fault_kind: "link_capacity_cut".into(),
+            magnitude: 0.8,
+            top_link: Some(if hit { 4 } else { 9 }),
+            top1_hit: hit,
+            localization: LocalizationScore {
+                windows: 2,
+                evaluated: 2,
+                top1_hits: u64::from(hit) * 2,
+                precision_at_1: f64::from(u8::from(hit)),
+                recall_at_3: 1.0,
+                mrr: 1.0,
+            },
+            mitigation: rank_actions(vec![
+                ActionEval {
+                    action: MitigationAction::Stay,
+                    predicted_mbps: 40.0,
+                    replayed_mbps: 42.0,
+                },
+                ActionEval {
+                    action: MitigationAction::SwitchTier {
+                        tier: "standard".into(),
+                    },
+                    predicted_mbps: 90.0,
+                    replayed_mbps: 88.0,
+                },
+            ]),
+            packet_check_mbps: 85.5,
+        }
+    }
+
+    #[test]
+    fn rates_aggregate_over_scenarios() {
+        let r = DiagReport {
+            seed: 7,
+            scenarios: vec![scenario(0, true), scenario(1, true), scenario(2, false)],
+        };
+        assert!((r.top1_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.mitigation_agreement(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_has_defined_rates() {
+        let r = DiagReport {
+            seed: 7,
+            scenarios: Vec::new(),
+        };
+        assert_eq!(r.top1_rate(), 0.0);
+        assert_eq!(r.mitigation_agreement(), 1.0);
+    }
+
+    #[test]
+    fn json_is_canonical_and_stable() {
+        let r = DiagReport {
+            seed: 7,
+            scenarios: vec![scenario(0, true)],
+        };
+        let a = serde_json::to_string(&r.to_json());
+        let b = serde_json::to_string(&r.to_json());
+        assert_eq!(a, b);
+        assert!(a.contains("\"top1_rate\""));
+        assert!(a.contains("\"injected_link\":4"));
+        assert!(a.contains("switch-tier:standard"));
+    }
+
+    #[test]
+    fn render_mentions_every_scenario() {
+        let r = DiagReport {
+            seed: 7,
+            scenarios: vec![scenario(0, true), scenario(1, false)],
+        };
+        let text = r.render();
+        assert!(text.contains("#0"));
+        assert!(text.contains("#1"));
+        assert!(text.contains("HIT"));
+        assert!(text.contains("miss"));
+        assert!(text.contains("overall"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_floats_panic() {
+        let _ = json_f64(f64::NAN);
+    }
+}

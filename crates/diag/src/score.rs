@@ -1,0 +1,165 @@
+//! Scoring inferred rankings against ground truth.
+//!
+//! Standard ranked-retrieval metrics over the per-window link
+//! rankings: top-1 precision (did the best-ranked suspect match a
+//! truly congested link), recall@3, and mean reciprocal rank. Windows
+//! with no truly congested link are skipped — there is nothing to
+//! localize in them — but counted, so a detector that hallucinates
+//! congestion everywhere cannot inflate its score.
+
+use crate::localize::WindowRanking;
+
+/// Aggregate localization quality over a set of windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalizationScore {
+    /// Total windows scored (including truth-empty ones).
+    pub windows: u64,
+    /// Windows with at least one truly congested link.
+    pub evaluated: u64,
+    /// Evaluated windows whose top-ranked link is truly congested.
+    pub top1_hits: u64,
+    /// Mean precision@1 over evaluated windows (`top1_hits / evaluated`).
+    pub precision_at_1: f64,
+    /// Mean recall of the top 3 ranked links over evaluated windows.
+    pub recall_at_3: f64,
+    /// Mean reciprocal rank of the first truly congested link.
+    pub mrr: f64,
+}
+
+impl LocalizationScore {
+    /// The all-zero score (no windows).
+    pub fn empty() -> Self {
+        Self {
+            windows: 0,
+            evaluated: 0,
+            top1_hits: 0,
+            precision_at_1: 0.0,
+            recall_at_3: 0.0,
+            mrr: 0.0,
+        }
+    }
+}
+
+/// Scores `rankings[i]` against `truth[i]` (parallel slices; `truth`
+/// entries are sorted link-id lists from
+/// [`crate::truth::true_congested_links`]).
+///
+/// # Panics
+/// Panics if the slices differ in length — that is a caller bug, not a
+/// data condition.
+pub fn score_rankings(rankings: &[WindowRanking], truth: &[Vec<u32>]) -> LocalizationScore {
+    assert_eq!(
+        rankings.len(),
+        truth.len(),
+        "rankings and truth must be parallel"
+    );
+    let mut evaluated = 0u64;
+    let mut top1_hits = 0u64;
+    let mut recall_sum = 0.0;
+    let mut mrr_sum = 0.0;
+    for (ranking, truth_links) in rankings.iter().zip(truth) {
+        if truth_links.is_empty() {
+            continue;
+        }
+        evaluated += 1;
+        let is_true = |link: u32| truth_links.binary_search(&link).is_ok();
+        if ranking.ranked.first().is_some_and(|top| is_true(top.link)) {
+            top1_hits += 1;
+        }
+        let hits_at_3 = ranking
+            .ranked
+            .iter()
+            .take(3)
+            .filter(|s| is_true(s.link))
+            .count();
+        recall_sum += hits_at_3 as f64 / truth_links.len() as f64;
+        if let Some(pos) = ranking.ranked.iter().position(|s| is_true(s.link)) {
+            mrr_sum += 1.0 / (pos + 1) as f64;
+        }
+    }
+    let denom = if evaluated == 0 {
+        1.0
+    } else {
+        evaluated as f64
+    };
+    LocalizationScore {
+        windows: rankings.len() as u64,
+        evaluated,
+        top1_hits,
+        precision_at_1: top1_hits as f64 / denom,
+        recall_at_3: recall_sum / denom,
+        mrr: mrr_sum / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::localize::{LinkScore, Window, WindowRanking};
+
+    fn ranking(links: &[u32]) -> WindowRanking {
+        WindowRanking {
+            window: Window {
+                start_hour: 0,
+                end_hour: 24,
+            },
+            ranked: links
+                .iter()
+                .enumerate()
+                .map(|(i, &link)| LinkScore {
+                    link,
+                    score: 1.0 - i as f64 * 0.1,
+                    servers: 1,
+                    with_events: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let rankings = vec![ranking(&[5, 2, 9]), ranking(&[7, 1, 3])];
+        let truth = vec![vec![5], vec![7]];
+        let s = score_rankings(&rankings, &truth);
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.evaluated, 2);
+        assert_eq!(s.top1_hits, 2);
+        assert_eq!(s.precision_at_1, 1.0);
+        assert_eq!(s.recall_at_3, 1.0);
+        assert_eq!(s.mrr, 1.0);
+    }
+
+    #[test]
+    fn miss_at_top_still_counts_reciprocal_rank() {
+        let rankings = vec![ranking(&[5, 2, 9])];
+        let truth = vec![vec![9]];
+        let s = score_rankings(&rankings, &truth);
+        assert_eq!(s.top1_hits, 0);
+        assert_eq!(s.precision_at_1, 0.0);
+        assert_eq!(s.recall_at_3, 1.0);
+        assert!((s.mrr - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truth_empty_windows_are_skipped_but_counted() {
+        let rankings = vec![ranking(&[5]), ranking(&[5])];
+        let truth = vec![vec![], vec![5]];
+        let s = score_rankings(&rankings, &truth);
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.evaluated, 1);
+        assert_eq!(s.precision_at_1, 1.0);
+    }
+
+    #[test]
+    fn no_windows_is_zero_not_nan() {
+        let s = score_rankings(&[], &[]);
+        assert_eq!(s, LocalizationScore::empty());
+        assert!(s.precision_at_1 == 0.0 && !s.precision_at_1.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        let _ = score_rankings(&[ranking(&[1])], &[]);
+    }
+}

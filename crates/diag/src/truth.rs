@@ -1,0 +1,264 @@
+//! Ground truth: which links were *actually* congested, per window.
+//!
+//! The simulation can answer the question the paper could not: for
+//! every interdomain link and hour, the diurnal [`LoadModel`] gives the
+//! background utilization, and any installed [`LinkDegradation`]s give
+//! the capacity actually available. A link is truly congested in a
+//! window when its peak *effective* ToCloud utilization — offered load
+//! divided by remaining capacity — crosses the same threshold at which
+//! the fluid model starts converting utilization into loss.
+
+use simnet::load::LoadModel;
+use simnet::perf::LinkDegradation;
+use simnet::routing::{load_key, Direction, Segment, SegmentKind};
+use simnet::time::SimTime;
+use simnet::topology::{CongestionClass, InterdomainLink, Topology};
+
+use crate::localize::Window;
+
+/// Ground-truth extraction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TruthConfig {
+    /// Effective utilization at or above which a link-hour counts as
+    /// congested. Defaults to 0.85 — where `PerfModel::util_loss`
+    /// starts producing loss, i.e. where congestion becomes observable.
+    pub util_threshold: f64,
+    /// Injected loss floor at or above which a link-hour counts as
+    /// congested regardless of utilization (a loss-floor fault degrades
+    /// the link without consuming capacity). Defaults to 0.01.
+    pub loss_threshold: f64,
+}
+
+impl Default for TruthConfig {
+    fn default() -> Self {
+        Self {
+            util_threshold: 0.85,
+            loss_threshold: 0.01,
+        }
+    }
+}
+
+/// Reconstructs the routing layer's `CloudEdge` segment for a link —
+/// field-for-field the segment `Paths` builds when a path crosses it,
+/// so utilization queries hash identically to the campaign's own.
+pub fn edge_segment(link: &InterdomainLink, direction: Direction) -> Segment {
+    Segment {
+        kind: SegmentKind::CloudEdge(link.id),
+        capacity_gbps: link.capacity_gbps,
+        congestion: match direction {
+            Direction::ToCloud => link.congestion,
+            Direction::ToServer => CongestionClass::Clean,
+        },
+        city: link.pop,
+        load_key: load_key(b"edge", u64::from(link.id.0), direction as u64),
+    }
+}
+
+/// Combined capacity factor of all degradations active on `link` at `t`.
+fn capacity_factor(degradations: &[LinkDegradation], link: u32, t: SimTime) -> f64 {
+    let mut cap = 1.0;
+    for d in degradations {
+        if d.link.0 == link && d.active_at(t) {
+            cap *= d.capacity_factor;
+        }
+    }
+    cap
+}
+
+/// Summed injected loss floor active on `link` at `t` (matches how the
+/// perf model folds overlapping degradations).
+fn loss_floor(degradations: &[LinkDegradation], link: u32, t: SimTime) -> f64 {
+    degradations
+        .iter()
+        .filter(|d| d.link.0 == link && d.active_at(t))
+        .map(|d| d.loss_floor)
+        .sum()
+}
+
+/// Peak injected loss floor on `link` over a window, sampled hourly.
+pub fn window_peak_loss_floor(
+    degradations: &[LinkDegradation],
+    link: &InterdomainLink,
+    window: Window,
+) -> f64 {
+    let mut peak = 0.0f64;
+    for hour in window.start_hour..window.end_hour {
+        peak = peak.max(loss_floor(degradations, link.id.0, SimTime(hour * 3600)));
+    }
+    peak
+}
+
+/// Peak effective ToCloud utilization of `link` over a window,
+/// sampled once per hour at the hour boundary (utilization is
+/// piecewise-hourly in the load model).
+pub fn window_peak_utilization(
+    topo: &Topology,
+    load: &LoadModel,
+    degradations: &[LinkDegradation],
+    link: &InterdomainLink,
+    window: Window,
+) -> f64 {
+    let seg = edge_segment(link, Direction::ToCloud);
+    let offset = topo.cities.get(link.pop).utc_offset_hours;
+    let mut peak = 0.0f64;
+    for hour in window.start_hour..window.end_hour {
+        let t = SimTime(hour * 3600);
+        let u = load.utilization(&seg, offset, t);
+        let cap = capacity_factor(degradations, link.id.0, t);
+        let eff = if cap > 0.0 { u / cap } else { f64::INFINITY };
+        peak = peak.max(eff);
+    }
+    peak
+}
+
+/// The truly congested links per window: for each window, the sorted
+/// link ids whose peak effective utilization reaches the utilization
+/// threshold, or whose injected loss floor reaches the loss threshold.
+pub fn true_congested_links(
+    topo: &Topology,
+    load: &LoadModel,
+    degradations: &[LinkDegradation],
+    windows: &[Window],
+    cfg: &TruthConfig,
+) -> Vec<Vec<u32>> {
+    windows
+        .iter()
+        .map(|&w| {
+            let mut congested: Vec<u32> = topo
+                .links
+                .iter()
+                .filter(|l| {
+                    window_peak_utilization(topo, load, degradations, l, w) >= cfg.util_threshold
+                        || window_peak_loss_floor(degradations, l, w) >= cfg.loss_threshold
+                })
+                .map(|l| l.id.0)
+                .collect();
+            congested.sort_unstable();
+            congested
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::{LinkId, TopologyConfig};
+
+    fn setup() -> (Topology, LoadModel) {
+        (
+            Topology::generate(TopologyConfig::tiny(33)),
+            LoadModel::new(77),
+        )
+    }
+
+    #[test]
+    fn edge_segment_matches_routing_construction() {
+        let (topo, _) = setup();
+        let link = &topo.links[0];
+        let seg = edge_segment(link, Direction::ToCloud);
+        assert_eq!(seg.kind, SegmentKind::CloudEdge(link.id));
+        assert_eq!(seg.capacity_gbps, link.capacity_gbps);
+        assert_eq!(seg.city, link.pop);
+        assert_eq!(
+            seg.load_key,
+            load_key(b"edge", u64::from(link.id.0), Direction::ToCloud as u64)
+        );
+        // The reverse direction is always clean (the Cox story).
+        let rev = edge_segment(link, Direction::ToServer);
+        assert_eq!(rev.congestion, CongestionClass::Clean);
+    }
+
+    #[test]
+    fn capacity_cut_raises_effective_utilization() {
+        let (topo, load) = setup();
+        let link = &topo.links[0];
+        let w = Window {
+            start_hour: 24,
+            end_hour: 48,
+        };
+        let clean = window_peak_utilization(&topo, &load, &[], link, w);
+        let cut = vec![LinkDegradation {
+            link: link.id,
+            start_s: 24 * 3600,
+            end_s: 48 * 3600,
+            capacity_factor: 0.25,
+            loss_floor: 0.0,
+            added_delay_ms: 0.0,
+        }];
+        let degraded = window_peak_utilization(&topo, &load, &cut, link, w);
+        assert!(
+            (degraded - clean * 4.0).abs() < 1e-9,
+            "{degraded} vs {clean}"
+        );
+        // Out-of-window hours are untouched.
+        let after = Window {
+            start_hour: 48,
+            end_hour: 72,
+        };
+        let a = window_peak_utilization(&topo, &load, &cut, link, after);
+        let b = window_peak_utilization(&topo, &load, &[], link, after);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn deep_cut_makes_the_link_truly_congested() {
+        let (topo, load) = setup();
+        let link = &topo.links[0];
+        let windows = [Window {
+            start_hour: 24,
+            end_hour: 48,
+        }];
+        let cut = vec![LinkDegradation {
+            link: link.id,
+            start_s: 24 * 3600,
+            end_s: 48 * 3600,
+            capacity_factor: 0.02,
+            loss_floor: 0.0,
+            added_delay_ms: 0.0,
+        }];
+        let truth = true_congested_links(&topo, &load, &cut, &windows, &TruthConfig::default());
+        assert!(truth[0].contains(&link.id.0), "{:?}", truth[0]);
+    }
+
+    #[test]
+    fn loss_floor_fault_is_truly_congested_without_utilization() {
+        let (topo, load) = setup();
+        let link = &topo.links[0];
+        let windows = [Window {
+            start_hour: 24,
+            end_hour: 48,
+        }];
+        let floor = vec![LinkDegradation {
+            link: link.id,
+            start_s: 30 * 3600,
+            end_s: 40 * 3600,
+            capacity_factor: 1.0,
+            loss_floor: 0.05,
+            added_delay_ms: 0.0,
+        }];
+        assert_eq!(window_peak_loss_floor(&floor, link, windows[0]), 0.05);
+        let truth = true_congested_links(&topo, &load, &floor, &windows, &TruthConfig::default());
+        assert!(truth[0].contains(&link.id.0), "{:?}", truth[0]);
+    }
+
+    #[test]
+    fn unknown_link_degradation_changes_nothing() {
+        let (topo, load) = setup();
+        let link = &topo.links[0];
+        let bogus = vec![LinkDegradation {
+            link: LinkId(u32::MAX),
+            start_s: 0,
+            end_s: u64::MAX,
+            capacity_factor: 0.01,
+            loss_floor: 0.5,
+            added_delay_ms: 100.0,
+        }];
+        let w = Window {
+            start_hour: 0,
+            end_hour: 24,
+        };
+        let a = window_peak_utilization(&topo, &load, &bogus, link, w);
+        let b = window_peak_utilization(&topo, &load, &[], link, w);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

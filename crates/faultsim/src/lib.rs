@@ -36,7 +36,7 @@ pub mod report;
 pub mod retry;
 
 pub use log::{FaultLog, FaultOutcome, FaultSummary, InjectedFault};
-pub use plan::{CronEffect, FaultKind, FaultPlan, FaultRates, ScheduledFault, VmScope};
+pub use plan::{CronEffect, FaultKind, FaultPlan, FaultRates, LinkFault, ScheduledFault, VmScope};
 pub use report::{CompletenessReport, RegionCompleteness};
 pub use retry::RetryPolicy;
 

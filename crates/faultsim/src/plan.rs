@@ -32,6 +32,15 @@ pub enum FaultKind {
     TestAbort,
     /// The regional API quota is exhausted for the rest of the hour.
     QuotaExhausted,
+    /// An interdomain link loses part of its capacity (a cut LAG
+    /// member, a failed parallel circuit).
+    LinkCapacityCut,
+    /// An interdomain link picks up a persistent loss floor (a dirty
+    /// optic, a faulty linecard).
+    LinkLossFloor,
+    /// An interdomain link gains extra one-way delay (an underlay
+    /// reroute over a longer physical path).
+    LinkDelay,
 }
 
 impl FaultKind {
@@ -46,6 +55,9 @@ impl FaultKind {
             FaultKind::CronSkew => "cron_skew",
             FaultKind::TestAbort => "test_abort",
             FaultKind::QuotaExhausted => "quota_exhausted",
+            FaultKind::LinkCapacityCut => "link_capacity_cut",
+            FaultKind::LinkLossFloor => "link_loss_floor",
+            FaultKind::LinkDelay => "link_delay",
         }
     }
 
@@ -60,12 +72,15 @@ impl FaultKind {
             "cron_skew" => FaultKind::CronSkew,
             "test_abort" => FaultKind::TestAbort,
             "quota_exhausted" => FaultKind::QuotaExhausted,
+            "link_capacity_cut" => FaultKind::LinkCapacityCut,
+            "link_loss_floor" => FaultKind::LinkLossFloor,
+            "link_delay" => FaultKind::LinkDelay,
             _ => return None,
         })
     }
 
     /// All kinds, in report order.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::VmPreemption,
         FaultKind::CrashLoop,
         FaultKind::ApiError,
@@ -74,6 +89,9 @@ impl FaultKind {
         FaultKind::CronSkew,
         FaultKind::TestAbort,
         FaultKind::QuotaExhausted,
+        FaultKind::LinkCapacityCut,
+        FaultKind::LinkLossFloor,
+        FaultKind::LinkDelay,
     ];
 }
 
@@ -184,6 +202,47 @@ impl ScheduledFault {
     }
 }
 
+/// A scheduled degradation of one interdomain link — the interconnect
+/// analogue of [`ScheduledFault`]. Link faults are *environmental*:
+/// they degrade paths via the simnet fluid model rather than eating
+/// VM-hours, so they never contribute to completeness loss, only to
+/// measured performance (and the ground-truth [`crate::FaultLog`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// One of the `Link*` fault kinds.
+    pub kind: FaultKind,
+    /// The affected interdomain link's id (`simnet` `LinkId` value).
+    pub link: u32,
+    /// First hour index (sim hours since epoch) the fault is active.
+    pub start_hour: u64,
+    /// Whole hours the fault stays active.
+    pub duration_hours: u64,
+    /// Kind-specific magnitude: the fraction of capacity *removed* for
+    /// [`FaultKind::LinkCapacityCut`] (`0.75` keeps a quarter), the
+    /// added loss rate for [`FaultKind::LinkLossFloor`], or the added
+    /// one-way delay in ms for [`FaultKind::LinkDelay`].
+    pub magnitude: f64,
+}
+
+impl LinkFault {
+    /// The simnet degradation this fault induces while active.
+    pub fn degradation(&self) -> simnet::perf::LinkDegradation {
+        let (capacity_factor, loss_floor, added_delay_ms) = match self.kind {
+            FaultKind::LinkCapacityCut => ((1.0 - self.magnitude).clamp(0.0, 1.0), 0.0, 0.0),
+            FaultKind::LinkLossFloor => (1.0, self.magnitude.max(0.0), 0.0),
+            _ => (1.0, 0.0, self.magnitude.max(0.0)),
+        };
+        simnet::perf::LinkDegradation {
+            link: simnet::topology::LinkId(self.link),
+            start_s: self.start_hour * 3600,
+            end_s: (self.start_hour + self.duration_hours) * 3600,
+            capacity_factor,
+            loss_floor,
+            added_delay_ms,
+        }
+    }
+}
+
 /// What the cron scheduler does in a given hour for a given VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CronEffect {
@@ -215,6 +274,8 @@ pub struct FaultPlan {
     pub rates: FaultRates,
     /// Faults pinned to exact times.
     pub scheduled: Vec<ScheduledFault>,
+    /// Interdomain-link degradations pinned to exact times.
+    pub link_faults: Vec<LinkFault>,
     /// Back-compat shim for the retired `CampaignConfig::outage_rate`
     /// knob: P(whole VM-hour lost), drawn with the exact hash the old
     /// field used so existing seeds reproduce identical gaps. Unlike
@@ -236,6 +297,7 @@ impl FaultPlan {
             seed: 0,
             rates: FaultRates::ZERO,
             scheduled: Vec::new(),
+            link_faults: Vec::new(),
             legacy_outage_rate: 0.0,
         }
     }
@@ -247,6 +309,7 @@ impl FaultPlan {
             seed,
             rates: FaultRates::uniform(p),
             scheduled: Vec::new(),
+            link_faults: Vec::new(),
             legacy_outage_rate: 0.0,
         }
     }
@@ -285,6 +348,7 @@ impl FaultPlan {
                     quota_burst: 0.0002,
                 },
                 scheduled: Vec::new(),
+                link_faults: Vec::new(),
                 legacy_outage_rate: 0.0,
             },
             _ => return None,
@@ -294,7 +358,23 @@ impl FaultPlan {
     /// True when the plan can never inject anything — queries short-
     /// circuit without hashing, keeping the zero-fault path free.
     pub fn is_none(&self) -> bool {
-        self.rates.is_zero() && self.scheduled.is_empty() && self.legacy_outage_rate == 0.0
+        self.rates.is_zero()
+            && self.scheduled.is_empty()
+            && self.link_faults.is_empty()
+            && self.legacy_outage_rate == 0.0
+    }
+
+    /// The simnet degradations induced by this plan's link faults, in
+    /// canonical order (empty when the plan has none — in which case
+    /// installing them is bitwise invisible to the fluid model).
+    pub fn link_degradations(&self) -> Vec<simnet::perf::LinkDegradation> {
+        let mut v: Vec<_> = self
+            .link_faults
+            .iter()
+            .map(LinkFault::degradation)
+            .collect();
+        v.sort_by_key(|d| (d.link.0, d.start_s, d.end_s));
+        v
     }
 
     /// Uniform `[0,1)` draw for `(namespace, key, time)` under this seed.
@@ -490,10 +570,26 @@ impl FaultPlan {
                 Value::Object(m)
             })
             .collect();
+        let link_faults: Vec<Value> = self
+            .link_faults
+            .iter()
+            .map(|l| {
+                let mut m = Map::new();
+                m.insert("kind".into(), l.kind.name().into());
+                m.insert("link".into(), u64::from(l.link).into());
+                m.insert("start_hour".into(), l.start_hour.into());
+                m.insert("duration_hours".into(), l.duration_hours.into());
+                m.insert("magnitude".into(), l.magnitude.into());
+                Value::Object(m)
+            })
+            .collect();
         let mut top = Map::new();
         top.insert("seed".into(), self.seed.into());
         top.insert("rates".into(), Value::Object(rates));
         top.insert("scheduled".into(), Value::Array(scheduled));
+        if !link_faults.is_empty() {
+            top.insert("link_faults".into(), Value::Array(link_faults));
+        }
         if self.legacy_outage_rate > 0.0 {
             top.insert("legacy_outage_rate".into(), self.legacy_outage_rate.into());
         }
@@ -542,10 +638,43 @@ impl FaultPlan {
                 });
             }
         }
+        let mut link_faults = Vec::new();
+        if let Some(list) = v.get("link_faults").and_then(|s| s.as_array()) {
+            for l in list {
+                let kind_name = l
+                    .get("kind")
+                    .and_then(|k| k.as_str())
+                    .ok_or("link fault missing 'kind'")?;
+                let kind = FaultKind::parse(kind_name)
+                    .ok_or_else(|| format!("unknown fault kind {kind_name:?}"))?;
+                if !matches!(
+                    kind,
+                    FaultKind::LinkCapacityCut | FaultKind::LinkLossFloor | FaultKind::LinkDelay
+                ) {
+                    return Err(format!("{kind_name:?} is not a link fault kind"));
+                }
+                let link = l
+                    .get("link")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("link fault missing 'link'")?;
+                let link = u32::try_from(link).map_err(|_| "link id out of range".to_string())?;
+                link_faults.push(LinkFault {
+                    kind,
+                    link,
+                    start_hour: l
+                        .get("start_hour")
+                        .and_then(|v| v.as_u64())
+                        .ok_or("link fault missing 'start_hour'")?,
+                    duration_hours: u(l, "duration_hours", 1),
+                    magnitude: f(l, "magnitude"),
+                });
+            }
+        }
         Ok(FaultPlan {
             seed: v.get("seed").and_then(|s| s.as_u64()).unwrap_or(0),
             rates,
             scheduled,
+            link_faults,
             legacy_outage_rate: f(v, "legacy_outage_rate"),
         })
     }
@@ -728,6 +857,57 @@ mod tests {
         }
         assert!(FaultPlan::builtin("bogus").is_none());
         assert!(FaultPlan::builtin("none").unwrap().is_none());
+    }
+
+    #[test]
+    fn link_faults_roundtrip_and_convert() {
+        let mut p = FaultPlan::none();
+        p.link_faults.push(LinkFault {
+            kind: FaultKind::LinkCapacityCut,
+            link: 7,
+            start_hour: 48,
+            duration_hours: 24,
+            magnitude: 0.75,
+        });
+        p.link_faults.push(LinkFault {
+            kind: FaultKind::LinkLossFloor,
+            link: 3,
+            start_hour: 10,
+            duration_hours: 5,
+            magnitude: 0.02,
+        });
+        p.link_faults.push(LinkFault {
+            kind: FaultKind::LinkDelay,
+            link: 3,
+            start_hour: 0,
+            duration_hours: 2,
+            magnitude: 8.0,
+        });
+        assert!(!p.is_none());
+        let text = serde_json::to_string_pretty(&p.to_json());
+        let back = FaultPlan::from_json_str(&text).unwrap();
+        assert_eq!(p, back);
+
+        let degr = p.link_degradations();
+        assert_eq!(degr.len(), 3);
+        // Canonical order: (link, start_s).
+        assert_eq!(degr[0].link.0, 3);
+        assert_eq!(degr[0].start_s, 0);
+        assert!((degr[0].added_delay_ms - 8.0).abs() < 1e-12);
+        assert_eq!(degr[1].link.0, 3);
+        assert!((degr[1].loss_floor - 0.02).abs() < 1e-12);
+        assert_eq!(degr[2].link.0, 7);
+        assert!((degr[2].capacity_factor - 0.25).abs() < 1e-12);
+        assert_eq!(degr[2].start_s, 48 * 3600);
+        assert_eq!(degr[2].end_s, 72 * 3600);
+    }
+
+    #[test]
+    fn link_fault_json_rejects_non_link_kinds() {
+        let bad = r#"{"link_faults":[{"kind":"api_error","link":1,"start_hour":0}]}"#;
+        assert!(FaultPlan::from_json_str(bad).is_err());
+        let missing = r#"{"link_faults":[{"kind":"link_delay","start_hour":0}]}"#;
+        assert!(FaultPlan::from_json_str(missing).is_err());
     }
 
     #[test]

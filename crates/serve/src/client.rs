@@ -11,6 +11,7 @@
 //!   sees are identical to the bytes a socket client sees — tests and
 //!   benches exercise the real protocol without a network in the way.
 
+use crate::congestion::CongestionSpec;
 use crate::proto::{QuerySpec, Request};
 use crate::server::Server;
 use serde_json::Value;
@@ -185,6 +186,12 @@ impl<T: Transport> Client<T> {
     /// Runs a query; returns the parsed response and its raw bytes.
     pub fn query(&mut self, spec: &QuerySpec) -> Result<(Value, String), ClientError> {
         self.call_raw(&Request::Query(spec.clone()))
+    }
+
+    /// Runs congestion detection; returns the parsed response and its
+    /// raw bytes.
+    pub fn congestion(&mut self, spec: &CongestionSpec) -> Result<(Value, String), ClientError> {
+        self.call_raw(&Request::Congestion(spec.clone()))
     }
 
     /// Opens a tail subscription; returns its id.

@@ -38,11 +38,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod congestion;
 pub mod proto;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, QueryCache};
 pub use client::{Client, LocalTransport, TcpTransport, Transport};
+pub use congestion::{CongestionReport, CongestionSpec, SeriesLabel};
 pub use proto::{QuerySpec, Request};
 pub use server::{Server, ServerConfig};

@@ -13,6 +13,7 @@
 //! bytes. That is the foundation of both the response cache and the
 //! serve-vs-in-process equivalence guarantee.
 
+use crate::congestion::CongestionSpec;
 use serde_json::{Map, Value};
 use tsdb::{Aggregate, Point, Query, SeriesResult};
 
@@ -213,6 +214,8 @@ pub enum Request {
     Publish,
     /// Run a query against the last published snapshot.
     Query(QuerySpec),
+    /// Run congestion detection against the last published snapshot.
+    Congestion(CongestionSpec),
     /// Open a bounded tail subscription.
     Subscribe {
         /// Buffer capacity in points.
@@ -267,6 +270,9 @@ impl Request {
                 let spec = v.get("query").ok_or("query requires a \"query\" object")?;
                 Ok(Request::Query(QuerySpec::from_value(spec)?))
             }
+            // The congestion spec *is* the request object (its
+            // canonical form carries the "op" member).
+            "congestion" => Ok(Request::Congestion(CongestionSpec::from_value(&v)?)),
             "subscribe" => {
                 let capacity = opt_u64(&v, "capacity")?.ok_or("subscribe requires \"capacity\"")?;
                 if capacity == 0 {
@@ -324,6 +330,12 @@ impl Request {
             Request::Query(spec) => {
                 m.insert("op".into(), "query".into());
                 m.insert("query".into(), spec.to_value());
+            }
+            Request::Congestion(spec) => {
+                let Value::Object(obj) = spec.to_value() else {
+                    unreachable!("CongestionSpec::to_value returns an object")
+                };
+                m = obj;
             }
             Request::Subscribe { capacity } => {
                 m.insert("op".into(), "subscribe".into());
@@ -436,6 +448,12 @@ mod tests {
                     .time_range(10, 99)
                     .group_by_time(30)
                     .aggregate(Aggregate::Percentile(95.0)),
+            ),
+            Request::Congestion(
+                CongestionSpec::analyze("speedtest", "download")
+                    .r#where("method", "topo")
+                    .threshold(0.6)
+                    .utc_offset_hours(-8),
             ),
             Request::Subscribe { capacity: 64 },
             Request::Poll { tail: 2, max: 10 },

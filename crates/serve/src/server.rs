@@ -21,6 +21,7 @@
 //! invalidation.
 
 use crate::cache::{CacheStats, QueryCache};
+use crate::congestion::CongestionSpec;
 use crate::proto::{self, QuerySpec, Request};
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
@@ -78,6 +79,7 @@ struct Counters {
     ingest_rejected: u64,
     publishes: u64,
     queries: u64,
+    congestions: u64,
     polls: u64,
     poll_points: u64,
     subscribes: u64,
@@ -253,6 +255,38 @@ impl Server {
         (rendered, false)
     }
 
+    /// Runs congestion detection against the last published snapshot,
+    /// through the same response cache as [`Server::query`]. Returns
+    /// the rendered response line and whether it was served from cache.
+    ///
+    /// The spec's canonical bytes carry `"op":"congestion"`, so
+    /// congestion entries and query entries can never alias in the
+    /// shared key space even for identical measurement/field/filters.
+    pub fn congestion(&self, spec: &CongestionSpec) -> (String, bool) {
+        let snap = self.snapshot();
+        let key = format!(
+            "{}:{}:{}:{}",
+            self.cfg.seed,
+            self.cfg.config_hash,
+            snap.generation(),
+            spec.canonical()
+        );
+        self.count(|c| c.congestions += 1);
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            return (hit, true);
+        }
+        let report = spec.evaluate(&snap);
+        let Value::Object(m) = report.to_value(snap.generation()) else {
+            unreachable!("CongestionReport::to_value returns an object")
+        };
+        let rendered = proto::ok_response(m);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, rendered.clone());
+        (rendered, false)
+    }
+
     /// Opens a bounded tail over the ingest stream and returns its id.
     /// Points mirrored into the tail are those *applied* at publish
     /// barriers (staged points are not yet visible anywhere).
@@ -343,6 +377,7 @@ impl Server {
         req.insert("ingest_rejected".into(), c.ingest_rejected.into());
         req.insert("publishes".into(), c.publishes.into());
         req.insert("queries".into(), c.queries.into());
+        req.insert("congestions".into(), c.congestions.into());
         req.insert("polls".into(), c.polls.into());
         req.insert("poll_points".into(), c.poll_points.into());
         req.insert("subscribes".into(), c.subscribes.into());
@@ -436,6 +471,7 @@ impl Server {
                 proto::ok_response(m)
             }
             Request::Query(spec) => self.query(&spec).0,
+            Request::Congestion(spec) => self.congestion(&spec).0,
             Request::Subscribe { capacity } => match self.subscribe(capacity) {
                 Ok(id) => {
                     let mut m = Map::new();

@@ -23,7 +23,7 @@
 use crate::load::LoadModel;
 use crate::routing::{load_key, RouterPath, Segment, SegmentKind};
 use crate::time::SimTime;
-use crate::topology::Topology;
+use crate::topology::{LinkId, Topology};
 
 /// Parameters of one bulk-transfer measurement flow.
 #[derive(Debug, Clone, Copy)]
@@ -69,10 +69,46 @@ pub struct PathPerf {
     pub bottleneck_mbps: f64,
 }
 
+/// A deliberate degradation of one interdomain link, active over a
+/// half-open window `[start_s, end_s)` of simulation time.
+///
+/// Degradations model operator-visible interconnect failures — a cut
+/// LAG member (capacity), a dirty optic (loss), a re-routed underlay
+/// (delay) — on top of the diurnal [`LoadModel`]. An empty degradation
+/// set is bitwise invisible: every path evaluation takes exactly the
+/// code path it took before this hook existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegradation {
+    /// The interdomain link affected.
+    pub link: LinkId,
+    /// Window start, seconds of simulation time (inclusive).
+    pub start_s: u64,
+    /// Window end, seconds of simulation time (exclusive).
+    pub end_s: u64,
+    /// Multiplier on the link's capacity (`1.0` = untouched).
+    pub capacity_factor: f64,
+    /// Additive loss-rate floor (`0.0` = untouched).
+    pub loss_floor: f64,
+    /// Additive one-way delay per traversal, ms (`0.0` = untouched).
+    pub added_delay_ms: f64,
+}
+
+impl LinkDegradation {
+    /// Whether the window covers instant `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        let s = t.as_secs();
+        self.start_s <= s && s < self.end_s
+    }
+}
+
 /// Performance model bound to a topology and a load model.
 pub struct PerfModel<'t> {
     topo: &'t Topology,
     load: LoadModel,
+    /// Active link degradations, held in canonical
+    /// `(link, start_s, end_s)` order so evaluation order never
+    /// depends on insertion order.
+    degradations: Vec<LinkDegradation>,
 }
 
 /// Loss floor so the Mathis term stays finite on pristine paths.
@@ -81,7 +117,48 @@ const MIN_LOSS: f64 = 1.2e-5;
 impl<'t> PerfModel<'t> {
     /// Creates a performance model.
     pub fn new(topo: &'t Topology, load: LoadModel) -> Self {
-        Self { topo, load }
+        Self {
+            topo,
+            load,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// Installs the set of link degradations, replacing any previous
+    /// set. The list is sorted into canonical order internally, so
+    /// callers may pass it in any order.
+    pub fn set_degradations(&mut self, mut degradations: Vec<LinkDegradation>) {
+        degradations.sort_by_key(|d| (d.link.0, d.start_s, d.end_s));
+        self.degradations = degradations;
+    }
+
+    /// The installed link degradations, in canonical order.
+    pub fn degradations(&self) -> &[LinkDegradation] {
+        &self.degradations
+    }
+
+    /// Combined degradation effect on `seg` at `t`:
+    /// `(capacity_factor, loss_floor, added_delay_ms)`. `None` when the
+    /// segment is not a degraded cloud edge — the common case, kept
+    /// allocation- and float-op-free so an empty set changes nothing.
+    fn degrade(&self, seg: &Segment, t: SimTime) -> Option<(f64, f64, f64)> {
+        if self.degradations.is_empty() {
+            return None;
+        }
+        let SegmentKind::CloudEdge(link) = seg.kind else {
+            return None;
+        };
+        let mut hit = false;
+        let (mut cap, mut loss, mut delay) = (1.0, 0.0, 0.0);
+        for d in &self.degradations {
+            if d.link == link && d.active_at(t) {
+                hit = true;
+                cap *= d.capacity_factor;
+                loss += d.loss_floor;
+                delay += d.added_delay_ms;
+            }
+        }
+        hit.then_some((cap, loss, delay))
     }
 
     /// The load model in use.
@@ -192,7 +269,19 @@ impl<'t> PerfModel<'t> {
     /// Per-segment loss rate at time `t`.
     pub fn segment_loss(&self, seg: &Segment, t: SimTime) -> f64 {
         let u = self.seg_utilization(seg, t);
-        (self.base_loss(seg) * self.loss_noise(seg, t) + Self::util_loss(u)).min(0.6)
+        match self.degrade(seg, t) {
+            None => (self.base_loss(seg) * self.loss_noise(seg, t) + Self::util_loss(u)).min(0.6),
+            // A capacity cut squeezes the same background demand into
+            // less supply, so the utilization-loss term sees the
+            // *effective* utilization; a loss floor adds directly.
+            Some((cap, loss_floor, _)) => {
+                let eff_u = if cap > 0.0 { u / cap } else { 2.0 };
+                (self.base_loss(seg) * self.loss_noise(seg, t)
+                    + Self::util_loss(eff_u)
+                    + loss_floor)
+                    .min(0.6)
+            }
+        }
     }
 
     /// End-to-end loss of a unidirectional path at time `t`.
@@ -205,17 +294,34 @@ impl<'t> PerfModel<'t> {
     }
 
     /// Total queueing delay along a unidirectional path at `t`, ms.
+    /// Degraded links add their extra one-way delay per traversal.
     pub fn path_queue_ms(&self, path: &RouterPath, t: SimTime) -> f64 {
         path.segments
             .iter()
-            .map(|seg| Self::queue_ms(seg.kind, self.seg_utilization(seg, t)))
+            .map(|seg| {
+                let q = Self::queue_ms(seg.kind, self.seg_utilization(seg, t));
+                match self.degrade(seg, t) {
+                    None => q,
+                    Some((_, _, delay)) => q + delay,
+                }
+            })
             .sum()
     }
 
     /// Available bandwidth of one segment at time `t`, Mbps.
     pub fn bottleneck_of_segment(&self, seg: &Segment, t: SimTime) -> f64 {
         let u = self.seg_utilization(seg, t);
-        seg.capacity_gbps * 1000.0 * (1.0 - u).max(0.015)
+        match self.degrade(seg, t) {
+            None => seg.capacity_gbps * 1000.0 * (1.0 - u).max(0.015),
+            // A capacity cut removes supply while background demand
+            // stays: utilization rises by 1/factor before headroom is
+            // taken, which is what makes cuts visible as congestion.
+            Some((cap, _, _)) => {
+                let cut_capacity = seg.capacity_gbps * cap.max(1.0e-3);
+                let eff_u = if cap > 0.0 { u / cap } else { f64::INFINITY };
+                cut_capacity * 1000.0 * (1.0 - eff_u).max(0.015)
+            }
+        }
     }
 
     /// Available bandwidth at the tightest segment of the data path, Mbps.
@@ -443,6 +549,75 @@ mod tests {
                 assert!(d.throughput_mbps <= 1000.0 + 1e-9);
                 let u = perf.tcp_throughput(&up, &down, t, &FlowSpec::upload());
                 assert!(u.throughput_mbps <= 100.0 + 1e-9);
+            }
+        }
+    }
+
+    fn edge_link_of(path: &RouterPath) -> LinkId {
+        path.segments
+            .iter()
+            .find_map(|s| match s.kind {
+                SegmentKind::CloudEdge(l) => Some(l),
+                _ => None,
+            })
+            .expect("path crosses a cloud edge")
+    }
+
+    #[test]
+    fn link_degradation_applies_only_in_window() {
+        let (topo, load) = setup();
+        let mut perf = PerfModel::new(&topo, load);
+        let leaf = us_leaf(&topo);
+        let (down, up) = path_pair(&topo, leaf, Tier::Premium);
+        let link = edge_link_of(&down);
+        let t_in = SimTime::from_day_hour(2, 12);
+        let t_out = SimTime::from_day_hour(4, 12);
+        let base_in = perf.tcp_throughput(&down, &up, t_in, &FlowSpec::download());
+        let base_out = perf.tcp_throughput(&down, &up, t_out, &FlowSpec::download());
+        perf.set_degradations(vec![LinkDegradation {
+            link,
+            start_s: 2 * 86_400,
+            end_s: 3 * 86_400,
+            capacity_factor: 0.25,
+            loss_floor: 0.02,
+            added_delay_ms: 5.0,
+        }]);
+        let deg_in = perf.tcp_throughput(&down, &up, t_in, &FlowSpec::download());
+        let deg_out = perf.tcp_throughput(&down, &up, t_out, &FlowSpec::download());
+        assert!(
+            deg_in.throughput_mbps < base_in.throughput_mbps * 0.8,
+            "degraded {} vs clean {}",
+            deg_in.throughput_mbps,
+            base_in.throughput_mbps
+        );
+        assert!(deg_in.rtt_ms > base_in.rtt_ms + 4.0);
+        assert!(deg_in.loss_rate > base_in.loss_rate + 0.01);
+        // Outside the window every output is bit-identical.
+        assert_eq!(
+            deg_out.throughput_mbps.to_bits(),
+            base_out.throughput_mbps.to_bits()
+        );
+        assert_eq!(deg_out.rtt_ms.to_bits(), base_out.rtt_ms.to_bits());
+        assert_eq!(deg_out.loss_rate.to_bits(), base_out.loss_rate.to_bits());
+    }
+
+    #[test]
+    fn empty_degradation_set_is_bitwise_invisible() {
+        let (topo, load) = setup();
+        let pristine = PerfModel::new(&topo, load);
+        let mut emptied = PerfModel::new(&topo, load);
+        emptied.set_degradations(Vec::new());
+        let leaf = us_leaf(&topo);
+        let (down, up) = path_pair(&topo, leaf, Tier::Standard);
+        for day in 0..6 {
+            for hour in (0..24).step_by(5) {
+                let t = SimTime::from_day_hour(day, hour);
+                let a = pristine.tcp_throughput(&down, &up, t, &FlowSpec::download());
+                let b = emptied.tcp_throughput(&down, &up, t, &FlowSpec::download());
+                assert_eq!(a.throughput_mbps.to_bits(), b.throughput_mbps.to_bits());
+                assert_eq!(a.rtt_ms.to_bits(), b.rtt_ms.to_bits());
+                assert_eq!(a.loss_rate.to_bits(), b.loss_rate.to_bits());
+                assert_eq!(a.bottleneck_mbps.to_bits(), b.bottleneck_mbps.to_bits());
             }
         }
     }
